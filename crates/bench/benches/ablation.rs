@@ -1,0 +1,56 @@
+//! Criterion benches for the design-choice ablations: abstraction hashing
+//! and partial-order reduction.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use mcfs::{abstract_state, AbstractionConfig};
+use modelcheck::{DfsExplorer, ExploreConfig};
+use verifs::VeriFs;
+use vfs::{FileMode, FileSystem};
+
+fn populated_verifs() -> VeriFs {
+    let mut fs = VeriFs::v2();
+    fs.mount().expect("mount");
+    for d in ["/d0", "/d0/d1"] {
+        fs.mkdir(d, FileMode::DIR_DEFAULT).expect("mkdir");
+    }
+    for (i, f) in ["/f0", "/f1", "/d0/f2", "/d0/d1/f3"].iter().enumerate() {
+        let fd = fs.create(f, FileMode::REG_DEFAULT).expect("create");
+        fs.write(fd, &vec![i as u8; 2048]).expect("write");
+        fs.close(fd).expect("close");
+    }
+    fs
+}
+
+fn bench_abstraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abstraction");
+    group.bench_function("algorithm1_hash", |b| {
+        let mut fs = populated_verifs();
+        let cfg = AbstractionConfig::default();
+        b.iter(|| abstract_state(&mut fs, &cfg).expect("hash"))
+    });
+    group.finish();
+}
+
+fn bench_por(c: &mut Criterion) {
+    let mut group = c.benchmark_group("por");
+    group.sample_size(10);
+    for (name, por) in [("off", false), ("on", true)] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut p = mcfs_bench::pair_verifs(mcfs::PoolConfig::small()).expect("pairing");
+                DfsExplorer::new(ExploreConfig {
+                    max_depth: 2,
+                    max_ops: 400,
+                    por,
+                    ..ExploreConfig::default()
+                })
+                .run(&mut p.harness)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_abstraction, bench_por);
+criterion_main!(benches);

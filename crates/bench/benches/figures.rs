@@ -1,0 +1,58 @@
+//! Criterion benches tracking the wall-clock cost of each figure's pairing.
+//!
+//! The experiment *results* are in virtual time (see the `fig2`/`fig3`
+//! binaries); these benches track the host cost of running the harness so
+//! regressions in the simulation itself are visible.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use blockdev::LatencyModel;
+use mcfs::{PoolConfig, RemountMode};
+use mcfs_bench::{measure_dfs, pair_ext2_ext4, pair_ext4_jffs2, pair_ext4_xfs, pair_verifs};
+
+fn bench_fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2");
+    group.sample_size(10);
+    group.bench_function("ext2_vs_ext4_ram", |b| {
+        b.iter(|| {
+            let mut p =
+                pair_ext2_ext4(LatencyModel::ram(), RemountMode::PerOp, PoolConfig::small())
+                    .expect("pairing");
+            measure_dfs(&mut p, 150)
+        })
+    });
+    group.bench_function("ext4_vs_xfs", |b| {
+        b.iter(|| {
+            let mut p = pair_ext4_xfs(RemountMode::PerOp, PoolConfig::small()).expect("pairing");
+            measure_dfs(&mut p, 150)
+        })
+    });
+    group.bench_function("ext4_vs_jffs2", |b| {
+        b.iter(|| {
+            let mut p = pair_ext4_jffs2(PoolConfig::small()).expect("pairing");
+            measure_dfs(&mut p, 150)
+        })
+    });
+    group.bench_function("verifs1_vs_verifs2", |b| {
+        b.iter(|| {
+            let mut p = pair_verifs(PoolConfig::small()).expect("pairing");
+            measure_dfs(&mut p, 150)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3");
+    group.sample_size(10);
+    group.bench_function("verifs_walk_1k_ops", |b| {
+        b.iter(|| {
+            let mut p = pair_verifs(PoolConfig::medium()).expect("pairing");
+            mcfs_bench::measure_walk(&mut p, 1_000, 3)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig2, bench_fig3);
+criterion_main!(benches);

@@ -1,0 +1,180 @@
+//! The block device abstraction and whole-device snapshots.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by block-device operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeviceError {
+    /// A block index beyond the end of the device was addressed.
+    OutOfRange {
+        /// The offending block index.
+        block: u64,
+        /// Number of blocks on the device.
+        num_blocks: u64,
+    },
+    /// A buffer whose length does not match the device block size was passed.
+    BadBufferLength {
+        /// Length of the buffer supplied by the caller.
+        got: usize,
+        /// The device block size.
+        expected: usize,
+    },
+    /// The requested geometry is invalid (zero-sized blocks, size not a
+    /// multiple of the block size, or a zero-length device).
+    BadGeometry(String),
+    /// A snapshot from a device with different geometry was restored.
+    SnapshotMismatch,
+    /// Flash-specific failure (wrapped by [`crate::MtdBlock`]).
+    Mtd(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfRange { block, num_blocks } => {
+                write!(f, "block {block} out of range (device has {num_blocks} blocks)")
+            }
+            DeviceError::BadBufferLength { got, expected } => {
+                write!(f, "buffer length {got} does not match block size {expected}")
+            }
+            DeviceError::BadGeometry(msg) => write!(f, "bad device geometry: {msg}"),
+            DeviceError::SnapshotMismatch => {
+                write!(f, "snapshot geometry does not match this device")
+            }
+            DeviceError::Mtd(msg) => write!(f, "mtd error: {msg}"),
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+/// Result alias for device operations.
+pub type DeviceResult<T> = Result<T, DeviceError>;
+
+/// A whole-device snapshot: the persistent state SPIN tracks by mmapping the
+/// backing store of each file system (paper §4).
+///
+/// Snapshots are plain byte images plus geometry, so they can be stored in the
+/// model checker's concrete-state store and accounted by the memory model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeviceSnapshot {
+    pub(crate) block_size: usize,
+    pub(crate) data: Vec<u8>,
+}
+
+impl DeviceSnapshot {
+    /// Size of the snapshot in bytes (equals the device size).
+    pub fn size_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The block size of the device the snapshot was taken from.
+    pub fn block_size(&self) -> usize {
+        self.block_size
+    }
+
+    /// Raw access to the snapshot image (read-only).
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// A fixed-geometry block device.
+///
+/// All file systems in this reproduction sit on a `BlockDevice` (JFFS2 via the
+/// [`crate::MtdBlock`] adapter). The trait also exposes snapshot/restore of the
+/// full device image — the mechanism MCFS uses to track persistent state.
+pub trait BlockDevice: Send {
+    /// Block size in bytes.
+    fn block_size(&self) -> usize;
+
+    /// Number of blocks on the device.
+    fn num_blocks(&self) -> u64;
+
+    /// Total capacity in bytes.
+    fn size_bytes(&self) -> u64 {
+        self.num_blocks() * self.block_size() as u64
+    }
+
+    /// Reads block `block` into `buf`.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::OutOfRange`] if `block >= num_blocks()`;
+    /// [`DeviceError::BadBufferLength`] if `buf.len() != block_size()`.
+    fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()>;
+
+    /// Writes `buf` to block `block`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`read_block`](Self::read_block).
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()>;
+
+    /// Flushes any device-level write buffer. RAM-backed devices are
+    /// write-through, so the default is a no-op.
+    fn flush(&mut self) -> DeviceResult<()> {
+        Ok(())
+    }
+
+    /// Captures the full device image.
+    fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot>;
+
+    /// Restores a previously captured image.
+    ///
+    /// This is exactly the operation that makes mounted file systems' caches
+    /// incoherent (paper §3.2): the device content changes underneath them.
+    ///
+    /// # Errors
+    ///
+    /// [`DeviceError::SnapshotMismatch`] if the snapshot geometry differs.
+    fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()>;
+}
+
+pub(crate) fn check_io(
+    block: u64,
+    buf_len: usize,
+    block_size: usize,
+    num_blocks: u64,
+) -> DeviceResult<()> {
+    if block >= num_blocks {
+        return Err(DeviceError::OutOfRange { block, num_blocks });
+    }
+    if buf_len != block_size {
+        return Err(DeviceError::BadBufferLength {
+            got: buf_len,
+            expected: block_size,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = DeviceError::OutOfRange {
+            block: 9,
+            num_blocks: 4,
+        };
+        assert!(e.to_string().contains("block 9"));
+        assert!(DeviceError::SnapshotMismatch.to_string().contains("snapshot"));
+        assert!(DeviceError::BadGeometry("x".into()).to_string().contains('x'));
+    }
+
+    #[test]
+    fn check_io_rejects_bad_inputs() {
+        assert!(check_io(0, 512, 512, 4).is_ok());
+        assert!(matches!(
+            check_io(4, 512, 512, 4),
+            Err(DeviceError::OutOfRange { .. })
+        ));
+        assert!(matches!(
+            check_io(0, 100, 512, 4),
+            Err(DeviceError::BadBufferLength { .. })
+        ));
+    }
+}

@@ -1,0 +1,203 @@
+//! Fault-injecting device wrapper.
+//!
+//! Real storage fails; a file system's error paths are "where bugs often
+//! lurk" (paper §2). [`FaultyDevice`] wraps any block device and fails
+//! scripted operations with I/O errors, so tests can verify that every file
+//! system surfaces `EIO` cleanly instead of corrupting state or panicking.
+
+use crate::device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
+
+/// Which operations to fail.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail block reads.
+    Read,
+    /// Fail block writes.
+    Write,
+    /// Fail both.
+    Both,
+}
+
+/// A fault-injection plan: fail the next operations of the selected kind
+/// after `skip` successful ones, for `count` failures.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultPlan {
+    /// Which operations fail.
+    pub kind: FaultKind,
+    /// Operations of that kind to let through first.
+    pub skip: u64,
+    /// Number of consecutive failures to inject (then heal).
+    pub count: u64,
+}
+
+/// A [`BlockDevice`] wrapper injecting scripted I/O failures.
+///
+/// # Examples
+///
+/// ```
+/// use blockdev::{BlockDevice, FaultKind, FaultPlan, FaultyDevice, RamDisk};
+///
+/// # fn main() -> Result<(), blockdev::DeviceError> {
+/// let disk = RamDisk::new(512, 4096)?;
+/// let mut dev = FaultyDevice::new(disk, FaultPlan { kind: FaultKind::Write, skip: 1, count: 1 });
+/// dev.write_block(0, &vec![0; 512])?;            // passes (skip = 1)
+/// assert!(dev.write_block(1, &vec![0; 512]).is_err()); // injected failure
+/// dev.write_block(2, &vec![0; 512])?;            // healed
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct FaultyDevice<D> {
+    inner: D,
+    plan: FaultPlan,
+    reads_seen: u64,
+    writes_seen: u64,
+    injected: u64,
+}
+
+impl<D: BlockDevice> FaultyDevice<D> {
+    /// Wraps `inner` with the given fault plan.
+    pub fn new(inner: D, plan: FaultPlan) -> Self {
+        FaultyDevice {
+            inner,
+            plan,
+            reads_seen: 0,
+            writes_seen: 0,
+            injected: 0,
+        }
+    }
+
+    /// Number of failures injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Consumes the wrapper, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn should_fail(&mut self, is_write: bool) -> bool {
+        let applies = matches!(
+            (self.plan.kind, is_write),
+            (FaultKind::Both, _) | (FaultKind::Read, false) | (FaultKind::Write, true)
+        );
+        if !applies {
+            return false;
+        }
+        let seen = if is_write {
+            self.writes_seen
+        } else {
+            self.reads_seen
+        };
+        let fail = seen >= self.plan.skip && self.injected < self.plan.count;
+        if is_write {
+            self.writes_seen += 1;
+        } else {
+            self.reads_seen += 1;
+        }
+        if fail {
+            self.injected += 1;
+        }
+        fail
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
+        if self.should_fail(false) {
+            return Err(DeviceError::Mtd(format!("injected read fault at block {block}")));
+        }
+        self.inner.read_block(block, buf)
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
+        if self.should_fail(true) {
+            return Err(DeviceError::Mtd(format!("injected write fault at block {block}")));
+        }
+        self.inner.write_block(block, buf)
+    }
+
+    fn flush(&mut self) -> DeviceResult<()> {
+        self.inner.flush()
+    }
+
+    fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
+        self.inner.snapshot()
+    }
+
+    fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
+        self.inner.restore(snapshot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamDisk;
+
+    #[test]
+    fn injects_then_heals() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(
+            disk,
+            FaultPlan {
+                kind: FaultKind::Read,
+                skip: 2,
+                count: 3,
+            },
+        );
+        let mut buf = [0u8; 4];
+        dev.read_block(0, &mut buf).unwrap();
+        dev.read_block(1, &mut buf).unwrap();
+        for _ in 0..3 {
+            assert!(dev.read_block(0, &mut buf).is_err());
+        }
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(dev.injected(), 3);
+        // Writes unaffected by a read-only plan.
+        dev.write_block(0, &[1; 4]).unwrap();
+    }
+
+    #[test]
+    fn write_faults_do_not_hit_reads() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(
+            disk,
+            FaultPlan {
+                kind: FaultKind::Write,
+                skip: 0,
+                count: 1,
+            },
+        );
+        let mut buf = [0u8; 4];
+        dev.read_block(0, &mut buf).unwrap();
+        assert!(dev.write_block(0, &[0; 4]).is_err());
+        dev.write_block(0, &[0; 4]).unwrap();
+    }
+
+    #[test]
+    fn both_kind_fails_everything_in_window() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(
+            disk,
+            FaultPlan {
+                kind: FaultKind::Both,
+                skip: 0,
+                count: 2,
+            },
+        );
+        let mut buf = [0u8; 4];
+        assert!(dev.read_block(0, &mut buf).is_err());
+        assert!(dev.write_block(0, &[0; 4]).is_err());
+        dev.read_block(0, &mut buf).unwrap();
+    }
+}

@@ -1,0 +1,276 @@
+//! Latency-modelled device wrapper: charges virtual time per operation.
+
+use crate::clock::Clock;
+use crate::device::{BlockDevice, DeviceResult, DeviceSnapshot};
+
+/// Storage-technology class, used to pick a default latency model and for
+/// reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceClass {
+    /// RAM block device (`brd2`).
+    Ram,
+    /// Flash SSD.
+    Ssd,
+    /// Spinning disk.
+    Hdd,
+}
+
+impl std::fmt::Display for DeviceClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DeviceClass::Ram => "RAM",
+            DeviceClass::Ssd => "SSD",
+            DeviceClass::Hdd => "HDD",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A per-operation latency model, in nanoseconds of virtual time.
+///
+/// The HDD model adds a seek penalty whenever the accessed block is not
+/// adjacent to the previous access; SSD and RAM models are position
+/// independent. Values are chosen so the paper's observed ratios (HDD ≈ 20×
+/// and SSD ≈ 18× slower than RAM for the full model-checking loop, where
+/// remount traffic amplifies device latency) fall out of the simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// The technology class this model represents.
+    pub class: DeviceClass,
+    /// Cost of one block read.
+    pub read_ns: u64,
+    /// Cost of one block write.
+    pub write_ns: u64,
+    /// Extra cost when the access is non-sequential (seek + rotational delay
+    /// for HDDs; zero elsewhere).
+    pub seek_ns: u64,
+    /// Cost of a flush/barrier.
+    pub flush_ns: u64,
+}
+
+impl LatencyModel {
+    /// RAM block device: a few µs per block — the block-layer syscall cost
+    /// dominates the memcpy (`brd` through the kernel, not a bare memcpy).
+    pub fn ram() -> Self {
+        LatencyModel {
+            class: DeviceClass::Ram,
+            read_ns: 4_000,
+            write_ns: 5_000,
+            seek_ns: 0,
+            flush_ns: 0,
+        }
+    }
+
+    /// SATA-class SSD: ~15–20 µs effective per-block cost. Effective costs
+    /// are calibrated cache-amortized values (the checker's device traffic
+    /// passes through the kernel page cache in the paper's setup); see
+    /// EXPERIMENTS.md.
+    pub fn ssd() -> Self {
+        LatencyModel {
+            class: DeviceClass::Ssd,
+            read_ns: 15_000,
+            write_ns: 25_000,
+            seek_ns: 0,
+            flush_ns: 11_000_000,
+        }
+    }
+
+    /// 7200 RPM HDD: effective (cache- and scheduler-amortized) costs —
+    /// ~0.4 ms effective seek, ~15–18 µs per-block transfer.
+    pub fn hdd() -> Self {
+        LatencyModel {
+            class: DeviceClass::Hdd,
+            read_ns: 15_000,
+            write_ns: 18_000,
+            seek_ns: 700_000,
+            flush_ns: 12_500_000,
+        }
+    }
+
+    /// The model matching a [`DeviceClass`].
+    pub fn for_class(class: DeviceClass) -> Self {
+        match class {
+            DeviceClass::Ram => LatencyModel::ram(),
+            DeviceClass::Ssd => LatencyModel::ssd(),
+            DeviceClass::Hdd => LatencyModel::hdd(),
+        }
+    }
+}
+
+/// A [`BlockDevice`] wrapper that charges a [`LatencyModel`]'s costs to a
+/// shared virtual [`Clock`] on every operation.
+///
+/// Snapshots and restores are charged as bulk transfers (one read or write per
+/// block), matching how MCFS's persistent-state tracking must stream the whole
+/// device image — this is why the paper's HDD/SSD configurations are so much
+/// slower than RAM disks.
+///
+/// # Examples
+///
+/// ```
+/// use blockdev::{BlockDevice, Clock, LatencyModel, RamDisk, TimedDevice};
+///
+/// # fn main() -> Result<(), blockdev::DeviceError> {
+/// let clock = Clock::new();
+/// let disk = RamDisk::new(512, 4096)?;
+/// let mut hdd = TimedDevice::new(disk, LatencyModel::hdd(), clock.clone());
+/// hdd.read_block(0, &mut vec![0; 512])?;
+/// hdd.read_block(7, &mut vec![0; 512])?; // non-adjacent: pays a seek
+/// assert!(clock.now_ns() >= 100_000);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimedDevice<D> {
+    inner: D,
+    model: LatencyModel,
+    clock: Clock,
+    last_block: Option<u64>,
+}
+
+impl<D: BlockDevice> TimedDevice<D> {
+    /// Wraps `inner` so each operation charges `model`'s cost to `clock`.
+    pub fn new(inner: D, model: LatencyModel, clock: Clock) -> Self {
+        TimedDevice {
+            inner,
+            model,
+            clock,
+            last_block: None,
+        }
+    }
+
+    /// The latency model in effect.
+    pub fn model(&self) -> &LatencyModel {
+        &self.model
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &Clock {
+        &self.clock
+    }
+
+    /// Consumes the wrapper, returning the underlying device.
+    pub fn into_inner(self) -> D {
+        self.inner
+    }
+
+    fn charge_access(&mut self, block: u64, base_ns: u64) {
+        let seek = match self.last_block {
+            Some(prev) if block == prev || block == prev + 1 => 0,
+            None => 0,
+            _ => self.model.seek_ns,
+        };
+        self.clock.advance_ns(base_ns + seek);
+        self.last_block = Some(block);
+    }
+}
+
+impl<D: BlockDevice> BlockDevice for TimedDevice<D> {
+    fn block_size(&self) -> usize {
+        self.inner.block_size()
+    }
+
+    fn num_blocks(&self) -> u64 {
+        self.inner.num_blocks()
+    }
+
+    fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
+        self.inner.read_block(block, buf)?;
+        self.charge_access(block, self.model.read_ns);
+        Ok(())
+    }
+
+    fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
+        self.inner.write_block(block, buf)?;
+        self.charge_access(block, self.model.write_ns);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> DeviceResult<()> {
+        self.inner.flush()?;
+        self.clock.advance_ns(self.model.flush_ns);
+        Ok(())
+    }
+
+    fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
+        let snap = self.inner.snapshot()?;
+        // A snapshot streams the whole image sequentially.
+        let blocks = self.inner.num_blocks();
+        self.clock
+            .advance_ns(self.model.read_ns.saturating_mul(blocks));
+        Ok(snap)
+    }
+
+    fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
+        self.inner.restore(snapshot)?;
+        let blocks = self.inner.num_blocks();
+        self.clock
+            .advance_ns(self.model.write_ns.saturating_mul(blocks));
+        self.last_block = None;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RamDisk;
+
+    fn dev(model: LatencyModel) -> (TimedDevice<RamDisk>, Clock) {
+        let clock = Clock::new();
+        let d = TimedDevice::new(RamDisk::new(4, 64).unwrap(), model, clock.clone());
+        (d, clock)
+    }
+
+    #[test]
+    fn sequential_hdd_access_avoids_seeks() {
+        let (mut d, clock) = dev(LatencyModel::hdd());
+        let mut buf = [0u8; 4];
+        d.read_block(0, &mut buf).unwrap();
+        d.read_block(1, &mut buf).unwrap();
+        d.read_block(2, &mut buf).unwrap();
+        // Three sequential reads: 3 * 15µs, no seek after the first.
+        assert_eq!(clock.now_ns(), 45_000);
+    }
+
+    #[test]
+    fn random_hdd_access_pays_seek() {
+        let (mut d, clock) = dev(LatencyModel::hdd());
+        let mut buf = [0u8; 4];
+        d.read_block(0, &mut buf).unwrap();
+        d.read_block(9, &mut buf).unwrap();
+        assert_eq!(clock.now_ns(), 15_000 + 15_000 + 700_000);
+    }
+
+    #[test]
+    fn ram_model_is_cheap() {
+        let (mut d, clock) = dev(LatencyModel::ram());
+        d.write_block(5, &[0; 4]).unwrap();
+        assert_eq!(clock.now_ns(), 5_000);
+    }
+
+    #[test]
+    fn snapshot_charges_bulk_transfer() {
+        let (mut d, clock) = dev(LatencyModel::ssd());
+        let before = clock.now_ns();
+        let snap = d.snapshot().unwrap();
+        assert_eq!(clock.now_ns() - before, 15_000 * 16);
+        let before = clock.now_ns();
+        d.restore(&snap).unwrap();
+        assert_eq!(clock.now_ns() - before, 25_000 * 16);
+    }
+
+    #[test]
+    fn class_display_and_for_class() {
+        assert_eq!(DeviceClass::Ram.to_string(), "RAM");
+        assert_eq!(LatencyModel::for_class(DeviceClass::Hdd).seek_ns, 700_000);
+        assert_eq!(LatencyModel::for_class(DeviceClass::Ssd).class, DeviceClass::Ssd);
+    }
+
+    #[test]
+    fn flush_charges_model_cost() {
+        let (mut d, clock) = dev(LatencyModel::ssd());
+        d.flush().unwrap();
+        assert_eq!(clock.now_ns(), 11_000_000);
+    }
+}

@@ -1,0 +1,68 @@
+//! Property-based tests for device invariants.
+
+use blockdev::{BlockDevice, MtdDevice, RamDisk};
+use proptest::prelude::*;
+
+proptest! {
+    /// Read-after-write returns the written block; other blocks unaffected.
+    #[test]
+    fn ram_disk_read_after_write(
+        writes in prop::collection::vec((0u64..32, any::<u8>()), 1..20)
+    ) {
+        let mut disk = RamDisk::new(16, 32 * 16).unwrap();
+        let mut model = vec![vec![0u8; 16]; 32];
+        for (blk, fill) in &writes {
+            disk.write_block(*blk, &[*fill; 16]).unwrap();
+            model[*blk as usize] = vec![*fill; 16];
+        }
+        for blk in 0..32u64 {
+            let mut buf = vec![0u8; 16];
+            disk.read_block(blk, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &model[blk as usize], "block {}", blk);
+        }
+    }
+
+    /// Flash semantics: after programming, every bit is the AND of what was
+    /// there and what was programmed (programming can only clear bits), and
+    /// erase restores all-ones.
+    #[test]
+    fn mtd_program_only_clears_bits(
+        a in any::<u8>(),
+        b in any::<u8>(),
+        offset in 0u64..96,
+    ) {
+        let mut mtd = MtdDevice::new(64, 2).unwrap();
+        mtd.program(offset, &[a]).unwrap();
+        // A second program succeeds iff it clears bits only.
+        let can = b & !a == 0;
+        let res = mtd.program(offset, &[b]);
+        prop_assert_eq!(res.is_ok(), can);
+        let mut buf = [0u8; 1];
+        mtd.read(offset, &mut buf).unwrap();
+        prop_assert_eq!(buf[0], if can { b } else { a });
+        // Erase always restores 0xFF for the whole block.
+        let block_start = offset - offset % 64;
+        mtd.erase(block_start, 64).unwrap();
+        mtd.read(offset, &mut buf).unwrap();
+        prop_assert_eq!(buf[0], 0xFF);
+    }
+
+    /// Device snapshots are exact and restorable any number of times.
+    #[test]
+    fn snapshot_is_idempotent(
+        fills in prop::collection::vec(any::<u8>(), 1..8)
+    ) {
+        let mut disk = RamDisk::new(8, 64).unwrap();
+        for (i, f) in fills.iter().enumerate() {
+            disk.write_block(i as u64, &[*f; 8]).unwrap();
+        }
+        let snap = disk.snapshot().unwrap();
+        for _ in 0..3 {
+            disk.write_block(0, &[0xFF; 8]).unwrap();
+            disk.restore(&snap).unwrap();
+            let mut buf = vec![0u8; 8];
+            disk.read_block(0, &mut buf).unwrap();
+            prop_assert_eq!(&buf, &vec![fills[0]; 8]);
+        }
+    }
+}

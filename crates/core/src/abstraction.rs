@@ -1,0 +1,388 @@
+//! Abstraction functions — Algorithm 1 of the paper.
+//!
+//! An abstract state is the MD5 hash of every file's pathname, content, and
+//! *important* metadata (mode, size, nlink, uid, gid), collected by a sorted
+//! recursive traversal from the mount point. Noisy attributes — atime, block
+//! placement, directory sizes — are deliberately excluded: hashing them
+//! would make every state unique and explode the state space (§3.3).
+//! Special files like ext4's `lost+found` and MCFS's own capacity-
+//! equalization dummy are excluded via the exception list (§3.4).
+
+use mdigest::{Digest128, Md5};
+use vfs::{FileSystem, FileType, OpenFlags, VfsResult};
+
+/// Configuration of the abstraction function.
+#[derive(Debug, Clone)]
+pub struct AbstractionConfig {
+    /// Names excluded everywhere they appear (e.g. `lost+found`, the
+    /// free-space-equalization dummy file).
+    pub exceptions: Vec<String>,
+    /// Include directory sizes in the hash. **Off** by default (§3.4:
+    /// ext reports block multiples, others entry counts). Turning it on is
+    /// how the false-positive benchmark demonstrates the problem.
+    pub include_dir_sizes: bool,
+    /// Include atime in the hash. **Off** by default (§3.3: atime updates
+    /// make every state unique). The ablation benchmark turns it on to show
+    /// the explosion.
+    pub include_atime: bool,
+    /// Sort directory entries before hashing. **On** by default; turning it
+    /// off reintroduces the entry-order false positive.
+    pub sort_entries: bool,
+}
+
+impl Default for AbstractionConfig {
+    fn default() -> Self {
+        AbstractionConfig {
+            exceptions: vec!["lost+found".to_string(), crate::EQUALIZE_DUMMY.to_string()],
+            include_dir_sizes: false,
+            include_atime: false,
+            sort_entries: true,
+        }
+    }
+}
+
+/// Computes the abstract state of a mounted file system (Algorithm 1).
+///
+/// Traverses from the root, sorts paths, reads every regular file's content
+/// and each object's important attributes, and hashes it all with MD5.
+///
+/// # Errors
+///
+/// Propagates file-system errors — an error during traversal means the file
+/// system is corrupted, which the harness reports as a violation.
+pub fn abstract_state(
+    fs: &mut dyn FileSystem,
+    cfg: &AbstractionConfig,
+) -> VfsResult<Digest128> {
+    // Phase 1: collect all paths by recursive traversal.
+    let mut files: Vec<(String, FileType)> = Vec::new();
+    let mut pending: Vec<String> = vec!["/".to_string()];
+    while let Some(dir) = pending.pop() {
+        let mut entries = fs.getdents(&dir)?;
+        if cfg.sort_entries {
+            entries.sort_by(|a, b| a.name.cmp(&b.name));
+        }
+        for e in entries {
+            if cfg.exceptions.contains(&e.name) {
+                continue;
+            }
+            let path = vfs::path::join(&dir, &e.name);
+            if e.ftype == FileType::Directory {
+                pending.push(path.clone());
+            }
+            files.push((path, e.ftype));
+        }
+    }
+    // Phase 2: sort by pathname for a canonical order.
+    files.sort();
+
+    // Phase 3: hash content + important attributes + path for each object.
+    let mut ctx = Md5::new();
+    // The root's own attributes participate too.
+    hash_attrs(fs, &mut ctx, "/", FileType::Directory, cfg)?;
+    for (path, ftype) in files {
+        if ftype == FileType::Regular {
+            let fd = fs.open(&path, OpenFlags::read_only(), vfs::FileMode::REG_DEFAULT)?;
+            let mut buf = vec![0u8; 4096];
+            loop {
+                let n = fs.read(fd, &mut buf)?;
+                if n == 0 {
+                    break;
+                }
+                ctx.update(&buf[..n]);
+            }
+            fs.close(fd)?;
+        }
+        if ftype == FileType::Symlink {
+            // A symlink's "content" is its target.
+            ctx.update_str(&fs.readlink(&path)?);
+        }
+        hash_attrs(fs, &mut ctx, &path, ftype, cfg)?;
+        ctx.update_str(&path);
+    }
+    Ok(ctx.finalize())
+}
+
+fn hash_attrs(
+    fs: &mut dyn FileSystem,
+    ctx: &mut Md5,
+    path: &str,
+    ftype: FileType,
+    cfg: &AbstractionConfig,
+) -> VfsResult<()> {
+    let st = fs.stat(path)?;
+    // important_attributes (Algorithm 1, line 12): mode, size, nlink, uid,
+    // gid. atime/mtime/ctime and physical placement are noise. Directory
+    // link counts are excluded too: they leak excepted special folders
+    // (ext4's root has nlink 3 because of lost+found) and differ across
+    // implementations counting subdirectories.
+    ctx.update_u64(st.mode.bits() as u64);
+    if ftype != FileType::Directory {
+        ctx.update_u64(st.nlink as u64);
+    }
+    ctx.update_u64(st.uid as u64);
+    ctx.update_u64(st.gid as u64);
+    let include_size = match ftype {
+        FileType::Directory => cfg.include_dir_sizes,
+        _ => true,
+    };
+    if include_size {
+        ctx.update_u64(st.size);
+    }
+    if cfg.include_atime {
+        ctx.update_u64(st.atime);
+    }
+    // Hash xattrs when the file system supports them.
+    if let Ok(mut names) = fs.listxattr(path) {
+        names.sort();
+        for name in names {
+            ctx.update_str(&name);
+            if let Ok(value) = fs.getxattr(path, &name) {
+                ctx.update(&value);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifs::VeriFs;
+    use vfs::{FileMode, FileSystem};
+
+    fn fs_with(paths: &[(&str, &[u8])]) -> VeriFs {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        for (p, data) in paths {
+            let fd = fs.create(p, FileMode::REG_DEFAULT).unwrap();
+            fs.write(fd, data).unwrap();
+            fs.close(fd).unwrap();
+        }
+        fs
+    }
+
+    #[test]
+    fn equal_states_hash_equal() {
+        let mut a = fs_with(&[("/x", b"one"), ("/y", b"two")]);
+        let mut b = fs_with(&[("/y", b"two"), ("/x", b"one")]); // other order
+        let cfg = AbstractionConfig::default();
+        assert_eq!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn content_difference_changes_hash() {
+        let mut a = fs_with(&[("/x", b"one")]);
+        let mut b = fs_with(&[("/x", b"two")]);
+        let cfg = AbstractionConfig::default();
+        assert_ne!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn metadata_difference_changes_hash() {
+        let mut a = fs_with(&[("/x", b"s")]);
+        let mut b = fs_with(&[("/x", b"s")]);
+        b.chmod("/x", FileMode::new(0o400)).unwrap();
+        let cfg = AbstractionConfig::default();
+        assert_ne!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn atime_is_excluded_by_default() {
+        let mut a = fs_with(&[("/x", b"data")]);
+        let cfg = AbstractionConfig::default();
+        let before = abstract_state(&mut a, &cfg).unwrap();
+        // Read the file: bumps atime, nothing else.
+        let fd = a.open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        a.read(fd, &mut [0u8; 4]).unwrap();
+        a.close(fd).unwrap();
+        let after = abstract_state(&mut a, &cfg).unwrap();
+        assert_eq!(before, after, "atime noise must not create new states");
+        // With atime included, the same pair differs (the §3.3 explosion).
+        let noisy = AbstractionConfig {
+            include_atime: true,
+            ..AbstractionConfig::default()
+        };
+        let h1 = abstract_state(&mut a, &noisy).unwrap();
+        let fd = a.open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        a.read(fd, &mut [0u8; 4]).unwrap();
+        a.close(fd).unwrap();
+        let h2 = abstract_state(&mut a, &noisy).unwrap();
+        assert_ne!(h1, h2);
+    }
+
+    #[test]
+    fn exception_list_hides_special_files() {
+        let mut plain = fs_with(&[("/x", b"d")]);
+        let mut with_lf = fs_with(&[("/x", b"d")]);
+        with_lf.mkdir("/lost+found", FileMode::new(0o700)).unwrap();
+        let cfg = AbstractionConfig::default();
+        assert_eq!(
+            abstract_state(&mut plain, &cfg).unwrap(),
+            abstract_state(&mut with_lf, &cfg).unwrap(),
+            "lost+found must be invisible to the comparison"
+        );
+    }
+
+    #[test]
+    fn nested_directories_are_traversed() {
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        a.mkdir("/d", FileMode::DIR_DEFAULT).unwrap();
+        a.mkdir("/d/e", FileMode::DIR_DEFAULT).unwrap();
+        let fd = a.create("/d/e/deep", FileMode::REG_DEFAULT).unwrap();
+        a.write(fd, b"deep content").unwrap();
+        a.close(fd).unwrap();
+        let cfg = AbstractionConfig::default();
+        let h1 = abstract_state(&mut a, &cfg).unwrap();
+        // Changing deep content changes the hash.
+        let fd = a.open("/d/e/deep", vfs::OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+        a.write(fd, b"DEEP").unwrap();
+        a.close(fd).unwrap();
+        assert_ne!(h1, abstract_state(&mut a, &cfg).unwrap());
+    }
+
+    #[test]
+    fn symlink_target_participates() {
+        let mut a = fs_with(&[("/x", b"")]);
+        let mut b = fs_with(&[("/x", b"")]);
+        a.symlink("/x", "/ln").unwrap();
+        b.symlink("/other", "/ln").unwrap();
+        let cfg = AbstractionConfig::default();
+        assert_ne!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn xattrs_participate() {
+        let mut a = fs_with(&[("/x", b"")]);
+        let mut b = fs_with(&[("/x", b"")]);
+        a.setxattr("/x", "user.k", b"v", vfs::XattrFlags::Any).unwrap();
+        let cfg = AbstractionConfig::default();
+        assert_ne!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_fs_equal_content_hashes_equal() {
+        // The core MCFS property: two different *implementations* holding
+        // the same logical state produce the same abstract hash.
+        let mut ram = fs_with(&[("/a", b"same bytes")]);
+        let mut ext = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        ext.mount().unwrap();
+        let fd = ext.create("/a", FileMode::REG_DEFAULT).unwrap();
+        ext.write(fd, b"same bytes").unwrap();
+        ext.close(fd).unwrap();
+        let cfg = AbstractionConfig::default();
+        assert_eq!(
+            abstract_state(&mut ram, &cfg).unwrap(),
+            abstract_state(&mut ext, &cfg).unwrap(),
+            "verifs2 and ext4 with identical logical state must match"
+        );
+    }
+}
+
+#[cfg(test)]
+mod more_abstraction_tests {
+    use super::*;
+    use verifs::VeriFs;
+    use vfs::{FileMode, FileSystem};
+
+    #[test]
+    fn hash_is_invariant_to_inode_numbering() {
+        // Two file systems reach the same logical namespace through
+        // different create/delete orders, ending with different inode
+        // numbers for the same paths. The abstract state must agree.
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        // a: create x then y.
+        for p in ["/x", "/y"] {
+            let fd = a.create(p, FileMode::REG_DEFAULT).unwrap();
+            a.write(fd, p.as_bytes()).unwrap();
+            a.close(fd).unwrap();
+        }
+        // b: create scratch files first (consuming inode slots), delete
+        // them, then create y and x in the opposite order.
+        for p in ["/s1", "/s2", "/s3"] {
+            let fd = b.create(p, FileMode::REG_DEFAULT).unwrap();
+            b.close(fd).unwrap();
+        }
+        for p in ["/s1", "/s2", "/s3"] {
+            b.unlink(p).unwrap();
+        }
+        for p in ["/y", "/x"] {
+            let fd = b.create(p, FileMode::REG_DEFAULT).unwrap();
+            b.write(fd, p.as_bytes()).unwrap();
+            b.close(fd).unwrap();
+        }
+        assert_ne!(
+            a.stat("/x").unwrap().ino,
+            b.stat("/x").unwrap().ino,
+            "precondition: the inode numbers actually differ"
+        );
+        let cfg = AbstractionConfig::default();
+        assert_eq!(
+            abstract_state(&mut a, &cfg).unwrap(),
+            abstract_state(&mut b, &cfg).unwrap(),
+            "inode numbering is physical noise and must not be hashed"
+        );
+    }
+
+    #[test]
+    fn empty_filesystems_of_different_kinds_agree() {
+        let cfg = AbstractionConfig::default();
+        let mut hashes = Vec::new();
+        let mut v = VeriFs::v1();
+        v.mount().unwrap();
+        hashes.push(abstract_state(&mut v, &cfg).unwrap());
+        let mut e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        e2.mount().unwrap();
+        hashes.push(abstract_state(&mut e2, &cfg).unwrap());
+        let mut e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        e4.mount().unwrap();
+        hashes.push(abstract_state(&mut e4, &cfg).unwrap());
+        let mut x = fs_xfs::xfs_on_ram(fs_xfs::MIN_DEVICE_BYTES).unwrap();
+        x.mount().unwrap();
+        hashes.push(abstract_state(&mut x, &cfg).unwrap());
+        let mut j = fs_jffs2::jffs2_on_mtdram(16 * 1024, 16).unwrap();
+        j.mount().unwrap();
+        hashes.push(abstract_state(&mut j, &cfg).unwrap());
+        assert!(
+            hashes.windows(2).all(|w| w[0] == w[1]),
+            "all five empty file systems share one abstract state: {hashes:?}"
+        );
+    }
+
+    #[test]
+    fn dir_size_inclusion_breaks_cross_fs_agreement() {
+        // The control for the §3.4 workaround: with include_dir_sizes the
+        // same pair of empty file systems disagrees.
+        let noisy = AbstractionConfig {
+            include_dir_sizes: true,
+            ..AbstractionConfig::default()
+        };
+        let mut e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        e4.mount().unwrap();
+        let mut x = fs_xfs::xfs_on_ram(fs_xfs::MIN_DEVICE_BYTES).unwrap();
+        x.mount().unwrap();
+        assert_ne!(
+            abstract_state(&mut e4, &noisy).unwrap(),
+            abstract_state(&mut x, &noisy).unwrap()
+        );
+    }
+}

@@ -1,0 +1,721 @@
+//! The MCFS harness: N file systems driven in lockstep as one model system.
+//!
+//! Each operation is executed on every checked file system; the integrity
+//! check then asserts equality of return values, error codes, file data and
+//! metadata (via the abstraction function). Any discrepancy is reported as a
+//! violation with the precise operation sequence that led to it (§2).
+
+use blockdev::Clock;
+use mdigest::Digest128;
+use modelcheck::{ApplyOutcome, ModelSystem, StateId};
+use vfs::{Errno, FileMode, OpenFlags, VfsResult};
+
+use crate::abstraction::{abstract_state, AbstractionConfig};
+use crate::coverage::Coverage;
+use crate::pool::{execute_with, FsOp, OpOutcome, PoolConfig};
+use crate::target::CheckedTarget;
+
+/// Name of the dummy file written to equalize free space (§3.4); always on
+/// the abstraction exception list.
+pub const EQUALIZE_DUMMY: &str = ".mcfs_space_dummy";
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct McfsConfig {
+    /// Operation/parameter pools.
+    pub pool: PoolConfig,
+    /// Abstraction-function settings (exception list etc.).
+    pub abstraction: AbstractionConfig,
+    /// Charge this much CPU time per syscall per file system.
+    pub syscall_cpu_ns: u64,
+    /// Equalize usable capacity across file systems at start (§3.4).
+    pub equalize_free_space: bool,
+    /// Cap on the equalization dummy file (protects against pairing a
+    /// bounded file system with an effectively unbounded one).
+    pub equalize_cap_bytes: u64,
+    /// With ≥3 file systems, report the minority as the suspect
+    /// (majority-voting, the paper's future work §7).
+    pub majority_voting: bool,
+}
+
+impl Default for McfsConfig {
+    fn default() -> Self {
+        McfsConfig {
+            pool: PoolConfig::small(),
+            abstraction: AbstractionConfig::default(),
+            syscall_cpu_ns: 2_000,
+            equalize_free_space: true,
+            equalize_cap_bytes: 64 << 20,
+            majority_voting: true,
+        }
+    }
+}
+
+/// The MCFS harness: implements [`ModelSystem`] over N checked targets so
+/// any `modelcheck` explorer can drive it.
+pub struct Mcfs {
+    targets: Vec<Box<dyn CheckedTarget>>,
+    cfg: McfsConfig,
+    ops: Vec<FsOp>,
+    clock: Option<Clock>,
+    last_hash: Option<Digest128>,
+    coverage: Coverage,
+}
+
+impl std::fmt::Debug for Mcfs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let names: Vec<String> = self.targets.iter().map(|t| t.name()).collect();
+        f.debug_struct("Mcfs")
+            .field("targets", &names)
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+impl Mcfs {
+    /// Builds a harness over `targets` (at least two), mounting them,
+    /// equalizing free space, and verifying their initial states agree.
+    ///
+    /// # Errors
+    ///
+    /// `EINVAL` if fewer than two targets are given or their initial
+    /// abstract states already differ; propagated mount errors.
+    pub fn new(targets: Vec<Box<dyn CheckedTarget>>, cfg: McfsConfig) -> VfsResult<Self> {
+        Mcfs::with_clock_opt(targets, cfg, None)
+    }
+
+    /// Like [`new`](Mcfs::new), with a virtual clock for cost accounting.
+    ///
+    /// # Errors
+    ///
+    /// See [`new`](Mcfs::new).
+    pub fn with_clock(
+        targets: Vec<Box<dyn CheckedTarget>>,
+        cfg: McfsConfig,
+        clock: Clock,
+    ) -> VfsResult<Self> {
+        Mcfs::with_clock_opt(targets, cfg, Some(clock))
+    }
+
+    fn with_clock_opt(
+        mut targets: Vec<Box<dyn CheckedTarget>>,
+        cfg: McfsConfig,
+        clock: Option<Clock>,
+    ) -> VfsResult<Self> {
+        if targets.len() < 2 {
+            return Err(Errno::EINVAL);
+        }
+        // Intersect capabilities and generate the bounded op set.
+        let mut caps = targets[0].capabilities();
+        for t in &targets[1..] {
+            caps = caps.intersect(t.capabilities());
+        }
+        let ops: Vec<FsOp> = cfg
+            .pool
+            .ops()
+            .into_iter()
+            .filter(|op| op.allowed_by(caps))
+            .collect();
+        // Mount everything.
+        for t in &mut targets {
+            t.pre_op()?;
+        }
+        let mut harness = Mcfs {
+            targets,
+            cfg,
+            ops,
+            clock,
+            last_hash: None,
+            coverage: Coverage::new(),
+        };
+        if harness.cfg.equalize_free_space {
+            harness.equalize()?;
+        }
+        // The initial states must agree, or every run starts violated.
+        let hashes = harness.hash_all()?;
+        if hashes.windows(2).any(|w| w[0] != w[1]) {
+            return Err(Errno::EINVAL);
+        }
+        for t in &mut harness.targets {
+            t.post_op()?;
+        }
+        Ok(harness)
+    }
+
+    /// The capability-filtered operation set.
+    pub fn op_pool(&self) -> &[FsOp] {
+        &self.ops
+    }
+
+    /// Target names, for reports.
+    pub fn target_names(&self) -> Vec<String> {
+        self.targets.iter().map(|t| t.name()).collect()
+    }
+
+    /// Operation/outcome coverage accumulated so far (§7 future work:
+    /// coverage tracking while model-checking).
+    pub fn coverage(&self) -> &Coverage {
+        &self.coverage
+    }
+
+    fn charge(&self, ns: u64) {
+        if let Some(c) = &self.clock {
+            c.advance_ns(ns);
+        }
+    }
+
+    /// Free-space equalization (§3.4): find the smallest available capacity
+    /// `S_L`, then on every other file system write `S_n - S_L` zeros into a
+    /// dummy file so `write` fills all of them at the same point.
+    fn equalize(&mut self) -> VfsResult<()> {
+        // Iterate: the dummy file itself consumes metadata (indirect
+        // blocks, directory growth), so one round typically leaves a small
+        // residual imbalance.
+        for _round in 0..8 {
+            let mut avails = Vec::with_capacity(self.targets.len());
+            for t in &mut self.targets {
+                avails.push(t.fs_mut().statfs()?.bytes_avail());
+            }
+            let lowest = *avails.iter().min().expect("at least two targets");
+            if avails.iter().all(|&a| a == lowest || a > self.cfg.equalize_cap_bytes) {
+                break;
+            }
+            for (t, &avail) in self.targets.iter_mut().zip(&avails) {
+                let surplus = avail - lowest;
+                // Pairing with an effectively unbounded file system (e.g.
+                // VeriFS1): skip; the bounded pools never reach its limit.
+                if surplus == 0 || avail > self.cfg.equalize_cap_bytes {
+                    continue;
+                }
+                let fs = t.fs_mut();
+                let path = format!("/{EQUALIZE_DUMMY}");
+                let fd = fs.open(
+                    &path,
+                    OpenFlags::write_only().with_create().with_append(),
+                    FileMode::new(0o600),
+                )?;
+                // One write call per round: log-structured file systems
+                // rewrite per call, so chunking would be quadratic.
+                let zeros = vec![0u8; surplus as usize];
+                fs.write(fd, &zeros)?;
+                fs.close(fd)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn hash_all(&mut self) -> VfsResult<Vec<Digest128>> {
+        let cfg = self.cfg.abstraction.clone();
+        self.targets
+            .iter_mut()
+            .map(|t| abstract_state(t.fs_mut(), &cfg))
+            .collect()
+    }
+
+    /// Builds a discrepancy message. With ≥3 targets and voting enabled, the
+    /// minority is named as the suspect.
+    fn describe_discrepancy<T: std::fmt::Debug + PartialEq>(
+        &self,
+        what: &str,
+        op: &FsOp,
+        values: &[T],
+    ) -> String {
+        let mut msg = format!("{what} discrepancy on {op}:");
+        for (t, v) in self.targets.iter().zip(values) {
+            msg.push_str(&format!("\n  {:<12} [{}] => {:?}", t.name(), t.strategy(), v));
+        }
+        if self.cfg.majority_voting && values.len() >= 3 {
+            // Majority vote: the value held by most targets is "correct".
+            let mut best: Option<(usize, usize)> = None; // (index, count)
+            for (i, v) in values.iter().enumerate() {
+                let count = values.iter().filter(|x| *x == v).count();
+                if best.map(|(_, c)| count > c).unwrap_or(true) {
+                    best = Some((i, count));
+                }
+            }
+            if let Some((winner, count)) = best {
+                if count > values.len() / 2 {
+                    let suspects: Vec<String> = self
+                        .targets
+                        .iter()
+                        .zip(values)
+                        .filter(|(_, v)| *v != &values[winner])
+                        .map(|(t, _)| t.name())
+                        .collect();
+                    msg.push_str(&format!(
+                        "\n  majority vote: {} of {} agree; suspect(s): {}",
+                        count,
+                        values.len(),
+                        suspects.join(", ")
+                    ));
+                }
+            }
+        }
+        msg
+    }
+}
+
+impl ModelSystem for Mcfs {
+    type Op = FsOp;
+
+    fn ops(&mut self) -> Vec<FsOp> {
+        self.ops.clone()
+    }
+
+    fn apply(&mut self, op: &FsOp) -> ApplyOutcome {
+        self.last_hash = None;
+        // Phase 0: mount (remount strategies).
+        for t in &mut self.targets {
+            if let Err(e) = t.pre_op() {
+                return ApplyOutcome::Violation(format!("{}: pre-op mount failed: {e}", t.name()));
+            }
+        }
+        // Phase 1: execute on every file system.
+        let exceptions = self.cfg.abstraction.exceptions.clone();
+        let sort_entries = self.cfg.abstraction.sort_entries;
+        let mut outcomes: Vec<OpOutcome> = Vec::with_capacity(self.targets.len());
+        for t in &mut self.targets {
+            outcomes.push(execute_with(t.fs_mut(), op, &exceptions, sort_entries));
+        }
+        self.charge(self.cfg.syscall_cpu_ns * self.targets.len() as u64);
+        // Phase 2: integrity check — return values and error codes.
+        if outcomes.windows(2).any(|w| w[0] != w[1]) {
+            return ApplyOutcome::Violation(self.describe_discrepancy("outcome", op, &outcomes));
+        }
+        self.coverage.record(op, &outcomes[0]);
+        // Phase 3: integrity check — abstract states (file data + metadata).
+        let hashes = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                return ApplyOutcome::Violation(format!(
+                    "state traversal failed after {op}: {e} (file system corrupted?)"
+                ))
+            }
+        };
+        if hashes.windows(2).any(|w| w[0] != w[1]) {
+            return ApplyOutcome::Violation(self.describe_discrepancy("abstract-state", op, &hashes));
+        }
+        self.last_hash = Some(hashes[0]);
+        // Phase 4: unmount (remount strategies).
+        for t in &mut self.targets {
+            if let Err(e) = t.post_op() {
+                return ApplyOutcome::Violation(format!(
+                    "{}: post-op unmount failed: {e}",
+                    t.name()
+                ));
+            }
+        }
+        // Phase 5: per-transition state tracking (SPIN reading the tracked
+        // buffers; free for the checkpoint-API strategy).
+        for t in &mut self.targets {
+            if let Err(e) = t.track_state() {
+                return ApplyOutcome::Violation(format!("{}: state tracking failed: {e}", t.name()));
+            }
+        }
+        ApplyOutcome::Ok
+    }
+
+    fn abstract_state(&mut self) -> u128 {
+        if let Some(h) = self.last_hash {
+            return h.as_u128();
+        }
+        // Recompute from the first target (all agree whenever apply
+        // succeeded; before the first op this hashes the initial state).
+        let _ = self.targets[0].pre_op();
+        let cfg = self.cfg.abstraction.clone();
+        let h = abstract_state(self.targets[0].fs_mut(), &cfg)
+            .map(|d| d.as_u128())
+            .unwrap_or(u128::MAX);
+        let _ = self.targets[0].post_op();
+        self.last_hash = None;
+        h
+    }
+
+    fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+        let mut total = 0usize;
+        for t in &mut self.targets {
+            total += t
+                .save_state(id.0)
+                .map_err(|e| format!("{}: checkpoint failed: {e}", t.name()))?;
+        }
+        Ok(total)
+    }
+
+    fn restore(&mut self, id: StateId) -> Result<(), String> {
+        self.last_hash = None;
+        for t in &mut self.targets {
+            t.load_state(id.0)
+                .map_err(|e| format!("{}: restore failed: {e}", t.name()))?;
+        }
+        Ok(())
+    }
+
+    fn release(&mut self, id: StateId) {
+        for t in &mut self.targets {
+            let _ = t.drop_state(id.0);
+        }
+    }
+
+    fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
+        // Read-only operations don't change the hashed state: they commute
+        // with everything.
+        if !a.is_mutation() || !b.is_mutation() {
+            return true;
+        }
+        // Mutations commute when their path footprints are prefix-disjoint.
+        for pa in a.touched_paths() {
+            for pb in b.touched_paths() {
+                if vfs::path::is_same_or_descendant(pa, pb)
+                    || vfs::path::is_same_or_descendant(pb, pa)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Replays a recorded operation trace against a fresh harness, reporting the
+/// index of the first violating operation (the paper highlights how precise
+/// traces make bugs easy to reproduce and fix, §6).
+pub fn replay(harness: &mut Mcfs, trace: &[FsOp]) -> Option<(usize, String)> {
+    for (i, op) in trace.iter().enumerate() {
+        match harness.apply(op) {
+            ApplyOutcome::Violation(msg) => return Some((i, msg)),
+            ApplyOutcome::Ok | ApplyOutcome::Prune(_) => {}
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::target::{CheckpointTarget, RemountMode, RemountTarget};
+    use verifs::{BugConfig, VeriFs};
+    use vfs::FileSystem;
+
+    fn verifs_pair(bugs_on_second: BugConfig) -> Mcfs {
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2_with_bugs(bugs_on_second);
+        b.mount().unwrap();
+        Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn requires_two_targets() {
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let r = Mcfs::new(
+            vec![Box::new(CheckpointTarget::new(a))],
+            McfsConfig::default(),
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn identical_systems_never_diverge() {
+        let mut m = verifs_pair(BugConfig::none());
+        for op in m.ops() {
+            if let ApplyOutcome::Violation(msg) = m.apply(&op) { panic!("false positive on {op}: {msg}") }
+        }
+    }
+
+    #[test]
+    fn checkpoint_restore_drives_the_pair() {
+        let mut m = verifs_pair(BugConfig::none());
+        let h0 = m.abstract_state();
+        m.checkpoint(StateId(1)).unwrap();
+        let create = FsOp::CreateFile {
+            path: "/f0".into(),
+            mode: 0o644,
+        };
+        assert!(matches!(m.apply(&create), ApplyOutcome::Ok));
+        assert_ne!(m.abstract_state(), h0);
+        m.restore(StateId(1)).unwrap();
+        assert_eq!(m.abstract_state(), h0);
+        m.release(StateId(1));
+    }
+
+    #[test]
+    fn truncate_bug_is_detected_as_divergence() {
+        let mut m = verifs_pair(BugConfig {
+            v1_truncate_no_zero: true,
+            ..BugConfig::default()
+        });
+        // Recreate the bug scenario: write, shrink, expand, compare.
+        let script = [
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 2,
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 10,
+            },
+        ];
+        let mut violated = false;
+        for op in &script {
+            if let ApplyOutcome::Violation(msg) = m.apply(op) {
+                assert!(msg.contains("abstract-state"), "{msg}");
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "the truncate bug must be detected");
+    }
+
+    #[test]
+    fn errno_differences_are_detected() {
+        // A VeriFS2 with a tiny inode table vs a default one: creating many
+        // files hits ENOSPC on one side only.
+        let mut small_cfg = verifs::VeriFsConfig::v2();
+        small_cfg.max_inodes = 4;
+        let mut a = VeriFs::with_config(small_cfg);
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig {
+                equalize_free_space: false,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        let mut violated = false;
+        for i in 0..6 {
+            let op = FsOp::CreateFile {
+                path: format!("/file{i}"),
+                mode: 0o644,
+            };
+            if let ApplyOutcome::Violation(msg) = m.apply(&op) {
+                assert!(msg.contains("outcome"), "{msg}");
+                assert!(msg.contains("ENOSPC"), "{msg}");
+                violated = true;
+                break;
+            }
+        }
+        assert!(violated, "inode exhaustion asymmetry must be detected");
+    }
+
+    #[test]
+    fn ext_pair_with_remount_strategy_explores_cleanly() {
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(e2, RemountMode::PerOp)),
+                Box::new(RemountTarget::new(e4, RemountMode::PerOp)),
+            ],
+            McfsConfig::default(),
+        )
+        .unwrap();
+        // lost+found exists only on ext4: the exception list must hide it.
+        let getdents = FsOp::Getdents { path: "/".into() };
+        assert!(matches!(m.apply(&getdents), ApplyOutcome::Ok));
+        // A few mutations and a checkpoint/restore cycle.
+        m.checkpoint(StateId(0)).unwrap();
+        for op in [
+            FsOp::Mkdir {
+                path: "/d0".into(),
+                mode: 0o755,
+            },
+            FsOp::CreateFile {
+                path: "/d0/f2".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/d0/f2".into(),
+                offset: 0,
+                size: 100,
+                seed: 3,
+            },
+        ] {
+            match m.apply(&op) {
+                ApplyOutcome::Ok => {}
+                other => panic!("{op}: {other:?}"),
+            }
+        }
+        let h_after = m.abstract_state();
+        m.restore(StateId(0)).unwrap();
+        assert_ne!(m.abstract_state(), h_after);
+    }
+
+    #[test]
+    fn capability_intersection_excludes_v1_unsupported_ops() {
+        let mut a = VeriFs::v1();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let m = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig {
+                pool: PoolConfig::medium(),
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(m
+            .op_pool()
+            .iter()
+            .all(|op| !matches!(op, FsOp::Rename { .. } | FsOp::Hardlink { .. })));
+    }
+
+    #[test]
+    fn equalization_makes_enospc_symmetric() {
+        // ext2 and ext4 on same-size devices have different usable capacity
+        // (journal): without equalization, filling the disk diverges.
+        let run = |equalize: bool| -> bool {
+            let e2 = fs_ext::ext2_on_ram(128 * 1024).unwrap();
+            let e4 = fs_ext::ext4_on_ram(128 * 1024).unwrap();
+            let mut m = Mcfs::new(
+                vec![
+                    Box::new(RemountTarget::new(e2, RemountMode::OnRestore)),
+                    Box::new(RemountTarget::new(e4, RemountMode::OnRestore)),
+                ],
+                McfsConfig {
+                    equalize_free_space: equalize,
+                    ..McfsConfig::default()
+                },
+            )
+            .unwrap();
+            // Write until the smaller one fills.
+            let mut create_seen_violation = false;
+            'outer: for i in 0..40 {
+                let ops = [
+                    FsOp::CreateFile {
+                        path: format!("/fill{i}"),
+                        mode: 0o644,
+                    },
+                    FsOp::WriteFile {
+                        path: format!("/fill{i}"),
+                        offset: 0,
+                        size: 4096,
+                        seed: 1,
+                    },
+                ];
+                for op in ops {
+                    if let ApplyOutcome::Violation(_) = m.apply(&op) {
+                        create_seen_violation = true;
+                        break 'outer;
+                    }
+                }
+            }
+            create_seen_violation
+        };
+        assert!(run(false), "without equalization, ENOSPC diverges");
+        assert!(!run(true), "equalization removes the false positive");
+    }
+
+    #[test]
+    fn majority_voting_names_the_suspect() {
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let mut c = VeriFs::v2_with_bugs(BugConfig {
+            v2_size_only_on_capacity_growth: true,
+            ..BugConfig::default()
+        });
+        c.mount().unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+                Box::new(CheckpointTarget::new(c)),
+            ],
+            McfsConfig::default(),
+        )
+        .unwrap();
+        // Trigger bug 4: create (capacity grows), append within capacity.
+        let script = [
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 10,
+                size: 10,
+                seed: 2,
+            },
+        ];
+        let mut caught = None;
+        for op in &script {
+            if let ApplyOutcome::Violation(msg) = m.apply(op) {
+                caught = Some(msg);
+                break;
+            }
+        }
+        let msg = caught.expect("bug 4 must diverge");
+        assert!(msg.contains("majority vote"), "{msg}");
+        assert!(msg.contains("suspect"), "{msg}");
+    }
+
+    #[test]
+    fn replay_reproduces_recorded_traces() {
+        let mut m = verifs_pair(BugConfig {
+            v2_hole_no_zero: true,
+            ..BugConfig::default()
+        });
+        let trace = vec![
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 40,
+                seed: 1,
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 1,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 30,
+                size: 4,
+                seed: 2,
+            },
+        ];
+        let hit = replay(&mut m, &trace);
+        assert!(hit.is_some(), "the hole bug must reproduce on replay");
+        let (idx, msg) = hit.unwrap();
+        assert_eq!(idx, 3, "divergence at the hole-creating write");
+        assert!(msg.contains("discrepancy"));
+    }
+}

@@ -1,0 +1,628 @@
+//! Checked targets: a file system under test plus its state-tracking
+//! strategy.
+//!
+//! MCFS must save and restore *all* of a file system's state (paper §3.1).
+//! The strategies here are the paper's attempts, in order of appearance:
+//!
+//! * [`RemountTarget`] — track only the persistent (device) state and
+//!   unmount/remount around each operation so no in-memory state can go
+//!   stale (§3.2's workaround; the default for kernel file systems).
+//! * [`CheckpointTarget`] — use the file system's own checkpoint/restore
+//!   API (§5, VeriFS): no remounts, no device streaming, fastest.
+//! * [`VmTarget`] — LightVM-style whole-VM snapshots: universal but slow.
+//! * [`CriuTarget`] — CRIU process snapshots: refuses processes holding
+//!   device nodes, so it works for Ganesha-like servers but not FUSE.
+
+use std::collections::HashMap;
+
+use blockdev::{Clock, DeviceSnapshot};
+use vfs::{
+    DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult,
+};
+
+/// A file system under test, with uniform state tracking hooks.
+///
+/// `save_state` returns the approximate size of the saved state in bytes so
+/// the checker's memory model can charge it.
+pub trait CheckedTarget: Send {
+    /// The underlying file-system name.
+    fn name(&self) -> String;
+
+    /// The live file system (mounted once [`pre_op`](Self::pre_op) ran).
+    fn fs_mut(&mut self) -> &mut dyn FileSystem;
+
+    /// Supported operations.
+    fn capabilities(&self) -> FsCapabilities;
+
+    /// The strategy's short name for reports.
+    fn strategy(&self) -> &'static str;
+
+    /// Saves the complete state under `key`, returning its size in bytes.
+    ///
+    /// # Errors
+    ///
+    /// Propagated file-system/device errors.
+    fn save_state(&mut self, key: u64) -> VfsResult<usize>;
+
+    /// Restores the state saved under `key` (which remains saved).
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown keys; propagated errors otherwise.
+    fn load_state(&mut self, key: u64) -> VfsResult<()>;
+
+    /// Drops the state saved under `key`.
+    ///
+    /// # Errors
+    ///
+    /// `ENOENT` for unknown keys.
+    fn drop_state(&mut self, key: u64) -> VfsResult<()>;
+
+    /// Hook before each operation (remount strategies mount here).
+    ///
+    /// # Errors
+    ///
+    /// Propagated mount errors.
+    fn pre_op(&mut self) -> VfsResult<()> {
+        Ok(())
+    }
+
+    /// Hook after each operation + integrity check (remount strategies
+    /// unmount here).
+    ///
+    /// # Errors
+    ///
+    /// Propagated unmount errors.
+    fn post_op(&mut self) -> VfsResult<()> {
+        Ok(())
+    }
+
+    /// A hash of the *raw* concrete state, if the strategy can produce one.
+    /// Used by the ablation benchmark that shows why raw-state matching
+    /// explodes (§3.3).
+    fn raw_state_hash(&mut self) -> Option<u128> {
+        None
+    }
+
+    /// Per-transition state-tracking work. SPIN reads the tracked buffers —
+    /// the mmap'ed backend device (paper §4) — after every operation to
+    /// build the state vector; strategies that track a device charge that
+    /// read stream here. The checkpoint-API strategy's whole point is that
+    /// this costs nothing (§5).
+    ///
+    /// # Errors
+    ///
+    /// Propagated device errors.
+    fn track_state(&mut self) -> VfsResult<()> {
+        Ok(())
+    }
+}
+
+/// State tracking through the file system's own checkpoint/restore API —
+/// the paper's proposal, implemented by VeriFS (and by `FuseMount` wrapping
+/// it, where the ioctls travel the FUSE channel).
+#[derive(Debug)]
+pub struct CheckpointTarget<F> {
+    fs: F,
+    name: String,
+}
+
+impl<F: FileSystem + FsCheckpoint> CheckpointTarget<F> {
+    /// Wraps `fs` (which must support the checkpoint API).
+    pub fn new(fs: F) -> Self {
+        let name = fs.fs_name().to_string();
+        CheckpointTarget { fs, name }
+    }
+
+    /// Consumes the target, returning the file system.
+    pub fn into_inner(self) -> F {
+        self.fs
+    }
+}
+
+impl<F: FileSystem + FsCheckpoint + Send> CheckedTarget for CheckpointTarget<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fs_mut(&mut self) -> &mut dyn FileSystem {
+        &mut self.fs
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        self.fs.capabilities()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "checkpoint-api"
+    }
+
+    fn pre_op(&mut self) -> VfsResult<()> {
+        if !self.fs.is_mounted() {
+            self.fs.mount()?;
+        }
+        Ok(())
+    }
+
+    fn save_state(&mut self, key: u64) -> VfsResult<usize> {
+        let before = self.fs.snapshot_bytes();
+        self.fs.checkpoint(key)?;
+        let after = self.fs.snapshot_bytes();
+        if after > before {
+            Ok(after - before)
+        } else {
+            // Replacement under an existing key: fall back to the average.
+            Ok(after / self.fs.snapshot_count().max(1))
+        }
+    }
+
+    fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        self.fs.restore_keep(key)
+    }
+
+    fn drop_state(&mut self, key: u64) -> VfsResult<()> {
+        self.fs.discard(key)
+    }
+}
+
+/// When a [`RemountTarget`] remounts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemountMode {
+    /// Unmount/mount around every operation — the paper's default for
+    /// kernel file systems: the only way to guarantee cache coherency after
+    /// external device restores (§3.2, §4).
+    PerOp,
+    /// Stay mounted between operations; remount only around state restores.
+    /// This is the "without the inter-operation remounts" configuration of
+    /// §6 (38–70% faster).
+    OnRestore,
+    /// Never remount: device restores happen underneath the mounted file
+    /// system. **Deliberately unsound** — this is the §3.2 corruption
+    /// reproduction mode.
+    Never,
+}
+
+/// Device-snapshot state tracking with configurable remount policy, for
+/// kernel file systems without a checkpoint API.
+#[derive(Debug)]
+pub struct RemountTarget<F> {
+    fs: F,
+    name: String,
+    mode: RemountMode,
+    snapshots: HashMap<u64, DeviceSnapshot>,
+    clock: Option<Clock>,
+    /// Fixed CPU overhead per mount or unmount beyond device I/O.
+    mount_overhead_ns: u64,
+    /// Size-dependent mount/unmount overhead (metadata scanning, cache
+    /// population, writeback) per byte of device.
+    mount_overhead_ns_per_byte_x1000: u64,
+}
+
+impl<F: FileSystem + DeviceBacked> RemountTarget<F> {
+    /// Wraps `fs` with the given remount policy.
+    pub fn new(fs: F, mode: RemountMode) -> Self {
+        let name = fs.fs_name().to_string();
+        RemountTarget {
+            fs,
+            name,
+            mode,
+            snapshots: HashMap::new(),
+            clock: None,
+            mount_overhead_ns: 100_000,
+            mount_overhead_ns_per_byte_x1000: 420,
+        }
+    }
+
+    /// Attaches a clock so mount/unmount CPU overhead is charged.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    /// The active remount mode.
+    pub fn mode(&self) -> RemountMode {
+        self.mode
+    }
+
+    fn charge_mount(&mut self) {
+        let size = self.fs.device_size_bytes();
+        if let Some(c) = &self.clock {
+            c.advance_ns(self.mount_overhead_ns + size * self.mount_overhead_ns_per_byte_x1000 / 1000);
+        }
+    }
+
+    fn ensure_unmounted(&mut self) -> VfsResult<()> {
+        if self.fs.is_mounted() {
+            self.fs.unmount()?;
+            self.charge_mount();
+        }
+        Ok(())
+    }
+
+    fn ensure_mounted(&mut self) -> VfsResult<()> {
+        if !self.fs.is_mounted() {
+            self.fs.mount()?;
+            self.charge_mount();
+        }
+        Ok(())
+    }
+}
+
+impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fs_mut(&mut self) -> &mut dyn FileSystem {
+        &mut self.fs
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        self.fs.capabilities()
+    }
+
+    fn strategy(&self) -> &'static str {
+        match self.mode {
+            RemountMode::PerOp => "remount-per-op",
+            RemountMode::OnRestore => "remount-on-restore",
+            RemountMode::Never => "no-remount",
+        }
+    }
+
+    fn save_state(&mut self, key: u64) -> VfsResult<usize> {
+        // Flush so the device image is complete, then stream it out (the
+        // paper mmaps the backend into SPIN's address space).
+        if self.fs.is_mounted() {
+            self.fs.sync()?;
+        }
+        let snap = self.fs.snapshot_device()?;
+        let bytes = snap.size_bytes();
+        self.snapshots.insert(key, snap);
+        Ok(bytes)
+    }
+
+    fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        let snap = self.snapshots.get(&key).ok_or(Errno::ENOENT)?.clone();
+        match self.mode {
+            RemountMode::PerOp | RemountMode::OnRestore => {
+                self.ensure_unmounted()?;
+                self.fs.restore_device(&snap)?;
+                // PerOp defers the mount to pre_op; OnRestore mounts now.
+                if self.mode == RemountMode::OnRestore {
+                    self.ensure_mounted()?;
+                }
+                Ok(())
+            }
+            RemountMode::Never => {
+                // Restore underneath the mounted file system: stale caches.
+                self.fs.restore_device(&snap)
+            }
+        }
+    }
+
+    fn drop_state(&mut self, key: u64) -> VfsResult<()> {
+        self.snapshots.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+
+    fn pre_op(&mut self) -> VfsResult<()> {
+        self.ensure_mounted()
+    }
+
+    fn post_op(&mut self) -> VfsResult<()> {
+        if self.mode == RemountMode::PerOp {
+            self.ensure_unmounted()?;
+        }
+        Ok(())
+    }
+
+    fn raw_state_hash(&mut self) -> Option<u128> {
+        if self.fs.is_mounted() {
+            self.fs.sync().ok()?;
+        }
+        let snap = self.fs.snapshot_device().ok()?;
+        Some(mdigest::md5(snap.data()).as_u128())
+    }
+
+    fn track_state(&mut self) -> VfsResult<()> {
+        // Stream the device image (the timed device charges the reads);
+        // the image itself is discarded — SPIN copies it into its state
+        // vector, we only account the cost.
+        self.fs.snapshot_device().map(|_| ())
+    }
+}
+
+/// LightVM-style whole-VM snapshotting: always correct (the VM encloses the
+/// kernel caches too), but 30 ms + 20 ms of virtual time per
+/// checkpoint/restore pair — the paper measured 20–30 ops/s.
+#[derive(Debug)]
+pub struct VmTarget<F> {
+    fs: F,
+    name: String,
+    images: HashMap<u64, F>,
+    clock: Clock,
+    state_bytes: usize,
+    /// LightVM checkpoint latency.
+    pub checkpoint_ms: u64,
+    /// LightVM restore latency.
+    pub restore_ms: u64,
+}
+
+impl<F: FileSystem + Clone> VmTarget<F> {
+    /// Wraps `fs`; `state_bytes` approximates the VM image size for the
+    /// memory model.
+    pub fn new(fs: F, clock: Clock, state_bytes: usize) -> Self {
+        let name = fs.fs_name().to_string();
+        VmTarget {
+            fs,
+            name,
+            images: HashMap::new(),
+            clock,
+            state_bytes,
+            checkpoint_ms: 30,
+            restore_ms: 20,
+        }
+    }
+}
+
+impl<F: FileSystem + Clone + Send> CheckedTarget for VmTarget<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fs_mut(&mut self) -> &mut dyn FileSystem {
+        &mut self.fs
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        self.fs.capabilities()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "vm-snapshot"
+    }
+
+    fn pre_op(&mut self) -> VfsResult<()> {
+        if !self.fs.is_mounted() {
+            self.fs.mount()?;
+        }
+        Ok(())
+    }
+
+    fn save_state(&mut self, key: u64) -> VfsResult<usize> {
+        self.clock.advance_ms(self.checkpoint_ms);
+        self.images.insert(key, self.fs.clone());
+        Ok(self.state_bytes)
+    }
+
+    fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        self.clock.advance_ms(self.restore_ms);
+        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        Ok(())
+    }
+
+    fn drop_state(&mut self, key: u64) -> VfsResult<()> {
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+}
+
+/// CRIU-style process snapshotting of a user-space file server.
+///
+/// Construction takes the device handles the process holds;
+/// [`save_state`](CheckedTarget::save_state) fails with `EPERM` when any of
+/// them is a character or block device — which is what makes this strategy
+/// unusable for FUSE file systems (they hold `/dev/fuse`, paper §5) while a
+/// Ganesha-like plain server works.
+#[derive(Debug)]
+pub struct CriuTarget<F> {
+    fs: F,
+    name: String,
+    handles: Vec<snapshot::ProcessHandle>,
+    images: HashMap<u64, F>,
+    clock: Option<Clock>,
+    state_bytes: usize,
+    /// Dump/restore cost per KiB of image.
+    pub ns_per_kib: u64,
+}
+
+impl<F: FileSystem + Clone> CriuTarget<F> {
+    /// Wraps `fs` running as a process holding `handles`.
+    pub fn new(
+        fs: F,
+        handles: Vec<snapshot::ProcessHandle>,
+        clock: Option<Clock>,
+        state_bytes: usize,
+    ) -> Self {
+        let name = fs.fs_name().to_string();
+        CriuTarget {
+            fs,
+            name,
+            handles,
+            images: HashMap::new(),
+            clock,
+            state_bytes,
+            ns_per_kib: 2_000,
+        }
+    }
+
+    fn charge(&self) {
+        if let Some(c) = &self.clock {
+            c.advance_ns(self.ns_per_kib * (self.state_bytes as u64).div_ceil(1024));
+        }
+    }
+}
+
+impl<F: FileSystem + Clone + Send> CheckedTarget for CriuTarget<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fs_mut(&mut self) -> &mut dyn FileSystem {
+        &mut self.fs
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        self.fs.capabilities()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "criu-process"
+    }
+
+    fn pre_op(&mut self) -> VfsResult<()> {
+        if !self.fs.is_mounted() {
+            self.fs.mount()?;
+        }
+        Ok(())
+    }
+
+    fn save_state(&mut self, key: u64) -> VfsResult<usize> {
+        for h in &self.handles {
+            if matches!(
+                h,
+                snapshot::ProcessHandle::CharDevice(_) | snapshot::ProcessHandle::BlockDevice(_)
+            ) {
+                // CRIU refuses processes with open device nodes.
+                return Err(Errno::EPERM);
+            }
+        }
+        self.charge();
+        self.images.insert(key, self.fs.clone());
+        Ok(self.state_bytes)
+    }
+
+    fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        self.charge();
+        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        Ok(())
+    }
+
+    fn drop_state(&mut self, key: u64) -> VfsResult<()> {
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use verifs::VeriFs;
+    use vfs::FileMode;
+
+    fn touch(t: &mut dyn CheckedTarget, path: &str) {
+        t.pre_op().unwrap();
+        let fd = t.fs_mut().create(path, FileMode::REG_DEFAULT).unwrap();
+        t.fs_mut().close(fd).unwrap();
+        t.post_op().unwrap();
+    }
+
+    fn exists(t: &mut dyn CheckedTarget, path: &str) -> bool {
+        t.pre_op().unwrap();
+        let r = t.fs_mut().stat(path).is_ok();
+        t.post_op().unwrap();
+        r
+    }
+
+    #[test]
+    fn checkpoint_target_roundtrip() {
+        let mut fs = VeriFs::v2();
+        use vfs::FileSystem;
+        fs.mount().unwrap();
+        let mut t = CheckpointTarget::new(fs);
+        assert_eq!(t.strategy(), "checkpoint-api");
+        let bytes = t.save_state(1).unwrap();
+        assert!(bytes > 0);
+        touch(&mut t, "/f");
+        t.load_state(1).unwrap();
+        assert!(!exists(&mut t, "/f"));
+        // restore keeps the snapshot.
+        t.load_state(1).unwrap();
+        t.drop_state(1).unwrap();
+        assert_eq!(t.drop_state(1), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn remount_per_op_unmounts_between_ops() {
+        let fs = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let mut t = RemountTarget::new(fs, RemountMode::PerOp);
+        touch(&mut t, "/f");
+        // post_op unmounted it.
+        assert!(!t.fs.is_mounted());
+        assert!(exists(&mut t, "/f"));
+    }
+
+    #[test]
+    fn remount_target_restores_cleanly() {
+        let fs = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let mut t = RemountTarget::new(fs, RemountMode::PerOp);
+        t.pre_op().unwrap();
+        let bytes = t.save_state(5).unwrap();
+        assert_eq!(bytes, 256 * 1024, "device image size");
+        t.post_op().unwrap();
+        touch(&mut t, "/f");
+        t.load_state(5).unwrap();
+        assert!(!exists(&mut t, "/f"), "restored to the pre-/f state");
+    }
+
+    #[test]
+    fn no_remount_mode_goes_stale() {
+        let fs = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let mut t = RemountTarget::new(fs, RemountMode::Never);
+        t.pre_op().unwrap();
+        t.save_state(1).unwrap();
+        touch(&mut t, "/f");
+        t.load_state(1).unwrap();
+        // Stale caches: the file still appears to exist (§3.2).
+        assert!(exists(&mut t, "/f"), "deliberately unsound mode keeps stale cache");
+    }
+
+    #[test]
+    fn vm_target_roundtrips_and_charges() {
+        let clock = Clock::new();
+        let mut fs = VeriFs::v1();
+        use vfs::FileSystem;
+        fs.mount().unwrap();
+        let mut t = VmTarget::new(fs, clock.clone(), 1024);
+        t.save_state(1).unwrap();
+        assert_eq!(clock.now_ns(), 30_000_000);
+        touch(&mut t, "/f");
+        t.load_state(1).unwrap();
+        assert_eq!(clock.now_ns(), 50_000_000);
+        assert!(!exists(&mut t, "/f"));
+    }
+
+    #[test]
+    fn criu_target_refuses_fuse_handles() {
+        let mut fs = VeriFs::v1();
+        use vfs::FileSystem;
+        fs.mount().unwrap();
+        let mut t = CriuTarget::new(
+            fs,
+            vec![snapshot::ProcessHandle::CharDevice("/dev/fuse".into())],
+            None,
+            1024,
+        );
+        assert_eq!(t.save_state(1), Err(Errno::EPERM));
+    }
+
+    #[test]
+    fn criu_target_works_without_device_handles() {
+        let mut fs = VeriFs::v1();
+        use vfs::FileSystem;
+        fs.mount().unwrap();
+        let mut t = CriuTarget::new(fs, vec![], None, 1024);
+        t.save_state(1).unwrap();
+        touch(&mut t, "/f");
+        t.load_state(1).unwrap();
+        assert!(!exists(&mut t, "/f"));
+    }
+
+    #[test]
+    fn raw_state_hash_changes_with_any_write() {
+        let fs = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let mut t = RemountTarget::new(fs, RemountMode::OnRestore);
+        t.pre_op().unwrap();
+        let h1 = t.raw_state_hash().unwrap();
+        touch(&mut t, "/f");
+        let h2 = t.raw_state_hash().unwrap();
+        assert_ne!(h1, h2);
+    }
+}

@@ -1,0 +1,166 @@
+//! VFS-level checkpoint/restore for kernel file systems — the paper's
+//! primary future-work item (§7): "We are implementing the checkpoint/restore
+//! API at the Linux VFS level, which we hope will apply to many Linux kernel
+//! file systems", eliminating the mount/remount workaround.
+//!
+//! [`VfsCheckpointTarget`] gives any device-backed file system those
+//! semantics: a checkpoint captures the *complete* state — in-memory caches
+//! and the device image together — by cloning the mounted instance, and a
+//! restore swaps the clone back in. Caches are coherent by construction
+//! (they are part of the captured state), so no remounts are needed and the
+//! §3.2 incoherency cannot occur.
+
+use std::collections::HashMap;
+
+use blockdev::Clock;
+use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, VfsResult};
+
+use crate::target::CheckedTarget;
+
+/// Per-MiB cost of capturing/restoring the full state (a memory copy).
+const COPY_NS_PER_MIB: u64 = 100_000;
+
+/// State tracking through hypothetical VFS-level checkpoint/restore support
+/// (paper §7 future work), applicable to any kernel file system.
+#[derive(Debug)]
+pub struct VfsCheckpointTarget<F> {
+    fs: F,
+    name: String,
+    images: HashMap<u64, F>,
+    clock: Option<Clock>,
+}
+
+impl<F: FileSystem + DeviceBacked + Clone> VfsCheckpointTarget<F> {
+    /// Wraps `fs` with VFS-level checkpointing.
+    pub fn new(fs: F) -> Self {
+        let name = fs.fs_name().to_string();
+        VfsCheckpointTarget {
+            fs,
+            name,
+            images: HashMap::new(),
+            clock: None,
+        }
+    }
+
+    /// Attaches a clock so state copies charge virtual time.
+    pub fn with_clock(mut self, clock: Clock) -> Self {
+        self.clock = Some(clock);
+        self
+    }
+
+    fn state_bytes(&self) -> usize {
+        // Device image plus an allowance for in-memory caches.
+        self.fs.device_size_bytes() as usize + (self.fs.device_size_bytes() / 8) as usize
+    }
+
+    fn charge_copy(&self) {
+        if let Some(c) = &self.clock {
+            c.advance_ns(COPY_NS_PER_MIB * (self.state_bytes() as u64).div_ceil(1 << 20));
+        }
+    }
+}
+
+impl<F: FileSystem + DeviceBacked + Clone + Send> CheckedTarget for VfsCheckpointTarget<F> {
+    fn name(&self) -> String {
+        self.name.clone()
+    }
+
+    fn fs_mut(&mut self) -> &mut dyn FileSystem {
+        &mut self.fs
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        self.fs.capabilities()
+    }
+
+    fn strategy(&self) -> &'static str {
+        "vfs-checkpoint"
+    }
+
+    fn pre_op(&mut self) -> VfsResult<()> {
+        if !self.fs.is_mounted() {
+            self.fs.mount()?;
+        }
+        Ok(())
+    }
+
+    fn save_state(&mut self, key: u64) -> VfsResult<usize> {
+        self.charge_copy();
+        self.images.insert(key, self.fs.clone());
+        Ok(self.state_bytes())
+    }
+
+    fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        self.charge_copy();
+        // The whole instance — caches included — is restored, so nothing can
+        // go stale. That is the point of VFS-level support.
+        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        Ok(())
+    }
+
+    fn drop_state(&mut self, key: u64) -> VfsResult<()> {
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vfs::FileMode;
+
+    #[test]
+    fn vfs_checkpoint_restores_caches_and_disk_together() {
+        let fs = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let mut t = VfsCheckpointTarget::new(fs).with_clock(Clock::new());
+        t.pre_op().unwrap();
+        let bytes = t.save_state(1).unwrap();
+        assert!(bytes >= 256 * 1024);
+        let fd = t.fs_mut().create("/after", FileMode::REG_DEFAULT).unwrap();
+        t.fs_mut().close(fd).unwrap();
+        // No remount anywhere — and the restore is still fully coherent.
+        t.load_state(1).unwrap();
+        assert_eq!(t.fs_mut().stat("/after").unwrap_err(), Errno::ENOENT);
+        assert!(t.fs_mut().is_mounted(), "restore keeps the fs mounted");
+        // Restore is repeatable.
+        let fd = t.fs_mut().create("/again", FileMode::REG_DEFAULT).unwrap();
+        t.fs_mut().close(fd).unwrap();
+        t.load_state(1).unwrap();
+        assert_eq!(t.fs_mut().stat("/again").unwrap_err(), Errno::ENOENT);
+        t.drop_state(1).unwrap();
+        assert_eq!(t.load_state(1).unwrap_err(), Errno::ENOENT);
+    }
+
+    #[test]
+    fn copies_charge_virtual_time() {
+        let clock = Clock::new();
+        let fs = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let mut t = VfsCheckpointTarget::new(fs).with_clock(clock.clone());
+        t.pre_op().unwrap();
+        let before = clock.now_ns();
+        t.save_state(1).unwrap();
+        assert!(clock.now_ns() > before);
+    }
+
+    #[test]
+    fn works_in_a_harness_without_remounts() {
+        use crate::{Mcfs, McfsConfig};
+        use modelcheck::{ApplyOutcome, ModelSystem, StateId};
+        let clock = Clock::new();
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let targets: Vec<Box<dyn CheckedTarget>> = vec![
+            Box::new(VfsCheckpointTarget::new(e2).with_clock(clock.clone())),
+            Box::new(VfsCheckpointTarget::new(e4).with_clock(clock.clone())),
+        ];
+        let mut m = Mcfs::with_clock(targets, McfsConfig::default(), clock).unwrap();
+        m.checkpoint(StateId(0)).unwrap();
+        let op = crate::FsOp::Mkdir {
+            path: "/d0".into(),
+            mode: 0o755,
+        };
+        assert!(matches!(m.apply(&op), ApplyOutcome::Ok));
+        let h_after = m.abstract_state();
+        m.restore(StateId(0)).unwrap();
+        assert_ne!(m.abstract_state(), h_after);
+    }
+}

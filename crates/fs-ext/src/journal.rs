@@ -1,0 +1,250 @@
+//! The ext4-style write-ahead journal.
+//!
+//! Metadata updates are first written to the journal area (a header listing
+//! home locations, the block images, then a commit record), flushed, then
+//! checkpointed to their home locations, after which the header is cleared.
+//! Mount replays any committed-but-not-checkpointed transaction, giving the
+//! ext4 variant crash consistency — and the extra per-sync I/O that makes it
+//! measurably slower than ext2 in the benchmarks.
+
+use blockdev::BlockDevice;
+use vfs::{Errno, VfsResult};
+
+use crate::layout::SuperBlock;
+
+const JRN_MAGIC: u32 = 0x4A52_4E31; // "JRN1"
+const COMMIT_MAGIC: u32 = 0x434D_5431; // "CMT1"
+
+fn io<T>(r: Result<T, blockdev::DeviceError>) -> VfsResult<T> {
+    r.map_err(|_| Errno::EIO)
+}
+
+fn read_block<D: BlockDevice>(dev: &mut D, blk: u32) -> VfsResult<Vec<u8>> {
+    let mut buf = vec![0u8; dev.block_size()];
+    io(dev.read_block(blk as u64, &mut buf))?;
+    Ok(buf)
+}
+
+fn write_block<D: BlockDevice>(dev: &mut D, blk: u32, data: &[u8]) -> VfsResult<()> {
+    io(dev.write_block(blk as u64, data))
+}
+
+/// Maximum blocks one transaction can carry.
+pub fn txn_capacity(sb: &SuperBlock) -> usize {
+    let header_slots = (sb.block_size as usize - 12) / 4;
+    let area = sb.journal_blocks.saturating_sub(2) as usize;
+    header_slots.min(area)
+}
+
+/// Writes the journal records and the commit block for one transaction
+/// (everything needed to survive a crash), without checkpointing.
+///
+/// # Errors
+///
+/// `EINVAL` if the transaction exceeds [`txn_capacity`]; `EIO` on device
+/// failure.
+pub fn write_txn<D: BlockDevice>(
+    dev: &mut D,
+    sb: &SuperBlock,
+    txn_id: u32,
+    blocks: &[(u32, Vec<u8>)],
+) -> VfsResult<()> {
+    if blocks.len() > txn_capacity(sb) {
+        return Err(Errno::EINVAL);
+    }
+    let bs = sb.block_size as usize;
+    let jstart = sb.journal_start();
+    // Header block: magic, txn, count, home list.
+    let mut header = vec![0u8; bs];
+    header[0..4].copy_from_slice(&JRN_MAGIC.to_le_bytes());
+    header[4..8].copy_from_slice(&txn_id.to_le_bytes());
+    header[8..12].copy_from_slice(&(blocks.len() as u32).to_le_bytes());
+    for (i, (home, _)) in blocks.iter().enumerate() {
+        header[12 + i * 4..16 + i * 4].copy_from_slice(&home.to_le_bytes());
+    }
+    write_block(dev, jstart, &header)?;
+    for (i, (_, image)) in blocks.iter().enumerate() {
+        write_block(dev, jstart + 1 + i as u32, image)?;
+    }
+    let mut commit = vec![0u8; bs];
+    commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
+    commit[4..8].copy_from_slice(&txn_id.to_le_bytes());
+    write_block(dev, jstart + 1 + blocks.len() as u32, &commit)?;
+    io(dev.flush())
+}
+
+/// Checkpoints a transaction's blocks to their home locations.
+///
+/// # Errors
+///
+/// `EIO` on device failure.
+pub fn apply_home<D: BlockDevice>(dev: &mut D, blocks: &[(u32, Vec<u8>)]) -> VfsResult<()> {
+    for (home, image) in blocks {
+        write_block(dev, *home, image)?;
+    }
+    io(dev.flush())
+}
+
+/// Clears the journal header so the transaction will not be replayed.
+///
+/// # Errors
+///
+/// `EIO` on device failure.
+pub fn clear_header<D: BlockDevice>(dev: &mut D, sb: &SuperBlock) -> VfsResult<()> {
+    let zero = vec![0u8; sb.block_size as usize];
+    write_block(dev, sb.journal_start(), &zero)?;
+    io(dev.flush())
+}
+
+/// Full commit: journal, checkpoint, clear. Transactions larger than
+/// [`txn_capacity`] are split into multiple journal rounds.
+///
+/// # Errors
+///
+/// `EINVAL` if the journal area is too small to hold even one block; `EIO`
+/// on device failure.
+pub fn commit<D: BlockDevice>(
+    dev: &mut D,
+    sb: &SuperBlock,
+    txn_id: u32,
+    blocks: &[(u32, Vec<u8>)],
+) -> VfsResult<()> {
+    let cap = txn_capacity(sb);
+    if cap == 0 {
+        return Err(Errno::EINVAL);
+    }
+    for (round, chunk) in blocks.chunks(cap).enumerate() {
+        write_txn(dev, sb, txn_id.wrapping_add(round as u32), chunk)?;
+        apply_home(dev, chunk)?;
+        clear_header(dev, sb)?;
+    }
+    Ok(())
+}
+
+/// Replays a committed-but-unchecked transaction at mount time.
+///
+/// Returns the number of blocks replayed (0 if the journal is clean or the
+/// transaction never committed).
+///
+/// # Errors
+///
+/// `EIO` on device failure.
+pub fn replay<D: BlockDevice>(dev: &mut D, sb: &SuperBlock) -> VfsResult<u32> {
+    if sb.journal_blocks < 3 {
+        return Ok(0);
+    }
+    let jstart = sb.journal_start();
+    let header = read_block(dev, jstart)?;
+    let word = |b: &[u8], i: usize| u32::from_le_bytes([b[i], b[i + 1], b[i + 2], b[i + 3]]);
+    if word(&header, 0) != JRN_MAGIC {
+        return Ok(0);
+    }
+    let txn = word(&header, 4);
+    let count = word(&header, 8);
+    if count as usize > txn_capacity(sb) {
+        // Corrupt header: discard.
+        clear_header(dev, sb)?;
+        return Ok(0);
+    }
+    let commit = read_block(dev, jstart + 1 + count)?;
+    if word(&commit, 0) != COMMIT_MAGIC || word(&commit, 4) != txn {
+        // Uncommitted transaction: discard (the pre-txn state is intact).
+        clear_header(dev, sb)?;
+        return Ok(0);
+    }
+    for i in 0..count {
+        let home = word(&header, 12 + i as usize * 4);
+        let image = read_block(dev, jstart + 1 + i)?;
+        write_block(dev, home, &image)?;
+    }
+    clear_header(dev, sb)?;
+    Ok(count)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::EXT_MAGIC;
+    use blockdev::RamDisk;
+
+    fn setup() -> (RamDisk, SuperBlock) {
+        let dev = RamDisk::new(256, 64 * 256).unwrap();
+        let sb = SuperBlock {
+            magic: EXT_MAGIC,
+            block_size: 256,
+            blocks_count: 64,
+            inodes_count: 16,
+            free_blocks: 10,
+            free_inodes: 10,
+            journal_blocks: 8,
+            flags: 0,
+            mount_count: 0,
+        };
+        (dev, sb)
+    }
+
+    #[test]
+    fn commit_writes_home_blocks() {
+        let (mut dev, sb) = setup();
+        let target = sb.data_start();
+        let image = vec![0xABu8; 256];
+        commit(&mut dev, &sb, 1, &[(target, image.clone())]).unwrap();
+        assert_eq!(read_block(&mut dev, target).unwrap(), image);
+        // Journal header cleared afterwards.
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
+    }
+
+    #[test]
+    fn replay_recovers_committed_txn() {
+        let (mut dev, sb) = setup();
+        let target = sb.data_start() + 1;
+        let image = vec![0x77u8; 256];
+        // Crash after commit record but before checkpoint:
+        write_txn(&mut dev, &sb, 9, &[(target, image.clone())]).unwrap();
+        assert_ne!(read_block(&mut dev, target).unwrap(), image);
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 1);
+        assert_eq!(read_block(&mut dev, target).unwrap(), image);
+        // Second replay is a no-op.
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
+    }
+
+    #[test]
+    fn uncommitted_txn_is_discarded() {
+        let (mut dev, sb) = setup();
+        let target = sb.data_start() + 2;
+        // Write header + images but no commit record (crash mid-journal):
+        // emulate by writing a txn then stomping the commit block.
+        write_txn(&mut dev, &sb, 5, &[(target, vec![1u8; 256])]).unwrap();
+        let zero = vec![0u8; 256];
+        dev.write_block((sb.journal_start() + 2) as u64, &zero).unwrap();
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
+        assert_eq!(read_block(&mut dev, target).unwrap(), zero);
+    }
+
+    #[test]
+    fn oversized_txn_is_chunked() {
+        let (mut dev, sb) = setup();
+        let cap = txn_capacity(&sb);
+        assert_eq!(cap, 6);
+        // 10 blocks > capacity: commit() must chunk.
+        let blocks: Vec<(u32, Vec<u8>)> = (0..10)
+            .map(|i| (sb.data_start() + i, vec![i as u8 + 1; 256]))
+            .collect();
+        commit(&mut dev, &sb, 1, &blocks).unwrap();
+        for (home, image) in &blocks {
+            assert_eq!(&read_block(&mut dev, *home).unwrap(), image);
+        }
+        // write_txn itself rejects oversize.
+        assert_eq!(
+            write_txn(&mut dev, &sb, 2, &blocks),
+            Err(Errno::EINVAL)
+        );
+    }
+
+    #[test]
+    fn no_journal_area_means_no_replay() {
+        let (mut dev, mut sb) = setup();
+        sb.journal_blocks = 0;
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Ext2/Ext4-style block file systems for the MCFS reproduction.
+//!
+//! A from-scratch, ext-inspired on-disk format: superblock, inode and block
+//! bitmaps, a fixed inode table, directory blocks, and 12-direct +
+//! single/double-indirect block mapping. The ext4 variant
+//! ([`ExtConfig::ext4`]) adds an ordered-mode write-ahead journal and the
+//! `lost+found` directory; ext2 ([`ExtConfig::ext2`]) is the journal-less
+//! base.
+//!
+//! Both variants cache aggressively while mounted (buffer cache, inode
+//! cache, decoded bitmaps) and write back on `sync`/`unmount` — making the
+//! paper's cache-incoherency challenge (§3.2) real: restoring the device
+//! image under a mounted instance corrupts subsequent operations unless the
+//! harness remounts.
+//!
+//! # Examples
+//!
+//! ```
+//! use blockdev::RamDisk;
+//! use fs_ext::{ExtConfig, ExtFs};
+//! use vfs::{FileSystem, FileMode};
+//!
+//! # fn main() -> vfs::VfsResult<()> {
+//! let disk = RamDisk::new(1024, 256 * 1024).map_err(|_| vfs::Errno::EIO)?;
+//! let mut fs = ExtFs::format(disk, ExtConfig::ext4())?;
+//! fs.mount()?;
+//! let fd = fs.create("/hello", FileMode::REG_DEFAULT)?;
+//! fs.write(fd, b"persistent")?;
+//! fs.close(fd)?;
+//! fs.unmount()?;
+//! // State survives a remount.
+//! fs.mount()?;
+//! assert_eq!(fs.stat("/hello")?.size, 10);
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod dir;
+mod fs;
+pub mod journal;
+pub mod layout;
+
+pub use fs::{ExtConfig, ExtFs};
+
+use blockdev::RamDisk;
+use vfs::VfsResult;
+
+/// Convenience: format a fresh ext2 on a RAM disk of `size_bytes`.
+///
+/// # Errors
+///
+/// `EINVAL` for unusable geometry.
+pub fn ext2_on_ram(size_bytes: u64) -> VfsResult<ExtFs<RamDisk>> {
+    let cfg = ExtConfig::ext2();
+    let disk = RamDisk::new(cfg.block_size, size_bytes).map_err(|_| vfs::Errno::EINVAL)?;
+    ExtFs::format(disk, cfg)
+}
+
+/// Convenience: format a fresh ext4 on a RAM disk of `size_bytes`.
+///
+/// # Errors
+///
+/// `EINVAL` for unusable geometry.
+pub fn ext4_on_ram(size_bytes: u64) -> VfsResult<ExtFs<RamDisk>> {
+    let cfg = ExtConfig::ext4();
+    let disk = RamDisk::new(cfg.block_size, size_bytes).map_err(|_| vfs::Errno::EINVAL)?;
+    ExtFs::format(disk, cfg)
+}

@@ -1,0 +1,44 @@
+//! XFS-style block file system for the MCFS reproduction.
+//!
+//! Allocation groups, extent-mapped files with inline + overflow extent
+//! lists, hash-ordered directory listings, entry-based directory sizes, and
+//! a 16 MiB minimum device size — the properties of XFS that the MCFS paper
+//! runs into (§3.4 false positives, §6's large-RAM-disk requirement that
+//! makes Ext4-vs-XFS checking swap-bound).
+//!
+//! # Examples
+//!
+//! ```
+//! use fs_xfs::{xfs_on_ram, MIN_DEVICE_BYTES};
+//! use vfs::{FileSystem, FileMode};
+//!
+//! # fn main() -> vfs::VfsResult<()> {
+//! let mut fs = xfs_on_ram(MIN_DEVICE_BYTES)?;
+//! fs.mount()?;
+//! fs.mkdir("/data", FileMode::DIR_DEFAULT)?;
+//! let fd = fs.create("/data/f", FileMode::REG_DEFAULT)?;
+//! fs.write(fd, b"extent-mapped")?;
+//! fs.close(fd)?;
+//! assert_eq!(fs.stat("/data/f")?.size, 13);
+//! # Ok(())
+//! # }
+//! ```
+
+mod xfs;
+
+pub use xfs::{XfsConfig, XfsFs, MIN_DEVICE_BYTES};
+
+use blockdev::RamDisk;
+use vfs::VfsResult;
+
+/// Convenience: format a fresh XFS on a RAM disk of `size_bytes`
+/// (must be at least [`MIN_DEVICE_BYTES`]).
+///
+/// # Errors
+///
+/// `EINVAL` for unusable geometry or an undersized device.
+pub fn xfs_on_ram(size_bytes: u64) -> VfsResult<XfsFs<RamDisk>> {
+    let cfg = XfsConfig::default();
+    let disk = RamDisk::new(cfg.block_size, size_bytes).map_err(|_| vfs::Errno::EINVAL)?;
+    XfsFs::format(disk, cfg)
+}

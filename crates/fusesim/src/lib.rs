@@ -1,0 +1,26 @@
+//! FUSE protocol simulation for the MCFS reproduction.
+//!
+//! FUSE file systems run as separate user-space processes; the kernel talks
+//! to them through `/dev/fuse` and keeps its own dentry and attribute caches
+//! in front (paper §3.1, §4). This crate simulates that split:
+//!
+//! * [`FuseDaemon`] — the user-space process wrapper (it records the device
+//!   handles the process holds, which is what defeats CRIU snapshotting);
+//! * [`FuseMount`] — the kernel side: dentry/attr caches with TTLs, message
+//!   dispatch with per-crossing virtual-time cost, and readdirplus-style
+//!   cache priming;
+//! * [`FuseConn`] — the invalidation connection, implementing
+//!   [`vfs::InvalidationSink`] so the user-space file system can invalidate
+//!   kernel caches (`fuse_lowlevel_notify_inval_entry` / `_inode`).
+//!
+//! The tests in this crate reproduce the paper's bug 2 end to end: a VeriFS
+//! restore that skips invalidation leaves a stale positive dentry, and the
+//! kernel wrongly reports `EEXIST` for a directory that does not exist.
+
+mod daemon;
+mod kernel;
+mod proto;
+
+pub use daemon::{DeviceHandle, FuseDaemon};
+pub use kernel::{FuseConfig, FuseConn, FuseMount};
+pub use proto::{FuseOpKind, FuseTraffic};

@@ -1,0 +1,666 @@
+//! An explicit-state model checker — the SPIN analogue MCFS drives.
+//!
+//! The paper uses SPIN for three things, all reimplemented here with the
+//! same semantics:
+//!
+//! 1. **Nondeterministic exploration** of bounded operation sequences:
+//!    [`DfsExplorer`] (SPIN's depth-first search), [`BfsExplorer`] (shortest
+//!    traces), and [`RandomWalk`] (the long-run soak mode).
+//! 2. **Abstract-state matching**: visited states are 128-bit fingerprints
+//!    ([`ModelSystem::abstract_state`], MCFS's Algorithm-1 MD5), while
+//!    backtracking restores *concrete* states through
+//!    [`ModelSystem::checkpoint`]/[`restore`](ModelSystem::restore) — the
+//!    matched/unmatched split of SPIN's `c_track`.
+//! 3. **Swarm verification** ([`run_swarm`]): parallel diversified searches
+//!    sharing a stop flag.
+//!
+//! Two cross-cutting models make the paper's evaluation reproducible:
+//! [`MemoryModel`] (RAM/swap budgets with LRU residency — the source of the
+//! Ext4-vs-XFS slowdown and Fig. 3's dynamics) and the [`VisitedSet`]'s
+//! hash-table-resize events (Fig. 3's day-3 dip). Both charge their costs to
+//! a shared virtual [`blockdev::Clock`].
+//!
+//! # Examples
+//!
+//! A tiny two-bit system, exhaustively explored:
+//!
+//! ```
+//! use modelcheck::{ApplyOutcome, DfsExplorer, ExploreConfig, ModelSystem, StateId, StopReason};
+//! use std::collections::HashMap;
+//!
+//! struct TwoBits {
+//!     bits: [bool; 2],
+//!     store: HashMap<u64, [bool; 2]>,
+//! }
+//!
+//! impl ModelSystem for TwoBits {
+//!     type Op = usize; // flip bit i
+//!     fn ops(&mut self) -> Vec<usize> {
+//!         vec![0, 1]
+//!     }
+//!     fn apply(&mut self, op: &usize) -> ApplyOutcome {
+//!         self.bits[*op] = !self.bits[*op];
+//!         ApplyOutcome::Ok
+//!     }
+//!     fn abstract_state(&mut self) -> u128 {
+//!         self.bits[0] as u128 | ((self.bits[1] as u128) << 1)
+//!     }
+//!     fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+//!         self.store.insert(id.0, self.bits);
+//!         Ok(2)
+//!     }
+//!     fn restore(&mut self, id: StateId) -> Result<(), String> {
+//!         self.bits = self.store[&id.0];
+//!         Ok(())
+//!     }
+//!     fn release(&mut self, id: StateId) {
+//!         self.store.remove(&id.0);
+//!     }
+//! }
+//!
+//! let mut sys = TwoBits { bits: [false; 2], store: HashMap::new() };
+//! let report = DfsExplorer::new(ExploreConfig::default()).run(&mut sys);
+//! assert_eq!(report.stop, StopReason::Exhausted);
+//! assert_eq!(report.stats.states_new, 4); // the full 2-bit state space
+//! ```
+
+mod explore;
+mod memmodel;
+mod swarm;
+mod system;
+mod visited;
+
+pub use explore::{
+    BfsExplorer, DfsExplorer, ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason,
+};
+pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
+pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
+pub use system::{ApplyOutcome, ModelSystem, StateId, Violation};
+pub use visited::{ResizeEvent, SharedVisited, Visit, VisitedSet, BYTES_PER_ENTRY};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    /// A counter in 0..n with +1/-1 ops; violation at `bad`, if set.
+    struct Counter {
+        value: i64,
+        limit: i64,
+        bad: Option<i64>,
+        store: HashMap<u64, i64>,
+        bytes_per_state: usize,
+    }
+
+    impl Counter {
+        fn new(limit: i64, bad: Option<i64>) -> Self {
+            Counter {
+                value: 0,
+                limit,
+                bad,
+                store: HashMap::new(),
+                bytes_per_state: 64,
+            }
+        }
+    }
+
+    impl ModelSystem for Counter {
+        type Op = i64;
+
+        fn ops(&mut self) -> Vec<i64> {
+            vec![1, -1]
+        }
+
+        fn apply(&mut self, op: &i64) -> ApplyOutcome {
+            let next = self.value + op;
+            if next < 0 || next > self.limit {
+                return ApplyOutcome::Prune("out of range".into());
+            }
+            self.value = next;
+            if Some(self.value) == self.bad {
+                return ApplyOutcome::Violation(format!("hit bad value {}", self.value));
+            }
+            ApplyOutcome::Ok
+        }
+
+        fn abstract_state(&mut self) -> u128 {
+            self.value as u128
+        }
+
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.store.insert(id.0, self.value);
+            Ok(self.bytes_per_state)
+        }
+
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.value = *self.store.get(&id.0).ok_or("missing state")?;
+            Ok(())
+        }
+
+        fn release(&mut self, id: StateId) {
+            self.store.remove(&id.0);
+        }
+    }
+
+    #[test]
+    fn dfs_explores_bounded_space_exhaustively() {
+        let mut sys = Counter::new(100, None);
+        let cfg = ExploreConfig {
+            max_depth: 5,
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::Exhausted);
+        // Depth 5 from 0 reaches values 0..=5: six distinct states.
+        assert_eq!(report.stats.states_new, 6);
+        assert!(report.stats.states_matched > 0, "revisits are matched");
+        assert!(report.violations.is_empty());
+        assert_eq!(report.stats.max_depth_seen, 5);
+    }
+
+    #[test]
+    fn dfs_finds_violation_with_reproducible_trace() {
+        let mut sys = Counter::new(100, Some(3));
+        let cfg = ExploreConfig {
+            max_depth: 10,
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::Violation);
+        let v = &report.violations[0];
+        assert!(v.message.contains("bad value 3"));
+        // Replaying the trace on a fresh system reproduces the violation.
+        let mut fresh = Counter::new(100, Some(3));
+        let mut hit = false;
+        for op in &v.trace {
+            if let ApplyOutcome::Violation(_) = fresh.apply(op) {
+                hit = true;
+                break;
+            }
+        }
+        assert!(hit, "trace must reproduce the violation");
+    }
+
+    #[test]
+    fn bfs_finds_shortest_trace() {
+        let mut sys = Counter::new(100, Some(3));
+        let cfg = ExploreConfig {
+            max_depth: 10,
+            ..ExploreConfig::default()
+        };
+        let report = BfsExplorer::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::Violation);
+        assert_eq!(report.violations[0].trace, vec![1, 1, 1], "shortest path");
+    }
+
+    #[test]
+    fn op_budget_stops_exploration() {
+        let mut sys = Counter::new(1_000_000, None);
+        let cfg = ExploreConfig {
+            max_depth: 1_000,
+            max_ops: 500,
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::OpBudget);
+        assert_eq!(report.stats.ops_executed, 500);
+    }
+
+    #[test]
+    fn state_budget_stops_exploration() {
+        let mut sys = Counter::new(1_000_000, None);
+        let cfg = ExploreConfig {
+            max_depth: 1_000,
+            max_states: 50,
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::StateBudget);
+        assert_eq!(report.stats.states_new, 50);
+    }
+
+    #[test]
+    fn oom_stops_exploration() {
+        let mut sys = Counter::new(1_000_000, None);
+        sys.bytes_per_state = 1 << 20;
+        let cfg = ExploreConfig {
+            max_depth: 1_000,
+            mem: MemConfig {
+                ram_bytes: 4 << 20,
+                swap_bytes: 4 << 20,
+                swap_ns_per_mib: 1000,
+            },
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).run(&mut sys);
+        assert!(matches!(report.stop, StopReason::OutOfMemory(_)));
+    }
+
+    #[test]
+    fn random_walk_covers_states_and_stops_on_violation() {
+        let mut sys = Counter::new(20, Some(7));
+        let cfg = ExploreConfig {
+            max_depth: 30,
+            max_ops: 100_000,
+            seed: 42,
+            ..ExploreConfig::default()
+        };
+        let report = RandomWalk::new(cfg).run(&mut sys);
+        assert_eq!(report.stop, StopReason::Violation);
+        let v = &report.violations[0];
+        // The trace ends at the bad value.
+        assert_eq!(v.trace.iter().sum::<i64>(), 7);
+    }
+
+    #[test]
+    fn random_walk_observer_sees_progress() {
+        let mut sys = Counter::new(50, None);
+        let cfg = ExploreConfig {
+            max_depth: 10,
+            max_ops: 2_000,
+            seed: 1,
+            ..ExploreConfig::default()
+        };
+        let mut samples = 0u64;
+        let report = RandomWalk::new(cfg).run_observed(&mut sys, |s| {
+            samples += 1;
+            assert!(s.ops_executed <= 2_000);
+        });
+        assert_eq!(report.stop, StopReason::OpBudget);
+        assert!(samples > 0);
+    }
+
+    #[test]
+    fn clock_accumulates_memory_costs() {
+        use blockdev::Clock;
+        let clock = Clock::new();
+        let mut sys = Counter::new(1_000, None);
+        sys.bytes_per_state = 1 << 20; // force swapping
+        let cfg = ExploreConfig {
+            max_depth: 200,
+            max_ops: 5_000,
+            mem: MemConfig {
+                ram_bytes: 8 << 20,
+                swap_bytes: 1 << 30,
+                swap_ns_per_mib: 100_000,
+            },
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).with_clock(clock.clone()).run(&mut sys);
+        assert!(report.stats.virtual_ns > 0, "swap charges accrued");
+        assert!(report.stats.swap_traffic_bytes > 0);
+        assert!(report.stats.ops_per_sec().is_some());
+    }
+
+    #[test]
+    fn time_budget_stops() {
+        use blockdev::Clock;
+        let clock = Clock::new();
+        let mut sys = Counter::new(1_000, None);
+        sys.bytes_per_state = 1 << 20;
+        let cfg = ExploreConfig {
+            max_depth: 500,
+            max_ops: u64::MAX,
+            max_virtual_ns: Some(1_000_000),
+            mem: MemConfig {
+                ram_bytes: 4 << 20,
+                swap_bytes: 1 << 30,
+                swap_ns_per_mib: 100_000,
+            },
+            ..ExploreConfig::default()
+        };
+        let report = DfsExplorer::new(cfg).with_clock(clock).run(&mut sys);
+        assert_eq!(report.stop, StopReason::TimeBudget);
+    }
+
+    /// Two independent registers: POR should cut the explored interleavings.
+    struct TwoRegs {
+        regs: [u8; 2],
+        store: HashMap<u64, [u8; 2]>,
+    }
+
+    impl ModelSystem for TwoRegs {
+        type Op = (usize, u8);
+
+        fn ops(&mut self) -> Vec<(usize, u8)> {
+            vec![(0, 1), (1, 1)]
+        }
+
+        fn apply(&mut self, op: &(usize, u8)) -> ApplyOutcome {
+            // Saturating lattice: each register counts 0..=3 (acyclic, so
+            // sleep-set reduction composes soundly with state matching).
+            if self.regs[op.0] >= 3 {
+                return ApplyOutcome::Prune("saturated".into());
+            }
+            self.regs[op.0] += op.1;
+            ApplyOutcome::Ok
+        }
+
+        fn abstract_state(&mut self) -> u128 {
+            self.regs[0] as u128 | ((self.regs[1] as u128) << 8)
+        }
+
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.store.insert(id.0, self.regs);
+            Ok(2)
+        }
+
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.regs = *self.store.get(&id.0).ok_or("missing")?;
+            Ok(())
+        }
+
+        fn release(&mut self, id: StateId) {
+            self.store.remove(&id.0);
+        }
+
+        fn independent(&self, a: &(usize, u8), b: &(usize, u8)) -> bool {
+            a.0 != b.0 // different registers commute
+        }
+    }
+
+    #[test]
+    fn por_prunes_commuting_interleavings() {
+        let cfg = ExploreConfig {
+            max_depth: 8,
+            ..ExploreConfig::default()
+        };
+        let baseline = DfsExplorer::new(ExploreConfig {
+            por: false,
+            ..cfg.clone()
+        })
+        .run(&mut TwoRegs {
+            regs: [0; 2],
+            store: HashMap::new(),
+        });
+        let reduced = DfsExplorer::new(ExploreConfig { por: true, ..cfg }).run(&mut TwoRegs {
+            regs: [0; 2],
+            store: HashMap::new(),
+        });
+        assert_eq!(baseline.stop, StopReason::Exhausted);
+        assert_eq!(reduced.stop, StopReason::Exhausted);
+        assert_eq!(
+            baseline.stats.states_new, reduced.stats.states_new,
+            "POR must not lose states"
+        );
+        assert!(
+            reduced.stats.ops_executed < baseline.stats.ops_executed,
+            "POR must save work: {} vs {}",
+            reduced.stats.ops_executed,
+            baseline.stats.ops_executed
+        );
+    }
+
+    #[test]
+    fn swarm_finds_violation_and_drains() {
+        let cfg = SwarmConfig {
+            workers: 4,
+            base: ExploreConfig {
+                max_depth: 30,
+                max_ops: 200_000,
+                seed: 7,
+                ..ExploreConfig::default()
+            },
+        };
+        let report = run_swarm(&cfg, |_| Counter::new(40, Some(11)));
+        assert!(report.found_violation());
+        assert!(report.violations().next().is_some());
+        assert!(report.total_ops() > 0);
+        assert!(report.total_states() > 0);
+    }
+
+    #[test]
+    fn swarm_without_violation_exhausts_budgets() {
+        let cfg = SwarmConfig {
+            workers: 3,
+            base: ExploreConfig {
+                max_depth: 5,
+                max_ops: 1_000,
+                ..ExploreConfig::default()
+            },
+        };
+        let report = run_swarm(&cfg, |_| Counter::new(10, None));
+        assert!(!report.found_violation());
+        assert_eq!(report.workers.len(), 3);
+        for w in &report.workers {
+            assert_eq!(w.stop, StopReason::OpBudget);
+        }
+    }
+}
+
+#[cfg(test)]
+mod resume_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct Grid {
+        pos: (i8, i8),
+        store: HashMap<u64, (i8, i8)>,
+    }
+
+    impl ModelSystem for Grid {
+        type Op = (i8, i8);
+        fn ops(&mut self) -> Vec<(i8, i8)> {
+            vec![(1, 0), (-1, 0), (0, 1), (0, -1)]
+        }
+        fn apply(&mut self, op: &(i8, i8)) -> ApplyOutcome {
+            let next = (self.pos.0 + op.0, self.pos.1 + op.1);
+            if next.0.abs() > 6 || next.1.abs() > 6 {
+                return ApplyOutcome::Prune("edge".into());
+            }
+            self.pos = next;
+            ApplyOutcome::Ok
+        }
+        fn abstract_state(&mut self) -> u128 {
+            (self.pos.0 as i32 as u32 as u128) | ((self.pos.1 as i32 as u32 as u128) << 32)
+        }
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.store.insert(id.0, self.pos);
+            Ok(2)
+        }
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.pos = *self.store.get(&id.0).ok_or("missing")?;
+            Ok(())
+        }
+        fn release(&mut self, id: StateId) {
+            self.store.remove(&id.0);
+        }
+    }
+
+    /// The §7 resumability item: an interrupted run's visited set carries
+    /// into the resumed run, which skips known states instead of redoing
+    /// the work.
+    #[test]
+    fn interrupted_run_resumes_without_rework() {
+        let mut visited = VisitedSet::new(1 << 12);
+        let mut sys = Grid {
+            pos: (0, 0),
+            store: HashMap::new(),
+        };
+        // Phase 1: "interrupted" by a small op budget.
+        let phase1 = DfsExplorer::new(ExploreConfig {
+            max_depth: 6,
+            max_ops: 60,
+            ..ExploreConfig::default()
+        })
+        .run_with_visited(&mut sys, &mut visited);
+        assert_eq!(phase1.stop, StopReason::OpBudget);
+        let after_phase1 = visited.len();
+        assert!(after_phase1 > 5);
+
+        // Phase 2: resume (fresh system, same initial state, shared set).
+        let mut sys2 = Grid {
+            pos: (0, 0),
+            store: HashMap::new(),
+        };
+        let phase2 = DfsExplorer::new(ExploreConfig {
+            max_depth: 6,
+            max_ops: 100_000,
+            ..ExploreConfig::default()
+        })
+        .run_with_visited(&mut sys2, &mut visited);
+        assert_eq!(phase2.stop, StopReason::Exhausted);
+        assert!(
+            visited.len() > after_phase1,
+            "phase 2 extends, not repeats, coverage"
+        );
+        // A cold full run discovers the same total state count as the two
+        // resumed phases combined — nothing was lost across the interruption.
+        let mut cold_visited = VisitedSet::new(1 << 12);
+        let mut sys3 = Grid {
+            pos: (0, 0),
+            store: HashMap::new(),
+        };
+        DfsExplorer::new(ExploreConfig {
+            max_depth: 6,
+            max_ops: 100_000,
+            ..ExploreConfig::default()
+        })
+        .run_with_visited(&mut sys3, &mut cold_visited);
+        assert_eq!(cold_visited.len(), visited.len());
+    }
+
+    #[test]
+    fn walk_resumes_with_shared_visited() {
+        let mut visited = VisitedSet::new(1 << 12);
+        let mut sys = Grid {
+            pos: (0, 0),
+            store: HashMap::new(),
+        };
+        let cfg = ExploreConfig {
+            max_depth: 20,
+            max_ops: 500,
+            seed: 9,
+            ..ExploreConfig::default()
+        };
+        let r1 = RandomWalk::new(cfg.clone()).run_resumable(&mut sys, &mut visited, |_| {});
+        let found1 = r1.stats.states_new;
+        let mut sys2 = Grid {
+            pos: (0, 0),
+            store: HashMap::new(),
+        };
+        let r2 = RandomWalk::new(ExploreConfig { seed: 10, ..cfg })
+            .run_resumable(&mut sys2, &mut visited, |_| {});
+        // The resumed run counts only *new* states beyond phase 1.
+        assert_eq!(found1 + r2.stats.states_new, visited.len() as u64);
+    }
+}
+
+#[cfg(test)]
+mod more_explorer_tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    struct MultiBad {
+        value: i64,
+        store: HashMap<u64, i64>,
+    }
+
+    impl ModelSystem for MultiBad {
+        type Op = i64;
+        fn ops(&mut self) -> Vec<i64> {
+            vec![1, 2, 3]
+        }
+        fn apply(&mut self, op: &i64) -> ApplyOutcome {
+            self.value += op;
+            if self.value % 5 == 0 {
+                return ApplyOutcome::Violation(format!("multiple of five: {}", self.value));
+            }
+            if self.value > 12 {
+                return ApplyOutcome::Prune("too big".into());
+            }
+            ApplyOutcome::Ok
+        }
+        fn abstract_state(&mut self) -> u128 {
+            self.value as u128
+        }
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.store.insert(id.0, self.value);
+            Ok(8)
+        }
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.value = *self.store.get(&id.0).ok_or("missing")?;
+            Ok(())
+        }
+        fn release(&mut self, id: StateId) {
+            self.store.remove(&id.0);
+        }
+    }
+
+    #[test]
+    fn collect_mode_gathers_every_violation() {
+        // stop_on_violation = false: the whole bounded space is searched and
+        // every violating transition is recorded.
+        let mut sys = MultiBad {
+            value: 0,
+            store: HashMap::new(),
+        };
+        let report = DfsExplorer::new(ExploreConfig {
+            max_depth: 4,
+            stop_on_violation: false,
+            ..ExploreConfig::default()
+        })
+        .run(&mut sys);
+        assert_eq!(report.stop, StopReason::Exhausted);
+        assert!(
+            report.violations.len() > 3,
+            "multiple distinct violating transitions exist: {}",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            assert!(v.message.contains("multiple of five"));
+            // Each trace sums to a multiple of five.
+            assert_eq!(v.trace.iter().sum::<i64>() % 5, 0, "{:?}", v.trace);
+        }
+    }
+
+    #[test]
+    fn bfs_respects_op_budget() {
+        let mut sys = MultiBad {
+            value: 0,
+            store: HashMap::new(),
+        };
+        let report = BfsExplorer::new(ExploreConfig {
+            max_depth: 10,
+            max_ops: 25,
+            stop_on_violation: false,
+            ..ExploreConfig::default()
+        })
+        .run(&mut sys);
+        assert_eq!(report.stop, StopReason::OpBudget);
+        assert_eq!(report.stats.ops_executed, 25);
+    }
+
+    #[test]
+    fn bfs_and_dfs_agree_on_state_coverage() {
+        let run_dfs = || {
+            let mut sys = MultiBad {
+                value: 0,
+                store: HashMap::new(),
+            };
+            DfsExplorer::new(ExploreConfig {
+                max_depth: 4,
+                stop_on_violation: false,
+                ..ExploreConfig::default()
+            })
+            .run(&mut sys)
+            .stats
+            .states_new
+        };
+        let run_bfs = || {
+            let mut sys = MultiBad {
+                value: 0,
+                store: HashMap::new(),
+            };
+            BfsExplorer::new(ExploreConfig {
+                max_depth: 4,
+                stop_on_violation: false,
+                ..ExploreConfig::default()
+            })
+            .run(&mut sys)
+            .stats
+            .states_new
+        };
+        assert_eq!(run_dfs(), run_bfs(), "both must cover the bounded space");
+    }
+}

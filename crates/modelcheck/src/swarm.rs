@@ -1,0 +1,144 @@
+//! Swarm verification: many diversified searches in parallel.
+//!
+//! SPIN's swarm technique (Holzmann et al.) runs N independent verifications
+//! with different seeds and strategies, optionally sharing nothing — the
+//! paper plans to use it to explore larger state spaces in parallel (§7).
+//! [`run_swarm`] runs one explorer per worker thread over systems produced
+//! by a factory, with a shared stop flag so the first violation cancels the
+//! fleet.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use crate::explore::{ExploreConfig, ExploreReport, RandomWalk, StopReason};
+use crate::system::ModelSystem;
+
+/// Swarm configuration.
+#[derive(Debug, Clone)]
+pub struct SwarmConfig {
+    /// Number of worker searches.
+    pub workers: usize,
+    /// Base exploration config; each worker gets `seed = base.seed + index`
+    /// and a private visited set (classic swarm diversification).
+    pub base: ExploreConfig,
+}
+
+/// Aggregated swarm outcome.
+#[derive(Debug)]
+pub struct SwarmReport<Op> {
+    /// Per-worker reports, indexed by worker.
+    pub workers: Vec<ExploreReport<Op>>,
+}
+
+impl<Op> SwarmReport<Op> {
+    /// Total operations executed across the swarm.
+    pub fn total_ops(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.ops_executed).sum()
+    }
+
+    /// Total distinct states across workers (workers may overlap; swarm
+    /// trades duplicate work for parallelism and diversity).
+    pub fn total_states(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.states_new).sum()
+    }
+
+    /// All violations found by any worker.
+    pub fn violations(&self) -> impl Iterator<Item = &crate::system::Violation<Op>> {
+        self.workers.iter().flat_map(|w| w.violations.iter())
+    }
+
+    /// Whether any worker found a violation.
+    pub fn found_violation(&self) -> bool {
+        self.workers.iter().any(|w| w.stop == StopReason::Violation)
+    }
+}
+
+/// Runs `cfg.workers` randomized searches in parallel over systems produced
+/// by `factory` (one system per worker, seeded by worker index).
+///
+/// The first worker to find a violation raises the shared stop flag; other
+/// workers notice it through their op budgets being re-checked each step —
+/// here, by a wrapper system that reports no further operations.
+pub fn run_swarm<S, F>(cfg: &SwarmConfig, factory: F) -> SwarmReport<S::Op>
+where
+    S: ModelSystem,
+    S::Op: Send + 'static,
+    F: Fn(usize) -> S + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let mut reports: Vec<Option<ExploreReport<S::Op>>> =
+        (0..cfg.workers).map(|_| None).collect();
+
+    crossbeam::thread::scope(|scope| {
+        for (idx, slot) in reports.iter_mut().enumerate() {
+            let stop = &stop;
+            let factory = &factory;
+            let base = cfg.base.clone();
+            scope.spawn(move |_| {
+                let mut worker_cfg = base;
+                worker_cfg.seed = worker_cfg.seed.wrapping_add(idx as u64);
+                let mut sys = Stoppable {
+                    inner: factory(idx),
+                    stop,
+                };
+                let walk = RandomWalk::new(worker_cfg);
+                let report = walk.run(&mut sys);
+                if report.stop == StopReason::Violation {
+                    stop.store(true, Ordering::SeqCst);
+                }
+                *slot = Some(report);
+            });
+        }
+    })
+    .expect("swarm worker panicked");
+
+    SwarmReport {
+        workers: reports
+            .into_iter()
+            .map(|r| r.expect("worker finished"))
+            .collect(),
+    }
+}
+
+/// Wrapper that reports no enabled operations once the shared stop flag is
+/// raised, draining the remaining workers quickly.
+struct Stoppable<'a, S> {
+    inner: S,
+    stop: &'a AtomicBool,
+}
+
+impl<S: ModelSystem> ModelSystem for Stoppable<'_, S> {
+    type Op = S::Op;
+
+    fn ops(&mut self) -> Vec<Self::Op> {
+        if self.stop.load(Ordering::Relaxed) {
+            // No ops and an empty restart set terminates the walk via its
+            // op budget; force it sooner by returning nothing forever.
+            return Vec::new();
+        }
+        self.inner.ops()
+    }
+
+    fn apply(&mut self, op: &Self::Op) -> crate::system::ApplyOutcome {
+        self.inner.apply(op)
+    }
+
+    fn abstract_state(&mut self) -> u128 {
+        self.inner.abstract_state()
+    }
+
+    fn checkpoint(&mut self, id: crate::system::StateId) -> Result<usize, String> {
+        self.inner.checkpoint(id)
+    }
+
+    fn restore(&mut self, id: crate::system::StateId) -> Result<(), String> {
+        self.inner.restore(id)
+    }
+
+    fn release(&mut self, id: crate::system::StateId) {
+        self.inner.release(id)
+    }
+
+    fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        self.inner.independent(a, b)
+    }
+}

@@ -1,0 +1,129 @@
+//! The model-system interface: what a system under test must provide.
+
+use std::fmt;
+
+/// Identifier for a stored concrete state in the system's state store.
+///
+/// The explorer allocates these; the system maps them to whatever its
+/// checkpoint mechanism stores (device images, VeriFS snapshot-pool keys,
+/// process images…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StateId(pub u64);
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "s{}", self.0)
+    }
+}
+
+/// Result of applying one operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ApplyOutcome {
+    /// The operation executed (successfully or with an expected error);
+    /// exploration continues through the resulting state.
+    Ok,
+    /// The operation could not be issued in this state (e.g. capability
+    /// missing); the branch is pruned without counting a new state.
+    Prune(String),
+    /// The integrity check failed: the system misbehaved. Exploration
+    /// records the trace and (by default) stops.
+    Violation(String),
+}
+
+/// A system explorable by the checker.
+///
+/// This is the contract SPIN's `c_track`-embedded C code fulfills in the
+/// paper: nondeterministic operations ([`ops`](ModelSystem::ops) +
+/// [`apply`](ModelSystem::apply)), an *abstract* state used for
+/// visited-state matching ([`abstract_state`](ModelSystem::abstract_state) —
+/// the matched `c_track` buffer), and *concrete* checkpoint/restore used for
+/// backtracking (the unmatched buffers).
+pub trait ModelSystem {
+    /// One nondeterministic operation.
+    type Op: Clone + PartialEq + fmt::Debug + Send;
+
+    /// Operations enabled in the current state (the `do ... od` entries).
+    fn ops(&mut self) -> Vec<Self::Op>;
+
+    /// Executes `op` against the live system.
+    fn apply(&mut self, op: &Self::Op) -> ApplyOutcome;
+
+    /// The abstract-state fingerprint of the current state (Algorithm 1's
+    /// MD5 in MCFS). Two states with equal fingerprints are treated as the
+    /// same state and not re-explored.
+    fn abstract_state(&mut self) -> u128;
+
+    /// Saves the current concrete state under `id`, returning its
+    /// approximate size in bytes (the memory model charges it).
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the checkpoint failed (treated as fatal).
+    fn checkpoint(&mut self, id: StateId) -> Result<usize, String>;
+
+    /// Restores the concrete state stored under `id` (which stays stored —
+    /// DFS re-enters a parent once per branch).
+    ///
+    /// # Errors
+    ///
+    /// A message describing why the restore failed (treated as fatal).
+    fn restore(&mut self, id: StateId) -> Result<(), String>;
+
+    /// Drops the state stored under `id`.
+    fn release(&mut self, id: StateId);
+
+    /// Whether two operations commute (their executions from any state reach
+    /// the same state in either order). Used by partial-order reduction;
+    /// the conservative default disables reduction.
+    fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
+        let _ = (a, b);
+        false
+    }
+}
+
+/// A recorded property violation with its reproduction trace.
+#[derive(Debug, Clone)]
+pub struct Violation<Op> {
+    /// The operations from the initial state to the misbehaving one,
+    /// inclusive of the final (violating) operation.
+    pub trace: Vec<Op>,
+    /// Human-readable description from the integrity check.
+    pub message: String,
+    /// Operations executed before detection (the paper reports
+    /// ops-to-detection for each bug found).
+    pub ops_executed: u64,
+}
+
+impl<Op: fmt::Debug> fmt::Display for Violation<Op> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "violation after {} ops: {}", self.ops_executed, self.message)?;
+        writeln!(f, "trace ({} ops):", self.trace.len())?;
+        for (i, op) in self.trace.iter().enumerate() {
+            writeln!(f, "  {:>3}. {op:?}", i + 1)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_id_display() {
+        assert_eq!(StateId(7).to_string(), "s7");
+    }
+
+    #[test]
+    fn violation_display_includes_trace() {
+        let v = Violation {
+            trace: vec!["mkdir", "rmdir"],
+            message: "hash mismatch".into(),
+            ops_executed: 42,
+        };
+        let s = v.to_string();
+        assert!(s.contains("42 ops"));
+        assert!(s.contains("mkdir"));
+        assert!(s.contains("hash mismatch"));
+    }
+}

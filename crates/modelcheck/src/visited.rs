@@ -1,0 +1,225 @@
+//! The visited-state set, with hash-table resize modelling.
+//!
+//! Fig. 3 of the paper shows MCFS's rate collapsing around day 3 "because
+//! Spin was resizing its hash table of visited states". The visited set here
+//! reports resize events (with a modelled cost proportional to the rehashed
+//! entry count) so the reproduction exhibits the same dynamics.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A hash-table resize event, reported when an insert crosses the capacity
+/// threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResizeEvent {
+    /// Entries rehashed.
+    pub entries: u64,
+    /// Modelled cost in virtual nanoseconds (rehash + the memory spike of
+    /// holding the old and new tables simultaneously).
+    pub cost_ns: u64,
+    /// Transient extra bytes while both tables exist.
+    pub transient_bytes: u64,
+}
+
+/// Bytes accounted per stored fingerprint (16-byte hash + table overhead).
+pub const BYTES_PER_ENTRY: u64 = 48;
+
+/// Per-entry rehash cost in virtual nanoseconds. Rehashing a table that no
+/// longer fits RAM is page-fault dominated (the Fig. 3 "resize dip"), so
+/// this models a faulting rehash, not an in-cache one.
+const REHASH_NS_PER_ENTRY: u64 = 40_000;
+
+/// How an insert related to the existing table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Visit {
+    /// First time this state is seen.
+    New,
+    /// Seen before, but now reached at a strictly shallower depth — a
+    /// depth-bounded search must re-expand it or it will miss successors
+    /// (SPIN re-explores in exactly this case).
+    Shallower,
+    /// Seen before at an equal or shallower depth: prune.
+    Matched,
+}
+
+/// The explorer's visited-state set over 128-bit abstract fingerprints,
+/// remembering the shallowest depth each state was reached at.
+#[derive(Debug)]
+pub struct VisitedSet {
+    set: HashMap<u128, u32>,
+    threshold: usize,
+    resizes: u32,
+}
+
+impl VisitedSet {
+    /// Creates a set whose first modelled resize happens at
+    /// `initial_capacity` entries.
+    pub fn new(initial_capacity: usize) -> Self {
+        VisitedSet {
+            set: HashMap::new(),
+            threshold: initial_capacity.max(2),
+            resizes: 0,
+        }
+    }
+
+    /// Inserts a fingerprint at depth 0. Returns `(is_new, resize)` —
+    /// `is_new` is false when the state was already visited; `resize`
+    /// reports a modelled hash-table resize triggered by this insert.
+    pub fn insert(&mut self, h: u128) -> (bool, Option<ResizeEvent>) {
+        let (visit, resize) = self.insert_at(h, 0);
+        (visit == Visit::New, resize)
+    }
+
+    /// Inserts a fingerprint reached at `depth`, classifying the visit (see
+    /// [`Visit`]). Depth-bounded searches expand on `New` *and*
+    /// `Shallower`.
+    pub fn insert_at(&mut self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
+        let visit = match self.set.get(&h) {
+            None => {
+                self.set.insert(h, depth);
+                Visit::New
+            }
+            Some(&prev) if depth < prev => {
+                self.set.insert(h, depth);
+                Visit::Shallower
+            }
+            Some(_) => Visit::Matched,
+        };
+        let mut resize = None;
+        if visit == Visit::New && self.set.len() >= self.threshold {
+            let entries = self.set.len() as u64;
+            resize = Some(ResizeEvent {
+                entries,
+                cost_ns: entries * REHASH_NS_PER_ENTRY,
+                transient_bytes: entries * BYTES_PER_ENTRY,
+            });
+            self.threshold *= 2;
+            self.resizes += 1;
+        }
+        (visit, resize)
+    }
+
+    /// Whether `h` has been visited.
+    pub fn contains(&self, h: u128) -> bool {
+        self.set.contains_key(&h)
+    }
+
+    /// Number of distinct states visited.
+    pub fn len(&self) -> usize {
+        self.set.len()
+    }
+
+    /// Whether no state has been visited.
+    pub fn is_empty(&self) -> bool {
+        self.set.is_empty()
+    }
+
+    /// Number of modelled resizes so far.
+    pub fn resizes(&self) -> u32 {
+        self.resizes
+    }
+
+    /// Bytes held by the table (per the model).
+    pub fn bytes(&self) -> u64 {
+        self.set.len() as u64 * BYTES_PER_ENTRY
+    }
+}
+
+impl Default for VisitedSet {
+    fn default() -> Self {
+        VisitedSet::new(1 << 16)
+    }
+}
+
+/// A visited set shareable across swarm workers.
+///
+/// Cloning shares the underlying table. Swarm verification can run with a
+/// shared set (workers avoid each other's states) or give each worker its
+/// own ([`crate::run_swarm`] uses private sets for classic diversification).
+#[derive(Debug, Clone, Default)]
+pub struct SharedVisited {
+    inner: Arc<Mutex<VisitedSet>>,
+}
+
+impl SharedVisited {
+    /// Creates an empty shared set.
+    pub fn new(initial_capacity: usize) -> Self {
+        SharedVisited {
+            inner: Arc::new(Mutex::new(VisitedSet::new(initial_capacity))),
+        }
+    }
+
+    /// Inserts a fingerprint (see [`VisitedSet::insert`]).
+    pub fn insert(&self, h: u128) -> (bool, Option<ResizeEvent>) {
+        self.inner.lock().insert(h)
+    }
+
+    /// Number of distinct states.
+    pub fn len(&self) -> usize {
+        self.inner.lock().len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.lock().is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_counts() {
+        let mut v = VisitedSet::new(1024);
+        assert!(v.insert(1).0);
+        assert!(v.insert(2).0);
+        assert!(!v.insert(1).0);
+        assert_eq!(v.len(), 2);
+        assert!(v.contains(2));
+        assert!(!v.contains(3));
+        assert_eq!(v.bytes(), 2 * BYTES_PER_ENTRY);
+    }
+
+    #[test]
+    fn resize_fires_at_threshold_and_doubles() {
+        let mut v = VisitedSet::new(4);
+        let mut events = Vec::new();
+        for i in 0..20u128 {
+            if let (_, Some(e)) = v.insert(i) {
+                events.push(e);
+            }
+        }
+        // Thresholds: 4, 8, 16 → three resizes within 20 inserts.
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].entries, 4);
+        assert_eq!(events[1].entries, 8);
+        assert_eq!(events[2].entries, 16);
+        assert!(events[2].cost_ns > events[0].cost_ns);
+        assert_eq!(v.resizes(), 3);
+    }
+
+    #[test]
+    fn duplicate_insert_never_resizes() {
+        let mut v = VisitedSet::new(2);
+        v.insert(1);
+        v.insert(2); // resize here
+        let before = v.resizes();
+        for _ in 0..10 {
+            assert_eq!(v.insert(1), (false, None));
+        }
+        assert_eq!(v.resizes(), before);
+    }
+
+    #[test]
+    fn shared_set_is_shared() {
+        let a = SharedVisited::new(64);
+        let b = a.clone();
+        assert!(a.insert(9).0);
+        assert!(!b.insert(9).0);
+        assert_eq!(b.len(), 1);
+        assert!(!a.is_empty());
+    }
+}

@@ -1,0 +1,80 @@
+//! The four historical VeriFS bugs (paper §6), reintroducible for the
+//! bug-detection experiments.
+
+/// Selects which of the paper's historical bugs are active.
+///
+/// Each flag re-enables the *original faulty code path*; with everything off
+/// (the default) VeriFS behaves correctly.
+///
+/// # Examples
+///
+/// ```
+/// use verifs::{BugConfig, VeriFs};
+///
+/// // A VeriFS1 with its original truncate bug, as when MCFS first ran.
+/// let fs = VeriFs::v1_with_bugs(BugConfig {
+///     v1_truncate_no_zero: true,
+///     ..BugConfig::default()
+/// });
+/// # let _ = fs;
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BugConfig {
+    /// Paper bug 1 (found after ~9 K operations, VeriFS1 vs Ext4): `truncate`
+    /// failed to clear newly allocated space when expanding a file, exposing
+    /// stale buffer contents.
+    pub v1_truncate_no_zero: bool,
+    /// Paper bug 2 (found after ~12 K operations, VeriFS1 vs Ext4): after a
+    /// state rollback the kernel's inode and dentry caches were not
+    /// invalidated, so the kernel saw entries from the discarded future. The
+    /// fix was calling `fuse_lowlevel_notify_inval_entry` /
+    /// `fuse_lowlevel_notify_inval_inode`; this flag suppresses those calls.
+    pub v1_skip_invalidation: bool,
+    /// Paper bug 3 (found after ~900 K operations, VeriFS2 vs VeriFS1):
+    /// `write` failed to zero the file buffer when the write created a hole
+    /// past EOF.
+    pub v2_hole_no_zero: bool,
+    /// Paper bug 4 (found after ~1.2 M operations, VeriFS2 vs VeriFS1):
+    /// `write` updated the file size only when the file grew beyond its
+    /// buffer capacity, not whenever it was appended to.
+    pub v2_size_only_on_capacity_growth: bool,
+}
+
+impl BugConfig {
+    /// No bugs — correct behaviour.
+    pub fn none() -> Self {
+        BugConfig::default()
+    }
+
+    /// Whether any bug is enabled.
+    pub fn any(self) -> bool {
+        self.v1_truncate_no_zero
+            || self.v1_skip_invalidation
+            || self.v2_hole_no_zero
+            || self.v2_size_only_on_capacity_growth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_no_bugs() {
+        assert!(!BugConfig::default().any());
+        assert_eq!(BugConfig::none(), BugConfig::default());
+    }
+
+    #[test]
+    fn any_detects_each_flag() {
+        for i in 0..4 {
+            let cfg = BugConfig {
+                v1_truncate_no_zero: i == 0,
+                v1_skip_invalidation: i == 1,
+                v2_hole_no_zero: i == 2,
+                v2_size_only_on_capacity_growth: i == 3,
+            };
+            assert!(cfg.any(), "flag {i}");
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! VeriFS — the RAM-based FUSE file system from the MCFS paper (§5), in two
+//! versions, with the paper's proposed checkpoint/restore API.
+//!
+//! * **VeriFS1** ([`VeriFs::v1`]) is the initial prototype: a fixed-length
+//!   inode array with one contiguous memory buffer per file, a limited
+//!   operation set (no `access`, `rename`, symbolic or hard links, or
+//!   extended attributes), and no bound on stored data.
+//! * **VeriFS2** ([`VeriFs::v2`]) adds the missing features plus a data
+//!   budget (`ENOSPC`).
+//!
+//! Both expose [`vfs::FsCheckpoint`]: `checkpoint(key)` copies the full
+//! in-memory state into a snapshot pool; `restore(key)` brings it back and
+//! notifies the kernel to invalidate its caches (via
+//! [`vfs::InvalidationSink`]), exactly the `ioctl_CHECKPOINT` /
+//! `ioctl_RESTORE` design the paper proposes.
+//!
+//! # Reintroduced bugs
+//!
+//! [`BugConfig`] re-enables the four bugs MCFS historically found while
+//! VeriFS was being developed (paper §6), in the real code paths, so the
+//! reproduction can measure ops-to-detection:
+//!
+//! 1. `v1_truncate_no_zero` — expanding `truncate` exposes stale bytes.
+//! 2. `v1_skip_invalidation` — `restore` forgets to invalidate kernel caches.
+//! 3. `v2_hole_no_zero` — a `write` past EOF leaves the hole unzeroed.
+//! 4. `v2_size_only_on_capacity_growth` — appends update the size field only
+//!    when the buffer had to grow.
+//!
+//! # Examples
+//!
+//! ```
+//! use verifs::VeriFs;
+//! use vfs::{FileSystem, FsCheckpoint, FileMode};
+//!
+//! # fn main() -> vfs::VfsResult<()> {
+//! let mut fs = VeriFs::v2();
+//! fs.mount()?;
+//! let fd = fs.create("/f", FileMode::REG_DEFAULT)?;
+//! fs.write(fd, b"hello")?;
+//! fs.close(fd)?;
+//!
+//! fs.checkpoint(1)?;          // ioctl_CHECKPOINT
+//! fs.unlink("/f")?;
+//! fs.restore(1)?;             // ioctl_RESTORE: state (and /f) is back
+//! assert_eq!(fs.stat("/f")?.size, 5);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bugs;
+mod ramfs;
+
+pub use bugs::BugConfig;
+pub use ramfs::{VeriFs, VeriFsConfig, DEFAULT_DATA_BUDGET, DEFAULT_MAX_INODES};

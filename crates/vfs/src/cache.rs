@@ -1,0 +1,366 @@
+//! Kernel-style caches: dentry, attribute (inode), and page caches.
+//!
+//! These are the in-memory structures that make §3.2's cache-incoherency
+//! problem *real* in this reproduction: when the model checker restores a
+//! device image underneath a mounted file system, entries here keep
+//! describing the pre-restore world. An unmount drops them (the paper's
+//! workaround); VeriFS instead invalidates them through
+//! [`crate::InvalidationSink`].
+
+use std::collections::HashMap;
+
+use crate::types::{FileStat, Ino};
+
+/// Hit/miss/invalidations counters shared by all cache types.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through.
+    pub misses: u64,
+    /// Entries dropped by invalidation.
+    pub invalidations: u64,
+}
+
+/// A directory-entry cache with negative caching.
+///
+/// Maps `(parent inode, name)` to `Some(child)` or `None` — the *negative
+/// dentry* meaning "known not to exist". Stale negative dentries are what
+/// made VeriFS claim a directory existed when it did not (paper §6, bug 2 is
+/// the mirror image: a stale *positive* dentry after rollback).
+#[derive(Debug, Clone, Default)]
+pub struct DentryCache {
+    map: HashMap<(Ino, String), Option<Ino>>,
+    stats: CacheStats,
+}
+
+impl DentryCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        DentryCache::default()
+    }
+
+    /// Records that `name` under `parent` resolves to `child` (or is known
+    /// absent, with `None`).
+    pub fn insert(&mut self, parent: Ino, name: &str, child: Option<Ino>) {
+        self.map.insert((parent, name.to_string()), child);
+    }
+
+    /// Looks up `name` under `parent`. The outer `Option` is cache presence;
+    /// the inner is the (possibly negative) resolution.
+    pub fn lookup(&mut self, parent: Ino, name: &str) -> Option<Option<Ino>> {
+        // Borrow-friendly key without allocating on the hot path would need
+        // a raw-entry API; a temporary String is fine at simulation scale.
+        let res = self.map.get(&(parent, name.to_string())).copied();
+        match res {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        res
+    }
+
+    /// Drops the entry for `name` under `parent`
+    /// (`fuse_lowlevel_notify_inval_entry` analogue).
+    pub fn invalidate_entry(&mut self, parent: Ino, name: &str) {
+        if self.map.remove(&(parent, name.to_string())).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops every entry that mentions `ino` as parent or child.
+    pub fn invalidate_ino(&mut self, ino: Ino) {
+        let before = self.map.len();
+        self.map
+            .retain(|(parent, _), child| *parent != ino && *child != Some(ino));
+        self.stats.invalidations += (before - self.map.len()) as u64;
+    }
+
+    /// Drops everything (unmount / `invalidate_all`).
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    /// Number of cached (positive + negative) entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// An attribute (stat) cache keyed by inode.
+#[derive(Debug, Clone, Default)]
+pub struct AttrCache {
+    map: HashMap<Ino, FileStat>,
+    stats: CacheStats,
+}
+
+impl AttrCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        AttrCache::default()
+    }
+
+    /// Caches `stat` for its inode.
+    pub fn insert(&mut self, stat: FileStat) {
+        self.map.insert(stat.ino, stat);
+    }
+
+    /// Looks up cached attributes.
+    pub fn lookup(&mut self, ino: Ino) -> Option<FileStat> {
+        let res = self.map.get(&ino).copied();
+        match res {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        res
+    }
+
+    /// Drops the entry for `ino` (`notify_inval_inode` analogue).
+    pub fn invalidate(&mut self, ino: Ino) {
+        if self.map.remove(&ino).is_some() {
+            self.stats.invalidations += 1;
+        }
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.map.len() as u64;
+        self.map.clear();
+    }
+
+    /// Number of cached attribute entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+/// One cached page.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Page {
+    /// Page contents (always exactly the cache's page size).
+    pub data: Vec<u8>,
+    /// Whether the page has unwritten modifications.
+    pub dirty: bool,
+}
+
+/// A write-back page cache keyed by `(inode, page index)`.
+///
+/// File systems read whole pages through the cache and mark written pages
+/// dirty; `sync` walks the dirty pages back to the device. Because dirty
+/// pages can describe a *newer* world than the device — or, after an external
+/// device restore, an *older* one — this cache is the second ingredient of
+/// §3.2's incoherency.
+#[derive(Debug, Clone)]
+pub struct PageCache {
+    page_size: usize,
+    pages: HashMap<(Ino, u64), Page>,
+    stats: CacheStats,
+}
+
+impl PageCache {
+    /// Creates a cache of `page_size`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is zero.
+    pub fn new(page_size: usize) -> Self {
+        assert!(page_size > 0, "page size must be nonzero");
+        PageCache {
+            page_size,
+            pages: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The configured page size.
+    pub fn page_size(&self) -> usize {
+        self.page_size
+    }
+
+    /// Looks up a page.
+    pub fn get(&mut self, ino: Ino, page: u64) -> Option<&Page> {
+        let res = self.pages.get(&(ino, page));
+        match res {
+            Some(_) => self.stats.hits += 1,
+            None => self.stats.misses += 1,
+        }
+        res
+    }
+
+    /// Inserts a clean page (e.g. just read from the device).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` differs from the page size.
+    pub fn fill(&mut self, ino: Ino, page: u64, data: Vec<u8>) {
+        assert_eq!(data.len(), self.page_size, "page size mismatch");
+        self.pages.insert((ino, page), Page { data, dirty: false });
+    }
+
+    /// Writes `data` into a page at `offset`, marking it dirty. The page must
+    /// already be present (read-modify-write discipline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the page is absent or the write exceeds the page.
+    pub fn write(&mut self, ino: Ino, page: u64, offset: usize, data: &[u8]) {
+        let p = self
+            .pages
+            .get_mut(&(ino, page))
+            .expect("write to a page that was never filled");
+        assert!(offset + data.len() <= self.page_size, "write exceeds page");
+        p.data[offset..offset + data.len()].copy_from_slice(data);
+        p.dirty = true;
+    }
+
+    /// Iterates over dirty pages as `(ino, page index, contents)`.
+    pub fn dirty_pages(&self) -> impl Iterator<Item = (Ino, u64, &[u8])> {
+        self.pages
+            .iter()
+            .filter(|(_, p)| p.dirty)
+            .map(|((ino, idx), p)| (*ino, *idx, p.data.as_slice()))
+    }
+
+    /// Marks every page clean (after a successful writeback).
+    pub fn mark_all_clean(&mut self) {
+        for p in self.pages.values_mut() {
+            p.dirty = false;
+        }
+    }
+
+    /// Number of dirty pages.
+    pub fn dirty_count(&self) -> usize {
+        self.pages.values().filter(|p| p.dirty).count()
+    }
+
+    /// Drops all pages of `ino`.
+    pub fn invalidate_ino(&mut self, ino: Ino) {
+        let before = self.pages.len();
+        self.pages.retain(|(i, _), _| *i != ino);
+        self.stats.invalidations += (before - self.pages.len()) as u64;
+    }
+
+    /// Drops everything.
+    pub fn clear(&mut self) {
+        self.stats.invalidations += self.pages.len() as u64;
+        self.pages.clear();
+    }
+
+    /// Number of resident pages.
+    pub fn len(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pages.is_empty()
+    }
+
+    /// Total bytes held by resident pages.
+    pub fn resident_bytes(&self) -> usize {
+        self.pages.len() * self.page_size
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::FileType;
+
+    #[test]
+    fn dentry_positive_negative_and_invalidation() {
+        let mut dc = DentryCache::new();
+        dc.insert(Ino::ROOT, "a", Some(Ino(5)));
+        dc.insert(Ino::ROOT, "gone", None);
+        assert_eq!(dc.lookup(Ino::ROOT, "a"), Some(Some(Ino(5))));
+        assert_eq!(dc.lookup(Ino::ROOT, "gone"), Some(None));
+        assert_eq!(dc.lookup(Ino::ROOT, "other"), None);
+        assert_eq!(dc.stats().hits, 2);
+        assert_eq!(dc.stats().misses, 1);
+        dc.invalidate_entry(Ino::ROOT, "a");
+        assert_eq!(dc.lookup(Ino::ROOT, "a"), None);
+    }
+
+    #[test]
+    fn dentry_invalidate_ino_drops_both_directions() {
+        let mut dc = DentryCache::new();
+        dc.insert(Ino(2), "x", Some(Ino(3)));
+        dc.insert(Ino(3), "y", Some(Ino(4)));
+        dc.insert(Ino(5), "z", Some(Ino(6)));
+        dc.invalidate_ino(Ino(3));
+        assert_eq!(dc.len(), 1);
+        assert_eq!(dc.lookup(Ino(5), "z"), Some(Some(Ino(6))));
+    }
+
+    #[test]
+    fn attr_cache_roundtrip() {
+        let mut ac = AttrCache::new();
+        let mut st = FileStat::zeroed(Ino(9), FileType::Regular);
+        st.size = 42;
+        ac.insert(st);
+        assert_eq!(ac.lookup(Ino(9)).unwrap().size, 42);
+        ac.invalidate(Ino(9));
+        assert_eq!(ac.lookup(Ino(9)), None);
+        assert_eq!(ac.stats().invalidations, 1);
+    }
+
+    #[test]
+    fn page_cache_write_back_discipline() {
+        let mut pc = PageCache::new(8);
+        pc.fill(Ino(1), 0, vec![0; 8]);
+        pc.fill(Ino(1), 1, vec![0; 8]);
+        pc.write(Ino(1), 0, 2, b"hi");
+        assert_eq!(pc.dirty_count(), 1);
+        let dirty: Vec<_> = pc.dirty_pages().collect();
+        assert_eq!(dirty.len(), 1);
+        assert_eq!(&dirty[0].2[2..4], b"hi");
+        pc.mark_all_clean();
+        assert_eq!(pc.dirty_count(), 0);
+    }
+
+    #[test]
+    fn page_cache_invalidate_and_accounting() {
+        let mut pc = PageCache::new(4);
+        pc.fill(Ino(1), 0, vec![1; 4]);
+        pc.fill(Ino(2), 0, vec![2; 4]);
+        assert_eq!(pc.resident_bytes(), 8);
+        pc.invalidate_ino(Ino(1));
+        assert_eq!(pc.len(), 1);
+        assert!(pc.get(Ino(1), 0).is_none());
+        assert!(pc.get(Ino(2), 0).is_some());
+        pc.clear();
+        assert!(pc.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "never filled")]
+    fn page_write_requires_fill() {
+        let mut pc = PageCache::new(4);
+        pc.write(Ino(1), 0, 0, b"x");
+    }
+}

@@ -1,0 +1,173 @@
+//! POSIX error-number model.
+//!
+//! MCFS's integrity checks compare error codes across file systems after every
+//! operation, so the whole reproduction shares one errno vocabulary.
+
+use std::error::Error;
+use std::fmt;
+
+/// POSIX error numbers used across the simulated file systems.
+///
+/// The numeric values match Linux's on x86-64, which keeps discrepancy reports
+/// familiar to file-system developers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(i32)]
+#[non_exhaustive]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// I/O error.
+    EIO = 5,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Permission denied.
+    EACCES = 13,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Cross-device link.
+    EXDEV = 18,
+    /// No such device.
+    ENODEV = 19,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files in system.
+    ENFILE = 23,
+    /// Too many open files.
+    EMFILE = 24,
+    /// File too large.
+    EFBIG = 27,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Read-only file system.
+    EROFS = 30,
+    /// Too many links.
+    EMLINK = 31,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Directory not empty.
+    ENOTEMPTY = 39,
+    /// Too many levels of symbolic links.
+    ELOOP = 40,
+    /// No data available (missing xattr; ENOATTR alias on Linux).
+    ENODATA = 61,
+    /// Value too large for defined data type.
+    EOVERFLOW = 75,
+    /// Quota exceeded.
+    EDQUOT = 122,
+}
+
+impl Errno {
+    /// The conventional symbolic name (e.g. `"ENOENT"`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::EACCES => "EACCES",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::EXDEV => "EXDEV",
+            Errno::ENODEV => "ENODEV",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::ENFILE => "ENFILE",
+            Errno::EMFILE => "EMFILE",
+            Errno::EFBIG => "EFBIG",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::EROFS => "EROFS",
+            Errno::EMLINK => "EMLINK",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ENOTEMPTY => "ENOTEMPTY",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::EOVERFLOW => "EOVERFLOW",
+            Errno::EDQUOT => "EDQUOT",
+        }
+    }
+
+    /// A short human-readable message, in the style of `strerror(3)`.
+    pub fn strerror(self) -> &'static str {
+        match self {
+            Errno::EPERM => "operation not permitted",
+            Errno::ENOENT => "no such file or directory",
+            Errno::EIO => "input/output error",
+            Errno::EBADF => "bad file descriptor",
+            Errno::EACCES => "permission denied",
+            Errno::EBUSY => "device or resource busy",
+            Errno::EEXIST => "file exists",
+            Errno::EXDEV => "invalid cross-device link",
+            Errno::ENODEV => "no such device",
+            Errno::ENOTDIR => "not a directory",
+            Errno::EISDIR => "is a directory",
+            Errno::EINVAL => "invalid argument",
+            Errno::ENFILE => "too many open files in system",
+            Errno::EMFILE => "too many open files",
+            Errno::EFBIG => "file too large",
+            Errno::ENOSPC => "no space left on device",
+            Errno::EROFS => "read-only file system",
+            Errno::EMLINK => "too many links",
+            Errno::ENAMETOOLONG => "file name too long",
+            Errno::ENOSYS => "function not implemented",
+            Errno::ENOTEMPTY => "directory not empty",
+            Errno::ELOOP => "too many levels of symbolic links",
+            Errno::ENODATA => "no data available",
+            Errno::EOVERFLOW => "value too large for defined data type",
+            Errno::EDQUOT => "disk quota exceeded",
+        }
+    }
+
+    /// The numeric errno value (Linux x86-64 numbering).
+    pub fn code(self) -> i32 {
+        self as i32
+    }
+}
+
+impl fmt::Display for Errno {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name(), self.strerror())
+    }
+}
+
+impl Error for Errno {}
+
+/// Result alias used by every VFS operation.
+pub type VfsResult<T> = Result<T, Errno>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_match_linux() {
+        assert_eq!(Errno::ENOENT.code(), 2);
+        assert_eq!(Errno::EEXIST.code(), 17);
+        assert_eq!(Errno::ENOTEMPTY.code(), 39);
+        assert_eq!(Errno::EDQUOT.code(), 122);
+    }
+
+    #[test]
+    fn display_contains_name_and_description() {
+        let s = Errno::ENOSPC.to_string();
+        assert!(s.contains("ENOSPC"));
+        assert!(s.contains("no space left"));
+    }
+
+    #[test]
+    fn ordering_follows_codes() {
+        assert!(Errno::EPERM < Errno::ENOENT);
+        assert!(Errno::ENODATA < Errno::EDQUOT);
+    }
+}

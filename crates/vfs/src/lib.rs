@@ -1,0 +1,49 @@
+//! POSIX-like virtual-file-system abstraction for the MCFS reproduction.
+//!
+//! This crate is the substrate every simulated file system implements and the
+//! surface MCFS drives:
+//!
+//! * [`FileSystem`] — the POSIX operation set (open/read/write/…,
+//!   mount/unmount, statfs, optional rename/link/symlink/xattr/access);
+//! * [`FsCheckpoint`] — the paper's proposed state checkpoint/restore API
+//!   (VeriFS's `ioctl_CHECKPOINT` / `ioctl_RESTORE`);
+//! * [`InvalidationSink`] — the `fuse_lowlevel_notify_inval_*` analogue that
+//!   lets a file system invalidate kernel caches after restoring state;
+//! * [`Errno`] — the shared error vocabulary MCFS's integrity checks compare;
+//! * [`cache`] — dentry/attr/page caches that make the paper's
+//!   cache-incoherency challenge (§3.2) mechanically real;
+//! * [`path`] — path validation and manipulation;
+//! * [`FdTable`] — a generic descriptor table.
+//!
+//! # Examples
+//!
+//! Implementations live in the `verifs`, `fs-ext`, `fs-xfs`, and `fs-jffs2`
+//! crates; a typical interaction looks like:
+//!
+//! ```no_run
+//! use vfs::{FileSystem, FileMode};
+//!
+//! # fn demo(fs: &mut dyn FileSystem) -> vfs::VfsResult<()> {
+//! fs.mount()?;
+//! let fd = fs.create("/hello", FileMode::REG_DEFAULT)?;
+//! fs.write(fd, b"world")?;
+//! fs.close(fd)?;
+//! assert_eq!(fs.stat("/hello")?.size, 5);
+//! fs.unmount()?;
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod cache;
+mod errno;
+mod fdtable;
+mod fs;
+pub mod path;
+mod types;
+
+pub use errno::{Errno, VfsResult};
+pub use fdtable::{FdTable, DEFAULT_MAX_FDS};
+pub use fs::{DeviceBacked, FileSystem, FsCapabilities, FsCheckpoint, InvalidationSink};
+pub use types::{
+    AccessMode, DirEntry, Fd, FileMode, FileStat, FileType, Ino, OpenFlags, StatFs, XattrFlags,
+};

@@ -1,0 +1,417 @@
+//! Common on-the-wire types: stat, dirent, statfs, open flags, modes.
+
+use std::fmt;
+
+/// Inode number newtype.
+///
+/// `Ino(1)` is the root directory on every file system in this workspace,
+/// mirroring common Unix convention (ext2's root is inode 2; we normalize to 1
+/// in the VFS to keep cross-file-system comparisons simple).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Ino(pub u64);
+
+impl Ino {
+    /// The root directory inode number.
+    pub const ROOT: Ino = Ino(1);
+}
+
+impl fmt::Display for Ino {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// File descriptor newtype returned by `open`/`create`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Fd(pub u32);
+
+impl fmt::Display for Fd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fd{}", self.0)
+    }
+}
+
+/// The type of a file-system object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FileType {
+    /// Regular file.
+    Regular,
+    /// Directory.
+    Directory,
+    /// Symbolic link.
+    Symlink,
+}
+
+impl FileType {
+    /// One-character rendering used in listings (`-`, `d`, `l`).
+    pub fn as_char(self) -> char {
+        match self {
+            FileType::Regular => '-',
+            FileType::Directory => 'd',
+            FileType::Symlink => 'l',
+        }
+    }
+}
+
+impl fmt::Display for FileType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FileType::Regular => "regular file",
+            FileType::Directory => "directory",
+            FileType::Symlink => "symbolic link",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Permission bits (the low 12 bits of `st_mode`: `rwxrwxrwx` plus
+/// setuid/setgid/sticky).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FileMode(pub u16);
+
+impl FileMode {
+    /// `0o644` — the usual default for regular files.
+    pub const REG_DEFAULT: FileMode = FileMode(0o644);
+    /// `0o755` — the usual default for directories.
+    pub const DIR_DEFAULT: FileMode = FileMode(0o755);
+    /// Mask of meaningful bits.
+    pub const MASK: u16 = 0o7777;
+
+    /// Creates a mode, truncating to the meaningful 12 bits.
+    pub fn new(bits: u16) -> Self {
+        FileMode(bits & Self::MASK)
+    }
+
+    /// The raw bits.
+    pub fn bits(self) -> u16 {
+        self.0
+    }
+
+    /// Whether the owner-execute bit is set (used by `access(X_OK)`).
+    pub fn owner_exec(self) -> bool {
+        self.0 & 0o100 != 0
+    }
+
+    /// Whether the owner-write bit is set.
+    pub fn owner_write(self) -> bool {
+        self.0 & 0o200 != 0
+    }
+
+    /// Whether the owner-read bit is set.
+    pub fn owner_read(self) -> bool {
+        self.0 & 0o400 != 0
+    }
+}
+
+impl Default for FileMode {
+    fn default() -> Self {
+        FileMode::REG_DEFAULT
+    }
+}
+
+impl fmt::Display for FileMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:04o}", self.0)
+    }
+}
+
+/// `stat(2)` result.
+///
+/// Times are in nanoseconds of the harness's virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FileStat {
+    /// Inode number.
+    pub ino: Ino,
+    /// Object type.
+    pub ftype: FileType,
+    /// Permission bits.
+    pub mode: FileMode,
+    /// Hard-link count.
+    pub nlink: u32,
+    /// Owner user id.
+    pub uid: u32,
+    /// Owner group id.
+    pub gid: u32,
+    /// Size in bytes. For directories this is implementation defined (ext
+    /// reports block multiples; xfs and VeriFS report entry-based sizes) —
+    /// which is exactly why MCFS's abstraction function ignores it.
+    pub size: u64,
+    /// Number of 512-byte blocks allocated.
+    pub blocks: u64,
+    /// Last access time (virtual ns).
+    pub atime: u64,
+    /// Last modification time (virtual ns).
+    pub mtime: u64,
+    /// Last status change time (virtual ns).
+    pub ctime: u64,
+}
+
+impl FileStat {
+    /// A zeroed stat for `ino` with the given type — convenient seed value
+    /// for file systems building up the result.
+    pub fn zeroed(ino: Ino, ftype: FileType) -> Self {
+        FileStat {
+            ino,
+            ftype,
+            mode: FileMode::new(0),
+            nlink: 0,
+            uid: 0,
+            gid: 0,
+            size: 0,
+            blocks: 0,
+            atime: 0,
+            mtime: 0,
+            ctime: 0,
+        }
+    }
+}
+
+/// One directory entry as returned by `getdents`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DirEntry {
+    /// Entry name (no slash).
+    pub name: String,
+    /// Inode the entry refers to.
+    pub ino: Ino,
+    /// Type of the referent.
+    pub ftype: FileType,
+}
+
+impl fmt::Display for DirEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}{} {}", self.ftype.as_char(), self.ino, self.name)
+    }
+}
+
+/// `statfs(2)` result: capacity accounting, used by MCFS's free-space
+/// equalization (paper §3.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StatFs {
+    /// Fundamental block size.
+    pub block_size: u32,
+    /// Total data blocks.
+    pub blocks: u64,
+    /// Free blocks.
+    pub blocks_free: u64,
+    /// Free blocks available to unprivileged users.
+    pub blocks_avail: u64,
+    /// Total inodes.
+    pub files: u64,
+    /// Free inodes.
+    pub files_free: u64,
+    /// Maximum filename length.
+    pub name_max: u32,
+}
+
+impl StatFs {
+    /// Free bytes available to unprivileged users.
+    pub fn bytes_avail(&self) -> u64 {
+        self.blocks_avail * self.block_size as u64
+    }
+}
+
+/// `open(2)` flag set.
+///
+/// A tiny purpose-built flag type (per C-BITFLAG we would normally reach for
+/// the `bitflags` crate, but the approved dependency list doesn't include it
+/// and the flag set is small and closed).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct OpenFlags {
+    /// Open for reading.
+    pub read: bool,
+    /// Open for writing.
+    pub write: bool,
+    /// Create the file if it does not exist.
+    pub create: bool,
+    /// With `create`: fail with `EEXIST` if the file already exists.
+    pub excl: bool,
+    /// Truncate to zero length on open (requires `write`).
+    pub trunc: bool,
+    /// All writes append to the end of the file.
+    pub append: bool,
+}
+
+impl OpenFlags {
+    /// `O_RDONLY`.
+    pub fn read_only() -> Self {
+        OpenFlags {
+            read: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_WRONLY`.
+    pub fn write_only() -> Self {
+        OpenFlags {
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// `O_RDWR`.
+    pub fn read_write() -> Self {
+        OpenFlags {
+            read: true,
+            write: true,
+            ..OpenFlags::default()
+        }
+    }
+
+    /// Adds `O_CREAT`.
+    pub fn with_create(mut self) -> Self {
+        self.create = true;
+        self
+    }
+
+    /// Adds `O_EXCL`.
+    pub fn with_excl(mut self) -> Self {
+        self.excl = true;
+        self
+    }
+
+    /// Adds `O_TRUNC`.
+    pub fn with_trunc(mut self) -> Self {
+        self.trunc = true;
+        self
+    }
+
+    /// Adds `O_APPEND`.
+    pub fn with_append(mut self) -> Self {
+        self.append = true;
+        self
+    }
+}
+
+impl fmt::Display for OpenFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts: Vec<&str> = Vec::new();
+        match (self.read, self.write) {
+            (true, true) => parts.push("O_RDWR"),
+            (false, true) => parts.push("O_WRONLY"),
+            _ => parts.push("O_RDONLY"),
+        }
+        if self.create {
+            parts.push("O_CREAT");
+        }
+        if self.excl {
+            parts.push("O_EXCL");
+        }
+        if self.trunc {
+            parts.push("O_TRUNC");
+        }
+        if self.append {
+            parts.push("O_APPEND");
+        }
+        f.write_str(&parts.join("|"))
+    }
+}
+
+/// `access(2)` check set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct AccessMode {
+    /// `R_OK`.
+    pub read: bool,
+    /// `W_OK`.
+    pub write: bool,
+    /// `X_OK`.
+    pub exec: bool,
+}
+
+impl AccessMode {
+    /// `F_OK` — existence only.
+    pub fn exists() -> Self {
+        AccessMode::default()
+    }
+
+    /// `R_OK`.
+    pub fn read() -> Self {
+        AccessMode {
+            read: true,
+            ..AccessMode::default()
+        }
+    }
+
+    /// `W_OK`.
+    pub fn write() -> Self {
+        AccessMode {
+            write: true,
+            ..AccessMode::default()
+        }
+    }
+
+    /// `X_OK`.
+    pub fn exec() -> Self {
+        AccessMode {
+            exec: true,
+            ..AccessMode::default()
+        }
+    }
+}
+
+/// Flag controlling `setxattr` create/replace behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum XattrFlags {
+    /// Create or replace (flags = 0).
+    #[default]
+    Any,
+    /// `XATTR_CREATE`: fail with `EEXIST` if the attribute exists.
+    Create,
+    /// `XATTR_REPLACE`: fail with `ENODATA` if the attribute does not exist.
+    Replace,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_truncates_to_mask() {
+        assert_eq!(FileMode::new(0o17777).bits(), 0o7777);
+        assert!(FileMode::new(0o700).owner_read());
+        assert!(FileMode::new(0o700).owner_write());
+        assert!(FileMode::new(0o700).owner_exec());
+        assert!(!FileMode::new(0o600).owner_exec());
+    }
+
+    #[test]
+    fn open_flags_display() {
+        let f = OpenFlags::read_write().with_create().with_trunc();
+        assert_eq!(f.to_string(), "O_RDWR|O_CREAT|O_TRUNC");
+        assert_eq!(OpenFlags::read_only().to_string(), "O_RDONLY");
+        assert_eq!(
+            OpenFlags::write_only().with_append().to_string(),
+            "O_WRONLY|O_APPEND"
+        );
+    }
+
+    #[test]
+    fn statfs_bytes_avail() {
+        let s = StatFs {
+            block_size: 1024,
+            blocks: 100,
+            blocks_free: 60,
+            blocks_avail: 50,
+            files: 32,
+            files_free: 30,
+            name_max: 255,
+        };
+        assert_eq!(s.bytes_avail(), 51_200);
+    }
+
+    #[test]
+    fn dir_entry_display() {
+        let e = DirEntry {
+            name: "foo".into(),
+            ino: Ino(7),
+            ftype: FileType::Directory,
+        };
+        assert_eq!(e.to_string(), "d#7 foo");
+    }
+
+    #[test]
+    fn file_type_chars() {
+        assert_eq!(FileType::Regular.as_char(), '-');
+        assert_eq!(FileType::Directory.as_char(), 'd');
+        assert_eq!(FileType::Symlink.as_char(), 'l');
+    }
+}

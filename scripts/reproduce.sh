@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Regenerates every experiment in EXPERIMENTS.md and runs the full test and
+# bench suites. Results land in ./artifacts/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+mkdir -p artifacts
+
+echo "== building =="
+cargo build --workspace --release
+
+echo "== tests =="
+cargo test --workspace 2>&1 | tee artifacts/test_output.txt
+
+echo "== experiments =="
+for b in fig2 fig3 remount_ablation bug_detection snapshot_compare soak false_positives ablation; do
+  echo "--- $b ---"
+  cargo run --release -p mcfs-bench --bin "$b" | tee "artifacts/$b.txt"
+done
+
+echo "== examples =="
+for e in quickstart find_seeded_bug compare_kernel_filesystems cache_incoherency swarm_search resume_after_interruption; do
+  echo "--- $e ---"
+  cargo run --release --example "$e" | tee "artifacts/example_$e.txt"
+done
+
+echo "== criterion benches =="
+cargo bench --workspace 2>&1 | tee artifacts/bench_output.txt
+
+echo "all artifacts in ./artifacts"

@@ -1,0 +1,2 @@
+//! Workspace root crate: re-exports for examples and integration tests.
+pub use mcfs as core;
