@@ -13,9 +13,7 @@
 //! Usage: `cargo run --release -p mcfs-bench --bin ablation [ops]`
 
 use blockdev::Clock;
-use mcfs::{
-    CheckedTarget, CheckpointTarget, Mcfs, McfsConfig, PoolConfig,
-};
+use mcfs::{CheckedTarget, CheckpointTarget, Mcfs, McfsConfig, PoolConfig};
 use mcfs_bench::print_table;
 use modelcheck::{run_swarm, DfsExplorer, ExploreConfig, SwarmConfig};
 use verifs::{BugConfig, VeriFs};
@@ -50,7 +48,10 @@ fn main() {
     // 1. Abstraction ablation: include atime in the hash (≈ hashing raw
     //    state) and watch deduplication collapse. A single file system is
     //    explored directly so only the matching strategy varies (§3.3).
-    for (label, noisy) in [("abstract state (Algorithm 1)", false), ("raw state (atime hashed)", true)] {
+    for (label, noisy) in [
+        ("abstract state (Algorithm 1)", false),
+        ("raw state (atime hashed)", true),
+    ] {
         struct Single {
             fs: VeriFs,
             ops: Vec<mcfs::FsOp>,
@@ -101,8 +102,7 @@ fn main() {
             ..ExploreConfig::default()
         })
         .run(&mut single);
-        let dedup =
-            report.stats.states_matched as f64 / report.stats.ops_executed.max(1) as f64;
+        let dedup = report.stats.states_matched as f64 / report.stats.ops_executed.max(1) as f64;
         rows.push((
             format!("matching: {label}"),
             format!(
@@ -147,6 +147,7 @@ fn main() {
                 seed: 11,
                 ..ExploreConfig::default()
             },
+            shared_visited: false,
         };
         let report = run_swarm(&cfg, |_| {
             verifs_harness(
@@ -182,10 +183,18 @@ fn main() {
         use mcfs::{RemountMode, RemountTarget, VfsCheckpointTarget};
         let run = |vfs_api: bool| -> f64 {
             let clock = Clock::new();
-            let e2 = mcfs_bench::ext_on(fs_ext::ExtConfig::ext2(), LatencyModel::ram(), clock.clone())
-                .expect("format");
-            let e4 = mcfs_bench::ext_on(fs_ext::ExtConfig::ext4(), LatencyModel::ram(), clock.clone())
-                .expect("format");
+            let e2 = mcfs_bench::ext_on(
+                fs_ext::ExtConfig::ext2(),
+                LatencyModel::ram(),
+                clock.clone(),
+            )
+            .expect("format");
+            let e4 = mcfs_bench::ext_on(
+                fs_ext::ExtConfig::ext4(),
+                LatencyModel::ram(),
+                clock.clone(),
+            )
+            .expect("format");
             let targets: Vec<Box<dyn CheckedTarget>> = if vfs_api {
                 vec![
                     Box::new(VfsCheckpointTarget::new(e2).with_clock(clock.clone())),
@@ -224,9 +233,15 @@ fn main() {
         ));
         rows.push((
             "ext2-vs-ext4: VFS-level checkpoint API".to_string(),
-            format!("{vfs_api:>8.1} ops/s ({:.1}x — what §7 hopes to gain)", vfs_api / remount),
+            format!(
+                "{vfs_api:>8.1} ops/s ({:.1}x — what §7 hopes to gain)",
+                vfs_api / remount
+            ),
         ));
     }
 
-    print_table("Ablations: abstraction, POR, swarm, VFS checkpointing", &rows);
+    print_table(
+        "Ablations: abstraction, POR, swarm, VFS checkpointing",
+        &rows,
+    );
 }

@@ -69,14 +69,22 @@ fn main() {
             let targets: Vec<Box<dyn CheckedTarget>> = if v2_pair {
                 // VeriFS2 (buggy) checked against VeriFS1 (reference).
                 vec![
-                    Box::new(CheckpointTarget::new(verifs_fuse(1, BugConfig::none(), clock.clone()))),
+                    Box::new(CheckpointTarget::new(verifs_fuse(
+                        1,
+                        BugConfig::none(),
+                        clock.clone(),
+                    ))),
                     Box::new(CheckpointTarget::new(verifs_fuse(2, cfg, clock.clone()))),
                 ]
             } else {
                 // VeriFS1 (buggy) checked against a clean VeriFS2 standing in
                 // for the reference implementation.
                 vec![
-                    Box::new(CheckpointTarget::new(verifs_fuse(2, BugConfig::none(), clock.clone()))),
+                    Box::new(CheckpointTarget::new(verifs_fuse(
+                        2,
+                        BugConfig::none(),
+                        clock.clone(),
+                    ))),
                     Box::new(CheckpointTarget::new(verifs_fuse(1, cfg, clock.clone()))),
                 ]
             };
@@ -123,6 +131,9 @@ fn main() {
             })
             .collect();
         println!("  {label}");
-        println!("    detected after ops (3 seeds): {}   [{paper}]", shown.join(", "));
+        println!(
+            "    detected after ops (3 seeds): {}   [{paper}]",
+            shown.join(", ")
+        );
     }
 }

@@ -9,15 +9,19 @@
 
 use blockdev::LatencyModel;
 use mcfs::{
-    AbstractionConfig, CheckedTarget, FsOp, Mcfs, McfsConfig, RemountMode,
-    RemountTarget, EQUALIZE_DUMMY,
+    AbstractionConfig, CheckedTarget, FsOp, Mcfs, McfsConfig, RemountMode, RemountTarget,
+    EQUALIZE_DUMMY,
 };
 use mcfs_bench::{ext_on, print_table, xfs_on};
 use modelcheck::{ApplyOutcome, ModelSystem};
 
 fn ext4_vs_xfs(cfg: McfsConfig) -> Result<Mcfs, vfs::Errno> {
     let clock = blockdev::Clock::new();
-    let e4 = ext_on(fs_ext::ExtConfig::ext4(), LatencyModel::ram(), clock.clone())?;
+    let e4 = ext_on(
+        fs_ext::ExtConfig::ext4(),
+        LatencyModel::ram(),
+        clock.clone(),
+    )?;
     let xfs = xfs_on(LatencyModel::ram(), clock.clone())?;
     let targets: Vec<Box<dyn CheckedTarget>> = vec![
         Box::new(RemountTarget::new(e4, RemountMode::OnRestore).with_clock(clock.clone())),
@@ -38,10 +42,22 @@ fn ran_clean(harness: &mut Mcfs, script: &[FsOp]) -> Result<(), String> {
 fn main() {
     let mut rows = Vec::new();
     let script = vec![
-        FsOp::Mkdir { path: "/d0".into(), mode: 0o755 },
-        FsOp::CreateFile { path: "/d0/f2".into(), mode: 0o644 },
-        FsOp::CreateFile { path: "/f0".into(), mode: 0o644 },
-        FsOp::CreateFile { path: "/f1".into(), mode: 0o644 },
+        FsOp::Mkdir {
+            path: "/d0".into(),
+            mode: 0o755,
+        },
+        FsOp::CreateFile {
+            path: "/d0/f2".into(),
+            mode: 0o644,
+        },
+        FsOp::CreateFile {
+            path: "/f0".into(),
+            mode: 0o644,
+        },
+        FsOp::CreateFile {
+            path: "/f1".into(),
+            mode: 0o644,
+        },
         FsOp::Stat { path: "/d0".into() },
         FsOp::Getdents { path: "/".into() },
     ];
@@ -124,10 +140,18 @@ fn main() {
                 ..McfsConfig::default()
             };
             let clock = blockdev::Clock::new();
-            let e2 = ext_on(fs_ext::ExtConfig::ext2(), LatencyModel::ram(), clock.clone())
-                .expect("format");
-            let e4 = ext_on(fs_ext::ExtConfig::ext4(), LatencyModel::ram(), clock.clone())
-                .expect("format");
+            let e2 = ext_on(
+                fs_ext::ExtConfig::ext2(),
+                LatencyModel::ram(),
+                clock.clone(),
+            )
+            .expect("format");
+            let e4 = ext_on(
+                fs_ext::ExtConfig::ext4(),
+                LatencyModel::ram(),
+                clock.clone(),
+            )
+            .expect("format");
             let targets: Vec<Box<dyn CheckedTarget>> = vec![
                 Box::new(RemountTarget::new(e2, RemountMode::OnRestore).with_clock(clock.clone())),
                 Box::new(RemountTarget::new(e4, RemountMode::OnRestore).with_clock(clock.clone())),
@@ -159,7 +183,10 @@ fn main() {
         let on = run(true);
         rows.push((
             "free-space equalization".to_string(),
-            format!("workaround off: false positive = {off}; on: clean = {}", !on),
+            format!(
+                "workaround off: false positive = {off}; on: clean = {}",
+                !on
+            ),
         ));
         assert!(off && !on);
     }

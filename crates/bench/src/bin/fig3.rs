@@ -60,7 +60,10 @@ fn main() {
     });
 
     println!("== Figure 3: rate and swap over a long VeriFS run ==");
-    println!("{:>6} {:>12} {:>12} {:>10}", "day", "ops/s", "swap (MiB)", "resizes");
+    println!(
+        "{:>6} {:>12} {:>12} {:>10}",
+        "day", "ops/s", "swap (MiB)", "resizes"
+    );
     let total_ns: u64 = samples.iter().map(|s| s.1).sum::<u64>().max(1);
     let mut elapsed = 0u64;
     for (ops, ns, swap, resizes) in &samples {

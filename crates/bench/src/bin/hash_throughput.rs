@@ -1,0 +1,302 @@
+//! Measures the two halves of the swarm hot-path optimization, emitting
+//! machine-readable JSON:
+//!
+//! 1. **Incremental abstract-state fingerprinting** — ops/sec of
+//!    mutate-then-rehash on a 200-file, depth-6 tree with a full rehash per
+//!    operation vs the [`mcfs::FingerprintCache`] incremental path. The
+//!    incremental hash folds cached per-path digests and only recomputes
+//!    the touched paths, so the per-op cost drops from O(total tree bytes)
+//!    to O(touched bytes) + O(tree entries).
+//! 2. **Shared sharded visited set** — duplicate states expanded by a
+//!    private-visited-set swarm vs a swarm sharing one
+//!    [`modelcheck::ShardedVisited`], at an equal per-worker op budget.
+//!    Each worker records every abstract state it sees, so the global
+//!    distinct count (the union) is exact and
+//!    `duplicates = Σ states_new − distinct`.
+//!
+//! Unlike the figure benches this one measures **real** wall-clock time:
+//! the fingerprint cache is a genuine CPU optimization, not a modeled cost.
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin hash_throughput [iters]`
+
+use std::collections::HashSet;
+use std::time::Instant;
+
+use mcfs::{
+    abstract_state, abstract_state_cached, AbstractionConfig, CheckedTarget, CheckpointTarget,
+    FingerprintCache, FsOp, Mcfs, McfsConfig, PoolConfig,
+};
+use modelcheck::{
+    ApplyOutcome, ExploreConfig, ModelSystem, RandomWalk, ShardedVisited, StateId, VisitedSet,
+};
+use verifs::VeriFs;
+use vfs::{FileMode, FileSystem, OpenFlags};
+
+/// Files in the benchmark tree (acceptance: 200).
+const TREE_FILES: usize = 200;
+/// Path depth of every file (acceptance: 6 components).
+const TREE_DEPTH: usize = 6;
+/// Bytes of content per file.
+const FILE_BYTES: usize = 2048;
+/// Top-level directory chains the files are spread across.
+const CHAINS: usize = 8;
+
+/// Builds a VeriFS2 holding `TREE_FILES` files, each at depth `TREE_DEPTH`,
+/// and returns the file paths.
+fn build_tree() -> (VeriFs, Vec<String>) {
+    // The default VeriFS2 inode table (128) is smaller than the benchmark
+    // tree; raise the limits, keeping the v2 feature set.
+    let mut cfg = verifs::VeriFsConfig::v2();
+    cfg.max_inodes = 2 * (TREE_FILES + CHAINS * TREE_DEPTH);
+    cfg.data_budget = Some(64 << 20);
+    let mut fs = VeriFs::with_config(cfg);
+    fs.mount().expect("mount");
+    let mut paths = Vec::with_capacity(TREE_FILES);
+    for chain in 0..CHAINS {
+        let mut dir = String::new();
+        for level in 0..TREE_DEPTH - 1 {
+            dir = format!("{dir}/c{chain}l{level}");
+            fs.mkdir(&dir, FileMode::DIR_DEFAULT).expect("mkdir");
+        }
+    }
+    for i in 0..TREE_FILES {
+        let chain = i % CHAINS;
+        let mut dir = String::new();
+        for level in 0..TREE_DEPTH - 1 {
+            dir = format!("{dir}/c{chain}l{level}");
+        }
+        let path = format!("{dir}/f{i}");
+        let fd = fs.create(&path, FileMode::REG_DEFAULT).expect("create");
+        fs.write(fd, &vec![i as u8; FILE_BYTES]).expect("write");
+        fs.close(fd).expect("close");
+        paths.push(path);
+    }
+    (fs, paths)
+}
+
+/// One benchmark mutation: rewrite a slice of file `i % TREE_FILES`.
+fn mutate(fs: &mut VeriFs, paths: &[String], i: usize) {
+    let path = &paths[i % paths.len()];
+    let fd = fs
+        .open(path, OpenFlags::write_only(), FileMode::REG_DEFAULT)
+        .expect("open");
+    fs.write(fd, &[i as u8; 32]).expect("write");
+    fs.close(fd).expect("close");
+}
+
+struct HashBench {
+    full_ops_per_sec: f64,
+    incremental_ops_per_sec: f64,
+    speedup: f64,
+    hashes_agree: bool,
+}
+
+fn bench_hashing(iters: usize) -> HashBench {
+    let cfg = AbstractionConfig::default();
+
+    // Full rehash: the pre-optimization behavior, O(tree bytes) per op.
+    let (mut fs, paths) = build_tree();
+    let mut full_hashes = Vec::with_capacity(iters);
+    let start = Instant::now();
+    for i in 0..iters {
+        mutate(&mut fs, &paths, i);
+        full_hashes.push(abstract_state(&mut fs, &cfg).expect("hash"));
+    }
+    let full_elapsed = start.elapsed();
+
+    // Incremental: invalidate the touched path, reuse every other digest.
+    let (mut fs, paths) = build_tree();
+    let mut cache = FingerprintCache::new();
+    let _ = abstract_state_cached(&mut fs, &cfg, &mut cache).expect("warm-up hash");
+    let mut incr_hashes = Vec::with_capacity(iters);
+    let start = Instant::now();
+    for i in 0..iters {
+        cache.invalidate_op(&mut fs, &[&paths[i % paths.len()]]);
+        mutate(&mut fs, &paths, i);
+        incr_hashes.push(abstract_state_cached(&mut fs, &cfg, &mut cache).expect("hash"));
+    }
+    let incr_elapsed = start.elapsed();
+
+    let full_ops_per_sec = iters as f64 / full_elapsed.as_secs_f64().max(1e-9);
+    let incremental_ops_per_sec = iters as f64 / incr_elapsed.as_secs_f64().max(1e-9);
+    HashBench {
+        full_ops_per_sec,
+        incremental_ops_per_sec,
+        speedup: incremental_ops_per_sec / full_ops_per_sec,
+        hashes_agree: full_hashes == incr_hashes,
+    }
+}
+
+/// An [`Mcfs`] wrapper that records every abstract state the explorer
+/// observes, so the union across workers gives the exact global distinct
+/// count.
+struct Recording {
+    inner: Mcfs,
+    seen: HashSet<u128>,
+}
+
+impl ModelSystem for Recording {
+    type Op = FsOp;
+
+    fn ops(&mut self) -> Vec<FsOp> {
+        self.inner.ops()
+    }
+
+    fn apply(&mut self, op: &FsOp) -> ApplyOutcome {
+        self.inner.apply(op)
+    }
+
+    fn abstract_state(&mut self) -> u128 {
+        let h = self.inner.abstract_state();
+        self.seen.insert(h);
+        h
+    }
+
+    fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+        self.inner.checkpoint(id)
+    }
+
+    fn restore(&mut self, id: StateId) -> Result<(), String> {
+        self.inner.restore(id)
+    }
+
+    fn release(&mut self, id: StateId) {
+        self.inner.release(id)
+    }
+
+    fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
+        self.inner.independent(a, b)
+    }
+}
+
+fn build_harness() -> Mcfs {
+    let mut a = VeriFs::v2();
+    a.mount().expect("mount");
+    let mut b = VeriFs::v2();
+    b.mount().expect("mount");
+    let targets: Vec<Box<dyn CheckedTarget>> = vec![
+        Box::new(CheckpointTarget::new(a)),
+        Box::new(CheckpointTarget::new(b)),
+    ];
+    Mcfs::new(
+        targets,
+        McfsConfig {
+            pool: PoolConfig::small(),
+            ..McfsConfig::default()
+        },
+    )
+    .expect("harness")
+}
+
+struct SwarmDedup {
+    states_expanded: u64,
+    distinct_states: u64,
+    duplicate_states: u64,
+}
+
+/// Runs `workers` diversified random walks at an equal per-worker budget,
+/// either each with a private visited set or all sharing one sharded set.
+fn swarm_dedup(shared: bool, workers: usize, budget: u64) -> SwarmDedup {
+    let shared_set = ShardedVisited::new(1 << 12, workers.max(8));
+    let results: Vec<(u64, HashSet<u128>)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|idx| {
+                let mut set = shared_set.clone();
+                scope.spawn(move || {
+                    let walk = RandomWalk::new(ExploreConfig {
+                        max_depth: 5,
+                        max_ops: budget,
+                        seed: 100 + idx as u64,
+                        ..ExploreConfig::default()
+                    });
+                    let mut sys = Recording {
+                        inner: build_harness(),
+                        seen: HashSet::new(),
+                    };
+                    let report = if shared {
+                        walk.run_resumable(&mut sys, &mut set, |_| {})
+                    } else {
+                        let mut private = VisitedSet::new(1 << 12);
+                        walk.run_resumable(&mut sys, &mut private, |_| {})
+                    };
+                    (report.stats.states_new, sys.seen)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker"))
+            .collect()
+    });
+    let states_expanded: u64 = results.iter().map(|(n, _)| n).sum();
+    let mut union: HashSet<u128> = HashSet::new();
+    for (_, seen) in &results {
+        union.extend(seen);
+    }
+    let distinct_states = union.len() as u64;
+    SwarmDedup {
+        states_expanded,
+        distinct_states,
+        duplicate_states: states_expanded.saturating_sub(distinct_states),
+    }
+}
+
+fn main() {
+    let iters: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(240);
+    let hash = bench_hashing(iters);
+
+    let workers = 4;
+    let budget = 1_500;
+    let private = swarm_dedup(false, workers, budget);
+    let shared = swarm_dedup(true, workers, budget);
+
+    println!("{{");
+    println!("  \"hash_throughput\": {{");
+    println!("    \"tree_files\": {TREE_FILES},");
+    println!("    \"tree_depth\": {TREE_DEPTH},");
+    println!("    \"file_bytes\": {FILE_BYTES},");
+    println!("    \"iterations\": {iters},");
+    println!(
+        "    \"full_rehash_ops_per_sec\": {:.1},",
+        hash.full_ops_per_sec
+    );
+    println!(
+        "    \"incremental_ops_per_sec\": {:.1},",
+        hash.incremental_ops_per_sec
+    );
+    println!("    \"speedup\": {:.2},", hash.speedup);
+    println!("    \"hashes_agree\": {}", hash.hashes_agree);
+    println!("  }},");
+    println!("  \"swarm_dedup\": {{");
+    println!("    \"workers\": {workers},");
+    println!("    \"ops_budget_per_worker\": {budget},");
+    for (label, r, comma) in [("private", &private, ","), ("shared_sharded", &shared, "")] {
+        println!("    \"{label}\": {{");
+        println!("      \"states_expanded\": {},", r.states_expanded);
+        println!("      \"distinct_states\": {},", r.distinct_states);
+        println!("      \"duplicate_states\": {}", r.duplicate_states);
+        println!("    }}{comma}");
+    }
+    println!("  }}");
+    println!("}}");
+
+    assert!(
+        hash.hashes_agree,
+        "incremental and full hashing must agree on every iteration"
+    );
+    assert!(
+        hash.speedup >= 5.0,
+        "incremental fingerprinting must be >= 5x full rehash (got {:.2}x)",
+        hash.speedup
+    );
+    assert!(
+        shared.duplicate_states < private.duplicate_states,
+        "the shared sharded set must expand strictly fewer duplicates \
+         (shared {} vs private {})",
+        shared.duplicate_states,
+        private.duplicate_states
+    );
+}

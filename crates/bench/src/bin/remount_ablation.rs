@@ -31,7 +31,11 @@ fn main() {
     };
 
     for (label, xfs, paper) in [
-        ("Ext2 vs Ext4 (RAM)", false, "paper: 229 -> 316 ops/s (+38%)"),
+        (
+            "Ext2 vs Ext4 (RAM)",
+            false,
+            "paper: 229 -> 316 ops/s (+38%)",
+        ),
         ("Ext4 vs XFS (RAM)", true, "paper: ~20 -> 34 ops/s (+70%)"),
     ] {
         let with = run(RemountMode::PerOp, xfs);
@@ -44,8 +48,5 @@ fn main() {
             ),
         ));
     }
-    print_table(
-        "Section 6: speed without inter-operation remounts",
-        &rows,
-    );
+    print_table("Section 6: speed without inter-operation remounts", &rows);
 }

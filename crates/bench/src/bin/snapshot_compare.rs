@@ -69,7 +69,11 @@ fn main() {
         fs.mount().expect("mount");
         let targets: Vec<Box<dyn CheckedTarget>> = vec![
             Box::new(CriuTarget::new(fs, vec![], Some(clock.clone()), 1 << 20)),
-            Box::new(CheckpointTarget::new(verifs_fuse(2, BugConfig::none(), clock.clone()))),
+            Box::new(CheckpointTarget::new(verifs_fuse(
+                2,
+                BugConfig::none(),
+                clock.clone(),
+            ))),
         ];
         let harness = Mcfs::with_clock(targets, McfsConfig::default(), clock.clone());
         let mut pairing = mcfs_bench::Pairing {
@@ -87,10 +91,18 @@ fn main() {
     // 3. LightVM-style VM snapshots around a kernel file system.
     {
         let clock = Clock::new();
-        let e2 = ext_on(fs_ext::ExtConfig::ext2(), LatencyModel::ram(), clock.clone())
-            .expect("format");
-        let e4 = ext_on(fs_ext::ExtConfig::ext4(), LatencyModel::ram(), clock.clone())
-            .expect("format");
+        let e2 = ext_on(
+            fs_ext::ExtConfig::ext2(),
+            LatencyModel::ram(),
+            clock.clone(),
+        )
+        .expect("format");
+        let e4 = ext_on(
+            fs_ext::ExtConfig::ext4(),
+            LatencyModel::ram(),
+            clock.clone(),
+        )
+        .expect("format");
         let targets: Vec<Box<dyn CheckedTarget>> = vec![
             Box::new(VmTarget::new(e2, clock.clone(), 256 * 1024)),
             Box::new(VmTarget::new(e4, clock.clone(), 256 * 1024)),

@@ -8,7 +8,9 @@
 //! Usage: `cargo run --release -p mcfs-bench --bin soak [ops]`
 
 use blockdev::LatencyModel;
-use mcfs::{CheckedTarget, CheckpointTarget, Mcfs, McfsConfig, PoolConfig, RemountMode, RemountTarget};
+use mcfs::{
+    CheckedTarget, CheckpointTarget, Mcfs, McfsConfig, PoolConfig, RemountMode, RemountTarget,
+};
 use mcfs_bench::{ext_on, verifs_fuse};
 use modelcheck::{ExploreConfig, RandomWalk, StopReason};
 use verifs::BugConfig;
@@ -20,8 +22,12 @@ fn main() {
         .unwrap_or(60_000);
     // Ext4 vs VeriFS1, as in the paper's 5-day run.
     let clock = blockdev::Clock::new();
-    let e4 = ext_on(fs_ext::ExtConfig::ext4(), LatencyModel::ram(), clock.clone())
-        .expect("format");
+    let e4 = ext_on(
+        fs_ext::ExtConfig::ext4(),
+        LatencyModel::ram(),
+        clock.clone(),
+    )
+    .expect("format");
     let v1 = verifs_fuse(1, BugConfig::none(), clock.clone());
     let targets: Vec<Box<dyn CheckedTarget>> = vec![
         Box::new(RemountTarget::new(e4, RemountMode::PerOp).with_clock(clock.clone())),

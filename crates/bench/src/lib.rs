@@ -247,7 +247,11 @@ pub fn measure_dfs(pairing: &mut Pairing, max_ops: u64) -> (f64, ExploreReport<m
 
 /// Runs a randomized walk over a pairing (the long-run soak mode) and
 /// returns `(ops/s, report)` in virtual time.
-pub fn measure_walk(pairing: &mut Pairing, max_ops: u64, seed: u64) -> (f64, ExploreReport<mcfs::FsOp>) {
+pub fn measure_walk(
+    pairing: &mut Pairing,
+    max_ops: u64,
+    seed: u64,
+) -> (f64, ExploreReport<mcfs::FsOp>) {
     let cfg = ExploreConfig {
         max_depth: 40,
         max_ops,

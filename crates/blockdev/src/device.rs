@@ -33,10 +33,16 @@ impl fmt::Display for DeviceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DeviceError::OutOfRange { block, num_blocks } => {
-                write!(f, "block {block} out of range (device has {num_blocks} blocks)")
+                write!(
+                    f,
+                    "block {block} out of range (device has {num_blocks} blocks)"
+                )
             }
             DeviceError::BadBufferLength { got, expected } => {
-                write!(f, "buffer length {got} does not match block size {expected}")
+                write!(
+                    f,
+                    "buffer length {got} does not match block size {expected}"
+                )
             }
             DeviceError::BadGeometry(msg) => write!(f, "bad device geometry: {msg}"),
             DeviceError::SnapshotMismatch => {
@@ -161,8 +167,12 @@ mod tests {
             num_blocks: 4,
         };
         assert!(e.to_string().contains("block 9"));
-        assert!(DeviceError::SnapshotMismatch.to_string().contains("snapshot"));
-        assert!(DeviceError::BadGeometry("x".into()).to_string().contains('x'));
+        assert!(DeviceError::SnapshotMismatch
+            .to_string()
+            .contains("snapshot"));
+        assert!(DeviceError::BadGeometry("x".into())
+            .to_string()
+            .contains('x'));
     }
 
     #[test]

@@ -114,14 +114,18 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
 
     fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
         if self.should_fail(false) {
-            return Err(DeviceError::Mtd(format!("injected read fault at block {block}")));
+            return Err(DeviceError::Mtd(format!(
+                "injected read fault at block {block}"
+            )));
         }
         self.inner.read_block(block, buf)
     }
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
         if self.should_fail(true) {
-            return Err(DeviceError::Mtd(format!("injected write fault at block {block}")));
+            return Err(DeviceError::Mtd(format!(
+                "injected write fault at block {block}"
+            )));
         }
         self.inner.write_block(block, buf)
     }

@@ -312,9 +312,7 @@ impl BlockDevice for MtdBlock {
     }
 
     fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
-        if snapshot.block_size != self.block_size
-            || snapshot.data.len() != self.mtd.data.len()
-        {
+        if snapshot.block_size != self.block_size || snapshot.data.len() != self.mtd.data.len() {
             return Err(DeviceError::SnapshotMismatch);
         }
         self.mtd.data.copy_from_slice(&snapshot.data);

@@ -44,10 +44,14 @@ impl RamDisk {
     /// zero, or `size_bytes` is not a multiple of `block_size`.
     pub fn new(block_size: usize, size_bytes: u64) -> DeviceResult<Self> {
         if block_size == 0 {
-            return Err(DeviceError::BadGeometry("block size must be nonzero".into()));
+            return Err(DeviceError::BadGeometry(
+                "block size must be nonzero".into(),
+            ));
         }
         if size_bytes == 0 {
-            return Err(DeviceError::BadGeometry("device size must be nonzero".into()));
+            return Err(DeviceError::BadGeometry(
+                "device size must be nonzero".into(),
+            ));
         }
         if !size_bytes.is_multiple_of(block_size as u64) {
             return Err(DeviceError::BadGeometry(format!(

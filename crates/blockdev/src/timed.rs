@@ -264,7 +264,10 @@ mod tests {
     fn class_display_and_for_class() {
         assert_eq!(DeviceClass::Ram.to_string(), "RAM");
         assert_eq!(LatencyModel::for_class(DeviceClass::Hdd).seek_ns, 700_000);
-        assert_eq!(LatencyModel::for_class(DeviceClass::Ssd).class, DeviceClass::Ssd);
+        assert_eq!(
+            LatencyModel::for_class(DeviceClass::Ssd).class,
+            DeviceClass::Ssd
+        );
     }
 
     #[test]

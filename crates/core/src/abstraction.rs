@@ -7,6 +7,16 @@
 //! would make every state unique and explode the state space (§3.3).
 //! Special files like ext4's `lost+found` and MCFS's own capacity-
 //! equalization dummy are excluded via the exception list (§3.4).
+//!
+//! The hash is structured in two Merkle-style levels: a per-path *leaf
+//! digest* over one object's content + important attributes + pathname, and
+//! the *state hash* folding the leaf digests in sorted-path order. The
+//! levels make the hash incrementally maintainable: [`FingerprintCache`]
+//! keeps leaf digests across operations and invalidates only the paths an
+//! operation touched (plus descendants and ancestors), so the per-op cost
+//! drops from O(total tree bytes) to O(touched bytes) + O(tree entries).
+
+use std::collections::HashMap;
 
 use mdigest::{Digest128, Md5};
 use vfs::{FileSystem, FileType, OpenFlags, VfsResult};
@@ -50,11 +60,44 @@ impl Default for AbstractionConfig {
 ///
 /// Propagates file-system errors — an error during traversal means the file
 /// system is corrupted, which the harness reports as a violation.
-pub fn abstract_state(
+pub fn abstract_state(fs: &mut dyn FileSystem, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+    hash_state(fs, cfg, None)
+}
+
+/// Computes the abstract state reusing cached per-path digests.
+///
+/// Equivalent to [`abstract_state`] (the two share one implementation), but
+/// leaf digests found in `cache` are folded in without re-reading file
+/// bytes or re-statting; misses are computed and inserted. The caller is
+/// responsible for invalidating the cache after every mutation (see
+/// [`FingerprintCache::invalidate_op`]) — a stale entry silently yields a
+/// stale state hash.
+///
+/// With `include_atime` the cache is bypassed entirely: atime changes on
+/// every read, so cached digests could never be reused anyway.
+///
+/// # Errors
+///
+/// See [`abstract_state`].
+pub fn abstract_state_cached(
     fs: &mut dyn FileSystem,
     cfg: &AbstractionConfig,
+    cache: &mut FingerprintCache,
 ) -> VfsResult<Digest128> {
-    // Phase 1: collect all paths by recursive traversal.
+    if cfg.include_atime {
+        return hash_state(fs, cfg, None);
+    }
+    hash_state(fs, cfg, Some(cache))
+}
+
+fn hash_state(
+    fs: &mut dyn FileSystem,
+    cfg: &AbstractionConfig,
+    mut cache: Option<&mut FingerprintCache>,
+) -> VfsResult<Digest128> {
+    // Phase 1: collect all paths by recursive traversal. This stays a full
+    // walk even with a cache — enumeration is O(tree entries), the expensive
+    // part being avoided is the O(tree bytes) content hashing below.
     let mut files: Vec<(String, FileType)> = Vec::new();
     let mut pending: Vec<String> = vec!["/".to_string()];
     while let Some(dir) = pending.pop() {
@@ -76,31 +119,227 @@ pub fn abstract_state(
     // Phase 2: sort by pathname for a canonical order.
     files.sort();
 
-    // Phase 3: hash content + important attributes + path for each object.
+    // Phase 3: fold per-path leaf digests (content + important attributes +
+    // path), cached where possible. The root's own attributes participate
+    // too.
     let mut ctx = Md5::new();
-    // The root's own attributes participate too.
-    hash_attrs(fs, &mut ctx, "/", FileType::Directory, cfg)?;
+    let root = leaf_digest(fs, "/", FileType::Directory, cfg, cache.as_deref_mut())?;
+    ctx.update(root.as_bytes());
     for (path, ftype) in files {
-        if ftype == FileType::Regular {
-            let fd = fs.open(&path, OpenFlags::read_only(), vfs::FileMode::REG_DEFAULT)?;
-            let mut buf = vec![0u8; 4096];
-            loop {
-                let n = fs.read(fd, &mut buf)?;
-                if n == 0 {
-                    break;
-                }
-                ctx.update(&buf[..n]);
-            }
-            fs.close(fd)?;
-        }
-        if ftype == FileType::Symlink {
-            // A symlink's "content" is its target.
-            ctx.update_str(&fs.readlink(&path)?);
-        }
-        hash_attrs(fs, &mut ctx, &path, ftype, cfg)?;
-        ctx.update_str(&path);
+        let leaf = leaf_digest(fs, &path, ftype, cfg, cache.as_deref_mut())?;
+        ctx.update(leaf.as_bytes());
     }
     Ok(ctx.finalize())
+}
+
+/// Computes (or fetches) one path's leaf digest.
+fn leaf_digest(
+    fs: &mut dyn FileSystem,
+    path: &str,
+    ftype: FileType,
+    cfg: &AbstractionConfig,
+    cache: Option<&mut FingerprintCache>,
+) -> VfsResult<Digest128> {
+    if let Some(cache) = &cache {
+        if let Some(d) = cache.get(path) {
+            return Ok(d);
+        }
+    }
+    let mut ctx = Md5::new();
+    if ftype == FileType::Regular {
+        let fd = fs.open(path, OpenFlags::read_only(), vfs::FileMode::REG_DEFAULT)?;
+        let mut buf = vec![0u8; 4096];
+        loop {
+            let n = fs.read(fd, &mut buf)?;
+            if n == 0 {
+                break;
+            }
+            ctx.update(&buf[..n]);
+        }
+        fs.close(fd)?;
+    }
+    if ftype == FileType::Symlink {
+        // A symlink's "content" is its target.
+        ctx.update_str(&fs.readlink(path)?);
+    }
+    hash_attrs(fs, &mut ctx, path, ftype, cfg)?;
+    ctx.update_str(path);
+    let digest = ctx.finalize();
+    if let Some(cache) = cache {
+        cache.put(path, digest);
+    }
+    Ok(digest)
+}
+
+/// Cache of per-path leaf digests for incremental abstract-state hashing.
+///
+/// One cache belongs to exactly one file-system instance: digests encode
+/// that instance's observed content and attributes, and sharing a cache
+/// across the harness's targets would mask exactly the divergences MCFS
+/// exists to find.
+///
+/// # Invalidation rules
+///
+/// [`FingerprintCache::invalidate_op`] must be called with the operation's
+/// touched paths *before* the operation executes (so the hardlink check
+/// below observes pre-operation link counts). For each touched path it
+/// drops:
+///
+/// * the path itself — its content/attributes may change;
+/// * every cached **descendant** — a directory rename or rmdir moves or
+///   removes the whole subtree under it;
+/// * every **ancestor** up to `/` — creates, deletes, and renames alter the
+///   parent directory, and attribute options like `include_dir_sizes` fold
+///   those changes into ancestor digests.
+///
+/// If any touched path currently names a non-directory with `nlink > 1`,
+/// the whole cache is flushed: some *other* pathname aliases the same inode
+/// and its digest changes too, but the alias's name is unknown without an
+/// inverse inode→paths index.
+#[derive(Debug, Clone, Default)]
+pub struct FingerprintCache {
+    map: HashMap<String, Digest128>,
+}
+
+impl FingerprintCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        FingerprintCache::default()
+    }
+
+    /// Number of cached leaf digests.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no digests.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Drops every cached digest.
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+
+    fn get(&self, path: &str) -> Option<Digest128> {
+        self.map.get(path).copied()
+    }
+
+    fn put(&mut self, path: &str, digest: Digest128) {
+        self.map.insert(path.to_string(), digest);
+    }
+
+    /// Invalidates the cache for an operation touching `touched` paths.
+    ///
+    /// Must run **before** the operation executes — see the type-level
+    /// documentation for the rules, including the pre-op hardlink check
+    /// that needs `fs`.
+    pub fn invalidate_op(&mut self, fs: &mut dyn FileSystem, touched: &[&str]) {
+        for path in touched {
+            if let Ok(st) = fs.stat(path) {
+                if st.ftype != FileType::Directory && st.nlink > 1 {
+                    self.map.clear();
+                    return;
+                }
+            }
+        }
+        for path in touched {
+            self.invalidate_path(path);
+        }
+    }
+
+    /// Invalidates one path, its cached descendants, and its ancestors.
+    pub fn invalidate_path(&mut self, path: &str) {
+        self.map
+            .retain(|cached, _| !vfs::path::is_same_or_descendant(path, cached));
+        for anc in vfs::path::ancestors(path) {
+            self.map.remove(anc);
+        }
+    }
+}
+
+/// One target's fingerprint state: the live [`FingerprintCache`] plus
+/// snapshots saved alongside the target's state checkpoints.
+///
+/// Each checked target owns its own store — caches are never shared across
+/// targets, since a shared cache would paper over exactly the
+/// cross-file-system divergences MCFS exists to detect. The store can be
+/// constructed disabled (e.g. for the deliberately-unsound no-remount mode,
+/// where even the file system's own view is stale), in which case every
+/// method degrades to the uncached behavior.
+#[derive(Debug, Clone)]
+pub struct FingerprintStore {
+    live: FingerprintCache,
+    saved: HashMap<u64, FingerprintCache>,
+    enabled: bool,
+}
+
+impl Default for FingerprintStore {
+    fn default() -> Self {
+        FingerprintStore::new(true)
+    }
+}
+
+impl FingerprintStore {
+    /// Creates a store; `enabled: false` makes every method a no-op /
+    /// full-recompute fallback.
+    pub fn new(enabled: bool) -> Self {
+        FingerprintStore {
+            live: FingerprintCache::new(),
+            saved: HashMap::new(),
+            enabled,
+        }
+    }
+
+    /// Whether incremental hashing is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Invalidates the live cache for an operation touching `touched`.
+    pub fn invalidate(&mut self, fs: &mut dyn FileSystem, touched: &[&str]) {
+        if self.enabled {
+            self.live.invalidate_op(fs, touched);
+        }
+    }
+
+    /// Abstract state via the live cache (full recompute when disabled).
+    ///
+    /// # Errors
+    ///
+    /// See [`abstract_state`].
+    pub fn hash(
+        &mut self,
+        fs: &mut dyn FileSystem,
+        cfg: &AbstractionConfig,
+    ) -> VfsResult<Digest128> {
+        if self.enabled {
+            abstract_state_cached(fs, cfg, &mut self.live)
+        } else {
+            abstract_state(fs, cfg)
+        }
+    }
+
+    /// Snapshots the live cache under `key` (alongside a state checkpoint).
+    pub fn save(&mut self, key: u64) {
+        if self.enabled {
+            self.saved.insert(key, self.live.clone());
+        }
+    }
+
+    /// Restores the cache saved under `key`; unknown keys clear the live
+    /// cache (always safe — the next hash recomputes from scratch).
+    pub fn load(&mut self, key: u64) {
+        if self.enabled {
+            self.live = self.saved.get(&key).cloned().unwrap_or_default();
+        }
+    }
+
+    /// Drops the cache snapshot saved under `key`.
+    pub fn drop_key(&mut self, key: u64) {
+        self.saved.remove(&key);
+    }
 }
 
 fn hash_attrs(
@@ -202,7 +441,9 @@ mod tests {
         let cfg = AbstractionConfig::default();
         let before = abstract_state(&mut a, &cfg).unwrap();
         // Read the file: bumps atime, nothing else.
-        let fd = a.open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = a
+            .open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         a.read(fd, &mut [0u8; 4]).unwrap();
         a.close(fd).unwrap();
         let after = abstract_state(&mut a, &cfg).unwrap();
@@ -213,7 +454,9 @@ mod tests {
             ..AbstractionConfig::default()
         };
         let h1 = abstract_state(&mut a, &noisy).unwrap();
-        let fd = a.open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = a
+            .open("/x", vfs::OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         a.read(fd, &mut [0u8; 4]).unwrap();
         a.close(fd).unwrap();
         let h2 = abstract_state(&mut a, &noisy).unwrap();
@@ -245,7 +488,13 @@ mod tests {
         let cfg = AbstractionConfig::default();
         let h1 = abstract_state(&mut a, &cfg).unwrap();
         // Changing deep content changes the hash.
-        let fd = a.open("/d/e/deep", vfs::OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = a
+            .open(
+                "/d/e/deep",
+                vfs::OpenFlags::write_only(),
+                FileMode::REG_DEFAULT,
+            )
+            .unwrap();
         a.write(fd, b"DEEP").unwrap();
         a.close(fd).unwrap();
         assert_ne!(h1, abstract_state(&mut a, &cfg).unwrap());
@@ -268,7 +517,8 @@ mod tests {
     fn xattrs_participate() {
         let mut a = fs_with(&[("/x", b"")]);
         let mut b = fs_with(&[("/x", b"")]);
-        a.setxattr("/x", "user.k", b"v", vfs::XattrFlags::Any).unwrap();
+        a.setxattr("/x", "user.k", b"v", vfs::XattrFlags::Any)
+            .unwrap();
         let cfg = AbstractionConfig::default();
         assert_ne!(
             abstract_state(&mut a, &cfg).unwrap(),
@@ -384,5 +634,182 @@ mod more_abstraction_tests {
             abstract_state(&mut e4, &noisy).unwrap(),
             abstract_state(&mut x, &noisy).unwrap()
         );
+    }
+}
+
+#[cfg(test)]
+mod fingerprint_cache_tests {
+    use super::*;
+    use verifs::VeriFs;
+    use vfs::{FileMode, FileSystem};
+
+    fn write_file(fs: &mut VeriFs, path: &str, data: &[u8]) {
+        let fd = fs
+            .open(path, vfs::OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
+        fs.write(fd, data).unwrap();
+        fs.close(fd).unwrap();
+    }
+
+    /// Each step mutates, invalidates the touched paths, and checks the
+    /// cached hash against a from-scratch recompute.
+    #[test]
+    fn cached_hash_tracks_full_recompute_through_mutations() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let cfg = AbstractionConfig::default();
+        let mut cache = FingerprintCache::new();
+
+        let check = |fs: &mut VeriFs, cache: &mut FingerprintCache, what: &str| {
+            let cached = abstract_state_cached(fs, &cfg, cache).unwrap();
+            let full = abstract_state(fs, &cfg).unwrap();
+            assert_eq!(cached, full, "cached hash diverged after {what}");
+        };
+
+        check(&mut fs, &mut cache, "initial state");
+
+        cache.invalidate_op(&mut fs, &["/d"]);
+        fs.mkdir("/d", FileMode::DIR_DEFAULT).unwrap();
+        check(&mut fs, &mut cache, "mkdir /d");
+
+        cache.invalidate_op(&mut fs, &["/d/f"]);
+        let fd = fs.create("/d/f", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"hello").unwrap();
+        fs.close(fd).unwrap();
+        check(&mut fs, &mut cache, "create+write /d/f");
+
+        cache.invalidate_op(&mut fs, &["/d/f"]);
+        write_file(&mut fs, "/d/f", b"HELLO again");
+        check(&mut fs, &mut cache, "rewrite /d/f");
+
+        cache.invalidate_op(&mut fs, &["/d/f"]);
+        fs.chmod("/d/f", FileMode::new(0o400)).unwrap();
+        check(&mut fs, &mut cache, "chmod /d/f");
+
+        cache.invalidate_op(&mut fs, &["/d", "/e"]);
+        fs.rename("/d", "/e").unwrap();
+        check(&mut fs, &mut cache, "rename /d -> /e (dir with contents)");
+
+        cache.invalidate_op(&mut fs, &["/x", "/ln"]);
+        fs.symlink("/x", "/ln").unwrap();
+        check(&mut fs, &mut cache, "symlink /ln -> /x");
+
+        cache.invalidate_op(&mut fs, &["/e/f"]);
+        fs.unlink("/e/f").unwrap();
+        check(&mut fs, &mut cache, "unlink /e/f");
+    }
+
+    #[test]
+    fn hardlink_alias_triggers_full_flush() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let cfg = AbstractionConfig::default();
+        let mut cache = FingerprintCache::new();
+
+        let fd = fs.create("/x", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"shared").unwrap();
+        fs.close(fd).unwrap();
+        fs.link("/x", "/y").unwrap();
+        let _ = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+        assert!(!cache.is_empty());
+
+        // A write through /x also changes /y's digest (same inode). The
+        // pre-op nlink check must flush everything, so the cached hash
+        // still matches the full recompute.
+        cache.invalidate_op(&mut fs, &["/x"]);
+        assert!(cache.is_empty(), "nlink > 1 must flush the whole cache");
+        write_file(&mut fs, "/x", b"SHARED");
+        assert_eq!(
+            abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap(),
+            abstract_state(&mut fs, &cfg).unwrap()
+        );
+    }
+
+    #[test]
+    fn stale_cache_without_invalidation_is_wrong_by_design() {
+        // Pins the contract: skipping invalidate_op yields a stale hash.
+        // The harness owns the invalidation calls precisely because of this.
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let cfg = AbstractionConfig::default();
+        let mut cache = FingerprintCache::new();
+
+        let fd = fs.create("/x", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"one").unwrap();
+        fs.close(fd).unwrap();
+        let before = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+        write_file(&mut fs, "/x", b"two");
+        let stale = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+        assert_eq!(before, stale, "without invalidation the hash is stale");
+        cache.invalidate_op(&mut fs, &["/x"]);
+        assert_ne!(
+            before,
+            abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap()
+        );
+    }
+
+    #[test]
+    fn directory_rename_invalidates_the_subtree() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        fs.mkdir("/a", FileMode::DIR_DEFAULT).unwrap();
+        fs.mkdir("/a/b", FileMode::DIR_DEFAULT).unwrap();
+        let fd = fs.create("/a/b/deep", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"deep").unwrap();
+        fs.close(fd).unwrap();
+        let cfg = AbstractionConfig::default();
+        let mut cache = FingerprintCache::new();
+        let _ = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+
+        cache.invalidate_op(&mut fs, &["/a", "/z"]);
+        fs.rename("/a", "/z").unwrap();
+        assert_eq!(
+            abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap(),
+            abstract_state(&mut fs, &cfg).unwrap(),
+            "stale /a/b/deep digests must not survive the rename"
+        );
+    }
+
+    #[test]
+    fn atime_mode_bypasses_the_cache() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let fd = fs.create("/x", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"data").unwrap();
+        fs.close(fd).unwrap();
+        let noisy = AbstractionConfig {
+            include_atime: true,
+            ..AbstractionConfig::default()
+        };
+        let mut cache = FingerprintCache::new();
+        let h1 = abstract_state_cached(&mut fs, &noisy, &mut cache).unwrap();
+        assert!(cache.is_empty(), "atime mode must not populate the cache");
+        // Hashing reads the file and bumps atime, so a cached hash that
+        // froze the digest would wrongly repeat h1. The bypass keeps the
+        // §3.3 noise observable.
+        let h2 = abstract_state_cached(&mut fs, &noisy, &mut cache).unwrap();
+        assert_ne!(h1, h2, "the cache must not mask atime noise");
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn cache_is_populated_and_reused() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        for p in ["/a", "/b", "/c"] {
+            let fd = fs.create(p, FileMode::REG_DEFAULT).unwrap();
+            fs.write(fd, p.as_bytes()).unwrap();
+            fs.close(fd).unwrap();
+        }
+        let cfg = AbstractionConfig::default();
+        let mut cache = FingerprintCache::new();
+        let h1 = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+        // Root + 3 files.
+        assert_eq!(cache.len(), 4);
+        // Invalidate just /a: /b and /c digests survive, hash still right.
+        cache.invalidate_op(&mut fs, &["/a"]);
+        assert_eq!(cache.len(), 2);
+        let h2 = abstract_state_cached(&mut fs, &cfg, &mut cache).unwrap();
+        assert_eq!(h1, h2);
     }
 }

@@ -70,7 +70,10 @@ impl Coverage {
 
     /// Distinct error paths exercised (pairs whose outcome is an errno).
     pub fn error_paths(&self) -> usize {
-        self.counts.keys().filter(|(_, c)| !c.starts_with("OK")).count()
+        self.counts
+            .keys()
+            .filter(|(_, c)| !c.starts_with("OK"))
+            .count()
     }
 
     /// Iterates `(op, outcome class, count)` in deterministic order.

@@ -36,6 +36,13 @@ pub struct McfsConfig {
     /// With ≥3 file systems, report the minority as the suspect
     /// (majority-voting, the paper's future work §7).
     pub majority_voting: bool,
+    /// Maintain the abstract-state hash incrementally: before each mutation
+    /// the harness invalidates every target's cached per-path fingerprints
+    /// for the touched paths, and the post-op hash reuses the surviving
+    /// digests. **On** by default; turning it off forces a full re-hash
+    /// after every operation (the pre-optimization behavior, kept for the
+    /// throughput benchmark and as a cross-check).
+    pub incremental_fingerprint: bool,
 }
 
 impl Default for McfsConfig {
@@ -47,6 +54,7 @@ impl Default for McfsConfig {
             equalize_free_space: true,
             equalize_cap_bytes: 64 << 20,
             majority_voting: true,
+            incremental_fingerprint: true,
         }
     }
 }
@@ -177,7 +185,10 @@ impl Mcfs {
                 avails.push(t.fs_mut().statfs()?.bytes_avail());
             }
             let lowest = *avails.iter().min().expect("at least two targets");
-            if avails.iter().all(|&a| a == lowest || a > self.cfg.equalize_cap_bytes) {
+            if avails
+                .iter()
+                .all(|&a| a == lowest || a > self.cfg.equalize_cap_bytes)
+            {
                 break;
             }
             for (t, &avail) in self.targets.iter_mut().zip(&avails) {
@@ -206,9 +217,16 @@ impl Mcfs {
 
     fn hash_all(&mut self) -> VfsResult<Vec<Digest128>> {
         let cfg = self.cfg.abstraction.clone();
+        let incremental = self.cfg.incremental_fingerprint;
         self.targets
             .iter_mut()
-            .map(|t| abstract_state(t.fs_mut(), &cfg))
+            .map(|t| {
+                if incremental {
+                    t.cached_abstract_state(&cfg)
+                } else {
+                    abstract_state(t.fs_mut(), &cfg)
+                }
+            })
             .collect()
     }
 
@@ -222,7 +240,12 @@ impl Mcfs {
     ) -> String {
         let mut msg = format!("{what} discrepancy on {op}:");
         for (t, v) in self.targets.iter().zip(values) {
-            msg.push_str(&format!("\n  {:<12} [{}] => {:?}", t.name(), t.strategy(), v));
+            msg.push_str(&format!(
+                "\n  {:<12} [{}] => {:?}",
+                t.name(),
+                t.strategy(),
+                v
+            ));
         }
         if self.cfg.majority_voting && values.len() >= 3 {
             // Majority vote: the value held by most targets is "correct".
@@ -270,6 +293,15 @@ impl ModelSystem for Mcfs {
                 return ApplyOutcome::Violation(format!("{}: pre-op mount failed: {e}", t.name()));
             }
         }
+        // Phase 0.5: drop cached fingerprints for the paths this operation
+        // touches. This must happen *before* execution so the invalidation
+        // logic can observe pre-operation link counts (hardlink aliasing).
+        if self.cfg.incremental_fingerprint && op.is_mutation() {
+            let touched = op.touched_paths();
+            for t in &mut self.targets {
+                t.invalidate_fingerprints(&touched);
+            }
+        }
         // Phase 1: execute on every file system.
         let exceptions = self.cfg.abstraction.exceptions.clone();
         let sort_entries = self.cfg.abstraction.sort_entries;
@@ -293,7 +325,11 @@ impl ModelSystem for Mcfs {
             }
         };
         if hashes.windows(2).any(|w| w[0] != w[1]) {
-            return ApplyOutcome::Violation(self.describe_discrepancy("abstract-state", op, &hashes));
+            return ApplyOutcome::Violation(self.describe_discrepancy(
+                "abstract-state",
+                op,
+                &hashes,
+            ));
         }
         self.last_hash = Some(hashes[0]);
         // Phase 4: unmount (remount strategies).
@@ -309,7 +345,10 @@ impl ModelSystem for Mcfs {
         // buffers; free for the checkpoint-API strategy).
         for t in &mut self.targets {
             if let Err(e) = t.track_state() {
-                return ApplyOutcome::Violation(format!("{}: state tracking failed: {e}", t.name()));
+                return ApplyOutcome::Violation(format!(
+                    "{}: state tracking failed: {e}",
+                    t.name()
+                ));
             }
         }
         ApplyOutcome::Ok
@@ -323,9 +362,13 @@ impl ModelSystem for Mcfs {
         // succeeded; before the first op this hashes the initial state).
         let _ = self.targets[0].pre_op();
         let cfg = self.cfg.abstraction.clone();
-        let h = abstract_state(self.targets[0].fs_mut(), &cfg)
-            .map(|d| d.as_u128())
-            .unwrap_or(u128::MAX);
+        let h = if self.cfg.incremental_fingerprint {
+            self.targets[0].cached_abstract_state(&cfg)
+        } else {
+            abstract_state(self.targets[0].fs_mut(), &cfg)
+        }
+        .map(|d| d.as_u128())
+        .unwrap_or(u128::MAX);
         let _ = self.targets[0].post_op();
         self.last_hash = None;
         h
@@ -426,7 +469,9 @@ mod tests {
     fn identical_systems_never_diverge() {
         let mut m = verifs_pair(BugConfig::none());
         for op in m.ops() {
-            if let ApplyOutcome::Violation(msg) = m.apply(&op) { panic!("false positive on {op}: {msg}") }
+            if let ApplyOutcome::Violation(msg) = m.apply(&op) {
+                panic!("false positive on {op}: {msg}")
+            }
         }
     }
 
@@ -682,6 +727,79 @@ mod tests {
         let msg = caught.expect("bug 4 must diverge");
         assert!(msg.contains("majority vote"), "{msg}");
         assert!(msg.contains("suspect"), "{msg}");
+    }
+
+    #[test]
+    fn incremental_and_full_hashing_agree_across_a_run() {
+        // The tentpole cross-check at the harness level: the incremental
+        // fingerprint path and a full per-op rehash must report identical
+        // abstract states through mutations, hardlinks, renames, and a
+        // checkpoint/restore round-trip.
+        let script = [
+            FsOp::Mkdir {
+                path: "/d0".into(),
+                mode: 0o755,
+            },
+            FsOp::CreateFile {
+                path: "/d0/f1".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/d0/f1".into(),
+                offset: 0,
+                size: 100,
+                seed: 7,
+            },
+            FsOp::Hardlink {
+                src: "/d0/f1".into(),
+                dst: "/alias".into(),
+            },
+            FsOp::WriteFile {
+                path: "/alias".into(),
+                offset: 50,
+                size: 20,
+                seed: 9,
+            },
+            FsOp::Rename {
+                src: "/d0".into(),
+                dst: "/d1".into(),
+            },
+            FsOp::Truncate {
+                path: "/alias".into(),
+                size: 10,
+            },
+            FsOp::Unlink {
+                path: "/d1/f1".into(),
+            },
+        ];
+        let run = |incremental: bool| -> Vec<u128> {
+            let mut a = VeriFs::v2();
+            a.mount().unwrap();
+            let mut b = VeriFs::v2();
+            b.mount().unwrap();
+            let mut m = Mcfs::new(
+                vec![
+                    Box::new(CheckpointTarget::new(a)),
+                    Box::new(CheckpointTarget::new(b)),
+                ],
+                McfsConfig {
+                    incremental_fingerprint: incremental,
+                    ..McfsConfig::default()
+                },
+            )
+            .unwrap();
+            let mut hashes = vec![m.abstract_state()];
+            m.checkpoint(StateId(42)).unwrap();
+            for op in &script {
+                assert!(matches!(m.apply(op), ApplyOutcome::Ok), "{op}");
+                hashes.push(m.abstract_state());
+            }
+            m.restore(StateId(42)).unwrap();
+            hashes.push(m.abstract_state());
+            m.release(StateId(42));
+            hashes
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -63,10 +63,12 @@ pub mod pool;
 mod target;
 mod vfs_checkpoint;
 
-pub use abstraction::{abstract_state, AbstractionConfig};
+pub use abstraction::{
+    abstract_state, abstract_state_cached, AbstractionConfig, FingerprintCache, FingerprintStore,
+};
+pub use coverage::Coverage;
 pub use harness::{replay, Mcfs, McfsConfig, EQUALIZE_DUMMY};
 pub use pool::{execute, execute_with, pattern, FsOp, OpOutcome, PoolConfig};
-pub use coverage::Coverage;
 pub use target::{
     CheckedTarget, CheckpointTarget, CriuTarget, RemountMode, RemountTarget, VmTarget,
 };

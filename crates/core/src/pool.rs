@@ -212,7 +212,10 @@ impl std::fmt::Display for FsOp {
                 offset,
                 size,
                 seed,
-            } => write!(f, "write_file({path}, off={offset}, len={size}, seed={seed})"),
+            } => write!(
+                f,
+                "write_file({path}, off={offset}, len={size}, seed={seed})"
+            ),
             FsOp::Truncate { path, size } => write!(f, "truncate({path}, {size})"),
             FsOp::Mkdir { path, mode } => write!(f, "mkdir({path}, {mode:04o})"),
             FsOp::Rmdir { path } => write!(f, "rmdir({path})"),
@@ -277,7 +280,11 @@ impl OpOutcome {
 /// Deterministic data pattern for writes: `size` bytes derived from `seed`.
 pub fn pattern(seed: u8, size: u64) -> Vec<u8> {
     (0..size)
-        .map(|i| (seed as u64).wrapping_mul(131).wrapping_add(i.wrapping_mul(31)) as u8)
+        .map(|i| {
+            (seed as u64)
+                .wrapping_mul(131)
+                .wrapping_add(i.wrapping_mul(31)) as u8
+        })
         .collect()
 }
 
@@ -300,12 +307,10 @@ pub fn execute_with(
     sort_entries: bool,
 ) -> OpOutcome {
     match op {
-        FsOp::CreateFile { path, mode } => {
-            match fs.create(path, FileMode::new(*mode)) {
-                Ok(fd) => OpOutcome::from_result(fs.close(fd), |_| OpOutcome::Ok),
-                Err(e) => OpOutcome::Err(e),
-            }
-        }
+        FsOp::CreateFile { path, mode } => match fs.create(path, FileMode::new(*mode)) {
+            Ok(fd) => OpOutcome::from_result(fs.close(fd), |_| OpOutcome::Ok),
+            Err(e) => OpOutcome::Err(e),
+        },
         FsOp::WriteFile {
             path,
             offset,
@@ -333,12 +338,8 @@ pub fn execute_with(
         }
         FsOp::Rmdir { path } => OpOutcome::from_result(fs.rmdir(path), |_| OpOutcome::Ok),
         FsOp::Unlink { path } => OpOutcome::from_result(fs.unlink(path), |_| OpOutcome::Ok),
-        FsOp::Rename { src, dst } => {
-            OpOutcome::from_result(fs.rename(src, dst), |_| OpOutcome::Ok)
-        }
-        FsOp::Hardlink { src, dst } => {
-            OpOutcome::from_result(fs.link(src, dst), |_| OpOutcome::Ok)
-        }
+        FsOp::Rename { src, dst } => OpOutcome::from_result(fs.rename(src, dst), |_| OpOutcome::Ok),
+        FsOp::Hardlink { src, dst } => OpOutcome::from_result(fs.link(src, dst), |_| OpOutcome::Ok),
         FsOp::Symlink { target, linkpath } => {
             OpOutcome::from_result(fs.symlink(target, linkpath), |_| OpOutcome::Ok)
         }
@@ -625,8 +626,13 @@ mod tests {
         let mut fs = VeriFs::v2();
         use vfs::FileSystem;
         fs.mount().unwrap();
-        let unlink = FsOp::Unlink { path: "/nope".into() };
-        assert_eq!(execute(&mut fs, &unlink, &[]), OpOutcome::Err(Errno::ENOENT));
+        let unlink = FsOp::Unlink {
+            path: "/nope".into(),
+        };
+        assert_eq!(
+            execute(&mut fs, &unlink, &[]),
+            OpOutcome::Err(Errno::ENOENT)
+        );
         let write = FsOp::WriteFile {
             path: "/nope".into(),
             offset: 0,
@@ -850,7 +856,13 @@ mod more_pool_tests {
             OpOutcome::Ok
         );
         assert_eq!(
-            execute(&mut fs, &FsOp::Access { path: "/gone".into() }, &[]),
+            execute(
+                &mut fs,
+                &FsOp::Access {
+                    path: "/gone".into()
+                },
+                &[]
+            ),
             OpOutcome::Err(Errno::ENOENT)
         );
     }

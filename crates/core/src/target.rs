@@ -16,9 +16,10 @@
 use std::collections::HashMap;
 
 use blockdev::{Clock, DeviceSnapshot};
-use vfs::{
-    DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult,
-};
+use mdigest::Digest128;
+use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult};
+
+use crate::abstraction::{abstract_state, AbstractionConfig, FingerprintStore};
 
 /// A file system under test, with uniform state tracking hooks.
 ///
@@ -96,6 +97,23 @@ pub trait CheckedTarget: Send {
     fn track_state(&mut self) -> VfsResult<()> {
         Ok(())
     }
+
+    /// Invalidates cached abstract-state fingerprints for the paths an
+    /// upcoming operation touches. The harness calls this after
+    /// [`pre_op`](Self::pre_op) (so the file system is mounted for the
+    /// pre-operation hardlink check) and *before* executing the operation.
+    /// Default: no-op, for strategies without a cache.
+    fn invalidate_fingerprints(&mut self, _touched: &[&str]) {}
+
+    /// Computes the abstract state, reusing this target's fingerprint
+    /// cache when it keeps one. Default: full recompute.
+    ///
+    /// # Errors
+    ///
+    /// See [`abstract_state`].
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        abstract_state(self.fs_mut(), cfg)
+    }
 }
 
 /// State tracking through the file system's own checkpoint/restore API —
@@ -105,13 +123,18 @@ pub trait CheckedTarget: Send {
 pub struct CheckpointTarget<F> {
     fs: F,
     name: String,
+    fingerprints: FingerprintStore,
 }
 
 impl<F: FileSystem + FsCheckpoint> CheckpointTarget<F> {
     /// Wraps `fs` (which must support the checkpoint API).
     pub fn new(fs: F) -> Self {
         let name = fs.fs_name().to_string();
-        CheckpointTarget { fs, name }
+        CheckpointTarget {
+            fs,
+            name,
+            fingerprints: FingerprintStore::default(),
+        }
     }
 
     /// Consumes the target, returning the file system.
@@ -147,6 +170,7 @@ impl<F: FileSystem + FsCheckpoint + Send> CheckedTarget for CheckpointTarget<F> 
     fn save_state(&mut self, key: u64) -> VfsResult<usize> {
         let before = self.fs.snapshot_bytes();
         self.fs.checkpoint(key)?;
+        self.fingerprints.save(key);
         let after = self.fs.snapshot_bytes();
         if after > before {
             Ok(after - before)
@@ -157,11 +181,23 @@ impl<F: FileSystem + FsCheckpoint + Send> CheckedTarget for CheckpointTarget<F> 
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
-        self.fs.restore_keep(key)
+        self.fs.restore_keep(key)?;
+        self.fingerprints.load(key);
+        Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.fs.discard(key)
+        self.fs.discard(key)?;
+        self.fingerprints.drop_key(key);
+        Ok(())
+    }
+
+    fn invalidate_fingerprints(&mut self, touched: &[&str]) {
+        self.fingerprints.invalidate(&mut self.fs, touched);
+    }
+
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        self.fingerprints.hash(&mut self.fs, cfg)
     }
 }
 
@@ -190,6 +226,7 @@ pub struct RemountTarget<F> {
     name: String,
     mode: RemountMode,
     snapshots: HashMap<u64, DeviceSnapshot>,
+    fingerprints: FingerprintStore,
     clock: Option<Clock>,
     /// Fixed CPU overhead per mount or unmount beyond device I/O.
     mount_overhead_ns: u64,
@@ -207,6 +244,9 @@ impl<F: FileSystem + DeviceBacked> RemountTarget<F> {
             name,
             mode,
             snapshots: HashMap::new(),
+            // No-remount mode deliberately serves stale data (§3.2); the
+            // fingerprint cache must not hide that staleness from the hash.
+            fingerprints: FingerprintStore::new(mode != RemountMode::Never),
             clock: None,
             mount_overhead_ns: 100_000,
             mount_overhead_ns_per_byte_x1000: 420,
@@ -227,7 +267,9 @@ impl<F: FileSystem + DeviceBacked> RemountTarget<F> {
     fn charge_mount(&mut self) {
         let size = self.fs.device_size_bytes();
         if let Some(c) = &self.clock {
-            c.advance_ns(self.mount_overhead_ns + size * self.mount_overhead_ns_per_byte_x1000 / 1000);
+            c.advance_ns(
+                self.mount_overhead_ns + size * self.mount_overhead_ns_per_byte_x1000 / 1000,
+            );
         }
     }
 
@@ -278,6 +320,7 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
         let snap = self.fs.snapshot_device()?;
         let bytes = snap.size_bytes();
         self.snapshots.insert(key, snap);
+        self.fingerprints.save(key);
         Ok(bytes)
     }
 
@@ -291,6 +334,7 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
                 if self.mode == RemountMode::OnRestore {
                     self.ensure_mounted()?;
                 }
+                self.fingerprints.load(key);
                 Ok(())
             }
             RemountMode::Never => {
@@ -301,7 +345,20 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.snapshots.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+        self.snapshots
+            .remove(&key)
+            .map(|_| ())
+            .ok_or(Errno::ENOENT)?;
+        self.fingerprints.drop_key(key);
+        Ok(())
+    }
+
+    fn invalidate_fingerprints(&mut self, touched: &[&str]) {
+        self.fingerprints.invalidate(&mut self.fs, touched);
+    }
+
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        self.fingerprints.hash(&mut self.fs, cfg)
     }
 
     fn pre_op(&mut self) -> VfsResult<()> {
@@ -339,6 +396,7 @@ pub struct VmTarget<F> {
     fs: F,
     name: String,
     images: HashMap<u64, F>,
+    fingerprints: FingerprintStore,
     clock: Clock,
     state_bytes: usize,
     /// LightVM checkpoint latency.
@@ -356,6 +414,7 @@ impl<F: FileSystem + Clone> VmTarget<F> {
             fs,
             name,
             images: HashMap::new(),
+            fingerprints: FingerprintStore::default(),
             clock,
             state_bytes,
             checkpoint_ms: 30,
@@ -391,17 +450,29 @@ impl<F: FileSystem + Clone + Send> CheckedTarget for VmTarget<F> {
     fn save_state(&mut self, key: u64) -> VfsResult<usize> {
         self.clock.advance_ms(self.checkpoint_ms);
         self.images.insert(key, self.fs.clone());
+        self.fingerprints.save(key);
         Ok(self.state_bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
         self.clock.advance_ms(self.restore_ms);
         self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
+        self.fingerprints.drop_key(key);
+        Ok(())
+    }
+
+    fn invalidate_fingerprints(&mut self, touched: &[&str]) {
+        self.fingerprints.invalidate(&mut self.fs, touched);
+    }
+
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        self.fingerprints.hash(&mut self.fs, cfg)
     }
 }
 
@@ -418,6 +489,7 @@ pub struct CriuTarget<F> {
     name: String,
     handles: Vec<snapshot::ProcessHandle>,
     images: HashMap<u64, F>,
+    fingerprints: FingerprintStore,
     clock: Option<Clock>,
     state_bytes: usize,
     /// Dump/restore cost per KiB of image.
@@ -438,6 +510,7 @@ impl<F: FileSystem + Clone> CriuTarget<F> {
             name,
             handles,
             images: HashMap::new(),
+            fingerprints: FingerprintStore::default(),
             clock,
             state_bytes,
             ns_per_kib: 2_000,
@@ -487,17 +560,29 @@ impl<F: FileSystem + Clone + Send> CheckedTarget for CriuTarget<F> {
         }
         self.charge();
         self.images.insert(key, self.fs.clone());
+        self.fingerprints.save(key);
         Ok(self.state_bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
         self.charge();
         self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
+        self.fingerprints.drop_key(key);
+        Ok(())
+    }
+
+    fn invalidate_fingerprints(&mut self, touched: &[&str]) {
+        self.fingerprints.invalidate(&mut self.fs, touched);
+    }
+
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        self.fingerprints.hash(&mut self.fs, cfg)
     }
 }
 
@@ -571,7 +656,10 @@ mod tests {
         touch(&mut t, "/f");
         t.load_state(1).unwrap();
         // Stale caches: the file still appears to exist (§3.2).
-        assert!(exists(&mut t, "/f"), "deliberately unsound mode keeps stale cache");
+        assert!(
+            exists(&mut t, "/f"),
+            "deliberately unsound mode keeps stale cache"
+        );
     }
 
     #[test]

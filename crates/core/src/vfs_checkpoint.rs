@@ -13,8 +13,10 @@
 use std::collections::HashMap;
 
 use blockdev::Clock;
+use mdigest::Digest128;
 use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, VfsResult};
 
+use crate::abstraction::{AbstractionConfig, FingerprintStore};
 use crate::target::CheckedTarget;
 
 /// Per-MiB cost of capturing/restoring the full state (a memory copy).
@@ -27,6 +29,7 @@ pub struct VfsCheckpointTarget<F> {
     fs: F,
     name: String,
     images: HashMap<u64, F>,
+    fingerprints: FingerprintStore,
     clock: Option<Clock>,
 }
 
@@ -38,6 +41,7 @@ impl<F: FileSystem + DeviceBacked + Clone> VfsCheckpointTarget<F> {
             fs,
             name,
             images: HashMap::new(),
+            fingerprints: FingerprintStore::default(),
             clock: None,
         }
     }
@@ -87,6 +91,7 @@ impl<F: FileSystem + DeviceBacked + Clone + Send> CheckedTarget for VfsCheckpoin
     fn save_state(&mut self, key: u64) -> VfsResult<usize> {
         self.charge_copy();
         self.images.insert(key, self.fs.clone());
+        self.fingerprints.save(key);
         Ok(self.state_bytes())
     }
 
@@ -95,11 +100,22 @@ impl<F: FileSystem + DeviceBacked + Clone + Send> CheckedTarget for VfsCheckpoin
         // The whole instance — caches included — is restored, so nothing can
         // go stale. That is the point of VFS-level support.
         self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)
+        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
+        self.fingerprints.drop_key(key);
+        Ok(())
+    }
+
+    fn invalidate_fingerprints(&mut self, touched: &[&str]) {
+        self.fingerprints.invalidate(&mut self.fs, touched);
+    }
+
+    fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
+        self.fingerprints.hash(&mut self.fs, cfg)
     }
 }
 

@@ -1,0 +1,150 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build environment cannot reach crates.io, so this crate provides the
+//! small API surface the workspace's benches use — `Criterion`,
+//! `benchmark_group` / `sample_size` / `bench_function` / `finish`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros. It measures mean wall-clock time per iteration
+//! over a fixed number of samples and prints one line per benchmark; there
+//! is no statistical analysis, HTML report, or baseline comparison.
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from discarding `value` (best-effort).
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Entry point handed to each benchmark function.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Mirrors `Criterion::configure_from_args`; CLI filters are ignored.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _c: self,
+            name: name.to_string(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one("", name, 10, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    _c: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark takes.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Times `f` and prints the mean per-iteration wall clock.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(&self.name, name, self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (no-op; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, samples: usize, mut f: F) {
+    let mut b = Bencher {
+        elapsed: Duration::ZERO,
+        iters: 0,
+    };
+    // Warm-up pass, untimed.
+    f(&mut b);
+    b.elapsed = Duration::ZERO;
+    b.iters = 0;
+    for _ in 0..samples {
+        f(&mut b);
+    }
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
+    if b.iters == 0 {
+        println!("bench {label:<40} (no iterations)");
+    } else {
+        let per_iter = b.elapsed.as_nanos() / b.iters as u128;
+        println!(
+            "bench {label:<40} {per_iter:>12} ns/iter ({} iters)",
+            b.iters
+        );
+    }
+}
+
+/// Timing handle passed to the closure given to `bench_function`.
+pub struct Bencher {
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed += start.elapsed();
+        self.iters += 1;
+    }
+}
+
+/// Bundles benchmark functions into one runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench_add(c: &mut Criterion) {
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.finish();
+    }
+
+    criterion_group!(benches, bench_add);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -12,7 +12,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use blockdev::BlockDevice;
 use vfs::{
     path, AccessMode, DeviceBacked, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FsCapabilities, FileType, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
+    FileType, FsCapabilities, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
 };
 
 use crate::dir::{self, DirRecord};
@@ -133,7 +133,11 @@ impl<D: BlockDevice> ExtFs<D> {
             free_blocks: 0,
             free_inodes: 0,
             journal_blocks: config.journal_blocks,
-            flags: if config.lost_found { SB_FLAG_LOST_FOUND } else { 0 },
+            flags: if config.lost_found {
+                SB_FLAG_LOST_FOUND
+            } else {
+                0
+            },
             mount_count: 0,
         };
         if sb.data_start() + 8 > blocks_count {
@@ -177,7 +181,8 @@ impl<D: BlockDevice> ExtFs<D> {
             root.blocks = 1;
             let mut block = vec![0u8; bs];
             block[..root_content.len()].copy_from_slice(&root_content);
-            dev.write_block(root_blk as u64, &block).map_err(|_| Errno::EIO)?;
+            dev.write_block(root_blk as u64, &block)
+                .map_err(|_| Errno::EIO)?;
         }
         root.encode(&mut table[INODE_SIZE..2 * INODE_SIZE]);
         sb.free_blocks = sb.data_blocks() - if root_content.is_empty() { 0 } else { 1 };
@@ -274,7 +279,9 @@ impl<D: BlockDevice> Core<'_, D> {
     fn load_buf(&mut self, blk: u32) -> VfsResult<()> {
         if !self.m.bufs.contains_key(&blk) {
             let mut data = vec![0u8; self.bs];
-            self.dev.read_block(blk as u64, &mut data).map_err(|_| Errno::EIO)?;
+            self.dev
+                .read_block(blk as u64, &mut data)
+                .map_err(|_| Errno::EIO)?;
             self.m.bufs.insert(blk, BufBlock { data, dirty: false });
         }
         Ok(())
@@ -296,7 +303,12 @@ impl<D: BlockDevice> Core<'_, D> {
     fn u32_in_buf(&mut self, blk: u32, index: u32) -> VfsResult<u32> {
         let data = self.read_buf(blk)?;
         let i = index as usize * 4;
-        Ok(u32::from_le_bytes([data[i], data[i + 1], data[i + 2], data[i + 3]]))
+        Ok(u32::from_le_bytes([
+            data[i],
+            data[i + 1],
+            data[i + 2],
+            data[i + 3],
+        ]))
     }
 
     fn set_u32_in_buf(&mut self, blk: u32, index: u32, value: u32) -> VfsResult<()> {
@@ -334,8 +346,8 @@ impl<D: BlockDevice> Core<'_, D> {
     }
 
     fn alloc_inode(&mut self, inode: DiskInode) -> VfsResult<u32> {
-        let ino = bitmap::find_zero(&self.m.ibitmap, 1, self.m.sb.inodes_count)
-            .ok_or(Errno::ENOSPC)?;
+        let ino =
+            bitmap::find_zero(&self.m.ibitmap, 1, self.m.sb.inodes_count).ok_or(Errno::ENOSPC)?;
         bitmap::set(&mut self.m.ibitmap, ino);
         self.m.sb.free_inodes -= 1;
         self.m.meta_dirty = true;
@@ -865,7 +877,9 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
         }
         let bs = self.config.block_size;
         let mut sb_block = vec![0u8; bs];
-        self.dev.read_block(0, &mut sb_block).map_err(|_| Errno::EIO)?;
+        self.dev
+            .read_block(0, &mut sb_block)
+            .map_err(|_| Errno::EIO)?;
         let mut sb = SuperBlock::decode(&sb_block)?;
         if sb.block_size as usize != bs {
             return Err(Errno::EIO);
@@ -874,17 +888,23 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
         if sb.flags & SB_FLAG_DIRTY != 0 && sb.journal_blocks > 0 {
             journal::replay(&mut self.dev, &sb)?;
             // The superblock itself may have been journaled; reread.
-            self.dev.read_block(0, &mut sb_block).map_err(|_| Errno::EIO)?;
+            self.dev
+                .read_block(0, &mut sb_block)
+                .map_err(|_| Errno::EIO)?;
             sb = SuperBlock::decode(&sb_block)?;
         }
         let mut ibitmap = vec![0u8; bs];
         let mut bbitmap = vec![0u8; bs];
-        self.dev.read_block(1, &mut ibitmap).map_err(|_| Errno::EIO)?;
-        self.dev.read_block(2, &mut bbitmap).map_err(|_| Errno::EIO)?;
+        self.dev
+            .read_block(1, &mut ibitmap)
+            .map_err(|_| Errno::EIO)?;
+        self.dev
+            .read_block(2, &mut bbitmap)
+            .map_err(|_| Errno::EIO)?;
         // Recompute free counts from the bitmaps (cheap fsck; also heals an
         // unclean ext2 mount).
-        sb.free_blocks = sb.data_blocks()
-            - bitmap::count_ones(&bbitmap, sb.data_start(), sb.blocks_count);
+        sb.free_blocks =
+            sb.data_blocks() - bitmap::count_ones(&bbitmap, sb.data_start(), sb.blocks_count);
         sb.free_inodes = sb.inodes_count - bitmap::count_ones(&ibitmap, 1, sb.inodes_count);
         sb.mount_count += 1;
         sb.flags |= SB_FLAG_DIRTY;
@@ -965,7 +985,9 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
         if has_journal {
             // Ordered mode: data first, then journal the metadata.
             for (blk, image) in &data {
-                c.dev.write_block(*blk as u64, image).map_err(|_| Errno::EIO)?;
+                c.dev
+                    .write_block(*blk as u64, image)
+                    .map_err(|_| Errno::EIO)?;
             }
             if !meta.is_empty() {
                 let txn = c.m.txn;
@@ -974,7 +996,9 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
             }
         } else {
             for (blk, image) in meta.iter().chain(data.iter()) {
-                c.dev.write_block(*blk as u64, image).map_err(|_| Errno::EIO)?;
+                c.dev
+                    .write_block(*blk as u64, image)
+                    .map_err(|_| Errno::EIO)?;
             }
             c.dev.flush().map_err(|_| Errno::EIO)?;
         }
@@ -1505,7 +1529,12 @@ mod tests {
         assert_eq!(e2.fs_name(), "ext2");
         assert_eq!(e4.fs_name(), "ext4");
         // ext4 has lost+found, ext2 does not (paper §3.4 special folders).
-        let names4: Vec<_> = e4.getdents("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names4: Vec<_> = e4
+            .getdents("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names4, vec!["lost+found"]);
         assert!(e2.getdents("/").unwrap().is_empty());
     }
@@ -1725,7 +1754,12 @@ mod tests {
         for name in ["zz", "aa", "mm"] {
             write_file(&mut fs, &format!("/{name}"), b"");
         }
-        let names: Vec<_> = fs.getdents("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<_> = fs
+            .getdents("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["zz", "aa", "mm"], "creation order, not sorted");
     }
 
@@ -1801,7 +1835,9 @@ mod deep_tests {
         fs.close(fd).unwrap();
         fs.unmount().unwrap();
         fs.mount().unwrap();
-        let fd = fs.open("/big", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/big", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut buf = vec![0u8; data.len()];
         let mut read = 0;
         while read < buf.len() {
@@ -1825,7 +1861,9 @@ mod deep_tests {
         // Deterministic pseudo-random offsets spanning indirect boundaries.
         let mut x = 12345u64;
         for i in 0..40 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let offset = x % 300_000;
             let len = 1 + (x >> 32) % 3000;
             let byte = (i as u8).wrapping_mul(37).wrapping_add(1);
@@ -1839,7 +1877,9 @@ mod deep_tests {
         }
         fs.close(fd).unwrap();
         assert_eq!(fs.stat("/rnd").unwrap().size, model.len() as u64);
-        let fd = fs.open("/rnd", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/rnd", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut got = vec![0u8; model.len()];
         let mut read = 0;
         while read < got.len() {
@@ -1899,7 +1939,9 @@ mod deep_tests {
             fs.statfs().unwrap().blocks_free > free_before + 40,
             "replaced file's blocks must be freed"
         );
-        let fd = fs.open("/bulky", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/bulky", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut buf = [0u8; 8];
         let n = fs.read(fd, &mut buf).unwrap();
         fs.close(fd).unwrap();

@@ -216,7 +216,8 @@ mod tests {
         // emulate by writing a txn then stomping the commit block.
         write_txn(&mut dev, &sb, 5, &[(target, vec![1u8; 256])]).unwrap();
         let zero = vec![0u8; 256];
-        dev.write_block((sb.journal_start() + 2) as u64, &zero).unwrap();
+        dev.write_block((sb.journal_start() + 2) as u64, &zero)
+            .unwrap();
         assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
         assert_eq!(read_block(&mut dev, target).unwrap(), zero);
     }
@@ -235,10 +236,7 @@ mod tests {
             assert_eq!(&read_block(&mut dev, *home).unwrap(), image);
         }
         // write_txn itself rejects oversize.
-        assert_eq!(
-            write_txn(&mut dev, &sb, 2, &blocks),
-            Err(Errno::EINVAL)
-        );
+        assert_eq!(write_txn(&mut dev, &sb, 2, &blocks), Err(Errno::EINVAL));
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl SuperBlock {
         if buf.len() < 36 {
             return Err(Errno::EIO);
         }
-        let word = |i: usize| u32::from_le_bytes([buf[i * 4], buf[i * 4 + 1], buf[i * 4 + 2], buf[i * 4 + 3]]);
+        let word = |i: usize| {
+            u32::from_le_bytes([buf[i * 4], buf[i * 4 + 1], buf[i * 4 + 2], buf[i * 4 + 3]])
+        };
         let sb = SuperBlock {
             magic: word(0),
             block_size: word(1),

@@ -5,7 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use blockdev::{BlockDevice, Clock, MtdBlock, MtdDevice};
 use vfs::{
     path, AccessMode, DeviceBacked, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FsCapabilities, FileType, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
+    FileType, FsCapabilities, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
 };
 
 use crate::log::{Node, FT_DIR, FT_REG, FT_SYMLINK};
@@ -248,7 +248,10 @@ impl Jffs2Fs {
         let mut buf = vec![0u8; loc.len as usize];
         self.dev
             .mtd()
-            .read(loc.block as u64 * self.ebs() as u64 + loc.offset as u64, &mut buf)
+            .read(
+                loc.block as u64 * self.ebs() as u64 + loc.offset as u64,
+                &mut buf,
+            )
             .map_err(|_| Errno::EIO)?;
         self.charge_read(loc.len as u64);
         Ok(buf)
@@ -520,10 +523,7 @@ impl Jffs2Fs {
             let _ = subdirs;
             2 + my_children as u32
         } else {
-            m.dirents
-                .values()
-                .filter(|d| d.ino == ino)
-                .count() as u32
+            m.dirents.values().filter(|d| d.ino == ino).count() as u32
         }
     }
 
@@ -538,21 +538,22 @@ impl Jffs2Fs {
     fn flush_inode(&mut self, ino: u32, with_data: bool) -> VfsResult<()> {
         let info = self.info(ino)?.clone();
         let old_live = info.live_locs();
-        let make_node = |version: u64, offset: u64, rewrite: bool, data: Option<Vec<u8>>| Node::Inode {
-            ino,
-            version,
-            ftype: info.ftype,
-            mode: info.mode,
-            uid: info.uid,
-            gid: info.gid,
-            atime: info.atime,
-            mtime: info.mtime,
-            ctime: info.ctime,
-            isize: info.content.len() as u64,
-            offset,
-            rewrite,
-            data,
-        };
+        let make_node =
+            |version: u64, offset: u64, rewrite: bool, data: Option<Vec<u8>>| Node::Inode {
+                ino,
+                version,
+                ftype: info.ftype,
+                mode: info.mode,
+                uid: info.uid,
+                gid: info.gid,
+                atime: info.atime,
+                mtime: info.mtime,
+                ctime: info.ctime,
+                isize: info.content.len() as u64,
+                offset,
+                rewrite,
+                data,
+            };
         let (new_meta, new_data_locs) = if with_data {
             let frag_max = self.frag_max();
             let mut locs = Vec::new();
@@ -656,10 +657,9 @@ impl Jffs2Fs {
         };
         let loc = self.append_node(&node)?;
         let m = self.m()?;
-        let old = m.dirents.insert(
-            (parent, name.to_string()),
-            DirentInfo { ino, ftype, loc },
-        );
+        let old = m
+            .dirents
+            .insert((parent, name.to_string()), DirentInfo { ino, ftype, loc });
         if let Some(old) = old {
             self.kill(old.loc)?;
         }
@@ -849,10 +849,9 @@ impl FileSystem for Jffs2Fs {
                     ..
                 } => {
                     max_ino = max_ino.max(ino);
-                    if let Some(old) = dirents.insert(
-                        (parent, name),
-                        DirentInfo { ino, ftype, loc },
-                    ) {
+                    if let Some(old) =
+                        dirents.insert((parent, name), DirentInfo { ino, ftype, loc })
+                    {
                         dead[old.loc.block as usize] += old.loc.len;
                     }
                 }
@@ -863,14 +862,8 @@ impl FileSystem for Jffs2Fs {
                     value,
                     ..
                 } => {
-                    if let Some(old) = xattrs.insert(
-                        (ino, name),
-                        XattrInfo {
-                            value,
-                            delete,
-                            loc,
-                        },
-                    ) {
+                    if let Some(old) = xattrs.insert((ino, name), XattrInfo { value, delete, loc })
+                    {
                         dead[old.loc.block as usize] += old.loc.len;
                     }
                 }
@@ -1301,9 +1294,7 @@ impl FileSystem for Jffs2Fs {
             match (src_is_dir, dst_is_dir) {
                 (true, false) => return Err(Errno::ENOTDIR),
                 (false, true) => return Err(Errno::EISDIR),
-                (true, true) if !self.children(dst_ino).is_empty() => {
-                    return Err(Errno::ENOTEMPTY)
-                }
+                (true, true) if !self.children(dst_ino).is_empty() => return Err(Errno::ENOTEMPTY),
                 _ => {}
             }
             // Target replacement happens implicitly: the new dirent wins.
@@ -1528,7 +1519,9 @@ mod tests {
     }
 
     fn read_file(fs: &mut Jffs2Fs, p: &str) -> Vec<u8> {
-        let fd = fs.open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let size = fs.stat(p).unwrap().size as usize;
         let mut buf = vec![0; size + 8];
         let n = fs.read(fd, &mut buf).unwrap();
@@ -1569,7 +1562,9 @@ mod tests {
     fn versions_pick_latest_content() {
         let mut fs = jffs2();
         write_file(&mut fs, "/v", b"one");
-        let fd = fs.open("/v", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/v", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         fs.write(fd, b"two").unwrap();
         fs.close(fd).unwrap();
         fs.chmod("/v", FileMode::new(0o600)).unwrap(); // metadata-only node
@@ -1585,7 +1580,11 @@ mod tests {
         // Overwrite one file many times: forces GC across erase blocks.
         for round in 0..200 {
             let fd = fs
-                .open("/churn", OpenFlags::write_only().with_create().with_trunc(), FileMode::REG_DEFAULT)
+                .open(
+                    "/churn",
+                    OpenFlags::write_only().with_create().with_trunc(),
+                    FileMode::REG_DEFAULT,
+                )
                 .unwrap();
             fs.write(fd, &vec![round as u8; 1500]).unwrap();
             fs.close(fd).unwrap();
@@ -1718,16 +1717,28 @@ mod tests {
     fn open_trunc_create_flags() {
         let mut fs = jffs2();
         let fd = fs
-            .open("/n", OpenFlags::read_write().with_create(), FileMode::REG_DEFAULT)
+            .open(
+                "/n",
+                OpenFlags::read_write().with_create(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.write(fd, b"hello").unwrap();
         fs.close(fd).unwrap();
         assert_eq!(
-            fs.open("/n", OpenFlags::read_only().with_create().with_excl(), FileMode::REG_DEFAULT),
+            fs.open(
+                "/n",
+                OpenFlags::read_only().with_create().with_excl(),
+                FileMode::REG_DEFAULT
+            ),
             Err(Errno::EEXIST)
         );
         let fd = fs
-            .open("/n", OpenFlags::write_only().with_trunc(), FileMode::REG_DEFAULT)
+            .open(
+                "/n",
+                OpenFlags::write_only().with_trunc(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.close(fd).unwrap();
         assert_eq!(fs.stat("/n").unwrap().size, 0);
@@ -1763,7 +1774,9 @@ mod frag_tests {
         // Rescan reassembles the fragments.
         fs.unmount().unwrap();
         fs.mount().unwrap();
-        let fd = fs.open("/big", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/big", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut buf = vec![0u8; data.len() + 8];
         let n = fs.read(fd, &mut buf).unwrap();
         fs.close(fd).unwrap();
@@ -1783,12 +1796,18 @@ mod frag_tests {
         // ...while churn forces GC to move its fragments around.
         for round in 0..60 {
             let fd = fs
-                .open("/churn", OpenFlags::write_only().with_create().with_trunc(), FileMode::REG_DEFAULT)
+                .open(
+                    "/churn",
+                    OpenFlags::write_only().with_create().with_trunc(),
+                    FileMode::REG_DEFAULT,
+                )
                 .unwrap();
             fs.write(fd, &vec![round as u8; 2000]).unwrap();
             fs.close(fd).unwrap();
         }
-        let fd = fs.open("/keep", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/keep", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut buf = vec![0u8; keep.len()];
         fs.read(fd, &mut buf).unwrap();
         fs.close(fd).unwrap();

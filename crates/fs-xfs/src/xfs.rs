@@ -16,7 +16,7 @@ use std::collections::{BTreeMap, HashMap, HashSet};
 use blockdev::BlockDevice;
 use vfs::{
     path, AccessMode, DeviceBacked, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FsCapabilities, FileType, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
+    FileType, FsCapabilities, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
 };
 
 const XFS_MAGIC: u32 = 0x5846_5331; // "XFS1"
@@ -85,7 +85,9 @@ impl SuperBlock {
     }
 
     fn decode(buf: &[u8]) -> VfsResult<Self> {
-        let word = |i: usize| u32::from_le_bytes([buf[i * 4], buf[i * 4 + 1], buf[i * 4 + 2], buf[i * 4 + 3]]);
+        let word = |i: usize| {
+            u32::from_le_bytes([buf[i * 4], buf[i * 4 + 1], buf[i * 4 + 2], buf[i * 4 + 3]])
+        };
         let sb = SuperBlock {
             magic: word(0),
             block_size: word(1),
@@ -1063,7 +1065,10 @@ impl<D: BlockDevice> FileSystem for XfsFs<D> {
                 }
                 used.extend(inode.extents.iter().copied());
                 if inode.overflow != 0 {
-                    used.push(Extent { start: inode.overflow, len: 1 });
+                    used.push(Extent {
+                        start: inode.overflow,
+                        len: 1,
+                    });
                     if total as usize > INLINE_EXTENTS {
                         let mut ov = vec![0u8; bs];
                         io(self.dev.read_block(inode.overflow as u64, &mut ov))?;
@@ -1080,7 +1085,10 @@ impl<D: BlockDevice> FileSystem for XfsFs<D> {
                     }
                 }
                 if inode.xattr_block != 0 {
-                    used.push(Extent { start: inode.xattr_block, len: 1 });
+                    used.push(Extent {
+                        start: inode.xattr_block,
+                        len: 1,
+                    });
                 }
             }
             used.sort_by_key(|e| e.start);
@@ -1183,13 +1191,12 @@ impl<D: BlockDevice> FileSystem for XfsFs<D> {
             }
             c.m.meta_dirty = false;
         }
-        let mut blocks: Vec<u32> = c
-            .m
-            .bufs
-            .iter()
-            .filter(|(_, b)| b.dirty)
-            .map(|(blk, _)| *blk)
-            .collect();
+        let mut blocks: Vec<u32> =
+            c.m.bufs
+                .iter()
+                .filter(|(_, b)| b.dirty)
+                .map(|(blk, _)| *blk)
+                .collect();
         blocks.sort_unstable();
         for blk in blocks {
             let data = c.m.bufs[&blk].data.clone();
@@ -1707,7 +1714,9 @@ mod tests {
     }
 
     fn read_file<D: BlockDevice>(fs: &mut XfsFs<D>, p: &str) -> Vec<u8> {
-        let fd = fs.open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let size = fs.stat(p).unwrap().size as usize;
         let mut buf = vec![0; size + 8];
         let n = fs.read(fd, &mut buf).unwrap();
@@ -1745,7 +1754,10 @@ mod tests {
         assert_eq!(fs.stat("/d").unwrap().size, 0, "empty dir reports 0");
         write_file(&mut fs, "/d/file", b"");
         let sz = fs.stat("/d").unwrap().size;
-        assert!(sz > 0 && sz < 4096, "entry-based, not a block multiple: {sz}");
+        assert!(
+            sz > 0 && sz < 4096,
+            "entry-based, not a block multiple: {sz}"
+        );
     }
 
     #[test]
@@ -1760,7 +1772,12 @@ mod tests {
         for n in ["aaa", "bbb", "ccc", "ddd"] {
             write_file(&mut fs, &format!("/{n}"), b"");
         }
-        let names: Vec<_> = fs.getdents("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<_> = fs
+            .getdents("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         let mut by_hash = vec!["aaa", "bbb", "ccc", "ddd"];
         by_hash.sort_by_key(|n| name_hash(n));
         assert_eq!(names, by_hash);

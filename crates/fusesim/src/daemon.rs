@@ -96,7 +96,10 @@ mod tests {
     #[test]
     fn daemon_holds_dev_fuse() {
         let d = FuseDaemon::new(());
-        assert_eq!(d.device_handles(), &[DeviceHandle::Char("/dev/fuse".into())]);
+        assert_eq!(
+            d.device_handles(),
+            &[DeviceHandle::Char("/dev/fuse".into())]
+        );
         assert_eq!(d.device_handles()[0].path(), "/dev/fuse");
     }
 

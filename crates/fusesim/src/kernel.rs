@@ -184,12 +184,19 @@ impl<F: FileSystem> FuseMount<F> {
 
     /// Number of cache entries invalidated so far (for tests and reports).
     pub fn invalidation_count(&self) -> u64 {
-        self.caches.lock().expect("cache lock poisoned").invalidations
+        self.caches
+            .lock()
+            .expect("cache lock poisoned")
+            .invalidations
     }
 
     /// Number of live dentry-cache entries.
     pub fn dentry_cache_len(&self) -> usize {
-        self.caches.lock().expect("cache lock poisoned").dentries.len()
+        self.caches
+            .lock()
+            .expect("cache lock poisoned")
+            .dentries
+            .len()
     }
 
     fn now(&self) -> u64 {
@@ -218,7 +225,13 @@ impl<F: FileSystem> FuseMount<F> {
             .lock()
             .expect("cache lock poisoned")
             .dentries
-            .insert((parent, name.to_string()), Timed { value: child, expires_ns });
+            .insert(
+                (parent, name.to_string()),
+                Timed {
+                    value: child,
+                    expires_ns,
+                },
+            );
     }
 
     fn cache_attr(&mut self, stat: FileStat) {
@@ -227,7 +240,13 @@ impl<F: FileSystem> FuseMount<F> {
             .lock()
             .expect("cache lock poisoned")
             .attrs
-            .insert(stat.ino.0, Timed { value: stat, expires_ns });
+            .insert(
+                stat.ino.0,
+                Timed {
+                    value: stat,
+                    expires_ns,
+                },
+            );
     }
 
     fn cached_dentry(&self, parent: u64, name: &str) -> Option<Option<u64>> {
@@ -530,7 +549,9 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
     fn utimens(&mut self, p: &str, atime: u64, mtime: u64) -> VfsResult<()> {
         let ino = self.resolve(p)?;
         let path_owned = p.to_string();
-        let res = self.send(FuseOpKind::Setattr, |fs| fs.utimens(&path_owned, atime, mtime));
+        let res = self.send(FuseOpKind::Setattr, |fs| {
+            fs.utimens(&path_owned, atime, mtime)
+        });
         if res.is_ok() {
             self.drop_attr(ino);
         }
@@ -650,7 +671,9 @@ mod tests {
     fn mount_verifs(fs: VeriFs) -> FuseMount<VeriFs> {
         let mut m = FuseMount::new(fs);
         let conn = m.connection();
-        m.daemon_mut().fs_mut().set_invalidation_sink(Arc::new(conn));
+        m.daemon_mut()
+            .fs_mut()
+            .set_invalidation_sink(Arc::new(conn));
         m.mount().unwrap();
         m
     }
@@ -663,7 +686,12 @@ mod tests {
         m.close(fd).unwrap();
         assert_eq!(m.stat("/f").unwrap().size, 3);
         m.mkdir("/d", FileMode::DIR_DEFAULT).unwrap();
-        let names: Vec<_> = m.getdents("/").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<_> = m
+            .getdents("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["d", "f"]);
         assert!(m.daemon().traffic().total() > 0);
     }
@@ -739,7 +767,9 @@ mod tests {
             m.checkpoint(1).unwrap();
             m.stat("/f").unwrap(); // prime attr cache (size 0)
             m.truncate("/f", 0).unwrap(); // drop attrs so next stat re-primes
-            let fd = m.open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+            let fd = m
+                .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+                .unwrap();
             m.write(fd, b"grown").unwrap();
             m.close(fd).unwrap();
             m.stat("/f").unwrap(); // prime attr cache with size 5
@@ -772,7 +802,8 @@ mod tests {
     #[test]
     fn message_costs_charge_the_clock() {
         let clock = Clock::new();
-        let mut m = FuseMount::with_config(VeriFs::v2(), FuseConfig::default(), Some(clock.clone()));
+        let mut m =
+            FuseMount::with_config(VeriFs::v2(), FuseConfig::default(), Some(clock.clone()));
         m.mount().unwrap();
         let before = clock.now_ns();
         let fd = m.create("/f", FileMode::REG_DEFAULT).unwrap();
@@ -838,7 +869,9 @@ mod more_tests {
     fn mounted() -> FuseMount<VeriFs> {
         let mut m = FuseMount::new(VeriFs::v2());
         let conn = m.connection();
-        m.daemon_mut().fs_mut().set_invalidation_sink(Arc::new(conn));
+        m.daemon_mut()
+            .fs_mut()
+            .set_invalidation_sink(Arc::new(conn));
         m.mount().unwrap();
         m
     }
@@ -899,7 +932,8 @@ mod more_tests {
         m.symlink("/target", "/ln").unwrap();
         assert_eq!(m.readlink("/ln").unwrap(), "/target");
         assert_eq!(m.stat("/ln").unwrap().ftype, vfs::FileType::Symlink);
-        m.setxattr("/target", "user.k", b"v", XattrFlags::Any).unwrap();
+        m.setxattr("/target", "user.k", b"v", XattrFlags::Any)
+            .unwrap();
         assert_eq!(m.getxattr("/target", "user.k").unwrap(), b"v");
         assert_eq!(m.listxattr("/target").unwrap(), vec!["user.k"]);
         m.removexattr("/target", "user.k").unwrap();

@@ -39,8 +39,7 @@ use std::fmt;
 /// let d: Digest128 = md5(b"");
 /// assert_eq!(d.to_hex(), "d41d8cd98f00b204e9800998ecf8427e");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub struct Digest128([u8; 16]);
 
 impl Digest128 {
@@ -70,7 +69,6 @@ impl Digest128 {
         s
     }
 }
-
 
 impl fmt::Display for Digest128 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {

@@ -4,7 +4,7 @@ use blockdev::Clock;
 
 use crate::memmodel::{MemConfig, MemoryModel, OutOfMemory};
 use crate::system::{ApplyOutcome, ModelSystem, StateId, Violation};
-use crate::visited::{Visit, VisitedSet};
+use crate::visited::{Visit, VisitedHandle, VisitedSet};
 
 /// Exploration bounds and options.
 #[derive(Debug, Clone)]
@@ -84,6 +84,9 @@ pub enum StopReason {
     OutOfMemory(OutOfMemory),
     /// Checkpoint/restore failed.
     Fatal(String),
+    /// The worker thread panicked (swarm mode records this instead of
+    /// aborting the fleet; the payload is the panic message).
+    WorkerPanic(String),
 }
 
 /// Counters from one exploration.
@@ -183,11 +186,12 @@ impl DfsExplorer {
 
     /// Runs with a caller-owned visited set — the paper's §7 resumability:
     /// persist the visited set across an interruption (e.g. a kernel crash
-    /// during checking) and resume without re-exploring known states.
-    pub fn run_with_visited<S: ModelSystem>(
+    /// during checking) and resume without re-exploring known states. The
+    /// set may also be a swarm-shared [`crate::ShardedVisited`].
+    pub fn run_with_visited<S: ModelSystem, V: VisitedHandle>(
         &self,
         sys: &mut S,
-        visited: &mut VisitedSet,
+        visited: &mut V,
     ) -> ExploreReport<S::Op> {
         let visited = &mut *visited;
         let start_ns = self.clock.as_ref().map(Clock::now_ns).unwrap_or(0);
@@ -571,11 +575,13 @@ impl RandomWalk {
     }
 
     /// Runs with a caller-owned visited set (§7 resumability — see
-    /// [`DfsExplorer::run_with_visited`]) and a progress observer.
-    pub fn run_resumable<S: ModelSystem>(
+    /// [`DfsExplorer::run_with_visited`]) and a progress observer. The set
+    /// may also be a swarm-shared [`crate::ShardedVisited`], in which case
+    /// states another worker already expanded count as matched here.
+    pub fn run_resumable<S: ModelSystem, V: VisitedHandle>(
         &self,
         sys: &mut S,
-        visited: &mut VisitedSet,
+        visited: &mut V,
         mut observe: impl FnMut(&ExploreStats),
     ) -> ExploreReport<S::Op> {
         use rand::rngs::StdRng;
@@ -714,8 +720,7 @@ impl RandomWalk {
                     if self.cfg.backtrack_on_match {
                         // SPIN semantics: a matched state ends the path.
                         let target = if self.cfg.restart_spread > 0.0 && stored.len() > 1 {
-                            let window = ((stored.len() as f64 * self.cfg.restart_spread)
-                                as usize)
+                            let window = ((stored.len() as f64 * self.cfg.restart_spread) as usize)
                                 .clamp(1, stored.len());
                             let start = stored.len() - window;
                             stored[rng.gen_range(start..stored.len())]

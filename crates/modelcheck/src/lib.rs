@@ -76,7 +76,7 @@ pub use explore::{
 pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use system::{ApplyOutcome, ModelSystem, StateId, Violation};
-pub use visited::{ResizeEvent, SharedVisited, Visit, VisitedSet, BYTES_PER_ENTRY};
+pub use visited::{ResizeEvent, ShardedVisited, Visit, VisitedHandle, VisitedSet, BYTES_PER_ENTRY};
 
 #[cfg(test)]
 mod tests {
@@ -286,7 +286,9 @@ mod tests {
             },
             ..ExploreConfig::default()
         };
-        let report = DfsExplorer::new(cfg).with_clock(clock.clone()).run(&mut sys);
+        let report = DfsExplorer::new(cfg)
+            .with_clock(clock.clone())
+            .run(&mut sys);
         assert!(report.stats.virtual_ns > 0, "swap charges accrued");
         assert!(report.stats.swap_traffic_bytes > 0);
         assert!(report.stats.ops_per_sec().is_some());
@@ -401,6 +403,7 @@ mod tests {
                 seed: 7,
                 ..ExploreConfig::default()
             },
+            shared_visited: false,
         };
         let report = run_swarm(&cfg, |_| Counter::new(40, Some(11)));
         assert!(report.found_violation());
@@ -418,6 +421,7 @@ mod tests {
                 max_ops: 1_000,
                 ..ExploreConfig::default()
             },
+            shared_visited: false,
         };
         let report = run_swarm(&cfg, |_| Counter::new(10, None));
         assert!(!report.found_violation());
@@ -425,6 +429,133 @@ mod tests {
         for w in &report.workers {
             assert_eq!(w.stop, StopReason::OpBudget);
         }
+    }
+
+    #[test]
+    fn swarm_shared_visited_prunes_cross_worker_duplicates() {
+        let base = ExploreConfig {
+            max_depth: 8,
+            max_ops: 2_000,
+            seed: 3,
+            ..ExploreConfig::default()
+        };
+        let private = run_swarm(
+            &SwarmConfig {
+                workers: 4,
+                base: base.clone(),
+                shared_visited: false,
+            },
+            |_| Counter::new(12, None),
+        );
+        let shared = run_swarm(
+            &SwarmConfig {
+                workers: 4,
+                base,
+                shared_visited: true,
+            },
+            |_| Counter::new(12, None),
+        );
+        // The counter has only 13 reachable states; 4 private workers each
+        // rediscover them, the shared fleet discovers each exactly once.
+        assert!(private.total_states() > shared.total_states());
+        assert!(
+            shared.total_states() <= 13,
+            "shared swarm must not double-count states: {}",
+            shared.total_states()
+        );
+    }
+
+    /// A system that panics after a few ops in worker 0's configuration —
+    /// the fleet must survive and the panic must be recorded.
+    struct PanicAfter {
+        inner: Counter,
+        remaining: Option<u32>,
+    }
+
+    impl ModelSystem for PanicAfter {
+        type Op = i64;
+
+        fn ops(&mut self) -> Vec<i64> {
+            self.inner.ops()
+        }
+
+        fn apply(&mut self, op: &i64) -> ApplyOutcome {
+            if let Some(n) = &mut self.remaining {
+                if *n == 0 {
+                    panic!("injected worker fault");
+                }
+                *n -= 1;
+            }
+            self.inner.apply(op)
+        }
+
+        fn abstract_state(&mut self) -> u128 {
+            self.inner.abstract_state()
+        }
+
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.inner.checkpoint(id)
+        }
+
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.inner.restore(id)
+        }
+
+        fn release(&mut self, id: StateId) {
+            self.inner.release(id)
+        }
+    }
+
+    #[test]
+    fn swarm_contains_worker_panics_and_survivors_finish() {
+        let cfg = SwarmConfig {
+            workers: 4,
+            base: ExploreConfig {
+                max_depth: 5,
+                max_ops: 1_000,
+                ..ExploreConfig::default()
+            },
+            shared_visited: false,
+        };
+        let report = run_swarm(&cfg, |idx| PanicAfter {
+            inner: Counter::new(10, None),
+            remaining: (idx == 0).then_some(3),
+        });
+        assert_eq!(report.workers.len(), 4);
+        let panics: Vec<_> = report.panics().collect();
+        assert_eq!(panics.len(), 1, "exactly worker 0 panics");
+        assert_eq!(panics[0].0, 0);
+        assert!(panics[0].1.contains("injected worker fault"));
+        // Survivors ran their full budgets.
+        for w in &report.workers[1..] {
+            assert_eq!(w.stop, StopReason::OpBudget);
+            assert!(w.stats.ops_executed >= 1_000);
+        }
+    }
+
+    #[test]
+    fn swarm_shared_visited_survives_a_panicked_worker() {
+        // A worker dying while the fleet shares the visited set must not
+        // poison or wedge the shards for the survivors.
+        let cfg = SwarmConfig {
+            workers: 3,
+            base: ExploreConfig {
+                max_depth: 6,
+                max_ops: 1_500,
+                ..ExploreConfig::default()
+            },
+            shared_visited: true,
+        };
+        let report = run_swarm(&cfg, |idx| PanicAfter {
+            inner: Counter::new(10, None),
+            remaining: (idx == 1).then_some(5),
+        });
+        assert_eq!(report.panics().count(), 1);
+        assert!(
+            report.workers[0].stats.ops_executed >= 1_500
+                || report.workers[2].stats.ops_executed >= 1_500,
+            "survivors must keep exploring through the shared set"
+        );
     }
 }
 
@@ -539,8 +670,11 @@ mod resume_tests {
             pos: (0, 0),
             store: HashMap::new(),
         };
-        let r2 = RandomWalk::new(ExploreConfig { seed: 10, ..cfg })
-            .run_resumable(&mut sys2, &mut visited, |_| {});
+        let r2 = RandomWalk::new(ExploreConfig { seed: 10, ..cfg }).run_resumable(
+            &mut sys2,
+            &mut visited,
+            |_| {},
+        );
         // The resumed run counts only *new* states beyond phase 1.
         assert_eq!(found1 + r2.stats.states_new, visited.len() as u64);
     }

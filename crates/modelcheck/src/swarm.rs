@@ -6,11 +6,23 @@
 //! [`run_swarm`] runs one explorer per worker thread over systems produced
 //! by a factory, with a shared stop flag so the first violation cancels the
 //! fleet.
+//!
+//! Two visited-set modes exist. Classic swarm gives each worker a private
+//! set: maximum diversification, but workers re-expand each other's states.
+//! With [`SwarmConfig::shared_visited`] the fleet shares one
+//! [`ShardedVisited`]: a state expanded by any worker is matched (pruned) by
+//! every other, trading some diversity for no duplicated expansion work.
+//!
+//! A panicking worker does not abort the fleet: the panic is caught, the
+//! worker's slot reports [`StopReason::WorkerPanic`], and the survivors run
+//! to completion.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use crate::explore::{ExploreConfig, ExploreReport, RandomWalk, StopReason};
+use crate::explore::{ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason};
 use crate::system::ModelSystem;
+use crate::visited::ShardedVisited;
 
 /// Swarm configuration.
 #[derive(Debug, Clone)]
@@ -18,14 +30,19 @@ pub struct SwarmConfig {
     /// Number of worker searches.
     pub workers: usize,
     /// Base exploration config; each worker gets `seed = base.seed + index`
-    /// and a private visited set (classic swarm diversification).
+    /// (classic swarm diversification).
     pub base: ExploreConfig,
+    /// Share one sharded visited set across the fleet so workers skip
+    /// states another worker already expanded, instead of duplicating work
+    /// with private per-worker sets.
+    pub shared_visited: bool,
 }
 
 /// Aggregated swarm outcome.
 #[derive(Debug)]
 pub struct SwarmReport<Op> {
-    /// Per-worker reports, indexed by worker.
+    /// Per-worker reports, indexed by worker. A worker that panicked
+    /// reports [`StopReason::WorkerPanic`] with zeroed stats.
     pub workers: Vec<ExploreReport<Op>>,
 }
 
@@ -35,10 +52,17 @@ impl<Op> SwarmReport<Op> {
         self.workers.iter().map(|w| w.stats.ops_executed).sum()
     }
 
-    /// Total distinct states across workers (workers may overlap; swarm
-    /// trades duplicate work for parallelism and diversity).
+    /// Total distinct states across workers. With private visited sets
+    /// workers may overlap (swarm trades duplicate work for parallelism and
+    /// diversity); with a shared set this is the global distinct count.
     pub fn total_states(&self) -> u64 {
         self.workers.iter().map(|w| w.stats.states_new).sum()
+    }
+
+    /// Total visited-set matches across workers — with a shared set this
+    /// includes states first expanded by *another* worker.
+    pub fn total_matched(&self) -> u64 {
+        self.workers.iter().map(|w| w.stats.states_matched).sum()
     }
 
     /// All violations found by any worker.
@@ -50,6 +74,28 @@ impl<Op> SwarmReport<Op> {
     pub fn found_violation(&self) -> bool {
         self.workers.iter().any(|w| w.stop == StopReason::Violation)
     }
+
+    /// Panic messages of workers that died, with their worker index.
+    pub fn panics(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.workers
+            .iter()
+            .enumerate()
+            .filter_map(|(i, w)| match &w.stop {
+                StopReason::WorkerPanic(msg) => Some((i, msg.as_str())),
+                _ => None,
+            })
+    }
+}
+
+/// Renders a panic payload for [`StopReason::WorkerPanic`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
 }
 
 /// Runs `cfg.workers` randomized searches in parallel over systems produced
@@ -57,7 +103,9 @@ impl<Op> SwarmReport<Op> {
 ///
 /// The first worker to find a violation raises the shared stop flag; other
 /// workers notice it through their op budgets being re-checked each step —
-/// here, by a wrapper system that reports no further operations.
+/// here, by a wrapper system that reports no further operations. A worker
+/// panic is contained to its slot (see [`SwarmReport::panics`]); the rest
+/// of the fleet keeps searching.
 pub fn run_swarm<S, F>(cfg: &SwarmConfig, factory: F) -> SwarmReport<S::Op>
 where
     S: ModelSystem,
@@ -65,36 +113,56 @@ where
     F: Fn(usize) -> S + Sync,
 {
     let stop = AtomicBool::new(false);
-    let mut reports: Vec<Option<ExploreReport<S::Op>>> =
-        (0..cfg.workers).map(|_| None).collect();
+    // One shard per worker (rounded up to a power of two, min 8) keeps
+    // same-shard collisions between workers rare.
+    let shared = cfg
+        .shared_visited
+        .then(|| ShardedVisited::new(cfg.base.visited_capacity, cfg.workers.max(8)));
+    let mut reports: Vec<Option<ExploreReport<S::Op>>> = (0..cfg.workers).map(|_| None).collect();
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (idx, slot) in reports.iter_mut().enumerate() {
             let stop = &stop;
             let factory = &factory;
+            let shared = shared.clone();
             let base = cfg.base.clone();
-            scope.spawn(move |_| {
-                let mut worker_cfg = base;
-                worker_cfg.seed = worker_cfg.seed.wrapping_add(idx as u64);
-                let mut sys = Stoppable {
-                    inner: factory(idx),
-                    stop,
-                };
-                let walk = RandomWalk::new(worker_cfg);
-                let report = walk.run(&mut sys);
-                if report.stop == StopReason::Violation {
-                    stop.store(true, Ordering::SeqCst);
-                }
-                *slot = Some(report);
+            scope.spawn(move || {
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let mut worker_cfg = base;
+                    worker_cfg.seed = worker_cfg.seed.wrapping_add(idx as u64);
+                    let mut sys = Stoppable {
+                        inner: factory(idx),
+                        stop,
+                    };
+                    let walk = RandomWalk::new(worker_cfg);
+                    match shared {
+                        Some(mut visited) => walk.run_resumable(&mut sys, &mut visited, |_| {}),
+                        None => walk.run(&mut sys),
+                    }
+                }));
+                *slot = Some(match result {
+                    Ok(report) => {
+                        if report.stop == StopReason::Violation {
+                            stop.store(true, Ordering::SeqCst);
+                        }
+                        report
+                    }
+                    // Contain the panic: survivors keep searching, the dead
+                    // worker's slot records why it stopped.
+                    Err(payload) => ExploreReport {
+                        stats: ExploreStats::default(),
+                        violations: Vec::new(),
+                        stop: StopReason::WorkerPanic(panic_message(payload)),
+                    },
+                });
             });
         }
-    })
-    .expect("swarm worker panicked");
+    });
 
     SwarmReport {
         workers: reports
             .into_iter()
-            .map(|r| r.expect("worker finished"))
+            .map(|r| r.expect("worker slot filled"))
             .collect(),
     }
 }

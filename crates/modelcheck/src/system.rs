@@ -96,7 +96,11 @@ pub struct Violation<Op> {
 
 impl<Op: fmt::Debug> fmt::Display for Violation<Op> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "violation after {} ops: {}", self.ops_executed, self.message)?;
+        writeln!(
+            f,
+            "violation after {} ops: {}",
+            self.ops_executed, self.message
+        )?;
         writeln!(f, "trace ({} ops):", self.trace.len())?;
         for (i, op) in self.trace.iter().enumerate() {
             writeln!(f, "  {:>3}. {op:?}", i + 1)?;

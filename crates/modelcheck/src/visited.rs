@@ -4,6 +4,12 @@
 //! Spin was resizing its hash table of visited states". The visited set here
 //! reports resize events (with a modelled cost proportional to the rehashed
 //! entry count) so the reproduction exhibits the same dynamics.
+//!
+//! Two concrete sets exist: the explorer-private [`VisitedSet`], and the
+//! sharded concurrent [`ShardedVisited`] used by shared-visited swarm mode,
+//! where workers skip states another worker already expanded. Both are
+//! driven through the [`VisitedHandle`] trait so the explorers are generic
+//! over them.
 
 use std::collections::HashMap;
 
@@ -44,6 +50,30 @@ pub enum Visit {
     Matched,
 }
 
+/// Abstraction over visited-state tables, so explorers run unchanged against
+/// a private [`VisitedSet`] or a swarm-shared [`ShardedVisited`].
+pub trait VisitedHandle {
+    /// Inserts a fingerprint at depth 0; returns `(is_new, resize)`.
+    fn insert(&mut self, h: u128) -> (bool, Option<ResizeEvent>) {
+        let (visit, resize) = self.insert_at(h, 0);
+        (visit == Visit::New, resize)
+    }
+
+    /// Inserts a fingerprint reached at `depth`, classifying the visit.
+    fn insert_at(&mut self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>);
+
+    /// Bytes held by the table(s), per the model.
+    fn bytes(&self) -> u64;
+
+    /// Number of distinct states visited.
+    fn len(&self) -> usize;
+
+    /// Whether no state has been visited.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
 /// The explorer's visited-state set over 128-bit abstract fingerprints,
 /// remembering the shallowest depth each state was reached at.
 #[derive(Debug)]
@@ -75,6 +105,11 @@ impl VisitedSet {
     /// Inserts a fingerprint reached at `depth`, classifying the visit (see
     /// [`Visit`]). Depth-bounded searches expand on `New` *and*
     /// `Shallower`.
+    ///
+    /// Resize semantics: only a `New` insert can grow the entry count, so
+    /// only `New` can cross the doubling threshold. A `Shallower` visit
+    /// rewrites an existing entry's depth in place — the table is written,
+    /// but its size is unchanged, so no resize is modelled.
     pub fn insert_at(&mut self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
         let visit = match self.set.get(&h) {
             None => {
@@ -106,6 +141,11 @@ impl VisitedSet {
         self.set.contains_key(&h)
     }
 
+    /// Depth recorded for `h`, if visited.
+    pub fn depth_of(&self, h: u128) -> Option<u32> {
+        self.set.get(&h).copied()
+    }
+
     /// Number of distinct states visited.
     pub fn len(&self) -> usize {
         self.set.len()
@@ -133,37 +173,121 @@ impl Default for VisitedSet {
     }
 }
 
-/// A visited set shareable across swarm workers.
-///
-/// Cloning shares the underlying table. Swarm verification can run with a
-/// shared set (workers avoid each other's states) or give each worker its
-/// own ([`crate::run_swarm`] uses private sets for classic diversification).
-#[derive(Debug, Clone, Default)]
-pub struct SharedVisited {
-    inner: Arc<Mutex<VisitedSet>>,
+impl VisitedHandle for VisitedSet {
+    fn insert_at(&mut self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
+        VisitedSet::insert_at(self, h, depth)
+    }
+
+    fn bytes(&self) -> u64 {
+        VisitedSet::bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        VisitedSet::len(self)
+    }
 }
 
-impl SharedVisited {
-    /// Creates an empty shared set.
-    pub fn new(initial_capacity: usize) -> Self {
-        SharedVisited {
-            inner: Arc::new(Mutex::new(VisitedSet::new(initial_capacity))),
+/// A sharded concurrent visited set shareable across swarm workers.
+///
+/// Fingerprints are routed to one of N shards by their high bits (the
+/// fingerprint is already uniform, so shards fill evenly); each shard is an
+/// independent [`VisitedSet`] behind its own mutex, so workers touching
+/// different shards never contend — unlike the old single-mutex
+/// `SharedVisited` this replaces, which serialized the whole fleet on every
+/// insert.
+///
+/// Resize modelling is preserved per shard: each shard starts at
+/// `initial_capacity / nshards`, so with uniform fill all shards cross
+/// their doubling thresholds around the same aggregate entry count the
+/// unsharded table would have — the Fig. 3 dynamics survive sharding, just
+/// split into N smaller (and briefly overlapping) dips.
+///
+/// Cloning shares the underlying shards.
+#[derive(Debug, Clone)]
+pub struct ShardedVisited {
+    shards: Arc<Vec<Mutex<VisitedSet>>>,
+    shard_bits: u32,
+}
+
+impl ShardedVisited {
+    /// Creates an empty set with `nshards` shards (rounded up to a power of
+    /// two) and an aggregate first-resize threshold of `initial_capacity`.
+    pub fn new(initial_capacity: usize, nshards: usize) -> Self {
+        let n = nshards.max(1).next_power_of_two();
+        let per_shard = (initial_capacity / n).max(2);
+        let shards = (0..n)
+            .map(|_| Mutex::new(VisitedSet::new(per_shard)))
+            .collect();
+        ShardedVisited {
+            shards: Arc::new(shards),
+            shard_bits: n.trailing_zeros(),
         }
     }
 
-    /// Inserts a fingerprint (see [`VisitedSet::insert`]).
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, h: u128) -> &Mutex<VisitedSet> {
+        // High bits: the fingerprint is a uniform hash, and taking the top
+        // bits keeps the routing independent of how HashMap uses the low
+        // bits internally.
+        let idx = if self.shard_bits == 0 {
+            0
+        } else {
+            (h >> (128 - self.shard_bits)) as usize
+        };
+        &self.shards[idx]
+    }
+
+    /// Inserts a fingerprint at depth 0 (see [`VisitedSet::insert`]).
     pub fn insert(&self, h: u128) -> (bool, Option<ResizeEvent>) {
-        self.inner.lock().insert(h)
+        self.shard_for(h).lock().insert(h)
     }
 
-    /// Number of distinct states.
+    /// Inserts a fingerprint at `depth` (see [`VisitedSet::insert_at`]).
+    pub fn insert_at(&self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
+        self.shard_for(h).lock().insert_at(h, depth)
+    }
+
+    /// Whether `h` has been visited.
+    pub fn contains(&self, h: u128) -> bool {
+        self.shard_for(h).lock().contains(h)
+    }
+
+    /// Number of distinct states across all shards.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
-    /// Whether the set is empty.
+    /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.inner.lock().is_empty()
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Total modelled resizes across shards.
+    pub fn resizes(&self) -> u32 {
+        self.shards.iter().map(|s| s.lock().resizes()).sum()
+    }
+
+    /// Total modelled bytes across shards.
+    pub fn bytes(&self) -> u64 {
+        self.shards.iter().map(|s| s.lock().bytes()).sum()
+    }
+}
+
+impl VisitedHandle for ShardedVisited {
+    fn insert_at(&mut self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
+        ShardedVisited::insert_at(self, h, depth)
+    }
+
+    fn bytes(&self) -> u64 {
+        ShardedVisited::bytes(self)
+    }
+
+    fn len(&self) -> usize {
+        ShardedVisited::len(self)
     }
 }
 
@@ -213,13 +337,109 @@ mod tests {
         assert_eq!(v.resizes(), before);
     }
 
+    /// Pins the intended `insert_at` semantics: a `Shallower` visit rewrites
+    /// the table entry (the new depth is recorded) but must never trigger a
+    /// resize, because the entry count did not grow — only `New` inserts
+    /// count toward the doubling threshold.
     #[test]
-    fn shared_set_is_shared() {
-        let a = SharedVisited::new(64);
+    fn shallower_updates_depth_but_never_resizes() {
+        let mut v = VisitedSet::new(2);
+        assert_eq!(v.insert_at(1, 5).0, Visit::New);
+        // Second New insert reaches the threshold of 2 → resize.
+        let (visit, resize) = v.insert_at(2, 5);
+        assert_eq!(visit, Visit::New);
+        assert!(resize.is_some());
+        let resizes_before = v.resizes();
+
+        // Shallower re-visits write the table...
+        let (visit, resize) = v.insert_at(1, 3);
+        assert_eq!(visit, Visit::Shallower);
+        assert_eq!(v.depth_of(1), Some(3), "depth must be updated in place");
+        // ...but never resize, no matter how many happen at the threshold.
+        assert_eq!(resize, None);
+        for d in (0..3).rev() {
+            let (_, r) = v.insert_at(1, d);
+            assert_eq!(r, None);
+        }
+        assert_eq!(v.resizes(), resizes_before);
+        assert_eq!(v.len(), 2, "Shallower must not change the entry count");
+
+        // Equal-or-deeper is Matched and leaves the recorded depth alone.
+        assert_eq!(v.insert_at(1, 9).0, Visit::Matched);
+        assert_eq!(v.depth_of(1), Some(0));
+    }
+
+    #[test]
+    fn sharded_set_is_shared_and_dedups() {
+        let a = ShardedVisited::new(64, 4);
         let b = a.clone();
         assert!(a.insert(9).0);
         assert!(!b.insert(9).0);
         assert_eq!(b.len(), 1);
         assert!(!a.is_empty());
+        assert!(a.contains(9));
+    }
+
+    #[test]
+    fn sharded_routes_by_high_bits_and_counts_globally() {
+        let v = ShardedVisited::new(1 << 8, 8);
+        assert_eq!(v.shard_count(), 8);
+        // Spread fingerprints across all shards via the top 3 bits.
+        for top in 0..8u128 {
+            for low in 0..10u128 {
+                assert!(v.insert((top << 125) | low).0);
+            }
+        }
+        assert_eq!(v.len(), 80);
+        // Duplicates match regardless of which clone inserts them.
+        let c = v.clone();
+        for top in 0..8u128 {
+            assert!(!c.insert(top << 125).0);
+        }
+        assert_eq!(c.len(), 80);
+    }
+
+    #[test]
+    fn sharded_preserves_aggregate_resize_dynamics() {
+        // Unsharded table with capacity 64 resizes at 64, 128, 256 entries.
+        // The sharded equivalent (8 shards × 8) should produce its 8 first
+        // per-shard resizes clustered around 64 aggregate entries, etc.
+        let v = ShardedVisited::new(64, 8);
+        let mut rng_state = 0x12345678u128;
+        let mut aggregate_at_resize = Vec::new();
+        for _ in 0..512 {
+            // Cheap LCG over u128 to spread bits incl. the top ones.
+            rng_state = rng_state
+                .wrapping_mul(0x2d99787926d46932a4c1f32680f70c55)
+                .wrapping_add(1);
+            let (is_new, resize) = v.insert(rng_state);
+            if is_new && resize.is_some() {
+                aggregate_at_resize.push(v.len());
+            }
+        }
+        assert!(v.resizes() >= 8, "expected at least one resize per shard");
+        // First 8 resizes (one per shard) all happen well before the table
+        // doubles past the aggregate threshold's neighborhood.
+        for &agg in aggregate_at_resize.iter().take(8) {
+            assert!(
+                agg <= 64 * 2,
+                "first-round shard resize at aggregate {agg}, want near 64"
+            );
+        }
+    }
+
+    #[test]
+    fn handle_trait_is_object_usable_for_both() {
+        fn drive<V: VisitedHandle>(v: &mut V) -> usize {
+            v.insert(1);
+            v.insert(1);
+            v.insert_at(2, 4);
+            v.len()
+        }
+        let mut a = VisitedSet::new(16);
+        let mut b = ShardedVisited::new(16, 2);
+        assert_eq!(drive(&mut a), 2);
+        assert_eq!(drive(&mut b), 2);
+        assert!(a.bytes() > 0 && VisitedHandle::bytes(&b) > 0);
     }
 }

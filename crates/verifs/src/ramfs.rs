@@ -15,9 +15,8 @@ use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use vfs::{
-    path, AccessMode, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FsCapabilities, FsCheckpoint, FileType, Ino, InvalidationSink, OpenFlags, StatFs, VfsResult,
-    XattrFlags,
+    path, AccessMode, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem, FileType,
+    FsCapabilities, FsCheckpoint, Ino, InvalidationSink, OpenFlags, StatFs, VfsResult, XattrFlags,
 };
 
 use crate::bugs::BugConfig;
@@ -126,16 +125,10 @@ impl Inode {
     fn heap_bytes(&self) -> usize {
         let kind_bytes = match &self.kind {
             NodeKind::Regular { buf, .. } => buf.len(),
-            NodeKind::Directory { entries } => {
-                entries.keys().map(|k| k.len() + 16).sum::<usize>()
-            }
+            NodeKind::Directory { entries } => entries.keys().map(|k| k.len() + 16).sum::<usize>(),
             NodeKind::Symlink { target } => target.len(),
         };
-        let xattr_bytes: usize = self
-            .xattrs
-            .iter()
-            .map(|(k, v)| k.len() + v.len())
-            .sum();
+        let xattr_bytes: usize = self.xattrs.iter().map(|(k, v)| k.len() + v.len()).sum();
         kind_bytes + xattr_bytes + std::mem::size_of::<Inode>()
     }
 }
@@ -785,9 +778,7 @@ impl FileSystem for VeriFs {
             // VeriFS reports entry-based directory sizes (unlike ext's
             // block-multiple sizes) — one of the benign differences MCFS's
             // abstraction function must ignore (paper §3.4).
-            NodeKind::Directory { entries } => {
-                entries.keys().map(|k| k.len() as u64 + 8).sum()
-            }
+            NodeKind::Directory { entries } => entries.keys().map(|k| k.len() as u64 + 8).sum(),
             NodeKind::Symlink { target } => target.len() as u64,
         };
         Ok(FileStat {
@@ -1133,7 +1124,9 @@ mod tests {
     }
 
     fn read_file(fs: &mut VeriFs, p: &str) -> Vec<u8> {
-        let fd = fs.open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let size = fs.stat(p).unwrap().size as usize;
         let mut buf = vec![0; size + 16];
         let n = fs.read(fd, &mut buf).unwrap();
@@ -1179,10 +1172,22 @@ mod tests {
     fn create_errors() {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/a", b"");
-        assert_eq!(fs.create("/a", FileMode::REG_DEFAULT).unwrap_err(), Errno::EEXIST);
-        assert_eq!(fs.create("/no/f", FileMode::REG_DEFAULT).unwrap_err(), Errno::ENOENT);
-        assert_eq!(fs.create("/a/f", FileMode::REG_DEFAULT).unwrap_err(), Errno::ENOTDIR);
-        assert_eq!(fs.create("bad", FileMode::REG_DEFAULT).unwrap_err(), Errno::EINVAL);
+        assert_eq!(
+            fs.create("/a", FileMode::REG_DEFAULT).unwrap_err(),
+            Errno::EEXIST
+        );
+        assert_eq!(
+            fs.create("/no/f", FileMode::REG_DEFAULT).unwrap_err(),
+            Errno::ENOENT
+        );
+        assert_eq!(
+            fs.create("/a/f", FileMode::REG_DEFAULT).unwrap_err(),
+            Errno::ENOTDIR
+        );
+        assert_eq!(
+            fs.create("bad", FileMode::REG_DEFAULT).unwrap_err(),
+            Errno::EINVAL
+        );
     }
 
     #[test]
@@ -1193,7 +1198,11 @@ mod tests {
             Err(Errno::ENOENT)
         );
         let fd = fs
-            .open("/new", OpenFlags::read_write().with_create(), FileMode::REG_DEFAULT)
+            .open(
+                "/new",
+                OpenFlags::read_write().with_create(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.write(fd, b"abc").unwrap();
         fs.close(fd).unwrap();
@@ -1207,12 +1216,18 @@ mod tests {
         );
         // O_TRUNC clears content.
         let fd = fs
-            .open("/new", OpenFlags::write_only().with_trunc(), FileMode::REG_DEFAULT)
+            .open(
+                "/new",
+                OpenFlags::write_only().with_trunc(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.close(fd).unwrap();
         assert_eq!(fs.stat("/new").unwrap().size, 0);
         // Writing through a read-only descriptor fails.
-        let fd = fs.open("/new", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/new", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         assert_eq!(fs.write(fd, b"x"), Err(Errno::EBADF));
         fs.close(fd).unwrap();
     }
@@ -1222,7 +1237,11 @@ mod tests {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/log", b"one");
         let fd = fs
-            .open("/log", OpenFlags::write_only().with_append(), FileMode::REG_DEFAULT)
+            .open(
+                "/log",
+                OpenFlags::write_only().with_append(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.write(fd, b"two").unwrap();
         fs.close(fd).unwrap();
@@ -1251,7 +1270,9 @@ mod tests {
             fs.mount().unwrap();
             write_file(&mut fs, "/f", &[0xAA; 40]);
             fs.truncate("/f", 4).unwrap();
-            let fd = fs.open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+            let fd = fs
+                .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+                .unwrap();
             fs.lseek(fd, 20).unwrap();
             fs.write(fd, b"zz").unwrap();
             fs.close(fd).unwrap();
@@ -1294,7 +1315,11 @@ mod tests {
             // inside that capacity.
             write_file(&mut fs, "/f", &[1; 10]);
             let fd = fs
-                .open("/f", OpenFlags::write_only().with_append(), FileMode::REG_DEFAULT)
+                .open(
+                    "/f",
+                    OpenFlags::write_only().with_append(),
+                    FileMode::REG_DEFAULT,
+                )
                 .unwrap();
             fs.write(fd, &[2; 10]).unwrap();
             fs.close(fd).unwrap();
@@ -1394,7 +1419,8 @@ mod tests {
     fn v1_is_unbounded() {
         let mut fs = mounted_v1();
         let fd = fs.create("/big", FileMode::REG_DEFAULT).unwrap();
-        fs.write(fd, &vec![7u8; 3 * DEFAULT_DATA_BUDGET as usize / 2]).unwrap();
+        fs.write(fd, &vec![7u8; 3 * DEFAULT_DATA_BUDGET as usize / 2])
+            .unwrap();
         fs.close(fd).unwrap();
     }
 
@@ -1497,7 +1523,8 @@ mod tests {
     fn xattr_roundtrip_and_flags() {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/f", b"");
-        fs.setxattr("/f", "user.one", b"1", XattrFlags::Any).unwrap();
+        fs.setxattr("/f", "user.one", b"1", XattrFlags::Any)
+            .unwrap();
         assert_eq!(
             fs.setxattr("/f", "user.one", b"x", XattrFlags::Create),
             Err(Errno::EEXIST)
@@ -1506,13 +1533,17 @@ mod tests {
             fs.setxattr("/f", "user.two", b"x", XattrFlags::Replace),
             Err(Errno::ENODATA)
         );
-        fs.setxattr("/f", "user.two", b"2", XattrFlags::Any).unwrap();
+        fs.setxattr("/f", "user.two", b"2", XattrFlags::Any)
+            .unwrap();
         assert_eq!(fs.getxattr("/f", "user.one").unwrap(), b"1");
         assert_eq!(fs.listxattr("/f").unwrap(), vec!["user.one", "user.two"]);
         fs.removexattr("/f", "user.one").unwrap();
         assert_eq!(fs.removexattr("/f", "user.one"), Err(Errno::ENODATA));
         assert_eq!(fs.getxattr("/f", "user.one"), Err(Errno::ENODATA));
-        assert_eq!(fs.setxattr("/f", "", b"", XattrFlags::Any), Err(Errno::EINVAL));
+        assert_eq!(
+            fs.setxattr("/f", "", b"", XattrFlags::Any),
+            Err(Errno::EINVAL)
+        );
     }
 
     #[test]
@@ -1534,7 +1565,12 @@ mod tests {
         write_file(&mut fs, "/d/b", b"");
         write_file(&mut fs, "/d/a", b"");
         fs.symlink("/x", "/d/l").unwrap();
-        let names: Vec<_> = fs.getdents("/d").unwrap().into_iter().map(|e| e.name).collect();
+        let names: Vec<_> = fs
+            .getdents("/d")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
         assert_eq!(names, vec!["a", "b", "l"]);
         assert_eq!(fs.getdents("/d/a"), Err(Errno::ENOTDIR));
     }
@@ -1635,7 +1671,9 @@ mod tests {
     fn reads_never_see_beyond_eof() {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/f", b"0123456789");
-        let fd = fs.open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         fs.lseek(fd, 8).unwrap();
         let mut buf = [0xFFu8; 8];
         assert_eq!(fs.read(fd, &mut buf).unwrap(), 2);
@@ -1650,7 +1688,9 @@ mod tests {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/f", b"x");
         let t1 = fs.stat("/f").unwrap().mtime;
-        let fd = fs.open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         fs.write(fd, b"y").unwrap();
         fs.close(fd).unwrap();
         let t2 = fs.stat("/f").unwrap().mtime;
@@ -1662,7 +1702,9 @@ mod tests {
         let mut fs = mounted_v2();
         write_file(&mut fs, "/f", b"x");
         let before = fs.stat("/f").unwrap();
-        let fd = fs.open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         fs.read(fd, &mut [0u8; 1]).unwrap();
         fs.close(fd).unwrap();
         let after = fs.stat("/f").unwrap();
@@ -1684,11 +1726,15 @@ mod more_tests {
         fs.close(fd).unwrap();
         fs.checkpoint(1).unwrap();
         // Mutating the live state must not bleed into the stored snapshot.
-        let fd = fs.open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         fs.write(fd, b"XX").unwrap();
         fs.close(fd).unwrap();
         fs.restore_keep(1).unwrap();
-        let fd = fs.open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let fd = fs
+            .open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         let mut buf = [0u8; 4];
         let n = fs.read(fd, &mut buf).unwrap();
         fs.close(fd).unwrap();

@@ -92,10 +92,7 @@ impl<T> FdTable<T> {
     ///
     /// [`Errno::EBADF`] for unknown descriptors.
     pub fn remove(&mut self, fd: Fd) -> VfsResult<T> {
-        let slot = self
-            .slots
-            .get_mut(fd.0 as usize)
-            .ok_or(Errno::EBADF)?;
+        let slot = self.slots.get_mut(fd.0 as usize).ok_or(Errno::EBADF)?;
         let state = slot.take().ok_or(Errno::EBADF)?;
         self.open_count -= 1;
         Ok(state)

@@ -2,9 +2,7 @@
 //! checkpoint/restore API the paper proposes file systems should expose.
 
 use crate::errno::{Errno, VfsResult};
-use crate::types::{
-    AccessMode, DirEntry, Fd, FileMode, FileStat, OpenFlags, StatFs, XattrFlags,
-};
+use crate::types::{AccessMode, DirEntry, Fd, FileMode, FileStat, OpenFlags, StatFs, XattrFlags};
 
 /// Capability flags describing which optional operations a file system
 /// supports. MCFS consults these so it only issues operations every checked
@@ -271,7 +269,13 @@ pub trait FileSystem: Send {
     ///
     /// `ENOSYS` when unsupported; `EEXIST`/`ENODATA` per [`XattrFlags`];
     /// `ENOSPC`.
-    fn setxattr(&mut self, path: &str, name: &str, value: &[u8], flags: XattrFlags) -> VfsResult<()> {
+    fn setxattr(
+        &mut self,
+        path: &str,
+        name: &str,
+        value: &[u8],
+        flags: XattrFlags,
+    ) -> VfsResult<()> {
         let _ = (path, name, value, flags);
         Err(Errno::ENOSYS)
     }

@@ -97,7 +97,11 @@ pub fn split_parent(path: &str) -> VfsResult<(String, &str)> {
     }
     let idx = path.rfind('/').expect("validated paths contain '/'");
     let name = &path[idx + 1..];
-    let parent = if idx == 0 { "/".to_string() } else { path[..idx].to_string() };
+    let parent = if idx == 0 {
+        "/".to_string()
+    } else {
+        path[..idx].to_string()
+    };
     Ok((parent, name))
 }
 
@@ -131,6 +135,31 @@ pub fn depth(path: &str) -> usize {
     components(path).len()
 }
 
+/// Returns the strict ancestors of a validated path, nearest first and
+/// ending with the root (empty for `/` itself).
+///
+/// Used by the fingerprint cache to propagate invalidation upward: an
+/// operation on `/a/b/c` may change attributes hashed into the digests of
+/// `/a/b`, `/a`, and `/`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(vfs::path::ancestors("/a/b/c"), vec!["/a/b", "/a", "/"]);
+/// assert_eq!(vfs::path::ancestors("/a"), vec!["/"]);
+/// assert!(vfs::path::ancestors("/").is_empty());
+/// ```
+pub fn ancestors(path: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut rest = path;
+    while !is_root(rest) {
+        let idx = rest.rfind('/').expect("validated paths contain '/'");
+        rest = if idx == 0 { "/" } else { &rest[..idx] };
+        out.push(rest);
+    }
+    out
+}
+
 /// Whether `descendant` is `ancestor` itself or lies beneath it.
 ///
 /// Used to reject `rename("/a", "/a/b")` with `EINVAL` as POSIX requires.
@@ -148,8 +177,7 @@ pub fn is_same_or_descendant(ancestor: &str, descendant: &str) -> bool {
     if is_root(ancestor) {
         return true;
     }
-    descendant.starts_with(ancestor)
-        && descendant.as_bytes().get(ancestor.len()) == Some(&b'/')
+    descendant.starts_with(ancestor) && descendant.as_bytes().get(ancestor.len()) == Some(&b'/')
 }
 
 #[cfg(test)]
@@ -164,8 +192,18 @@ mod tests {
     }
 
     #[test]
+    fn ancestors_walk_to_the_root() {
+        assert_eq!(ancestors("/a/b/c"), vec!["/a/b", "/a", "/"]);
+        assert_eq!(ancestors("/a/b"), vec!["/a", "/"]);
+        assert_eq!(ancestors("/a"), vec!["/"]);
+        assert!(ancestors("/").is_empty());
+    }
+
+    #[test]
     fn validate_rejects_bad_paths() {
-        for p in ["", "a", "a/b", "/a/", "//", "/a//b", "/.", "/..", "/a/./b", "/a/../b"] {
+        for p in [
+            "", "a", "a/b", "/a/", "//", "/a//b", "/.", "/..", "/a/./b", "/a/../b",
+        ] {
             assert_eq!(validate(p), Err(Errno::EINVAL), "{p:?}");
         }
         assert_eq!(validate("/\0"), Err(Errno::EINVAL));

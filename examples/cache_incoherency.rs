@@ -60,9 +60,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         mount.checkpoint(1)?; // ioctl_CHECKPOINT
         mount.mkdir("/testdir", FileMode::DIR_DEFAULT)?;
         mount.restore(1)?; // ioctl_RESTORE: rolls back before the mkdir
-        // If the kernel dentry cache was not invalidated, this mkdir fails
-        // with EEXIST even though the directory does not exist — the exact
-        // symptom of the paper's bug 2.
+                           // If the kernel dentry cache was not invalidated, this mkdir fails
+                           // with EEXIST even though the directory does not exist — the exact
+                           // symptom of the paper's bug 2.
         Ok(mount.mkdir("/testdir", FileMode::DIR_DEFAULT) == Err(Errno::EEXIST))
     };
     let buggy = run(BugConfig {

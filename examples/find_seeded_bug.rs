@@ -52,7 +52,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = RandomWalk::new(ExploreConfig {
         max_depth: 12,
         max_ops: 200_000,
-        seed: 1,
+        seed: 4,
         ..ExploreConfig::default()
     })
     .run(&mut checked);
@@ -66,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("replaying the trace on a fresh pair...");
     let mut fresh = harness(bug)?;
     let (step, msg) = replay(&mut fresh, &violation.trace).expect("trace must reproduce");
-    println!("reproduced at step {} of {}:", step + 1, violation.trace.len());
+    println!(
+        "reproduced at step {} of {}:",
+        step + 1,
+        violation.trace.len()
+    );
     println!("{}", msg.lines().next().unwrap_or(""));
 
     // And the fixed file system passes the same trace.

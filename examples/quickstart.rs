@@ -55,7 +55,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("exploration     : {:?}", report.stop);
     println!("ops executed    : {}", report.stats.ops_executed);
     println!("distinct states : {}", report.stats.states_new);
-    println!("states matched  : {} (deduplicated)", report.stats.states_matched);
+    println!(
+        "states matched  : {} (deduplicated)",
+        report.stats.states_matched
+    );
     println!("violations      : {}", report.violations.len());
     println!("virtual time    : {:.3} s", clock.now_secs());
     if let Some(rate) = report.stats.ops_per_sec() {

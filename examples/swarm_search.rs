@@ -12,7 +12,8 @@ use verifs::{BugConfig, VeriFs};
 fn build_harness(_worker: usize) -> Mcfs {
     let clock = Clock::new();
     let wrap = |fs: VeriFs| {
-        let mut mount = FuseMount::with_config(fs, fusesim::FuseConfig::default(), Some(clock.clone()));
+        let mut mount =
+            FuseMount::with_config(fs, fusesim::FuseConfig::default(), Some(clock.clone()));
         let conn = mount.connection();
         mount
             .daemon_mut()
@@ -48,8 +49,12 @@ fn main() {
             seed: 100,
             ..ExploreConfig::default()
         },
+        shared_visited: false,
     };
-    println!("launching a swarm of {} diversified searches...", cfg.workers);
+    println!(
+        "launching a swarm of {} diversified searches...",
+        cfg.workers
+    );
     let report = run_swarm(&cfg, build_harness);
 
     for (i, w) in report.workers.iter().enumerate() {
@@ -58,8 +63,15 @@ fn main() {
             w.stop, w.stats.ops_executed, w.stats.states_new
         );
     }
-    assert!(report.found_violation(), "the swarm must find the seeded bug");
+    assert!(
+        report.found_violation(),
+        "the swarm must find the seeded bug"
+    );
     let v = report.violations().next().expect("violation recorded");
-    println!("\nfirst detection after {} ops; trace length {}", v.ops_executed, v.trace.len());
+    println!(
+        "\nfirst detection after {} ops; trace length {}",
+        v.ops_executed,
+        v.trace.len()
+    );
     println!("total ops across the swarm: {}", report.total_ops());
 }

@@ -74,7 +74,10 @@ fn bug1_truncate_no_zero_is_detected_and_replayable() {
     assert!(replay(&mut fresh, &trace).is_some(), "trace must reproduce");
     // And the fixed file system passes the identical trace.
     let mut fixed = harness(1, BugConfig::none());
-    assert!(replay(&mut fixed, &trace).is_none(), "fix must pass the trace");
+    assert!(
+        replay(&mut fixed, &trace).is_none(),
+        "fix must pass the trace"
+    );
 }
 
 #[test]

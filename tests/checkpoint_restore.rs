@@ -2,14 +2,20 @@
 //! bare VeriFS, VeriFS behind FUSE, and the strategy layer the checker uses.
 
 use blockdev::Clock;
-use mcfs::{abstract_state, AbstractionConfig, CheckedTarget, CheckpointTarget, RemountMode, RemountTarget};
+use mcfs::{
+    abstract_state, AbstractionConfig, CheckedTarget, CheckpointTarget, RemountMode, RemountTarget,
+};
 use verifs::VeriFs;
 use vfs::{Errno, FileMode, FileSystem, FsCheckpoint, OpenFlags};
 
 fn mutate(fs: &mut dyn FileSystem, tag: u8) {
     let path = format!("/mut{tag}");
     let fd = fs
-        .open(&path, OpenFlags::write_only().with_create(), FileMode::REG_DEFAULT)
+        .open(
+            &path,
+            OpenFlags::write_only().with_create(),
+            FileMode::REG_DEFAULT,
+        )
         .unwrap();
     fs.write(fd, &[tag; 64]).unwrap();
     fs.close(fd).unwrap();
@@ -145,7 +151,11 @@ fn strategy_layer_roundtrips_for_both_kinds() {
     let mut dev = RemountTarget::new(e4, RemountMode::PerOp).with_clock(Clock::new());
     dev.pre_op().unwrap();
     let bytes_dev = dev.save_state(1).unwrap();
-    assert_eq!(bytes_dev, 256 * 1024, "device strategy stores the full image");
+    assert_eq!(
+        bytes_dev,
+        256 * 1024,
+        "device strategy stores the full image"
+    );
     mutate(dev.fs_mut(), 6);
     dev.post_op().unwrap();
     dev.load_state(1).unwrap();

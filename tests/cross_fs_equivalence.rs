@@ -174,7 +174,10 @@ fn exhaustive_dfs_depth3_all_kernel_pairs_clean() {
                 .map(|v| v.to_string())
                 .unwrap_or_default()
         );
-        assert!(report.stats.states_new > 10, "{a} vs {b}: explored too little");
+        assert!(
+            report.stats.states_new > 10,
+            "{a} vs {b}: explored too little"
+        );
     }
 }
 

@@ -18,7 +18,9 @@ fn write_file(fs: &mut dyn FileSystem, p: &str, data: &[u8]) {
 }
 
 fn read_file(fs: &mut dyn FileSystem, p: &str) -> Vec<u8> {
-    let fd = fs.open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+    let fd = fs
+        .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+        .unwrap();
     let mut out = Vec::new();
     let mut buf = [0u8; 512];
     loop {

@@ -47,7 +47,9 @@ fn write_file(fs: &mut dyn FileSystem, p: &str, data: &[u8]) {
 }
 
 fn read_file(fs: &mut dyn FileSystem, p: &str) -> Vec<u8> {
-    let fd = fs.open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+    let fd = fs
+        .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+        .unwrap();
     let mut out = Vec::new();
     let mut buf = [0u8; 512];
     loop {
@@ -97,7 +99,8 @@ fn missing_paths_are_enoent() {
             "{name}"
         );
         assert_eq!(
-            fs.create("/no/such/parent", FileMode::REG_DEFAULT).unwrap_err(),
+            fs.create("/no/such/parent", FileMode::REG_DEFAULT)
+                .unwrap_err(),
             Errno::ENOENT,
             "{name}"
         );
@@ -109,7 +112,8 @@ fn paths_through_files_are_enotdir() {
     for (name, mut fs) in all_filesystems() {
         write_file(fs.as_mut(), "/plain", b"");
         assert_eq!(
-            fs.create("/plain/child", FileMode::REG_DEFAULT).unwrap_err(),
+            fs.create("/plain/child", FileMode::REG_DEFAULT)
+                .unwrap_err(),
             Errno::ENOTDIR,
             "{name}"
         );
@@ -120,7 +124,11 @@ fn paths_through_files_are_enotdir() {
 fn mkdir_rmdir_lifecycle() {
     for (name, mut fs) in all_filesystems() {
         fs.mkdir("/dir", FileMode::DIR_DEFAULT).unwrap();
-        assert_eq!(fs.mkdir("/dir", FileMode::DIR_DEFAULT).unwrap_err(), Errno::EEXIST, "{name}");
+        assert_eq!(
+            fs.mkdir("/dir", FileMode::DIR_DEFAULT).unwrap_err(),
+            Errno::EEXIST,
+            "{name}"
+        );
         write_file(fs.as_mut(), "/dir/inner", b"x");
         assert_eq!(fs.rmdir("/dir").unwrap_err(), Errno::ENOTEMPTY, "{name}");
         assert_eq!(fs.unlink("/dir").unwrap_err(), Errno::EISDIR, "{name}");
@@ -161,7 +169,11 @@ fn append_mode_appends() {
     for (name, mut fs) in all_filesystems() {
         write_file(fs.as_mut(), "/log", b"one,");
         let fd = fs
-            .open("/log", OpenFlags::write_only().with_append(), FileMode::REG_DEFAULT)
+            .open(
+                "/log",
+                OpenFlags::write_only().with_append(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.write(fd, b"two").unwrap();
         fs.close(fd).unwrap();
@@ -184,7 +196,11 @@ fn open_excl_and_trunc_flags() {
             "{name}"
         );
         let fd = fs
-            .open("/f", OpenFlags::write_only().with_trunc(), FileMode::REG_DEFAULT)
+            .open(
+                "/f",
+                OpenFlags::write_only().with_trunc(),
+                FileMode::REG_DEFAULT,
+            )
             .unwrap();
         fs.close(fd).unwrap();
         assert_eq!(fs.stat("/f").unwrap().size, 0, "{name}");
@@ -195,13 +211,25 @@ fn open_excl_and_trunc_flags() {
 fn descriptor_permissions_enforced() {
     for (name, mut fs) in all_filesystems() {
         write_file(fs.as_mut(), "/f", b"data");
-        let ro = fs.open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT).unwrap();
+        let ro = fs
+            .open("/f", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
         assert_eq!(fs.write(ro, b"x").unwrap_err(), Errno::EBADF, "{name}");
         fs.close(ro).unwrap();
-        let wo = fs.open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT).unwrap();
-        assert_eq!(fs.read(wo, &mut [0u8; 4]).unwrap_err(), Errno::EBADF, "{name}");
+        let wo = fs
+            .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
+        assert_eq!(
+            fs.read(wo, &mut [0u8; 4]).unwrap_err(),
+            Errno::EBADF,
+            "{name}"
+        );
         fs.close(wo).unwrap();
-        assert_eq!(fs.close(wo).unwrap_err(), Errno::EBADF, "{name}: double close");
+        assert_eq!(
+            fs.close(wo).unwrap_err(),
+            Errno::EBADF,
+            "{name}: double close"
+        );
     }
 }
 
@@ -239,11 +267,7 @@ fn getdents_lists_created_entries() {
 fn invalid_paths_rejected_uniformly() {
     for (name, mut fs) in all_filesystems() {
         for bad in ["relative", "/a//b", "/a/../b", "/trailing/"] {
-            assert_eq!(
-                fs.stat(bad).unwrap_err(),
-                Errno::EINVAL,
-                "{name}: {bad:?}"
-            );
+            assert_eq!(fs.stat(bad).unwrap_err(), Errno::EINVAL, "{name}: {bad:?}");
         }
         let long = format!("/{}", "n".repeat(300));
         assert_eq!(fs.stat(&long).unwrap_err(), Errno::ENAMETOOLONG, "{name}");
@@ -263,7 +287,11 @@ fn optional_features_match_capabilities() {
             assert_eq!(read_file(fs.as_mut(), "/dst"), b"origin", "{name}");
             fs.rename("/dst", "/src").unwrap();
         } else {
-            assert_eq!(fs.rename("/src", "/dst").unwrap_err(), Errno::ENOSYS, "{name}");
+            assert_eq!(
+                fs.rename("/src", "/dst").unwrap_err(),
+                Errno::ENOSYS,
+                "{name}"
+            );
         }
         if caps.hardlink {
             fs.link("/src", "/hard").unwrap();
@@ -282,7 +310,8 @@ fn optional_features_match_capabilities() {
             fs.unlink("/sym").unwrap();
         }
         if caps.xattr {
-            fs.setxattr("/src", "user.k", b"v", XattrFlags::Any).unwrap();
+            fs.setxattr("/src", "user.k", b"v", XattrFlags::Any)
+                .unwrap();
             assert_eq!(fs.getxattr("/src", "user.k").unwrap(), b"v", "{name}");
             assert_eq!(fs.listxattr("/src").unwrap(), vec!["user.k"], "{name}");
             fs.removexattr("/src", "user.k").unwrap();
@@ -315,6 +344,10 @@ fn state_survives_remount_on_persistent_filesystems() {
         fs.unmount().unwrap();
         fs.mount().unwrap();
         assert_eq!(read_file(fs.as_mut(), "/keep"), b"persist me", "{name}");
-        assert_eq!(read_file(fs.as_mut(), "/kd/deep"), vec![7u8; 3000], "{name}");
+        assert_eq!(
+            read_file(fs.as_mut(), "/kd/deep"),
+            vec![7u8; 3000],
+            "{name}"
+        );
     }
 }

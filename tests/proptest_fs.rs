@@ -23,17 +23,23 @@ fn arb_op() -> impl Strategy<Value = FsOp> {
     let size = prop_oneof![Just(0u64), Just(1), Just(65), Just(200)];
     let offset = prop_oneof![Just(0u64), Just(10), Just(100)];
     prop_oneof![
-        path.clone().prop_map(|p| FsOp::CreateFile { path: p, mode: 0o644 }),
-        (path.clone(), offset.clone(), size.clone(), 0u8..4).prop_map(
-            |(p, offset, size, seed)| FsOp::WriteFile {
+        path.clone().prop_map(|p| FsOp::CreateFile {
+            path: p,
+            mode: 0o644
+        }),
+        (path.clone(), offset.clone(), size.clone(), 0u8..4).prop_map(|(p, offset, size, seed)| {
+            FsOp::WriteFile {
                 path: p,
                 offset,
                 size,
                 seed,
             }
-        ),
+        }),
         (path.clone(), size.clone()).prop_map(|(p, size)| FsOp::Truncate { path: p, size }),
-        path.clone().prop_map(|p| FsOp::Mkdir { path: p, mode: 0o755 }),
+        path.clone().prop_map(|p| FsOp::Mkdir {
+            path: p,
+            mode: 0o755
+        }),
         path.clone().prop_map(|p| FsOp::Rmdir { path: p }),
         path.clone().prop_map(|p| FsOp::Unlink { path: p }),
         (path.clone(), path.clone()).prop_map(|(a, b)| FsOp::Rename { src: a, dst: b }),
