@@ -17,7 +17,9 @@
 //! Unlike the figure benches this one measures **real** wall-clock time:
 //! the fingerprint cache is a genuine CPU optimization, not a modeled cost.
 //!
-//! Usage: `cargo run --release -p mcfs-bench --bin hash_throughput [iters]`
+//! Usage: `cargo run --release -p mcfs-bench --bin hash_throughput [iters] [--quick]`
+//!
+//! `--quick` shrinks the iteration counts to CI-smoke size.
 
 use std::collections::HashSet;
 use std::time::Instant;
@@ -27,7 +29,8 @@ use mcfs::{
     FingerprintCache, FsOp, Mcfs, McfsConfig, PoolConfig,
 };
 use modelcheck::{
-    ApplyOutcome, ExploreConfig, ModelSystem, RandomWalk, ShardedVisited, StateId, VisitedSet,
+    ApplyOutcome, CheckpointStoreStats, ExploreConfig, ModelSystem, RandomWalk, ShardedVisited,
+    StateId, VisitedSet,
 };
 use verifs::VeriFs;
 use vfs::{FileMode, FileSystem, OpenFlags};
@@ -38,40 +41,11 @@ const TREE_FILES: usize = 200;
 const TREE_DEPTH: usize = 6;
 /// Bytes of content per file.
 const FILE_BYTES: usize = 2048;
-/// Top-level directory chains the files are spread across.
-const CHAINS: usize = 8;
 
 /// Builds a VeriFS2 holding `TREE_FILES` files, each at depth `TREE_DEPTH`,
 /// and returns the file paths.
 fn build_tree() -> (VeriFs, Vec<String>) {
-    // The default VeriFS2 inode table (128) is smaller than the benchmark
-    // tree; raise the limits, keeping the v2 feature set.
-    let mut cfg = verifs::VeriFsConfig::v2();
-    cfg.max_inodes = 2 * (TREE_FILES + CHAINS * TREE_DEPTH);
-    cfg.data_budget = Some(64 << 20);
-    let mut fs = VeriFs::with_config(cfg);
-    fs.mount().expect("mount");
-    let mut paths = Vec::with_capacity(TREE_FILES);
-    for chain in 0..CHAINS {
-        let mut dir = String::new();
-        for level in 0..TREE_DEPTH - 1 {
-            dir = format!("{dir}/c{chain}l{level}");
-            fs.mkdir(&dir, FileMode::DIR_DEFAULT).expect("mkdir");
-        }
-    }
-    for i in 0..TREE_FILES {
-        let chain = i % CHAINS;
-        let mut dir = String::new();
-        for level in 0..TREE_DEPTH - 1 {
-            dir = format!("{dir}/c{chain}l{level}");
-        }
-        let path = format!("{dir}/f{i}");
-        let fd = fs.create(&path, FileMode::REG_DEFAULT).expect("create");
-        fs.write(fd, &vec![i as u8; FILE_BYTES]).expect("write");
-        fs.close(fd).expect("close");
-        paths.push(path);
-    }
-    (fs, paths)
+    mcfs_bench::verifs_tree(TREE_FILES, TREE_DEPTH, FILE_BYTES)
 }
 
 /// One benchmark mutation: rewrite a slice of file `i % TREE_FILES`.
@@ -164,6 +138,18 @@ impl ModelSystem for Recording {
         self.inner.release(id)
     }
 
+    fn pin(&mut self, id: StateId) {
+        self.inner.pin(id)
+    }
+
+    fn unpin(&mut self, id: StateId) {
+        self.inner.unpin(id)
+    }
+
+    fn checkpoint_store_stats(&self) -> Option<CheckpointStoreStats> {
+        self.inner.checkpoint_store_stats()
+    }
+
     fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
         self.inner.independent(a, b)
     }
@@ -242,14 +228,16 @@ fn swarm_dedup(shared: bool, workers: usize, budget: u64) -> SwarmDedup {
 }
 
 fn main() {
-    let iters: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(240);
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let iters: usize = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 80 } else { 240 });
     let hash = bench_hashing(iters);
 
     let workers = 4;
-    let budget = 1_500;
+    let budget = if quick { 600 } else { 1_500 };
     let private = swarm_dedup(false, workers, budget);
     let shared = swarm_dedup(true, workers, budget);
 

@@ -17,7 +17,7 @@ use mcfs::{
 };
 use modelcheck::{DfsExplorer, ExploreConfig, ExploreReport, MemConfig, RandomWalk};
 use verifs::{BugConfig, VeriFs};
-use vfs::VfsResult;
+use vfs::{FileMode, FileSystem, VfsResult};
 
 /// The device sizes from the paper: 256 KiB RAM block devices for ext2/ext4,
 /// 16 MiB for XFS (its minimum).
@@ -95,6 +95,42 @@ pub fn verifs_fuse(version: u8, bugs: BugConfig, clock: Clock) -> FuseMount<Veri
         .fs_mut()
         .set_invalidation_sink(std::sync::Arc::new(conn));
     mount
+}
+
+/// Builds a VeriFS2 holding `files` regular files of `file_bytes` each, all
+/// at path depth `depth`, spread over 8 directory chains; returns the file
+/// paths. The wall-clock hashing and copy-on-write checkpoint benchmarks
+/// share this tree shape (acceptance: 200 files, depth 6).
+pub fn verifs_tree(files: usize, depth: usize, file_bytes: usize) -> (VeriFs, Vec<String>) {
+    const CHAINS: usize = 8;
+    // The default VeriFS2 inode table (128) is smaller than the benchmark
+    // tree; raise the limits, keeping the v2 feature set.
+    let mut cfg = verifs::VeriFsConfig::v2();
+    cfg.max_inodes = 2 * (files + CHAINS * depth);
+    cfg.data_budget = Some(64 << 20);
+    let mut fs = VeriFs::with_config(cfg);
+    fs.mount().expect("mount");
+    let mut paths = Vec::with_capacity(files);
+    for chain in 0..CHAINS {
+        let mut dir = String::new();
+        for level in 0..depth - 1 {
+            dir = format!("{dir}/c{chain}l{level}");
+            fs.mkdir(&dir, FileMode::DIR_DEFAULT).expect("mkdir");
+        }
+    }
+    for i in 0..files {
+        let chain = i % CHAINS;
+        let mut dir = String::new();
+        for level in 0..depth - 1 {
+            dir = format!("{dir}/c{chain}l{level}");
+        }
+        let path = format!("{dir}/f{i}");
+        let fd = fs.create(&path, FileMode::REG_DEFAULT).expect("create");
+        fs.write(fd, &vec![i as u8; file_bytes]).expect("write");
+        fs.close(fd).expect("close");
+        paths.push(path);
+    }
+    (fs, paths)
 }
 
 /// A named file-system pairing ready for model checking.

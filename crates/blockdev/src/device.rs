@@ -3,6 +3,8 @@
 use std::error::Error;
 use std::fmt;
 
+use crate::cow::CowImage;
+
 /// Errors returned by block-device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum DeviceError {
@@ -61,18 +63,23 @@ pub type DeviceResult<T> = Result<T, DeviceError>;
 /// A whole-device snapshot: the persistent state SPIN tracks by mmapping the
 /// backing store of each file system (paper §4).
 ///
-/// Snapshots are plain byte images plus geometry, so they can be stored in the
-/// model checker's concrete-state store and accounted by the memory model.
+/// A snapshot is a [`CowImage`] plus geometry: capturing one is O(#chunks)
+/// reference bumps, and it shares every chunk the live device has not
+/// rewritten since. [`size_bytes`](DeviceSnapshot::size_bytes) still reports
+/// the full *logical* device size — that is what the model checker's memory
+/// model charges (SPIN really holds a full copy per tracked state); the
+/// structural-sharing saving is a host-memory win reported separately via
+/// [`shared_bytes`](DeviceSnapshot::shared_bytes).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DeviceSnapshot {
     pub(crate) block_size: usize,
-    pub(crate) data: Vec<u8>,
+    pub(crate) image: CowImage,
 }
 
 impl DeviceSnapshot {
-    /// Size of the snapshot in bytes (equals the device size).
+    /// Logical size of the snapshot in bytes (equals the device size).
     pub fn size_bytes(&self) -> usize {
-        self.data.len()
+        self.image.len()
     }
 
     /// The block size of the device the snapshot was taken from.
@@ -80,9 +87,25 @@ impl DeviceSnapshot {
         self.block_size
     }
 
-    /// Raw access to the snapshot image (read-only).
-    pub fn data(&self) -> &[u8] {
-        &self.data
+    /// Iterates the image's chunks as byte slices, in order (for hashing or
+    /// serialization without materializing the whole image).
+    pub fn chunks(&self) -> impl Iterator<Item = &[u8]> {
+        self.image.chunks()
+    }
+
+    /// Materializes the full image as one contiguous vector.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.image.to_vec()
+    }
+
+    /// Bytes shared with the live device or other snapshots of it.
+    pub fn shared_bytes(&self) -> usize {
+        self.image.shared_bytes()
+    }
+
+    /// Bytes uniquely attributable to holding this snapshot.
+    pub fn unique_bytes(&self) -> usize {
+        self.size_bytes() - self.shared_bytes()
     }
 }
 

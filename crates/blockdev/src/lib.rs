@@ -35,6 +35,7 @@
 //! ```
 
 mod clock;
+mod cow;
 mod device;
 mod faulty;
 mod mtd;
@@ -42,6 +43,7 @@ mod ram;
 mod timed;
 
 pub use clock::Clock;
+pub use cow::CowImage;
 pub use device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
 pub use faulty::{FaultKind, FaultPlan, FaultyDevice};
 pub use mtd::{MtdBlock, MtdDevice, MtdError};

@@ -8,6 +8,7 @@
 //! MTD in RAM and `mtdblock` to give SPIN a block interface for mmapping.
 //! [`MtdDevice`] and [`MtdBlock`] are those two modules.
 
+use crate::cow::CowImage;
 use crate::device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
 
 /// Errors specific to raw MTD access.
@@ -61,7 +62,7 @@ impl std::error::Error for MtdError {}
 #[derive(Debug, Clone)]
 pub struct MtdDevice {
     erase_block_size: usize,
-    data: Vec<u8>,
+    data: CowImage,
     erase_counts: Vec<u64>,
     /// Whether each erase block is currently in the erased (all-0xFF) state
     /// with no programming since. Fresh devices start erased.
@@ -83,7 +84,9 @@ impl MtdDevice {
         }
         Ok(MtdDevice {
             erase_block_size,
-            data: vec![0xFF; erase_block_size * num_erase_blocks],
+            // One COW chunk per erase block: erases and mtdblock's
+            // read-modify-erase writes each touch exactly one chunk.
+            data: CowImage::new(erase_block_size * num_erase_blocks, erase_block_size, 0xFF),
             erase_counts: vec![0; num_erase_blocks],
             strict_program_check: true,
         })
@@ -132,7 +135,7 @@ impl MtdDevice {
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
         }
-        buf.copy_from_slice(&self.data[offset as usize..end as usize]);
+        self.data.read(offset as usize, buf);
         Ok(())
     }
 
@@ -150,9 +153,10 @@ impl MtdDevice {
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
         }
-        let region = &mut self.data[offset as usize..end as usize];
         if self.strict_program_check {
-            for (i, (old, new)) in region.iter().zip(data).enumerate() {
+            let mut old = vec![0u8; data.len()];
+            self.data.read(offset as usize, &mut old);
+            for (i, (old, new)) in old.iter().zip(data).enumerate() {
                 // Programming can only clear bits: new must not have a 1
                 // where old has a 0.
                 if *new & !*old != 0 {
@@ -162,7 +166,7 @@ impl MtdDevice {
                 }
             }
         }
-        region.copy_from_slice(data);
+        self.data.write(offset as usize, data);
         Ok(())
     }
 
@@ -182,16 +186,16 @@ impl MtdDevice {
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
         }
-        for b in &mut self.data[offset as usize..end as usize] {
-            *b = 0xFF;
-        }
+        self.data.fill_range(offset as usize, len as usize, 0xFF);
         for eb in (offset / ebs)..(end / ebs) {
             self.erase_counts[eb as usize] += 1;
         }
         Ok(())
     }
 
-    /// Captures the full flash image (including wear counters).
+    /// Captures the full flash image (including wear counters). The image is
+    /// copy-on-write: the snapshot shares every erase block with the live
+    /// device until one side rewrites it.
     pub fn snapshot(&self) -> MtdSnapshot {
         MtdSnapshot {
             data: self.data.clone(),
@@ -208,7 +212,7 @@ impl MtdDevice {
         if snap.data.len() != self.data.len() {
             return Err(MtdError::BadGeometry("snapshot size mismatch".into()));
         }
-        self.data.copy_from_slice(&snap.data);
+        self.data.copy_from(&snap.data);
         self.erase_counts.copy_from_slice(&snap.erase_counts);
         Ok(())
     }
@@ -217,7 +221,7 @@ impl MtdDevice {
 /// A captured MTD image.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MtdSnapshot {
-    data: Vec<u8>,
+    data: CowImage,
     erase_counts: Vec<u64>,
 }
 
@@ -307,15 +311,17 @@ impl BlockDevice for MtdBlock {
     fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
         Ok(DeviceSnapshot {
             block_size: self.block_size,
-            data: self.mtd.data.clone(),
+            image: self.mtd.data.clone(),
         })
     }
 
     fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
-        if snapshot.block_size != self.block_size || snapshot.data.len() != self.mtd.data.len() {
+        if snapshot.block_size != self.block_size || snapshot.image.len() != self.mtd.data.len() {
             return Err(DeviceError::SnapshotMismatch);
         }
-        self.mtd.data.copy_from_slice(&snapshot.data);
+        // Block-layer restore adopts the image only; wear counters belong to
+        // the physical flash, not the block view.
+        self.mtd.data.copy_from(&snapshot.image);
         Ok(())
     }
 }

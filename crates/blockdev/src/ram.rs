@@ -1,5 +1,6 @@
 //! RAM block device — the "brd2" analogue from the paper.
 
+use crate::cow::CowImage;
 use crate::device::{check_io, BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
 
 /// A RAM-backed block device.
@@ -29,7 +30,7 @@ use crate::device::{check_io, BlockDevice, DeviceError, DeviceResult, DeviceSnap
 #[derive(Debug, Clone)]
 pub struct RamDisk {
     block_size: usize,
-    data: Vec<u8>,
+    data: CowImage,
     reads: u64,
     writes: u64,
 }
@@ -58,9 +59,12 @@ impl RamDisk {
                 "size {size_bytes} is not a multiple of block size {block_size}"
             )));
         }
+        // COW chunks group small blocks to ~4 KiB so snapshot sharing is
+        // tracked at a sensible granularity without per-block Arc overhead.
+        let chunk_size = block_size * (4096 / block_size).max(1);
         Ok(RamDisk {
             block_size,
-            data: vec![0; size_bytes as usize],
+            data: CowImage::new(size_bytes as usize, chunk_size, 0),
             reads: 0,
             writes: 0,
         })
@@ -88,32 +92,31 @@ impl BlockDevice for RamDisk {
 
     fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
         check_io(block, buf.len(), self.block_size, self.num_blocks())?;
-        let off = block as usize * self.block_size;
-        buf.copy_from_slice(&self.data[off..off + self.block_size]);
+        self.data.read(block as usize * self.block_size, buf);
         self.reads += 1;
         Ok(())
     }
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
         check_io(block, buf.len(), self.block_size, self.num_blocks())?;
-        let off = block as usize * self.block_size;
-        self.data[off..off + self.block_size].copy_from_slice(buf);
+        self.data.write(block as usize * self.block_size, buf);
         self.writes += 1;
         Ok(())
     }
 
     fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
+        // O(#chunks): the snapshot shares every chunk with the live disk.
         Ok(DeviceSnapshot {
             block_size: self.block_size,
-            data: self.data.clone(),
+            image: self.data.clone(),
         })
     }
 
     fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
-        if snapshot.block_size != self.block_size || snapshot.data.len() != self.data.len() {
+        if snapshot.block_size != self.block_size || snapshot.image.len() != self.data.len() {
             return Err(DeviceError::SnapshotMismatch);
         }
-        self.data.copy_from_slice(&snapshot.data);
+        self.data.copy_from(&snapshot.image);
         Ok(())
     }
 }

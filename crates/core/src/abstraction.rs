@@ -17,6 +17,7 @@
 //! drops from O(total tree bytes) to O(touched bytes) + O(tree entries).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use mdigest::{Digest128, Md5};
 use vfs::{FileSystem, FileType, OpenFlags, VfsResult};
@@ -270,8 +271,11 @@ impl FingerprintCache {
 /// method degrades to the uncached behavior.
 #[derive(Debug, Clone)]
 pub struct FingerprintStore {
-    live: FingerprintCache,
-    saved: HashMap<u64, FingerprintCache>,
+    /// Arc-backed so saving is a refcount bump, not a map copy: the saved
+    /// snapshot shares the live cache's storage until the next invalidation
+    /// diverges them (clone-on-write via [`Arc::make_mut`]).
+    live: Arc<FingerprintCache>,
+    saved: HashMap<u64, Arc<FingerprintCache>>,
     enabled: bool,
 }
 
@@ -286,7 +290,7 @@ impl FingerprintStore {
     /// full-recompute fallback.
     pub fn new(enabled: bool) -> Self {
         FingerprintStore {
-            live: FingerprintCache::new(),
+            live: Arc::new(FingerprintCache::new()),
             saved: HashMap::new(),
             enabled,
         }
@@ -300,7 +304,7 @@ impl FingerprintStore {
     /// Invalidates the live cache for an operation touching `touched`.
     pub fn invalidate(&mut self, fs: &mut dyn FileSystem, touched: &[&str]) {
         if self.enabled {
-            self.live.invalidate_op(fs, touched);
+            Arc::make_mut(&mut self.live).invalidate_op(fs, touched);
         }
     }
 
@@ -315,16 +319,17 @@ impl FingerprintStore {
         cfg: &AbstractionConfig,
     ) -> VfsResult<Digest128> {
         if self.enabled {
-            abstract_state_cached(fs, cfg, &mut self.live)
+            abstract_state_cached(fs, cfg, Arc::make_mut(&mut self.live))
         } else {
             abstract_state(fs, cfg)
         }
     }
 
     /// Snapshots the live cache under `key` (alongside a state checkpoint).
+    /// O(1): the snapshot shares the live cache until either side mutates.
     pub fn save(&mut self, key: u64) {
         if self.enabled {
-            self.saved.insert(key, self.live.clone());
+            self.saved.insert(key, Arc::clone(&self.live));
         }
     }
 

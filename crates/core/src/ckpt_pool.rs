@@ -1,0 +1,338 @@
+//! Budgeted checkpoint pool shared by every state-tracking strategy.
+//!
+//! Explorers store one checkpoint per discovered state, so a long run's
+//! checkpoint store grows without bound — the host-memory pressure behind
+//! the paper's swap-bound configurations. [`CheckpointPool`] bounds it: each
+//! stored snapshot is charged against an optional byte budget, and when the
+//! budget is exceeded the least-recently-used *unpinned* snapshot is
+//! evicted. Explorers pin the checkpoints they are guaranteed to re-enter
+//! (DFS pins its backtrack spine, BFS its frontier); everything else is a
+//! cache that may be dropped and reported — restoring an evicted key fails
+//! with `ESTALE`, which the harness surfaces as a budget-driven stop rather
+//! than a fatal error.
+//!
+//! Byte accounting distinguishes *logical* size (what the modelled memory
+//! model charges — a full state copy, as SPIN would hold) from *shared*
+//! bytes (chunks a copy-on-write snapshot still shares with the live state
+//! or with other snapshots, costing no host memory).
+
+use std::collections::{HashMap, HashSet};
+
+use modelcheck::CheckpointStoreStats;
+
+/// Byte accounting a stored snapshot reports to the pool.
+pub trait SnapshotBytes {
+    /// Logical size in bytes: what a full copy of the state would occupy.
+    fn total_bytes(&self) -> usize;
+
+    /// Bytes structurally shared with the live state or other snapshots
+    /// (copy-on-write chunks with more than one owner). Zero for snapshots
+    /// without sharing, or whose sharing the pool cannot observe.
+    fn shared_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl SnapshotBytes for blockdev::DeviceSnapshot {
+    fn total_bytes(&self) -> usize {
+        self.size_bytes()
+    }
+
+    fn shared_bytes(&self) -> usize {
+        self.shared_bytes()
+    }
+}
+
+/// A pooled full file-system image (the VM, CRIU, and VFS-checkpoint
+/// strategies clone the whole instance).
+#[derive(Debug, Clone)]
+pub struct FsImage<F> {
+    /// The cloned instance.
+    pub fs: F,
+    /// Logical size charged against the budget.
+    pub bytes: usize,
+}
+
+impl<F> SnapshotBytes for FsImage<F> {
+    fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+/// A snapshot whose storage lives elsewhere — e.g. inside VeriFS's own
+/// snapshot pool, reachable only by key. The pool tracks its size and
+/// applies the eviction policy; the owner drops the real storage when
+/// [`CheckpointPool::insert`] reports the key evicted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExternalSnap {
+    /// Logical size charged against the budget.
+    pub bytes: usize,
+}
+
+impl SnapshotBytes for ExternalSnap {
+    fn total_bytes(&self) -> usize {
+        self.bytes
+    }
+}
+
+#[derive(Debug)]
+struct Entry<S> {
+    snap: S,
+    pinned: bool,
+    last_use: u64,
+}
+
+/// LRU-evicting, pin-aware snapshot store with an optional byte budget.
+#[derive(Debug)]
+pub struct CheckpointPool<S> {
+    entries: HashMap<u64, Entry<S>>,
+    budget: Option<usize>,
+    /// Logical-byte running total of resident entries.
+    total_bytes: usize,
+    /// Monotonic use counter backing the LRU order.
+    tick: u64,
+    /// Keys dropped by the budget (distinguishes `ESTALE` from `ENOENT`).
+    evicted: HashSet<u64>,
+    evictions: u64,
+    inserts: u64,
+}
+
+impl<S: SnapshotBytes> Default for CheckpointPool<S> {
+    fn default() -> Self {
+        CheckpointPool::new(None)
+    }
+}
+
+impl<S: SnapshotBytes> CheckpointPool<S> {
+    /// Creates a pool; `budget: None` never evicts.
+    pub fn new(budget: Option<usize>) -> Self {
+        CheckpointPool {
+            entries: HashMap::new(),
+            budget,
+            total_bytes: 0,
+            tick: 0,
+            evicted: HashSet::new(),
+            evictions: 0,
+            inserts: 0,
+        }
+    }
+
+    /// The current budget.
+    pub fn budget(&self) -> Option<usize> {
+        self.budget
+    }
+
+    /// Changes the budget. Tightening it does not evict immediately; the
+    /// next insert enforces the new bound.
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// Number of resident snapshots.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the pool holds no snapshots.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Logical bytes of all resident snapshots.
+    pub fn total_bytes(&self) -> usize {
+        self.total_bytes
+    }
+
+    /// Stores `snap` under `key` (replacing any previous snapshot there),
+    /// then evicts LRU unpinned snapshots until the budget holds again.
+    /// Returns the evicted keys so the owner can drop external storage and
+    /// fingerprint snapshots for them. The just-inserted key is never
+    /// evicted, and neither is any pinned key — the budget is allowed to
+    /// overshoot when everything resident is pinned.
+    pub fn insert(&mut self, key: u64, snap: S) -> Vec<u64> {
+        self.tick += 1;
+        self.inserts += 1;
+        self.evicted.remove(&key);
+        self.total_bytes += snap.total_bytes();
+        if let Some(old) = self.entries.insert(
+            key,
+            Entry {
+                snap,
+                pinned: false,
+                last_use: self.tick,
+            },
+        ) {
+            self.total_bytes -= old.snap.total_bytes();
+        }
+        let mut dropped = Vec::new();
+        while let Some(budget) = self.budget {
+            if self.total_bytes <= budget {
+                break;
+            }
+            let victim = self
+                .entries
+                .iter()
+                .filter(|(k, e)| **k != key && !e.pinned)
+                .min_by_key(|(_, e)| e.last_use)
+                .map(|(k, _)| *k);
+            let Some(victim) = victim else { break };
+            let entry = self.entries.remove(&victim).expect("victim is resident");
+            self.total_bytes -= entry.snap.total_bytes();
+            self.evicted.insert(victim);
+            self.evictions += 1;
+            dropped.push(victim);
+        }
+        dropped
+    }
+
+    /// Fetches the snapshot under `key`, marking it most recently used.
+    pub fn get(&mut self, key: u64) -> Option<&S> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(&key).map(|e| {
+            e.last_use = tick;
+            &e.snap
+        })
+    }
+
+    /// Whether `key` is resident.
+    pub fn contains(&self, key: u64) -> bool {
+        self.entries.contains_key(&key)
+    }
+
+    /// Removes and returns the snapshot under `key`.
+    pub fn remove(&mut self, key: u64) -> Option<S> {
+        let entry = self.entries.remove(&key)?;
+        self.total_bytes -= entry.snap.total_bytes();
+        Some(entry.snap)
+    }
+
+    /// Whether the budget evicted `key` (and no snapshot replaced it since).
+    pub fn was_evicted(&self, key: u64) -> bool {
+        self.evicted.contains(&key)
+    }
+
+    /// Forgets an eviction record — an explicit drop of an evicted key is a
+    /// successful no-op, not an error. Returns whether `key` was recorded.
+    pub fn forget_evicted(&mut self, key: u64) -> bool {
+        self.evicted.remove(&key)
+    }
+
+    /// Pins `key` against eviction (no-op for non-resident keys).
+    pub fn pin(&mut self, key: u64) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.pinned = true;
+        }
+    }
+
+    /// Releases the pin on `key`.
+    pub fn unpin(&mut self, key: u64) {
+        if let Some(e) = self.entries.get_mut(&key) {
+            e.pinned = false;
+        }
+    }
+
+    /// Aggregate statistics for reports.
+    pub fn stats(&self) -> CheckpointStoreStats {
+        let shared: usize = self.entries.values().map(|e| e.snap.shared_bytes()).sum();
+        CheckpointStoreStats {
+            snapshots: self.entries.len(),
+            pinned: self.entries.values().filter(|e| e.pinned).count(),
+            total_bytes: self.total_bytes,
+            shared_bytes: shared,
+            resident_bytes: self.total_bytes.saturating_sub(shared),
+            evictions: self.evictions,
+            inserts: self.inserts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(bytes: usize) -> ExternalSnap {
+        ExternalSnap { bytes }
+    }
+
+    #[test]
+    fn unbudgeted_pool_never_evicts() {
+        let mut pool = CheckpointPool::new(None);
+        for k in 0..100 {
+            assert!(pool.insert(k, snap(1 << 20)).is_empty());
+        }
+        assert_eq!(pool.len(), 100);
+        assert_eq!(pool.total_bytes(), 100 << 20);
+    }
+
+    #[test]
+    fn budget_evicts_least_recently_used_first() {
+        let mut pool = CheckpointPool::new(Some(300));
+        assert!(pool.insert(1, snap(100)).is_empty());
+        assert!(pool.insert(2, snap(100)).is_empty());
+        assert!(pool.insert(3, snap(100)).is_empty());
+        // Touch 1 so 2 becomes the LRU entry.
+        assert!(pool.get(1).is_some());
+        assert_eq!(pool.insert(4, snap(100)), vec![2]);
+        assert!(pool.contains(1));
+        assert!(!pool.contains(2));
+        assert!(pool.was_evicted(2));
+        assert!(!pool.was_evicted(1));
+    }
+
+    #[test]
+    fn pinned_snapshots_survive_pressure() {
+        let mut pool = CheckpointPool::new(Some(250));
+        pool.insert(1, snap(100));
+        pool.insert(2, snap(100));
+        pool.pin(1);
+        pool.pin(2);
+        // Over budget, but both residents are pinned: overshoot allowed.
+        assert!(pool.insert(3, snap(100)).is_empty());
+        assert_eq!(pool.len(), 3);
+        pool.unpin(1);
+        assert_eq!(pool.insert(4, snap(100)), vec![1, 3]);
+        assert!(pool.contains(2), "still pinned");
+    }
+
+    #[test]
+    fn reinsert_clears_the_eviction_record() {
+        let mut pool = CheckpointPool::new(Some(100));
+        pool.insert(1, snap(80));
+        pool.insert(2, snap(80)); // evicts 1
+        assert!(pool.was_evicted(1));
+        pool.insert(1, snap(10));
+        assert!(!pool.was_evicted(1));
+        assert!(pool.contains(1));
+    }
+
+    #[test]
+    fn replacement_under_a_key_updates_accounting() {
+        let mut pool = CheckpointPool::new(None);
+        pool.insert(7, snap(100));
+        pool.insert(7, snap(40));
+        assert_eq!(pool.len(), 1);
+        assert_eq!(pool.total_bytes(), 40);
+        assert_eq!(pool.remove(7).unwrap().bytes, 40);
+        assert_eq!(pool.total_bytes(), 0);
+    }
+
+    #[test]
+    fn stats_report_counts_and_bytes() {
+        let mut pool = CheckpointPool::new(Some(150));
+        pool.insert(1, snap(100));
+        pool.pin(1);
+        pool.insert(2, snap(100)); // evicts nothing pinned-able... 1 is pinned, 2 is new
+        let s = pool.stats();
+        assert_eq!(s.snapshots, 2);
+        assert_eq!(s.pinned, 1);
+        assert_eq!(s.total_bytes, 200);
+        assert_eq!(s.inserts, 2);
+        assert_eq!(s.evictions, 0);
+        pool.unpin(1);
+        pool.insert(3, snap(50)); // now 1 is evictable; dropping it suffices
+        let s = pool.stats();
+        assert_eq!(s.evictions, 1);
+        assert_eq!(s.snapshots, 2);
+    }
+}

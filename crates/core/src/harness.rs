@@ -7,7 +7,7 @@
 
 use blockdev::Clock;
 use mdigest::Digest128;
-use modelcheck::{ApplyOutcome, ModelSystem, StateId};
+use modelcheck::{ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, EVICTED_MARKER};
 use vfs::{Errno, FileMode, OpenFlags, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig};
@@ -43,6 +43,12 @@ pub struct McfsConfig {
     /// after every operation (the pre-optimization behavior, kept for the
     /// throughput benchmark and as a cross-check).
     pub incremental_fingerprint: bool,
+    /// Per-target checkpoint-store budget in logical bytes. When set, each
+    /// target evicts least-recently-used unpinned snapshots past the bound;
+    /// restoring an evicted checkpoint fails with `ESTALE` and is reported
+    /// to explorers as a budget-driven stop, not a fatal error. `None`
+    /// (the default) never evicts.
+    pub checkpoint_budget_bytes: Option<usize>,
 }
 
 impl Default for McfsConfig {
@@ -55,6 +61,7 @@ impl Default for McfsConfig {
             equalize_cap_bytes: 64 << 20,
             majority_voting: true,
             incremental_fingerprint: true,
+            checkpoint_budget_bytes: None,
         }
     }
 }
@@ -112,6 +119,9 @@ impl Mcfs {
     ) -> VfsResult<Self> {
         if targets.len() < 2 {
             return Err(Errno::EINVAL);
+        }
+        for t in &mut targets {
+            t.set_checkpoint_budget(cfg.checkpoint_budget_bytes);
         }
         // Intersect capabilities and generate the bounded op set.
         let mut caps = targets[0].capabilities();
@@ -387,8 +397,15 @@ impl ModelSystem for Mcfs {
     fn restore(&mut self, id: StateId) -> Result<(), String> {
         self.last_hash = None;
         for t in &mut self.targets {
-            t.load_state(id.0)
-                .map_err(|e| format!("{}: restore failed: {e}", t.name()))?;
+            t.load_state(id.0).map_err(|e| {
+                if e == Errno::ESTALE {
+                    // Budget-driven eviction, not a malfunction: tag the
+                    // message so explorers can tell the two apart.
+                    format!("{}: restore failed: {e} {EVICTED_MARKER}", t.name())
+                } else {
+                    format!("{}: restore failed: {e}", t.name())
+                }
+            })?;
         }
         Ok(())
     }
@@ -397,6 +414,30 @@ impl ModelSystem for Mcfs {
         for t in &mut self.targets {
             let _ = t.drop_state(id.0);
         }
+    }
+
+    fn pin(&mut self, id: StateId) {
+        for t in &mut self.targets {
+            t.pin_state(id.0);
+        }
+    }
+
+    fn unpin(&mut self, id: StateId) {
+        for t in &mut self.targets {
+            t.unpin_state(id.0);
+        }
+    }
+
+    fn checkpoint_store_stats(&self) -> Option<CheckpointStoreStats> {
+        let mut merged = CheckpointStoreStats::default();
+        let mut any = false;
+        for t in &self.targets {
+            if let Some(s) = t.checkpoint_stats() {
+                merged.merge(&s);
+                any = true;
+            }
+        }
+        any.then_some(merged)
     }
 
     fn independent(&self, a: &FsOp, b: &FsOp) -> bool {

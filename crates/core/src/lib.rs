@@ -57,6 +57,7 @@
 //! ```
 
 pub mod abstraction;
+pub mod ckpt_pool;
 mod coverage;
 mod harness;
 pub mod pool;
@@ -66,6 +67,7 @@ mod vfs_checkpoint;
 pub use abstraction::{
     abstract_state, abstract_state_cached, AbstractionConfig, FingerprintCache, FingerprintStore,
 };
+pub use ckpt_pool::{CheckpointPool, ExternalSnap, FsImage, SnapshotBytes};
 pub use coverage::Coverage;
 pub use harness::{replay, Mcfs, McfsConfig, EQUALIZE_DUMMY};
 pub use pool::{execute, execute_with, pattern, FsOp, OpOutcome, PoolConfig};

@@ -13,13 +13,13 @@
 //! * [`CriuTarget`] — CRIU process snapshots: refuses processes holding
 //!   device nodes, so it works for Ganesha-like servers but not FUSE.
 
-use std::collections::HashMap;
-
 use blockdev::{Clock, DeviceSnapshot};
-use mdigest::Digest128;
+use mdigest::{Digest128, Md5};
+use modelcheck::CheckpointStoreStats;
 use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig, FingerprintStore};
+use crate::ckpt_pool::{CheckpointPool, ExternalSnap, FsImage};
 
 /// A file system under test, with uniform state tracking hooks.
 ///
@@ -58,6 +58,28 @@ pub trait CheckedTarget: Send {
     ///
     /// `ENOENT` for unknown keys.
     fn drop_state(&mut self, key: u64) -> VfsResult<()>;
+
+    /// Bounds this target's checkpoint store to `budget` bytes of logical
+    /// state; exceeding it evicts least-recently-used unpinned snapshots
+    /// (restoring one then fails with `ESTALE`). Default: no store to bound.
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        let _ = budget;
+    }
+
+    /// Pins the snapshot under `key` against budget-driven eviction.
+    fn pin_state(&mut self, key: u64) {
+        let _ = key;
+    }
+
+    /// Releases the pin on `key`.
+    fn unpin_state(&mut self, key: u64) {
+        let _ = key;
+    }
+
+    /// Statistics of this target's checkpoint store, if it keeps one.
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        None
+    }
 
     /// Hook before each operation (remount strategies mount here).
     ///
@@ -124,6 +146,10 @@ pub struct CheckpointTarget<F> {
     fs: F,
     name: String,
     fingerprints: FingerprintStore,
+    /// Eviction policy over the file system's own snapshot pool: the real
+    /// storage stays inside `fs`, keyed; this pool only tracks sizes and
+    /// decides which keys to discard under budget pressure.
+    pool: CheckpointPool<ExternalSnap>,
 }
 
 impl<F: FileSystem + FsCheckpoint> CheckpointTarget<F> {
@@ -134,6 +160,7 @@ impl<F: FileSystem + FsCheckpoint> CheckpointTarget<F> {
             fs,
             name,
             fingerprints: FingerprintStore::default(),
+            pool: CheckpointPool::new(None),
         }
     }
 
@@ -172,24 +199,67 @@ impl<F: FileSystem + FsCheckpoint + Send> CheckedTarget for CheckpointTarget<F> 
         self.fs.checkpoint(key)?;
         self.fingerprints.save(key);
         let after = self.fs.snapshot_bytes();
-        if after > before {
-            Ok(after - before)
+        let bytes = if after > before {
+            after - before
         } else {
             // Replacement under an existing key: fall back to the average.
-            Ok(after / self.fs.snapshot_count().max(1))
+            after / self.fs.snapshot_count().max(1)
+        };
+        for victim in self.pool.insert(key, ExternalSnap { bytes }) {
+            let _ = self.fs.discard(victim);
+            self.fingerprints.drop_key(victim);
         }
+        Ok(bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
+        if self.pool.get(key).is_none() {
+            return Err(if self.pool.was_evicted(key) {
+                Errno::ESTALE
+            } else {
+                Errno::ENOENT
+            });
+        }
         self.fs.restore_keep(key)?;
         self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.fs.discard(key)?;
-        self.fingerprints.drop_key(key);
-        Ok(())
+        if self.pool.remove(key).is_some() {
+            self.fs.discard(key)?;
+            self.fingerprints.drop_key(key);
+            Ok(())
+        } else if self.pool.forget_evicted(key) {
+            // The budget already dropped the storage; releasing the key is
+            // a successful no-op.
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.pool.set_budget(budget);
+    }
+
+    fn pin_state(&mut self, key: u64) {
+        self.pool.pin(key);
+    }
+
+    fn unpin_state(&mut self, key: u64) {
+        self.pool.unpin(key);
+    }
+
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        // Counts and eviction history come from the policy pool; byte
+        // accounting from the file system itself, which can see through its
+        // copy-on-write sharing.
+        let mut stats = self.pool.stats();
+        stats.total_bytes = self.fs.snapshot_bytes();
+        stats.resident_bytes = self.fs.snapshot_resident_bytes();
+        stats.shared_bytes = stats.total_bytes.saturating_sub(stats.resident_bytes);
+        Some(stats)
     }
 
     fn invalidate_fingerprints(&mut self, touched: &[&str]) {
@@ -225,7 +295,7 @@ pub struct RemountTarget<F> {
     fs: F,
     name: String,
     mode: RemountMode,
-    snapshots: HashMap<u64, DeviceSnapshot>,
+    snapshots: CheckpointPool<DeviceSnapshot>,
     fingerprints: FingerprintStore,
     clock: Option<Clock>,
     /// Fixed CPU overhead per mount or unmount beyond device I/O.
@@ -243,7 +313,7 @@ impl<F: FileSystem + DeviceBacked> RemountTarget<F> {
             fs,
             name,
             mode,
-            snapshots: HashMap::new(),
+            snapshots: CheckpointPool::new(None),
             // No-remount mode deliberately serves stale data (§3.2); the
             // fingerprint cache must not hide that staleness from the hash.
             fingerprints: FingerprintStore::new(mode != RemountMode::Never),
@@ -319,13 +389,24 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
         }
         let snap = self.fs.snapshot_device()?;
         let bytes = snap.size_bytes();
-        self.snapshots.insert(key, snap);
+        for victim in self.snapshots.insert(key, snap) {
+            self.fingerprints.drop_key(victim);
+        }
         self.fingerprints.save(key);
         Ok(bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
-        let snap = self.snapshots.get(&key).ok_or(Errno::ENOENT)?.clone();
+        let snap = match self.snapshots.get(key) {
+            Some(s) => s.clone(),
+            None => {
+                return Err(if self.snapshots.was_evicted(key) {
+                    Errno::ESTALE
+                } else {
+                    Errno::ENOENT
+                })
+            }
+        };
         match self.mode {
             RemountMode::PerOp | RemountMode::OnRestore => {
                 self.ensure_unmounted()?;
@@ -345,12 +426,30 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.snapshots
-            .remove(&key)
-            .map(|_| ())
-            .ok_or(Errno::ENOENT)?;
-        self.fingerprints.drop_key(key);
-        Ok(())
+        if self.snapshots.remove(key).is_some() {
+            self.fingerprints.drop_key(key);
+            Ok(())
+        } else if self.snapshots.forget_evicted(key) {
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.snapshots.set_budget(budget);
+    }
+
+    fn pin_state(&mut self, key: u64) {
+        self.snapshots.pin(key);
+    }
+
+    fn unpin_state(&mut self, key: u64) {
+        self.snapshots.unpin(key);
+    }
+
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        Some(self.snapshots.stats())
     }
 
     fn invalidate_fingerprints(&mut self, touched: &[&str]) {
@@ -377,7 +476,11 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
             self.fs.sync().ok()?;
         }
         let snap = self.fs.snapshot_device().ok()?;
-        Some(mdigest::md5(snap.data()).as_u128())
+        let mut ctx = Md5::new();
+        for chunk in snap.chunks() {
+            ctx.update(chunk);
+        }
+        Some(ctx.finalize().as_u128())
     }
 
     fn track_state(&mut self) -> VfsResult<()> {
@@ -395,7 +498,7 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
 pub struct VmTarget<F> {
     fs: F,
     name: String,
-    images: HashMap<u64, F>,
+    images: CheckpointPool<FsImage<F>>,
     fingerprints: FingerprintStore,
     clock: Clock,
     state_bytes: usize,
@@ -413,7 +516,7 @@ impl<F: FileSystem + Clone> VmTarget<F> {
         VmTarget {
             fs,
             name,
-            images: HashMap::new(),
+            images: CheckpointPool::new(None),
             fingerprints: FingerprintStore::default(),
             clock,
             state_bytes,
@@ -449,22 +552,59 @@ impl<F: FileSystem + Clone + Send> CheckedTarget for VmTarget<F> {
 
     fn save_state(&mut self, key: u64) -> VfsResult<usize> {
         self.clock.advance_ms(self.checkpoint_ms);
-        self.images.insert(key, self.fs.clone());
+        let image = FsImage {
+            fs: self.fs.clone(),
+            bytes: self.state_bytes,
+        };
+        for victim in self.images.insert(key, image) {
+            self.fingerprints.drop_key(victim);
+        }
         self.fingerprints.save(key);
         Ok(self.state_bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
         self.clock.advance_ms(self.restore_ms);
-        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        let image = match self.images.get(key) {
+            Some(i) => i.fs.clone(),
+            None => {
+                return Err(if self.images.was_evicted(key) {
+                    Errno::ESTALE
+                } else {
+                    Errno::ENOENT
+                })
+            }
+        };
+        self.fs = image;
         self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
-        self.fingerprints.drop_key(key);
-        Ok(())
+        if self.images.remove(key).is_some() {
+            self.fingerprints.drop_key(key);
+            Ok(())
+        } else if self.images.forget_evicted(key) {
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.images.set_budget(budget);
+    }
+
+    fn pin_state(&mut self, key: u64) {
+        self.images.pin(key);
+    }
+
+    fn unpin_state(&mut self, key: u64) {
+        self.images.unpin(key);
+    }
+
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        Some(self.images.stats())
     }
 
     fn invalidate_fingerprints(&mut self, touched: &[&str]) {
@@ -488,7 +628,7 @@ pub struct CriuTarget<F> {
     fs: F,
     name: String,
     handles: Vec<snapshot::ProcessHandle>,
-    images: HashMap<u64, F>,
+    images: CheckpointPool<FsImage<F>>,
     fingerprints: FingerprintStore,
     clock: Option<Clock>,
     state_bytes: usize,
@@ -509,7 +649,7 @@ impl<F: FileSystem + Clone> CriuTarget<F> {
             fs,
             name,
             handles,
-            images: HashMap::new(),
+            images: CheckpointPool::new(None),
             fingerprints: FingerprintStore::default(),
             clock,
             state_bytes,
@@ -559,22 +699,59 @@ impl<F: FileSystem + Clone + Send> CheckedTarget for CriuTarget<F> {
             }
         }
         self.charge();
-        self.images.insert(key, self.fs.clone());
+        let image = FsImage {
+            fs: self.fs.clone(),
+            bytes: self.state_bytes,
+        };
+        for victim in self.images.insert(key, image) {
+            self.fingerprints.drop_key(victim);
+        }
         self.fingerprints.save(key);
         Ok(self.state_bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
         self.charge();
-        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        let image = match self.images.get(key) {
+            Some(i) => i.fs.clone(),
+            None => {
+                return Err(if self.images.was_evicted(key) {
+                    Errno::ESTALE
+                } else {
+                    Errno::ENOENT
+                })
+            }
+        };
+        self.fs = image;
         self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
-        self.fingerprints.drop_key(key);
-        Ok(())
+        if self.images.remove(key).is_some() {
+            self.fingerprints.drop_key(key);
+            Ok(())
+        } else if self.images.forget_evicted(key) {
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.images.set_budget(budget);
+    }
+
+    fn pin_state(&mut self, key: u64) {
+        self.images.pin(key);
+    }
+
+    fn unpin_state(&mut self, key: u64) {
+        self.images.unpin(key);
+    }
+
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        Some(self.images.stats())
     }
 
     fn invalidate_fingerprints(&mut self, touched: &[&str]) {

@@ -10,13 +10,13 @@
 //! (they are part of the captured state), so no remounts are needed and the
 //! §3.2 incoherency cannot occur.
 
-use std::collections::HashMap;
-
 use blockdev::Clock;
 use mdigest::Digest128;
+use modelcheck::CheckpointStoreStats;
 use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, VfsResult};
 
 use crate::abstraction::{AbstractionConfig, FingerprintStore};
+use crate::ckpt_pool::{CheckpointPool, FsImage};
 use crate::target::CheckedTarget;
 
 /// Per-MiB cost of capturing/restoring the full state (a memory copy).
@@ -28,7 +28,7 @@ const COPY_NS_PER_MIB: u64 = 100_000;
 pub struct VfsCheckpointTarget<F> {
     fs: F,
     name: String,
-    images: HashMap<u64, F>,
+    images: CheckpointPool<FsImage<F>>,
     fingerprints: FingerprintStore,
     clock: Option<Clock>,
 }
@@ -40,7 +40,7 @@ impl<F: FileSystem + DeviceBacked + Clone> VfsCheckpointTarget<F> {
         VfsCheckpointTarget {
             fs,
             name,
-            images: HashMap::new(),
+            images: CheckpointPool::new(None),
             fingerprints: FingerprintStore::default(),
             clock: None,
         }
@@ -90,24 +90,62 @@ impl<F: FileSystem + DeviceBacked + Clone + Send> CheckedTarget for VfsCheckpoin
 
     fn save_state(&mut self, key: u64) -> VfsResult<usize> {
         self.charge_copy();
-        self.images.insert(key, self.fs.clone());
+        let bytes = self.state_bytes();
+        let image = FsImage {
+            fs: self.fs.clone(),
+            bytes,
+        };
+        for victim in self.images.insert(key, image) {
+            self.fingerprints.drop_key(victim);
+        }
         self.fingerprints.save(key);
-        Ok(self.state_bytes())
+        Ok(bytes)
     }
 
     fn load_state(&mut self, key: u64) -> VfsResult<()> {
         self.charge_copy();
         // The whole instance — caches included — is restored, so nothing can
         // go stale. That is the point of VFS-level support.
-        self.fs = self.images.get(&key).ok_or(Errno::ENOENT)?.clone();
+        let image = match self.images.get(key) {
+            Some(i) => i.fs.clone(),
+            None => {
+                return Err(if self.images.was_evicted(key) {
+                    Errno::ESTALE
+                } else {
+                    Errno::ENOENT
+                })
+            }
+        };
+        self.fs = image;
         self.fingerprints.load(key);
         Ok(())
     }
 
     fn drop_state(&mut self, key: u64) -> VfsResult<()> {
-        self.images.remove(&key).map(|_| ()).ok_or(Errno::ENOENT)?;
-        self.fingerprints.drop_key(key);
-        Ok(())
+        if self.images.remove(key).is_some() {
+            self.fingerprints.drop_key(key);
+            Ok(())
+        } else if self.images.forget_evicted(key) {
+            Ok(())
+        } else {
+            Err(Errno::ENOENT)
+        }
+    }
+
+    fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
+        self.images.set_budget(budget);
+    }
+
+    fn pin_state(&mut self, key: u64) {
+        self.images.pin(key);
+    }
+
+    fn unpin_state(&mut self, key: u64) {
+        self.images.unpin(key);
+    }
+
+    fn checkpoint_stats(&self) -> Option<CheckpointStoreStats> {
+        Some(self.images.stats())
     }
 
     fn invalidate_fingerprints(&mut self, touched: &[&str]) {

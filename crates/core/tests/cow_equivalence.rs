@@ -1,0 +1,219 @@
+//! Property test: copy-on-write checkpoints are observably identical to
+//! deep-clone checkpoints.
+//!
+//! Two backends are driven with randomized operation sequences (1000+
+//! sequences total across the properties):
+//!
+//! * **VeriFS v2 through its checkpoint API** — a COW instance runs as-is; a
+//!   twin "deep" instance calls [`VeriFs::materialize_cow`] after every
+//!   mutation and checkpoint, reconstructing the pre-COW representation
+//!   where every snapshot owns its allocations. Every syscall result, every
+//!   checkpoint/restore/discard result (including nested and dangling
+//!   keys), and the abstract state after every step must agree.
+//! * **ext2 on a RAM disk through device snapshots** — the COW
+//!   [`blockdev::DeviceSnapshot`] must restore the device to exactly the
+//!   bytes a deep `to_vec()` copy recorded, across unmount/restore/remount.
+//!
+//! The VeriFS property also exercises the FingerprintCache interaction: a
+//! [`mcfs::FingerprintCache`] rides along on the COW instance with per-op
+//! invalidation, and its incremental hash must match a fresh full hash.
+
+use mcfs::{abstract_state, abstract_state_cached, AbstractionConfig, FingerprintCache};
+use proptest::prelude::*;
+use vfs::{DeviceBacked, FileMode, FileSystem, FsCheckpoint, OpenFlags};
+
+/// One randomized step against the file system under test.
+#[derive(Debug, Clone)]
+enum Step {
+    Create(u8),
+    Write(u8, u8, u8),
+    Mkdir(u8),
+    Rmdir(u8),
+    Unlink(u8),
+    Rename(u8, u8),
+    Truncate(u8, u8),
+    Checkpoint(u8),
+    RestoreKeep(u8),
+    Restore(u8),
+    Discard(u8),
+}
+
+fn file_path(i: u8) -> String {
+    // Half the files live inside directories so restores cross directory
+    // structure, not just top-level entries.
+    if i.is_multiple_of(2) {
+        format!("/f{}", i % 6)
+    } else {
+        format!("/d{}/f{}", i % 4, i % 6)
+    }
+}
+
+fn dir_path(i: u8) -> String {
+    format!("/d{}", i % 4)
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    (0u8..11, any::<u8>(), any::<u8>(), any::<u8>()).prop_map(|(kind, a, b, c)| match kind {
+        0 => Step::Create(a),
+        1 => Step::Write(a, b, c),
+        2 => Step::Mkdir(a),
+        3 => Step::Rmdir(a),
+        4 => Step::Unlink(a),
+        5 => Step::Rename(a, b),
+        6 => Step::Truncate(a, b),
+        7 => Step::Checkpoint(a),
+        8 => Step::RestoreKeep(a),
+        9 => Step::Restore(a),
+        _ => Step::Discard(a),
+    })
+}
+
+/// Applies one step, returning a comparable outcome code.
+fn apply(fs: &mut verifs::VeriFs, step: &Step) -> Result<usize, vfs::Errno> {
+    match step {
+        Step::Create(i) => {
+            let fd = fs.create(&file_path(*i), FileMode::REG_DEFAULT)?;
+            fs.close(fd)?;
+            Ok(0)
+        }
+        Step::Write(i, len, fill) => {
+            let fd = fs.open(
+                &file_path(*i),
+                OpenFlags::write_only(),
+                FileMode::REG_DEFAULT,
+            )?;
+            let n = fs.write(fd, &vec![*fill; 1 + *len as usize % 96])?;
+            fs.close(fd)?;
+            Ok(n)
+        }
+        Step::Mkdir(i) => fs.mkdir(&dir_path(*i), FileMode::DIR_DEFAULT).map(|()| 0),
+        Step::Rmdir(i) => fs.rmdir(&dir_path(*i)).map(|()| 0),
+        Step::Unlink(i) => fs.unlink(&file_path(*i)).map(|()| 0),
+        Step::Rename(i, j) => fs.rename(&file_path(*i), &file_path(*j)).map(|()| 0),
+        Step::Truncate(i, size) => fs.truncate(&file_path(*i), *size as u64 % 64).map(|()| 0),
+        // Checkpoint keys deliberately collide (0..4): sequences nest,
+        // overwrite, restore, and discard the same keys in random orders,
+        // and restore dangling keys (both sides must agree on the ENOENT).
+        Step::Checkpoint(k) => fs.checkpoint(u64::from(*k % 4)).map(|()| 0),
+        Step::RestoreKeep(k) => fs.restore_keep(u64::from(*k % 4)).map(|()| 0),
+        Step::Restore(k) => fs.restore(u64::from(*k % 4)).map(|()| 0),
+        Step::Discard(k) => fs.discard(u64::from(*k % 4)).map(|()| 0),
+    }
+}
+
+/// The paths a step can touch, for fingerprint invalidation. Restores and
+/// discards invalidate everything (the whole tree may change).
+fn touched(step: &Step) -> Option<Vec<String>> {
+    match step {
+        Step::Create(i) | Step::Write(i, _, _) | Step::Unlink(i) | Step::Truncate(i, _) => {
+            Some(vec![file_path(*i)])
+        }
+        Step::Mkdir(i) | Step::Rmdir(i) => Some(vec![dir_path(*i)]),
+        Step::Rename(i, j) => Some(vec![file_path(*i), file_path(*j)]),
+        Step::Checkpoint(_) => Some(vec![]),
+        Step::RestoreKeep(_) | Step::Restore(_) | Step::Discard(_) => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(600))]
+
+    /// VeriFS v2: a COW instance and a forced-deep twin agree on every
+    /// outcome and every abstract state, and the incremental fingerprint
+    /// cache riding on the COW instance agrees with full rehashes.
+    #[test]
+    fn verifs_cow_matches_deep_clone(
+        steps in prop::collection::vec(step_strategy(), 1..24)
+    ) {
+        let cfg = AbstractionConfig::default();
+        let mut cow = verifs::VeriFs::v2();
+        cow.mount().unwrap();
+        let mut deep = verifs::VeriFs::v2();
+        deep.mount().unwrap();
+        let mut cache = FingerprintCache::new();
+        let _ = abstract_state_cached(&mut cow, &cfg, &mut cache).unwrap();
+
+        for step in &steps {
+            match touched(step) {
+                Some(paths) => {
+                    let refs: Vec<&str> = paths.iter().map(String::as_str).collect();
+                    cache.invalidate_op(&mut cow, &refs);
+                }
+                None => cache = FingerprintCache::new(),
+            }
+            let got = apply(&mut cow, step);
+            let want = apply(&mut deep, step);
+            // The deep twin re-severs all sharing after every step, so its
+            // snapshots always own their allocations outright.
+            deep.materialize_cow();
+            prop_assert_eq!(got, want, "outcomes diverged on {:?}", step);
+
+            let h_cow = abstract_state(&mut cow, &cfg).unwrap();
+            let h_deep = abstract_state(&mut deep, &cfg).unwrap();
+            prop_assert_eq!(h_cow, h_deep, "states diverged on {:?}", step);
+            let h_incr = abstract_state_cached(&mut cow, &cfg, &mut cache).unwrap();
+            prop_assert_eq!(h_incr, h_cow, "fingerprint cache diverged on {:?}", step);
+            prop_assert_eq!(cow.snapshot_count(), deep.snapshot_count());
+        }
+        // Sharing must never cost correctness — and must actually share:
+        // resident bytes can never exceed the logical total.
+        prop_assert!(cow.snapshot_resident_bytes() <= cow.snapshot_bytes());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(450))]
+
+    /// ext2 on a RAM disk: COW device snapshots restore the exact bytes a
+    /// deep copy recorded, across unmount/restore/remount cycles.
+    #[test]
+    fn ext2_cow_device_snapshots_match_deep_copies(
+        seq in prop::collection::vec((0u8..4, any::<u8>(), any::<u8>()), 1..12),
+        restore_at in any::<u8>(),
+    ) {
+        let mut fs = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        fs.mount().unwrap();
+        let mut saved: Vec<(blockdev::DeviceSnapshot, Vec<u8>, u128)> = Vec::new();
+        let cfg = AbstractionConfig::default();
+
+        for (kind, a, b) in &seq {
+            match kind {
+                0 => {
+                    if let Ok(fd) = fs.create(&format!("/f{}", a % 8), FileMode::REG_DEFAULT) {
+                        let _ = fs.write(fd, &vec![*b; 1 + *a as usize % 512]);
+                        fs.close(fd).unwrap();
+                    }
+                }
+                1 => { let _ = fs.mkdir(&format!("/d{}", a % 4), FileMode::DIR_DEFAULT); }
+                2 => { let _ = fs.unlink(&format!("/f{}", a % 8)); }
+                _ => {
+                    // Flush in-memory state first — an unsynced device
+                    // snapshot is the paper's §3.2 incoherency, not a COW
+                    // artifact.
+                    fs.sync().unwrap();
+                    let snap = fs.snapshot_device().unwrap();
+                    let deep = snap.to_vec();
+                    let digest = abstract_state(&mut fs, &cfg).unwrap().as_u128();
+                    // The COW snapshot must already equal its deep copy.
+                    prop_assert_eq!(snap.size_bytes(), deep.len());
+                    saved.push((snap, deep, digest));
+                }
+            }
+        }
+
+        if !saved.is_empty() {
+            let (snap, deep, digest) = &saved[restore_at as usize % saved.len()];
+            fs.unmount().unwrap();
+            fs.restore_device(snap).unwrap();
+            // Device bytes match the deep copy exactly (read back before the
+            // remount, which dirties mount counters in the superblock)...
+            let now = fs.snapshot_device().unwrap();
+            prop_assert_eq!(&now.to_vec(), deep);
+            fs.mount().unwrap();
+            // ...and the observable file-system state matches the one
+            // recorded when the snapshot was taken.
+            let h = abstract_state(&mut fs, &cfg).unwrap().as_u128();
+            prop_assert_eq!(h, *digest);
+        }
+    }
+}

@@ -660,6 +660,10 @@ impl<F: FileSystem + FsCheckpoint> FsCheckpoint for FuseMount<F> {
     fn snapshot_bytes(&self) -> usize {
         self.daemon.fs().snapshot_bytes()
     }
+
+    fn snapshot_resident_bytes(&self) -> usize {
+        self.daemon.fs().snapshot_resident_bytes()
+    }
 }
 
 #[cfg(test)]

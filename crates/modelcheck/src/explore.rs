@@ -3,7 +3,9 @@
 use blockdev::Clock;
 
 use crate::memmodel::{MemConfig, MemoryModel, OutOfMemory};
-use crate::system::{ApplyOutcome, ModelSystem, StateId, Violation};
+use crate::system::{
+    is_evicted_error, ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, Violation,
+};
 use crate::visited::{Visit, VisitedHandle, VisitedSet};
 
 /// Exploration bounds and options.
@@ -84,6 +86,11 @@ pub enum StopReason {
     OutOfMemory(OutOfMemory),
     /// Checkpoint/restore failed.
     Fatal(String),
+    /// A restore named a checkpoint the budgeted state store had already
+    /// evicted (the payload is the store's error message). Distinct from
+    /// [`Fatal`](StopReason::Fatal): the system is healthy, the checkpoint
+    /// budget was just too tight for this search shape.
+    CheckpointEvicted(String),
     /// The worker thread panicked (swarm mode records this instead of
     /// aborting the fleet; the payload is the panic message).
     WorkerPanic(String),
@@ -119,6 +126,9 @@ pub struct ExploreStats {
     pub hit_rate: f64,
     /// Virtual time consumed (0 without a clock).
     pub virtual_ns: u64,
+    /// End-of-run statistics of the system's checkpoint store, when it
+    /// maintains a budgeted pool ([`ModelSystem::checkpoint_store_stats`]).
+    pub checkpoint_store: Option<CheckpointStoreStats>,
 }
 
 impl ExploreStats {
@@ -141,6 +151,16 @@ pub struct ExploreReport<Op> {
     pub violations: Vec<Violation<Op>>,
     /// Why the run ended.
     pub stop: StopReason,
+}
+
+/// Classifies a restore error: budget-driven eviction stops the run with
+/// [`StopReason::CheckpointEvicted`]; anything else is fatal.
+fn restore_failure(e: String) -> StopReason {
+    if is_evicted_error(&e) {
+        StopReason::CheckpointEvicted(e)
+    } else {
+        StopReason::Fatal(e)
+    }
 }
 
 struct Frame<Op> {
@@ -215,6 +235,9 @@ impl DfsExplorer {
                 },
                 Err(e) => return StopReason::Fatal(e),
             }
+            // DFS re-enters every state on its backtrack spine, so each one
+            // is pinned against budget-driven eviction until its frame pops.
+            sys.pin(root);
             stats.checkpoints += 1;
             let mut stack: Vec<Frame<S::Op>> = vec![Frame {
                 state: root,
@@ -244,6 +267,7 @@ impl DfsExplorer {
                     return StopReason::Exhausted;
                 };
                 if frame.next >= frame.ops.len() {
+                    sys.unpin(frame.state);
                     sys.release(frame.state);
                     if !self.cfg.retain_states {
                         mem.release(frame.state);
@@ -262,7 +286,7 @@ impl DfsExplorer {
                 if current != Some(frame_state) {
                     self.charge(mem.access(frame_state));
                     if let Err(e) = sys.restore(frame_state) {
-                        return StopReason::Fatal(e);
+                        return restore_failure(e);
                     }
                     stats.restores += 1;
                 }
@@ -325,6 +349,7 @@ impl DfsExplorer {
                     },
                     Err(e) => return StopReason::Fatal(e),
                 }
+                sys.pin(child);
                 stats.checkpoints += 1;
                 current = Some(child);
                 let sleep = if self.cfg.por {
@@ -355,6 +380,7 @@ impl DfsExplorer {
             }
         })();
 
+        stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
@@ -423,13 +449,16 @@ impl BfsExplorer {
                 },
                 Err(e) => return StopReason::Fatal(e),
             }
+            // BFS re-enters every frontier state once per op, so the whole
+            // frontier is pinned against eviction until it is expanded.
+            sys.pin(root);
             stats.checkpoints += 1;
             let mut queue: VecDeque<(StateId, usize, usize)> = VecDeque::new();
             queue.push_back((root, 0, 0)); // (state, depth, arena idx)
             while let Some((state, depth, node)) = queue.pop_front() {
                 self.charge(mem.access(state));
                 if let Err(e) = sys.restore(state) {
-                    return StopReason::Fatal(e);
+                    return restore_failure(e);
                 }
                 stats.restores += 1;
                 let ops = sys.ops();
@@ -442,7 +471,7 @@ impl BfsExplorer {
                     }
                     self.charge(mem.access(state));
                     if let Err(e) = sys.restore(state) {
-                        return StopReason::Fatal(e);
+                        return restore_failure(e);
                     }
                     stats.restores += 1;
                     let outcome = sys.apply(&op);
@@ -502,10 +531,12 @@ impl BfsExplorer {
                         },
                         Err(e) => return StopReason::Fatal(e),
                     }
+                    sys.pin(child);
                     stats.checkpoints += 1;
                     arena.push((Some(node), Some(op.clone())));
                     queue.push_back((child, depth + 1, arena.len() - 1));
                 }
+                sys.unpin(state);
                 sys.release(state);
                 if !self.cfg.retain_states {
                     mem.release(state);
@@ -514,6 +545,7 @@ impl BfsExplorer {
             StopReason::Exhausted
         })();
 
+        stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
@@ -607,6 +639,10 @@ impl RandomWalk {
                 },
                 Err(e) => return StopReason::Fatal(e),
             }
+            // Only the root is pinned: spread-restart targets are nice to
+            // have, but the walk can always fall back to the root if the
+            // budgeted store evicted one.
+            sys.pin(root);
             stats.checkpoints += 1;
             let mut depth = 0usize;
             loop {
@@ -641,7 +677,18 @@ impl RandomWalk {
                     };
                     self.charge(mem.access(target));
                     if let Err(e) = sys.restore(target) {
-                        return StopReason::Fatal(e);
+                        if target != root && is_evicted_error(&e) {
+                            // The spread target aged out of the budgeted
+                            // store: forget it and restart from the pinned
+                            // root instead of dying.
+                            stored.retain(|s| *s != target);
+                            self.charge(mem.access(root));
+                            if let Err(e) = sys.restore(root) {
+                                return restore_failure(e);
+                            }
+                        } else {
+                            return restore_failure(e);
+                        }
                     }
                     stats.restores += 1;
                     depth = 0;
@@ -729,7 +776,15 @@ impl RandomWalk {
                         };
                         self.charge(mem.access(target));
                         if let Err(e) = sys.restore(target) {
-                            return StopReason::Fatal(e);
+                            if target != root && is_evicted_error(&e) {
+                                stored.retain(|s| *s != target);
+                                self.charge(mem.access(root));
+                                if let Err(e) = sys.restore(root) {
+                                    return restore_failure(e);
+                                }
+                            } else {
+                                return restore_failure(e);
+                            }
                         }
                         stats.restores += 1;
                         depth = 0;
@@ -749,6 +804,7 @@ impl RandomWalk {
             }
         })();
 
+        stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();

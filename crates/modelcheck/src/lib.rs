@@ -75,7 +75,10 @@ pub use explore::{
 };
 pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
-pub use system::{ApplyOutcome, ModelSystem, StateId, Violation};
+pub use system::{
+    is_evicted_error, ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, Violation,
+    EVICTED_MARKER,
+};
 pub use visited::{ResizeEvent, ShardedVisited, Visit, VisitedHandle, VisitedSet, BYTES_PER_ENTRY};
 
 #[cfg(test)]

@@ -206,6 +206,18 @@ impl<S: ModelSystem> ModelSystem for Stoppable<'_, S> {
         self.inner.release(id)
     }
 
+    fn pin(&mut self, id: crate::system::StateId) {
+        self.inner.pin(id)
+    }
+
+    fn unpin(&mut self, id: crate::system::StateId) {
+        self.inner.unpin(id)
+    }
+
+    fn checkpoint_store_stats(&self) -> Option<crate::system::CheckpointStoreStats> {
+        self.inner.checkpoint_store_stats()
+    }
+
     fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
         self.inner.independent(a, b)
     }

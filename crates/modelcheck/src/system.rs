@@ -16,6 +16,51 @@ impl fmt::Display for StateId {
     }
 }
 
+/// Marker embedded in restore-error messages when the state store evicted
+/// the requested checkpoint under memory pressure. Explorers check for it
+/// (via [`is_evicted_error`]) to report a budget-driven stop instead of a
+/// fatal failure.
+pub const EVICTED_MARKER: &str = "[checkpoint-evicted]";
+
+/// Whether a restore error reports an evicted checkpoint rather than a
+/// genuine failure.
+pub fn is_evicted_error(msg: &str) -> bool {
+    msg.contains(EVICTED_MARKER)
+}
+
+/// Aggregate statistics of a system's checkpoint store, surfaced into
+/// exploration reports when the system maintains a budgeted pool.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CheckpointStoreStats {
+    /// Snapshots currently resident.
+    pub snapshots: usize,
+    /// Resident snapshots pinned against eviction.
+    pub pinned: usize,
+    /// Logical bytes of all resident snapshots (what the memory model sees).
+    pub total_bytes: usize,
+    /// Bytes of resident snapshots shared with live state or one another.
+    pub shared_bytes: usize,
+    /// Host bytes uniquely attributable to the store.
+    pub resident_bytes: usize,
+    /// Snapshots evicted under budget pressure so far.
+    pub evictions: u64,
+    /// Snapshots inserted so far.
+    pub inserts: u64,
+}
+
+impl CheckpointStoreStats {
+    /// Accumulates another store's stats (a harness sums its targets).
+    pub fn merge(&mut self, other: &CheckpointStoreStats) {
+        self.snapshots += other.snapshots;
+        self.pinned += other.pinned;
+        self.total_bytes += other.total_bytes;
+        self.shared_bytes += other.shared_bytes;
+        self.resident_bytes += other.resident_bytes;
+        self.evictions += other.evictions;
+        self.inserts += other.inserts;
+    }
+}
+
 /// Result of applying one operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ApplyOutcome {
@@ -71,6 +116,24 @@ pub trait ModelSystem {
 
     /// Drops the state stored under `id`.
     fn release(&mut self, id: StateId);
+
+    /// Pins the state stored under `id` against budget-driven eviction.
+    /// DFS pins its backtrack spine — evicting a state the explorer *will*
+    /// re-enter guarantees a wasted run. Systems without a budgeted store
+    /// ignore this.
+    fn pin(&mut self, id: StateId) {
+        let _ = id;
+    }
+
+    /// Releases an eviction pin taken by [`pin`](ModelSystem::pin).
+    fn unpin(&mut self, id: StateId) {
+        let _ = id;
+    }
+
+    /// Statistics of the system's checkpoint store, if it keeps one.
+    fn checkpoint_store_stats(&self) -> Option<CheckpointStoreStats> {
+        None
+    }
 
     /// Whether two operations commute (their executions from any state reach
     /// the same state in either order). Used by partial-order reduction;

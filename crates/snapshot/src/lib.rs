@@ -15,6 +15,7 @@
 //! resulting exploration rate.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use blockdev::Clock;
 
@@ -73,16 +74,23 @@ impl std::fmt::Display for CriuError {
 
 impl std::error::Error for CriuError {}
 
-/// A captured process image.
+/// A captured process image. The bytes are `Arc`-shared: cloning an image
+/// (or handing one back from [`VmEngine::restore`]) is a refcount bump, not
+/// a copy, matching the copy-on-write checkpoint model used elsewhere.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ProcessImage {
-    bytes: Vec<u8>,
+    bytes: Arc<Vec<u8>>,
 }
 
 impl ProcessImage {
     /// Image size in bytes.
     pub fn size_bytes(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The captured bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
     }
 }
 
@@ -155,7 +163,12 @@ impl CriuEngine {
         }
         let bytes = proc.memory_image();
         self.charge(bytes.len());
-        self.images.insert(key, ProcessImage { bytes });
+        self.images.insert(
+            key,
+            ProcessImage {
+                bytes: Arc::new(bytes),
+            },
+        );
         Ok(())
     }
 
@@ -197,7 +210,7 @@ impl CriuEngine {
 /// capping the model-checking rate at the paper's observed 20–30 ops/s.
 #[derive(Debug)]
 pub struct VmEngine {
-    images: HashMap<u64, Vec<u8>>,
+    images: HashMap<u64, Arc<Vec<u8>>>,
     clock: Clock,
     /// Checkpoint cost (LightVM: 30 ms for a trivial unikernel).
     pub checkpoint_ms: u64,
@@ -219,11 +232,13 @@ impl VmEngine {
     /// Checkpoints an opaque VM state blob under `key`.
     pub fn checkpoint(&mut self, key: u64, vm_state: Vec<u8>) {
         self.clock.advance_ms(self.checkpoint_ms);
-        self.images.insert(key, vm_state);
+        self.images.insert(key, Arc::new(vm_state));
     }
 
-    /// Restores the blob stored under `key` (keeping it).
-    pub fn restore(&mut self, key: u64) -> Option<Vec<u8>> {
+    /// Restores the blob stored under `key` (keeping it). The returned
+    /// handle shares storage with the stored image — the engine-side copy
+    /// the real LightVM pays is charged to the clock, not re-materialized.
+    pub fn restore(&mut self, key: u64) -> Option<Arc<Vec<u8>>> {
         self.clock.advance_ms(self.restore_ms);
         self.images.get(&key).cloned()
     }
@@ -236,6 +251,11 @@ impl VmEngine {
     /// Number of stored images.
     pub fn image_count(&self) -> usize {
         self.images.len()
+    }
+
+    /// Total bytes held by stored images.
+    pub fn image_bytes(&self) -> usize {
+        self.images.values().map(|v| v.len()).sum()
     }
 }
 
@@ -342,9 +362,14 @@ mod tests {
     fn vm_engine_roundtrip() {
         let mut vm = VmEngine::new(Clock::new());
         vm.checkpoint(1, b"vm state".to_vec());
-        assert_eq!(vm.restore(1).unwrap(), b"vm state");
+        assert_eq!(vm.restore(1).unwrap().as_slice(), b"vm state");
         assert_eq!(vm.restore(2), None);
         assert_eq!(vm.image_count(), 1);
+        assert_eq!(vm.image_bytes(), 8);
+        // Restored handles share storage with the stored image.
+        let a = vm.restore(1).unwrap();
+        let b = vm.restore(1).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
         assert!(vm.discard(1));
     }
 }

@@ -11,7 +11,7 @@
 //! which is precisely the garbage that paper bugs 1 and 3 exposed when the
 //! zeroing steps were missing.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::Arc;
 
 use vfs::{
@@ -82,14 +82,17 @@ impl VeriFsConfig {
 enum NodeKind {
     Regular {
         /// Physical buffer; `buf.len()` is the capacity, never shrunk.
-        buf: Vec<u8>,
+        /// `Arc`-backed: checkpoints share the buffer with the live state
+        /// until either side writes (`Arc::make_mut` copies on demand).
+        buf: Arc<Vec<u8>>,
         /// Logical file size (`<= buf.len()` unless bug 4 lied about it —
         /// the invariant the paper's bug 4 violated is `size` tracking
         /// appends, not capacity).
         size: u64,
     },
     Directory {
-        entries: BTreeMap<String, u64>,
+        /// `Arc`-backed for the same copy-on-write sharing as file buffers.
+        entries: Arc<BTreeMap<String, u64>>,
     },
     Symlink {
         target: String,
@@ -133,11 +136,14 @@ impl Inode {
     }
 }
 
-/// The complete in-memory state — what `ioctl_CHECKPOINT` copies into the
-/// snapshot pool.
+/// The complete in-memory state — what `ioctl_CHECKPOINT` captures into the
+/// snapshot pool. The inode array (and, transitively, every file buffer and
+/// directory map) is `Arc`-backed, so cloning the state for a checkpoint is
+/// O(1) reference bumps: snapshots and the live state share structure until
+/// one of them mutates (`Arc::make_mut`).
 #[derive(Debug, Clone)]
 struct FsState {
-    inodes: Vec<Option<Inode>>,
+    inodes: Arc<Vec<Option<Inode>>>,
     /// Logical bytes charged against the data budget.
     data_used: u64,
     /// Monotonic logical timestamp, bumped on every state-changing call.
@@ -153,7 +159,7 @@ impl FsState {
         // Inode 0 is reserved (never allocated); inode 1 is the root.
         inodes[Ino::ROOT.0 as usize] = Some(Inode {
             kind: NodeKind::Directory {
-                entries: BTreeMap::new(),
+                entries: Arc::new(BTreeMap::new()),
             },
             mode: FileMode::DIR_DEFAULT,
             nlink: 2,
@@ -165,7 +171,7 @@ impl FsState {
             xattrs: BTreeMap::new(),
         });
         FsState {
-            inodes,
+            inodes: Arc::new(inodes),
             data_used: 0,
             time: 1,
             open_files: FdTable::new(max_fds),
@@ -301,15 +307,20 @@ impl VeriFs {
     }
 
     fn inode_mut(&mut self, ino: u64) -> VfsResult<&mut Inode> {
-        self.state
-            .inodes
+        // Every mutation funnels through here: unshare the inode array from
+        // any snapshots before handing out a mutable reference.
+        Arc::make_mut(&mut self.state.inodes)
             .get_mut(ino as usize)
             .and_then(Option::as_mut)
             .ok_or(Errno::EIO)
     }
 
     fn alloc_inode(&mut self, inode: Inode) -> VfsResult<u64> {
-        for (i, slot) in self.state.inodes.iter_mut().enumerate().skip(2) {
+        for (i, slot) in Arc::make_mut(&mut self.state.inodes)
+            .iter_mut()
+            .enumerate()
+            .skip(2)
+        {
             if slot.is_none() {
                 *slot = Some(inode);
                 return Ok(i as u64);
@@ -357,7 +368,7 @@ impl VeriFs {
         let now = self.tick();
         match &mut self.inode_mut(parent)?.kind {
             NodeKind::Directory { entries } => {
-                entries.insert(name.to_string(), child);
+                Arc::make_mut(entries).insert(name.to_string(), child);
             }
             _ => return Err(Errno::ENOTDIR),
         }
@@ -370,7 +381,9 @@ impl VeriFs {
     fn remove_entry(&mut self, parent: u64, name: &str) -> VfsResult<u64> {
         let now = self.tick();
         let child = match &mut self.inode_mut(parent)?.kind {
-            NodeKind::Directory { entries } => entries.remove(name).ok_or(Errno::ENOENT)?,
+            NodeKind::Directory { entries } => {
+                Arc::make_mut(entries).remove(name).ok_or(Errno::ENOENT)?
+            }
             _ => return Err(Errno::ENOTDIR),
         };
         let parent_inode = self.inode_mut(parent)?;
@@ -396,7 +409,7 @@ impl VeriFs {
         if let NodeKind::Regular { size, .. } = node.kind {
             self.state.data_used = self.state.data_used.saturating_sub(size);
         }
-        self.state.inodes[ino as usize] = None;
+        Arc::make_mut(&mut self.state.inodes)[ino as usize] = None;
         Ok(())
     }
 
@@ -441,6 +454,7 @@ impl VeriFs {
         self.charge(old_size, new_size)?;
         let node = self.inode_mut(ino)?;
         if let NodeKind::Regular { buf, size } = &mut node.kind {
+            let buf = Arc::make_mut(buf);
             if new_size as usize > buf.len() {
                 let cap = round_up(new_size as usize);
                 buf.resize(cap, 0);
@@ -552,7 +566,7 @@ impl FileSystem for VeriFs {
         let now = self.tick();
         let inode = self.new_inode(
             NodeKind::Regular {
-                buf: Vec::new(),
+                buf: Arc::new(Vec::new()),
                 size: 0,
             },
             mode,
@@ -584,7 +598,7 @@ impl FileSystem for VeriFs {
                 let now = self.tick();
                 let inode = self.new_inode(
                     NodeKind::Regular {
-                        buf: Vec::new(),
+                        buf: Arc::new(Vec::new()),
                         size: 0,
                     },
                     mode,
@@ -667,6 +681,7 @@ impl FileSystem for VeriFs {
         self.charge(old_size, new_size)?;
         let node = self.inode_mut(of.ino)?;
         if let NodeKind::Regular { buf, size } = &mut node.kind {
+            let buf = Arc::make_mut(buf);
             let needed = end as usize;
             let grew = needed > old_cap;
             if grew {
@@ -719,7 +734,7 @@ impl FileSystem for VeriFs {
         let now = self.tick();
         let mut inode = self.new_inode(
             NodeKind::Directory {
-                entries: BTreeMap::new(),
+                entries: Arc::new(BTreeMap::new()),
             },
             mode,
             now,
@@ -802,15 +817,16 @@ impl FileSystem for VeriFs {
         let now = self.tick();
         let node = self.inode(ino)?;
         let entries = match &node.kind {
-            NodeKind::Directory { entries } => entries.clone(),
+            // O(1): bump the Arc rather than deep-copying the map.
+            NodeKind::Directory { entries } => Arc::clone(entries),
             _ => return Err(Errno::ENOTDIR),
         };
         let mut out = Vec::with_capacity(entries.len());
-        for (name, child) in entries {
-            let ftype = self.inode(child)?.ftype();
+        for (name, child) in entries.iter() {
+            let ftype = self.inode(*child)?.ftype();
             out.push(DirEntry {
-                name,
-                ino: Ino(child),
+                name: name.clone(),
+                ino: Ino(*child),
                 ftype,
             });
         }
@@ -1046,8 +1062,11 @@ impl FileSystem for VeriFs {
 impl FsCheckpoint for VeriFs {
     fn checkpoint(&mut self, key: u64) -> VfsResult<()> {
         self.check_mounted()?;
-        // ioctl_CHECKPOINT: lock, copy inode and file data into the snapshot
-        // pool under `key`, unlock. The &mut receiver is the lock.
+        // ioctl_CHECKPOINT: lock, capture inode and file data into the
+        // snapshot pool under `key`, unlock. The &mut receiver is the lock.
+        // Cloning the state is O(1) reference bumps (copy-on-write); the
+        // heap_bytes walk keeps the *logical* accounting the memory model
+        // charges, without copying or allocating anything.
         let snap = self.state.clone();
         self.pool_bytes += snap.heap_bytes();
         if let Some(old) = self.pool.insert(key, snap) {
@@ -1057,18 +1076,11 @@ impl FsCheckpoint for VeriFs {
     }
 
     fn restore(&mut self, key: u64) -> VfsResult<()> {
-        self.check_mounted()?;
-        let state = self.pool.remove(&key).ok_or(Errno::ENOENT)?;
-        self.pool_bytes -= state.heap_bytes();
-        self.apply_restore(state);
-        Ok(())
+        self.restore_impl(key, false)
     }
 
     fn restore_keep(&mut self, key: u64) -> VfsResult<()> {
-        self.check_mounted()?;
-        let state = self.pool.get(&key).ok_or(Errno::ENOENT)?.clone();
-        self.apply_restore(state);
-        Ok(())
+        self.restore_impl(key, true)
     }
 
     fn discard(&mut self, key: u64) -> VfsResult<()> {
@@ -1084,9 +1096,89 @@ impl FsCheckpoint for VeriFs {
     fn snapshot_bytes(&self) -> usize {
         self.pool_bytes
     }
+
+    fn snapshot_resident_bytes(&self) -> usize {
+        // Host bytes uniquely held by the pool: walk each snapshot, counting
+        // an allocation only if it is neither reachable from the live state
+        // nor already counted for an earlier snapshot (pointer identity).
+        let mut seen = HashSet::new();
+        mark_state_allocations(&self.state, &mut seen);
+        self.pool
+            .values()
+            .map(|s| unique_heap_bytes(s, &mut seen))
+            .sum()
+    }
+}
+
+/// Records the live state's shared allocations so snapshots don't get
+/// charged for structure they share with it.
+fn mark_state_allocations(state: &FsState, seen: &mut HashSet<*const ()>) {
+    if !seen.insert(Arc::as_ptr(&state.inodes).cast()) {
+        return; // same inode array ⇒ same interior allocations
+    }
+    for inode in state.inodes.iter().flatten() {
+        match &inode.kind {
+            NodeKind::Regular { buf, .. } => {
+                seen.insert(Arc::as_ptr(buf).cast());
+            }
+            NodeKind::Directory { entries } => {
+                seen.insert(Arc::as_ptr(entries).cast());
+            }
+            NodeKind::Symlink { .. } => {}
+        }
+    }
+}
+
+/// Heap bytes of `state` not yet counted in `seen` (same size formulas as
+/// [`FsState::heap_bytes`], so resident and logical figures are comparable).
+fn unique_heap_bytes(state: &FsState, seen: &mut HashSet<*const ()>) -> usize {
+    if !seen.insert(Arc::as_ptr(&state.inodes).cast()) {
+        return 0;
+    }
+    let mut total = state.inodes.len() * std::mem::size_of::<Option<Inode>>();
+    for inode in state.inodes.iter().flatten() {
+        // The inode struct and its (non-Arc) xattrs live inside this copy of
+        // the array; the Arc-backed payloads are counted once per allocation.
+        total += std::mem::size_of::<Inode>();
+        total += inode
+            .xattrs
+            .iter()
+            .map(|(k, v)| k.len() + v.len())
+            .sum::<usize>();
+        match &inode.kind {
+            NodeKind::Regular { buf, .. } => {
+                if seen.insert(Arc::as_ptr(buf).cast()) {
+                    total += buf.len();
+                }
+            }
+            NodeKind::Directory { entries } => {
+                if seen.insert(Arc::as_ptr(entries).cast()) {
+                    total += entries.keys().map(|k| k.len() + 16).sum::<usize>();
+                }
+            }
+            NodeKind::Symlink { target } => total += target.len(),
+        }
+    }
+    total
 }
 
 impl VeriFs {
+    fn restore_impl(&mut self, key: u64, keep: bool) -> VfsResult<()> {
+        self.check_mounted()?;
+        // One helper for both restore flavors: the keep path clones (an O(1)
+        // reference bump), the discard path moves the snapshot out and
+        // refunds its logical bytes (the paper's ioctl_RESTORE semantics).
+        let state = if keep {
+            self.pool.get(&key).ok_or(Errno::ENOENT)?.clone()
+        } else {
+            let state = self.pool.remove(&key).ok_or(Errno::ENOENT)?;
+            self.pool_bytes -= state.heap_bytes();
+            state
+        };
+        self.apply_restore(state);
+        Ok(())
+    }
+
     fn apply_restore(&mut self, state: FsState) {
         self.state = state;
         // Notify the kernel to invalidate its caches — the fix for paper
@@ -1096,6 +1188,25 @@ impl VeriFs {
         if !self.config.bugs.v1_skip_invalidation {
             if let Some(sink) = &self.sink {
                 sink.invalidate_all();
+            }
+        }
+    }
+
+    /// Forces every copy-on-write allocation in the *live* state to be
+    /// uniquely owned, paying the full deep copy a non-COW checkpoint would
+    /// have paid. Benchmarks and equivalence tests call this right after
+    /// [`FsCheckpoint::checkpoint`] to reconstruct the deep-clone baseline.
+    pub fn materialize_cow(&mut self) {
+        let inodes = Arc::make_mut(&mut self.state.inodes);
+        for inode in inodes.iter_mut().flatten() {
+            match &mut inode.kind {
+                NodeKind::Regular { buf, .. } => {
+                    Arc::make_mut(buf);
+                }
+                NodeKind::Directory { entries } => {
+                    Arc::make_mut(entries);
+                }
+                NodeKind::Symlink { .. } => {}
             }
         }
     }
@@ -1808,5 +1919,84 @@ mod more_tests {
         fs.write(fd, &[0u8; 10_000]).unwrap();
         fs.close(fd).unwrap();
         assert!(fs.state_bytes() > before + 9_000);
+    }
+
+    #[test]
+    fn checkpoint_shares_structure_until_mutation() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let fd = fs.create("/big", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, &[7u8; 10_000]).unwrap();
+        fs.close(fd).unwrap();
+        fs.checkpoint(1).unwrap();
+        // Logical accounting charges the full state; host-resident bytes are
+        // near zero because everything is still shared with the live state.
+        assert!(fs.snapshot_bytes() > 10_000);
+        assert!(
+            fs.snapshot_resident_bytes() < fs.snapshot_bytes() / 10,
+            "fresh snapshot should share (resident {} vs logical {})",
+            fs.snapshot_resident_bytes(),
+            fs.snapshot_bytes()
+        );
+        // Rewriting the file unshares its buffer: the snapshot now uniquely
+        // owns the old contents.
+        let fd = fs
+            .open("/big", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
+        fs.write(fd, &[9u8; 10_000]).unwrap();
+        fs.close(fd).unwrap();
+        assert!(fs.snapshot_resident_bytes() > 10_000);
+        // The snapshot still restores the original contents.
+        fs.restore(1).unwrap();
+        let fd = fs
+            .open("/big", OpenFlags::read_only(), FileMode::REG_DEFAULT)
+            .unwrap();
+        let mut buf = [0u8; 4];
+        fs.read(fd, &mut buf).unwrap();
+        assert_eq!(buf, [7u8; 4]);
+    }
+
+    #[test]
+    fn materialize_cow_reconstructs_deep_clone_cost() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let fd = fs.create("/f", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, &[1u8; 5_000]).unwrap();
+        fs.close(fd).unwrap();
+        fs.checkpoint(1).unwrap();
+        fs.materialize_cow();
+        // After materializing, the snapshot shares nothing with the live
+        // state: resident equals logical accounting.
+        assert_eq!(fs.snapshot_resident_bytes(), fs.snapshot_bytes());
+        // And the state is still observably intact.
+        assert_eq!(fs.stat("/f").unwrap().size, 5_000);
+        fs.restore_keep(1).unwrap();
+        assert_eq!(fs.stat("/f").unwrap().size, 5_000);
+    }
+
+    #[test]
+    fn snapshots_under_distinct_keys_share_with_each_other() {
+        let mut fs = VeriFs::v2();
+        fs.mount().unwrap();
+        let fd = fs.create("/f", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, &[3u8; 8_000]).unwrap();
+        fs.close(fd).unwrap();
+        fs.checkpoint(1).unwrap();
+        fs.checkpoint(2).unwrap();
+        // Overwrite live so both snapshots detach from the live state; they
+        // still share the old buffer with each other, so the pool's unique
+        // footprint is ~one copy, not two.
+        let fd = fs
+            .open("/f", OpenFlags::write_only(), FileMode::REG_DEFAULT)
+            .unwrap();
+        fs.write(fd, &[4u8; 8_000]).unwrap();
+        fs.close(fd).unwrap();
+        let resident = fs.snapshot_resident_bytes();
+        assert!(resident > 8_000, "old buffer is pool-owned: {resident}");
+        assert!(
+            resident < fs.snapshot_bytes() * 3 / 4,
+            "two snapshots must share one copy (resident {resident}, logical {})",
+            fs.snapshot_bytes()
+        );
     }
 }

@@ -8,6 +8,7 @@
 //! [`crate::InvalidationSink`].
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use crate::types::{FileStat, Ino};
 
@@ -157,8 +158,10 @@ impl AttrCache {
 /// One cached page.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Page {
-    /// Page contents (always exactly the cache's page size).
-    pub data: Vec<u8>,
+    /// Page contents (always exactly the cache's page size). `Arc`-backed so
+    /// cloning a cache — e.g. inside a VFS-level checkpoint of a mounted
+    /// instance — shares page data until one side writes.
+    pub data: Arc<Vec<u8>>,
     /// Whether the page has unwritten modifications.
     pub dirty: bool,
 }
@@ -214,7 +217,13 @@ impl PageCache {
     /// Panics if `data.len()` differs from the page size.
     pub fn fill(&mut self, ino: Ino, page: u64, data: Vec<u8>) {
         assert_eq!(data.len(), self.page_size, "page size mismatch");
-        self.pages.insert((ino, page), Page { data, dirty: false });
+        self.pages.insert(
+            (ino, page),
+            Page {
+                data: Arc::new(data),
+                dirty: false,
+            },
+        );
     }
 
     /// Writes `data` into a page at `offset`, marking it dirty. The page must
@@ -229,7 +238,7 @@ impl PageCache {
             .get_mut(&(ino, page))
             .expect("write to a page that was never filled");
         assert!(offset + data.len() <= self.page_size, "write exceeds page");
-        p.data[offset..offset + data.len()].copy_from_slice(data);
+        Arc::make_mut(&mut p.data)[offset..offset + data.len()].copy_from_slice(data);
         p.dirty = true;
     }
 

@@ -62,6 +62,10 @@ pub enum Errno {
     ENODATA = 61,
     /// Value too large for defined data type.
     EOVERFLOW = 75,
+    /// Stale file handle. Returned when a checkpoint key refers to a
+    /// snapshot the budgeted checkpoint pool has evicted: the handle was
+    /// valid once but the state behind it is gone.
+    ESTALE = 116,
     /// Quota exceeded.
     EDQUOT = 122,
 }
@@ -94,6 +98,7 @@ impl Errno {
             Errno::ELOOP => "ELOOP",
             Errno::ENODATA => "ENODATA",
             Errno::EOVERFLOW => "EOVERFLOW",
+            Errno::ESTALE => "ESTALE",
             Errno::EDQUOT => "EDQUOT",
         }
     }
@@ -125,6 +130,7 @@ impl Errno {
             Errno::ELOOP => "too many levels of symbolic links",
             Errno::ENODATA => "no data available",
             Errno::EOVERFLOW => "value too large for defined data type",
+            Errno::ESTALE => "stale file handle",
             Errno::EDQUOT => "disk quota exceeded",
         }
     }

@@ -353,9 +353,18 @@ pub trait FsCheckpoint {
     /// Number of snapshots currently in the pool.
     fn snapshot_count(&self) -> usize;
 
-    /// Approximate bytes held by the snapshot pool — the model checker's
-    /// memory model charges these.
+    /// Approximate *logical* bytes held by the snapshot pool — the model
+    /// checker's memory model charges these (SPIN really holds a full copy
+    /// per tracked state, so the virtual-memory accounting must too).
     fn snapshot_bytes(&self) -> usize;
+
+    /// Approximate *host* bytes uniquely attributable to the snapshot pool.
+    /// Copy-on-write implementations override this to exclude storage shared
+    /// with the live state or between snapshots; the default assumes deep
+    /// copies, where logical and resident sizes coincide.
+    fn snapshot_resident_bytes(&self) -> usize {
+        self.snapshot_bytes()
+    }
 }
 
 /// Callback interface a file system uses to tell the kernel to invalidate its
