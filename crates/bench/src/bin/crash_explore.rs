@@ -1,0 +1,143 @@
+//! Crash-consistency exploration cost: what does adding the
+//! nondeterministic `Crash` pseudo-op to the operation pool do to
+//! exploration throughput?
+//!
+//! Each pairing is explored twice under the same DFS budget — once with the
+//! plain pool, once with crash exploration on — and the states/s rates are
+//! compared in virtual time. The crash runs double as the acceptance check:
+//! both pairings recover prefix-consistently from every injected power cut,
+//! so the runs must be violation-free while reporting a non-zero crash
+//! count.
+//!
+//! Output: a human-readable table, then JSON (also written to
+//! `BENCH_crash.json`).
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin crash_explore [ops] [--quick]`
+//!
+//! `--quick` shrinks the budget to CI-smoke size.
+
+use blockdev::LatencyModel;
+use mcfs::{McfsConfig, PoolConfig, RemountMode};
+use mcfs_bench::{measure_dfs, pair_ext2_ext4_cfg, pair_verifs_cfg, print_table, Pairing};
+use modelcheck::CrashStats;
+use vfs::VfsResult;
+
+type PairingBuilder = Box<dyn Fn(McfsConfig) -> VfsResult<Pairing>>;
+
+struct Row {
+    pairing: &'static str,
+    crash_exploration: bool,
+    ops_per_sec: f64,
+    states_per_sec: f64,
+    states_new: u64,
+    crash: CrashStats,
+}
+
+fn measure(
+    label: &'static str,
+    crash_exploration: bool,
+    budget: u64,
+    build: &dyn Fn(McfsConfig) -> VfsResult<Pairing>,
+) -> Row {
+    let cfg = McfsConfig {
+        pool: PoolConfig::small(),
+        crash_exploration,
+        ..McfsConfig::default()
+    };
+    let mut pairing = build(cfg).expect("pairing");
+    let (ops_per_sec, report) = measure_dfs(&mut pairing, budget);
+    assert!(
+        report.violations.is_empty(),
+        "{label}: crash exploration over correct file systems must be \
+         violation-free, found: {}",
+        report.violations[0]
+    );
+    let crash = report.stats.crash.unwrap_or_default();
+    if crash_exploration {
+        assert!(crash.crashes > 0, "{label}: no crash branches explored");
+        assert_eq!(
+            crash.divergent_recoveries, 0,
+            "{label}: identical implementations cannot diverge on recovery"
+        );
+    }
+    let states_per_sec =
+        ops_per_sec * report.stats.states_new as f64 / report.stats.ops_executed.max(1) as f64;
+    Row {
+        pairing: label,
+        crash_exploration,
+        ops_per_sec,
+        states_per_sec,
+        states_new: report.stats.states_new,
+        crash,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 250 } else { 1_500 });
+
+    let builders: Vec<(&'static str, PairingBuilder)> = vec![
+        ("verifs1-vs-verifs2", Box::new(pair_verifs_cfg)),
+        (
+            "ext2-vs-ext4-ram",
+            Box::new(|cfg| pair_ext2_ext4_cfg(LatencyModel::ram(), RemountMode::PerOp, cfg)),
+        ),
+    ];
+
+    let mut rows: Vec<Row> = Vec::new();
+    for (label, build) in &builders {
+        for crash_exploration in [false, true] {
+            rows.push(measure(label, crash_exploration, budget, build.as_ref()));
+        }
+    }
+
+    let table: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!(
+                    "{} [crash {}]",
+                    r.pairing,
+                    if r.crash_exploration { "on " } else { "off" }
+                ),
+                format!(
+                    "{:>8.1} states/s  {:>8.1} ops/s  {} states, {} crashes ({} recovered)",
+                    r.states_per_sec,
+                    r.ops_per_sec,
+                    r.states_new,
+                    r.crash.crashes,
+                    r.crash.recoveries
+                ),
+            )
+        })
+        .collect();
+    print_table("Crash exploration throughput", &table);
+
+    let runs: String = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pairing\": \"{}\", \"crash_exploration\": {}, \
+                 \"ops_per_sec\": {:.1}, \"states_per_sec\": {:.1}, \
+                 \"states_new\": {}, \"crashes\": {}, \"recoveries\": {}, \
+                 \"divergent_recoveries\": {}, \"violations\": 0}}",
+                r.pairing,
+                r.crash_exploration,
+                r.ops_per_sec,
+                r.states_per_sec,
+                r.states_new,
+                r.crash.crashes,
+                r.crash.recoveries,
+                r.crash.divergent_recoveries,
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n  \"budget_ops\": {budget},\n  \"runs\": [\n{runs}\n  ]\n}}");
+    println!("\n{json}");
+    std::fs::write("BENCH_crash.json", format!("{json}\n")).expect("write BENCH_crash.json");
+}

@@ -153,6 +153,27 @@ pub fn pair_ext2_ext4(
     mode: RemountMode,
     pool: PoolConfig,
 ) -> VfsResult<Pairing> {
+    pair_ext2_ext4_cfg(
+        model,
+        mode,
+        McfsConfig {
+            pool,
+            ..McfsConfig::default()
+        },
+    )
+}
+
+/// [`pair_ext2_ext4`] with full control of the harness configuration —
+/// crash exploration, voting, pool, all of it.
+///
+/// # Errors
+///
+/// Propagated construction errors.
+pub fn pair_ext2_ext4_cfg(
+    model: LatencyModel,
+    mode: RemountMode,
+    cfg: McfsConfig,
+) -> VfsResult<Pairing> {
     let clock = Clock::new();
     let e2 = ext_on(ExtConfig::ext2(), model, clock.clone())?;
     let e4 = ext_on(ExtConfig::ext4(), model, clock.clone())?;
@@ -160,14 +181,7 @@ pub fn pair_ext2_ext4(
         Box::new(RemountTarget::new(e2, mode).with_clock(clock.clone())),
         Box::new(RemountTarget::new(e4, mode).with_clock(clock.clone())),
     ];
-    let harness = Mcfs::with_clock(
-        targets,
-        McfsConfig {
-            pool,
-            ..McfsConfig::default()
-        },
-        clock.clone(),
-    )?;
+    let harness = Mcfs::with_clock(targets, cfg, clock.clone())?;
     Ok(Pairing {
         label: format!("Ext2 vs Ext4 ({})", model.class),
         harness,
@@ -239,6 +253,18 @@ pub fn pair_ext4_jffs2(pool: PoolConfig) -> VfsResult<Pairing> {
 ///
 /// Propagated construction errors.
 pub fn pair_verifs(pool: PoolConfig) -> VfsResult<Pairing> {
+    pair_verifs_cfg(McfsConfig {
+        pool,
+        ..McfsConfig::default()
+    })
+}
+
+/// [`pair_verifs`] with full control of the harness configuration.
+///
+/// # Errors
+///
+/// Propagated construction errors.
+pub fn pair_verifs_cfg(cfg: McfsConfig) -> VfsResult<Pairing> {
     let clock = Clock::new();
     let v1 = verifs_fuse(1, BugConfig::none(), clock.clone());
     let v2 = verifs_fuse(2, BugConfig::none(), clock.clone());
@@ -246,14 +272,7 @@ pub fn pair_verifs(pool: PoolConfig) -> VfsResult<Pairing> {
         Box::new(CheckpointTarget::new(v1)),
         Box::new(CheckpointTarget::new(v2)),
     ];
-    let harness = Mcfs::with_clock(
-        targets,
-        McfsConfig {
-            pool,
-            ..McfsConfig::default()
-        },
-        clock.clone(),
-    )?;
+    let harness = Mcfs::with_clock(targets, cfg, clock.clone())?;
     Ok(Pairing {
         label: "VeriFS1 vs VeriFS2".to_string(),
         harness,

@@ -29,6 +29,9 @@ pub enum DeviceError {
     SnapshotMismatch,
     /// Flash-specific failure (wrapped by [`crate::MtdBlock`]).
     Mtd(String),
+    /// An I/O failure — what an injected fault surfaces as (see
+    /// [`crate::FaultyDevice`]). File systems map this to `EIO`.
+    Io(String),
 }
 
 impl fmt::Display for DeviceError {
@@ -51,6 +54,7 @@ impl fmt::Display for DeviceError {
                 write!(f, "snapshot geometry does not match this device")
             }
             DeviceError::Mtd(msg) => write!(f, "mtd error: {msg}"),
+            DeviceError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -144,6 +148,14 @@ pub trait BlockDevice: Send {
     /// Flushes any device-level write buffer. RAM-backed devices are
     /// write-through, so the default is a no-op.
     fn flush(&mut self) -> DeviceResult<()> {
+        Ok(())
+    }
+
+    /// Emulates a power cut: every write accepted since the last
+    /// [`flush`](Self::flush) that still sits in a volatile cache is lost,
+    /// then the device comes back up. Write-through devices have nothing to
+    /// lose, so the default is a no-op.
+    fn power_cut(&mut self) -> DeviceResult<()> {
         Ok(())
     }
 

@@ -2,25 +2,53 @@
 //!
 //! Real storage fails; a file system's error paths are "where bugs often
 //! lurk" (paper §2). [`FaultyDevice`] wraps any block device and fails
-//! scripted operations with I/O errors, so tests can verify that every file
-//! system surfaces `EIO` cleanly instead of corrupting state or panicking.
+//! scripted operations with I/O errors, tears writes in half, or drops a
+//! volatile write cache on power cuts, so tests can verify that every file
+//! system surfaces `EIO` cleanly instead of corrupting state or panicking,
+//! and that sync'd data survives a crash.
 
-use crate::device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
+use std::collections::HashMap;
+
+use crate::device::{check_io, BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
 
 /// Which operations to fail.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FaultKind {
     /// Fail block reads.
     Read,
-    /// Fail block writes.
+    /// Fail block writes (MTD: programs).
     Write,
-    /// Fail both.
+    /// Fail erases (meaningful for MTD devices only).
+    Erase,
+    /// Fail reads, writes and erases alike.
     Both,
 }
 
+impl FaultKind {
+    fn applies_to(self, op: FaultKind) -> bool {
+        self == FaultKind::Both || self == op
+    }
+}
+
+/// The concrete fault a [`FaultPlan`] asks a device to inject for one
+/// operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Fail the operation with an I/O error.
+    Eio,
+    /// (Writes only.) Pretend the operation succeeded but persist only the
+    /// first `k` bytes of the buffer — a torn sector, as left behind by a
+    /// power loss mid-write or lying firmware. Readers observe it as an EIO.
+    Torn(usize),
+}
+
 /// A fault-injection plan: fail the next operations of the selected kind
-/// after `skip` successful ones, for `count` failures.
-#[derive(Debug, Clone, Copy)]
+/// after `skip` successful ones, for `count` failures. With
+/// [`torn_bytes`](Self::torn_bytes) set, faulting writes are torn instead of
+/// erroring; with [`volatile_cache`](Self::volatile_cache), the wrapped
+/// device buffers writes until `flush` and loses them on
+/// [`power_cut`](BlockDevice::power_cut).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Which operations fail.
     pub kind: FaultKind,
@@ -28,9 +56,80 @@ pub struct FaultPlan {
     pub skip: u64,
     /// Number of consecutive failures to inject (then heal).
     pub count: u64,
+    /// When set, a faulting *write* silently persists only the first `k`
+    /// bytes of the sector instead of returning an error. Faulting reads and
+    /// erases still return `EIO`.
+    pub torn_bytes: Option<usize>,
+    /// Emulate a volatile write-back cache: writes are held in memory until
+    /// `flush`, and a power cut discards everything unflushed.
+    pub volatile_cache: bool,
 }
 
-/// A [`BlockDevice`] wrapper injecting scripted I/O failures.
+impl FaultPlan {
+    /// A plan that never faults (and writes through): the identity wrapper.
+    pub fn none() -> Self {
+        FaultPlan {
+            kind: FaultKind::Write,
+            skip: 0,
+            count: 0,
+            torn_bytes: None,
+            volatile_cache: false,
+        }
+    }
+
+    /// Deterministic `EIO` on operations of `kind`, after `skip` successes,
+    /// for `count` failures.
+    pub fn eio(kind: FaultKind, skip: u64, count: u64) -> Self {
+        FaultPlan {
+            kind,
+            skip,
+            count,
+            ..FaultPlan::none()
+        }
+    }
+
+    /// Converts this plan's faulting writes into torn writes that persist
+    /// only the first `k` bytes.
+    #[must_use]
+    pub fn with_torn_bytes(mut self, k: usize) -> Self {
+        self.torn_bytes = Some(k);
+        self
+    }
+
+    /// Adds a volatile write-back cache (see
+    /// [`volatile_cache`](Self::volatile_cache)).
+    #[must_use]
+    pub fn with_volatile_cache(mut self) -> Self {
+        self.volatile_cache = true;
+        self
+    }
+
+    /// Decides whether the `seen`-th operation of kind `op` faults, given
+    /// that `injected` faults fired already. Shared by [`FaultyDevice`] and
+    /// [`MtdDevice`](crate::MtdDevice) so both layers script identically.
+    pub fn decide(&self, op: FaultKind, seen: u64, injected: u64) -> Option<Fault> {
+        if !self.kind.applies_to(op) || seen < self.skip || injected >= self.count {
+            return None;
+        }
+        match (op, self.torn_bytes) {
+            (FaultKind::Write, Some(k)) => Some(Fault::Torn(k)),
+            _ => Some(Fault::Eio),
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+/// A [`BlockDevice`] wrapper injecting scripted I/O failures, torn writes and
+/// power cuts.
+///
+/// Snapshots capture (and restores rebuild) only the *persisted* image: the
+/// volatile cache is what a crash would lose, so it never travels through
+/// snapshots.
 ///
 /// # Examples
 ///
@@ -39,7 +138,7 @@ pub struct FaultPlan {
 ///
 /// # fn main() -> Result<(), blockdev::DeviceError> {
 /// let disk = RamDisk::new(512, 4096)?;
-/// let mut dev = FaultyDevice::new(disk, FaultPlan { kind: FaultKind::Write, skip: 1, count: 1 });
+/// let mut dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Write, 1, 1));
 /// dev.write_block(0, &vec![0; 512])?;            // passes (skip = 1)
 /// assert!(dev.write_block(1, &vec![0; 512]).is_err()); // injected failure
 /// dev.write_block(2, &vec![0; 512])?;            // healed
@@ -53,6 +152,8 @@ pub struct FaultyDevice<D> {
     reads_seen: u64,
     writes_seen: u64,
     injected: u64,
+    /// Writes accepted but not yet flushed (volatile-cache mode only).
+    cache: HashMap<u64, Vec<u8>>,
 }
 
 impl<D: BlockDevice> FaultyDevice<D> {
@@ -64,6 +165,7 @@ impl<D: BlockDevice> FaultyDevice<D> {
             reads_seen: 0,
             writes_seen: 0,
             injected: 0,
+            cache: HashMap::new(),
         }
     }
 
@@ -72,34 +174,56 @@ impl<D: BlockDevice> FaultyDevice<D> {
         self.injected
     }
 
+    /// The plan in effect.
+    pub fn plan(&self) -> FaultPlan {
+        self.plan
+    }
+
+    /// Replaces the fault plan and restarts the op counters, so the new
+    /// plan's `skip` is relative to *now* — scripting a fault window after
+    /// mkfs/mount no longer requires counting setup I/O.
+    pub fn set_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.reads_seen = 0;
+        self.writes_seen = 0;
+        self.injected = 0;
+    }
+
+    /// Blocks sitting in the volatile cache — what the next power cut loses.
+    pub fn pending_writes(&self) -> usize {
+        self.cache.len()
+    }
+
     /// Consumes the wrapper, returning the underlying device.
     pub fn into_inner(self) -> D {
         self.inner
     }
 
-    fn should_fail(&mut self, is_write: bool) -> bool {
-        let applies = matches!(
-            (self.plan.kind, is_write),
-            (FaultKind::Both, _) | (FaultKind::Read, false) | (FaultKind::Write, true)
-        );
-        if !applies {
-            return false;
-        }
-        let seen = if is_write {
-            self.writes_seen
-        } else {
-            self.reads_seen
+    fn next_fault(&mut self, op: FaultKind) -> Option<Fault> {
+        let seen = match op {
+            FaultKind::Write => {
+                self.writes_seen += 1;
+                self.writes_seen - 1
+            }
+            _ => {
+                self.reads_seen += 1;
+                self.reads_seen - 1
+            }
         };
-        let fail = seen >= self.plan.skip && self.injected < self.plan.count;
-        if is_write {
-            self.writes_seen += 1;
-        } else {
-            self.reads_seen += 1;
-        }
-        if fail {
+        let fault = self.plan.decide(op, seen, self.injected);
+        if fault.is_some() {
             self.injected += 1;
         }
-        fail
+        fault
+    }
+
+    fn store(&mut self, block: u64, data: Vec<u8>) -> DeviceResult<()> {
+        if self.plan.volatile_cache {
+            self.cache.insert(block, data);
+            Ok(())
+        } else {
+            self.inner.write_block(block, &data)
+        }
     }
 }
 
@@ -113,25 +237,69 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 
     fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
-        if self.should_fail(false) {
-            return Err(DeviceError::Mtd(format!(
+        if self.next_fault(FaultKind::Read).is_some() {
+            return Err(DeviceError::Io(format!(
                 "injected read fault at block {block}"
             )));
+        }
+        if self.plan.volatile_cache {
+            check_io(
+                block,
+                buf.len(),
+                self.inner.block_size(),
+                self.inner.num_blocks(),
+            )?;
+            if let Some(data) = self.cache.get(&block) {
+                buf.copy_from_slice(data);
+                return Ok(());
+            }
         }
         self.inner.read_block(block, buf)
     }
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
-        if self.should_fail(true) {
-            return Err(DeviceError::Mtd(format!(
+        check_io(
+            block,
+            buf.len(),
+            self.inner.block_size(),
+            self.inner.num_blocks(),
+        )?;
+        match self.next_fault(FaultKind::Write) {
+            Some(Fault::Eio) => Err(DeviceError::Io(format!(
                 "injected write fault at block {block}"
-            )));
+            ))),
+            Some(Fault::Torn(k)) => {
+                // The device acks the write but only the first `k` bytes
+                // reach stable storage; the tail keeps its previous content.
+                let k = k.min(buf.len());
+                let mut sector = vec![0u8; buf.len()];
+                if let Some(data) = self.cache.get(&block) {
+                    sector.copy_from_slice(data);
+                } else {
+                    self.inner.read_block(block, &mut sector)?;
+                }
+                sector[..k].copy_from_slice(&buf[..k]);
+                self.store(block, sector)
+            }
+            None => self.store(block, buf.to_vec()),
         }
-        self.inner.write_block(block, buf)
     }
 
     fn flush(&mut self) -> DeviceResult<()> {
+        // Commit the volatile cache in block order so replays are
+        // deterministic.
+        let mut pending: Vec<u64> = self.cache.keys().copied().collect();
+        pending.sort_unstable();
+        for block in pending {
+            let data = self.cache.remove(&block).expect("pending block");
+            self.inner.write_block(block, &data)?;
+        }
         self.inner.flush()
+    }
+
+    fn power_cut(&mut self) -> DeviceResult<()> {
+        self.cache.clear();
+        self.inner.power_cut()
     }
 
     fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
@@ -139,6 +307,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 
     fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()> {
+        self.cache.clear();
         self.inner.restore(snapshot)
     }
 }
@@ -151,14 +320,7 @@ mod tests {
     #[test]
     fn injects_then_heals() {
         let disk = RamDisk::new(4, 64).unwrap();
-        let mut dev = FaultyDevice::new(
-            disk,
-            FaultPlan {
-                kind: FaultKind::Read,
-                skip: 2,
-                count: 3,
-            },
-        );
+        let mut dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Read, 2, 3));
         let mut buf = [0u8; 4];
         dev.read_block(0, &mut buf).unwrap();
         dev.read_block(1, &mut buf).unwrap();
@@ -174,14 +336,7 @@ mod tests {
     #[test]
     fn write_faults_do_not_hit_reads() {
         let disk = RamDisk::new(4, 64).unwrap();
-        let mut dev = FaultyDevice::new(
-            disk,
-            FaultPlan {
-                kind: FaultKind::Write,
-                skip: 0,
-                count: 1,
-            },
-        );
+        let mut dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Write, 0, 1));
         let mut buf = [0u8; 4];
         dev.read_block(0, &mut buf).unwrap();
         assert!(dev.write_block(0, &[0; 4]).is_err());
@@ -191,17 +346,61 @@ mod tests {
     #[test]
     fn both_kind_fails_everything_in_window() {
         let disk = RamDisk::new(4, 64).unwrap();
-        let mut dev = FaultyDevice::new(
-            disk,
-            FaultPlan {
-                kind: FaultKind::Both,
-                skip: 0,
-                count: 2,
-            },
-        );
+        let mut dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Both, 0, 2));
         let mut buf = [0u8; 4];
         assert!(dev.read_block(0, &mut buf).is_err());
         assert!(dev.write_block(0, &[0; 4]).is_err());
         dev.read_block(0, &mut buf).unwrap();
+    }
+
+    #[test]
+    fn torn_write_persists_only_a_prefix() {
+        let disk = RamDisk::new(8, 64).unwrap();
+        let mut dev = FaultyDevice::new(
+            disk,
+            FaultPlan::eio(FaultKind::Write, 1, 1).with_torn_bytes(3),
+        );
+        dev.write_block(5, &[0xAA; 8]).unwrap(); // skip = 1
+        dev.write_block(5, &[0xBB; 8]).unwrap(); // torn: acks, tears
+        assert_eq!(dev.injected(), 1);
+        let mut buf = [0u8; 8];
+        dev.read_block(5, &mut buf).unwrap();
+        assert_eq!(&buf, &[0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]);
+    }
+
+    #[test]
+    fn power_cut_drops_unflushed_writes() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(disk, FaultPlan::none().with_volatile_cache());
+        dev.write_block(0, &[1; 4]).unwrap();
+        dev.flush().unwrap();
+        dev.write_block(0, &[2; 4]).unwrap();
+        dev.write_block(1, &[3; 4]).unwrap();
+        assert_eq!(dev.pending_writes(), 2);
+        // Reads see the cache while the power stays on.
+        let mut buf = [0u8; 4];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, [2; 4]);
+        dev.power_cut().unwrap();
+        assert_eq!(dev.pending_writes(), 0);
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, [1; 4]);
+        dev.read_block(1, &mut buf).unwrap();
+        assert_eq!(buf, [0; 4]);
+    }
+
+    #[test]
+    fn snapshots_capture_persisted_state_only() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(disk, FaultPlan::none().with_volatile_cache());
+        dev.write_block(0, &[7; 4]).unwrap();
+        dev.flush().unwrap();
+        dev.write_block(0, &[9; 4]).unwrap(); // unflushed at snapshot time
+        let snap = dev.snapshot().unwrap();
+        dev.flush().unwrap();
+        dev.restore(&snap).unwrap();
+        let mut buf = [0u8; 4];
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, [7; 4], "snapshot must be the crash-consistent image");
     }
 }

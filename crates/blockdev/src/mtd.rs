@@ -8,8 +8,11 @@
 //! MTD in RAM and `mtdblock` to give SPIN a block interface for mmapping.
 //! [`MtdDevice`] and [`MtdBlock`] are those two modules.
 
+use std::cell::Cell;
+
 use crate::cow::CowImage;
 use crate::device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
+use crate::faulty::{Fault, FaultKind, FaultPlan};
 
 /// Errors specific to raw MTD access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -25,6 +28,8 @@ pub enum MtdError {
     UnalignedErase,
     /// Invalid construction geometry.
     BadGeometry(String),
+    /// An injected I/O failure (see [`MtdDevice::set_fault_plan`]).
+    Io(String),
 }
 
 impl std::fmt::Display for MtdError {
@@ -36,6 +41,7 @@ impl std::fmt::Display for MtdError {
             }
             MtdError::UnalignedErase => write!(f, "erase not aligned to erase-block boundary"),
             MtdError::BadGeometry(msg) => write!(f, "bad mtd geometry: {msg}"),
+            MtdError::Io(msg) => write!(f, "i/o error: {msg}"),
         }
     }
 }
@@ -67,6 +73,13 @@ pub struct MtdDevice {
     /// Whether each erase block is currently in the erased (all-0xFF) state
     /// with no programming since. Fresh devices start erased.
     strict_program_check: bool,
+    /// Scripted fault plan, if any. Counters are `Cell`s because `read` takes
+    /// `&self` (JFFS2 reads through a shared reference).
+    plan: Option<FaultPlan>,
+    reads_seen: Cell<u64>,
+    programs_seen: Cell<u64>,
+    erases_seen: Cell<u64>,
+    injected: Cell<u64>,
 }
 
 impl MtdDevice {
@@ -89,7 +102,40 @@ impl MtdDevice {
             data: CowImage::new(erase_block_size * num_erase_blocks, erase_block_size, 0xFF),
             erase_counts: vec![0; num_erase_blocks],
             strict_program_check: true,
+            plan: None,
+            reads_seen: Cell::new(0),
+            programs_seen: Cell::new(0),
+            erases_seen: Cell::new(0),
+            injected: Cell::new(0),
         })
+    }
+
+    /// Installs (or clears) a scripted [`FaultPlan`]: `EIO` on the Nth
+    /// read/program/erase, or torn programs when the plan carries
+    /// `torn_bytes`. The `volatile_cache` flag is ignored — MTD programming
+    /// is synchronous. Counters restart from zero.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.plan = plan;
+        self.reads_seen.set(0);
+        self.programs_seen.set(0);
+        self.erases_seen.set(0);
+        self.injected.set(0);
+    }
+
+    /// Number of faults injected so far.
+    pub fn faults_injected(&self) -> u64 {
+        self.injected.get()
+    }
+
+    fn next_fault(&self, op: FaultKind, seen: &Cell<u64>) -> Option<Fault> {
+        let plan = self.plan?;
+        let n = seen.get();
+        seen.set(n + 1);
+        let fault = plan.decide(op, n, self.injected.get());
+        if fault.is_some() {
+            self.injected.set(self.injected.get() + 1);
+        }
+        fault
     }
 
     /// Size of one erase block in bytes.
@@ -135,6 +181,11 @@ impl MtdDevice {
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
         }
+        if self.next_fault(FaultKind::Read, &self.reads_seen).is_some() {
+            return Err(MtdError::Io(format!(
+                "injected read fault at offset {offset}"
+            )));
+        }
         self.data.read(offset as usize, buf);
         Ok(())
     }
@@ -166,6 +217,21 @@ impl MtdDevice {
                 }
             }
         }
+        match self.next_fault(FaultKind::Write, &self.programs_seen) {
+            Some(Fault::Eio) => {
+                return Err(MtdError::Io(format!(
+                    "injected program fault at offset {offset}"
+                )));
+            }
+            Some(Fault::Torn(k)) => {
+                // The program op is acked but power is lost mid-way: only the
+                // first `k` bytes actually reach the flash.
+                let k = k.min(data.len());
+                self.data.write(offset as usize, &data[..k]);
+                return Ok(());
+            }
+            None => {}
+        }
         self.data.write(offset as usize, data);
         Ok(())
     }
@@ -185,6 +251,14 @@ impl MtdDevice {
         let end = offset.checked_add(len).ok_or(MtdError::OutOfRange)?;
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
+        }
+        if self
+            .next_fault(FaultKind::Erase, &self.erases_seen)
+            .is_some()
+        {
+            return Err(MtdError::Io(format!(
+                "injected erase fault at offset {offset}"
+            )));
         }
         self.data.fill_range(offset as usize, len as usize, 0xFF);
         for eb in (offset / ebs)..(end / ebs) {
@@ -229,6 +303,15 @@ impl MtdSnapshot {
     /// Size of the image in bytes.
     pub fn size_bytes(&self) -> usize {
         self.data.len()
+    }
+}
+
+/// Maps an [`MtdError`] into the block-layer error space, keeping injected
+/// I/O faults recognizable as such.
+fn map_mtd(e: MtdError) -> DeviceError {
+    match e {
+        MtdError::Io(msg) => DeviceError::Io(msg),
+        other => DeviceError::Mtd(other.to_string()),
     }
 }
 
@@ -285,7 +368,7 @@ impl BlockDevice for MtdBlock {
         crate::device::check_io(block, buf.len(), self.block_size, self.num_blocks())?;
         self.mtd
             .read(block * self.block_size as u64, buf)
-            .map_err(|e| DeviceError::Mtd(e.to_string()))
+            .map_err(map_mtd)
     }
 
     fn write_block(&mut self, block: u64, buf: &[u8]) -> DeviceResult<()> {
@@ -295,17 +378,11 @@ impl BlockDevice for MtdBlock {
         let byte_off = block * self.block_size as u64;
         let eb_start = byte_off - (byte_off % ebs as u64);
         let mut whole = vec![0u8; ebs];
-        self.mtd
-            .read(eb_start, &mut whole)
-            .map_err(|e| DeviceError::Mtd(e.to_string()))?;
+        self.mtd.read(eb_start, &mut whole).map_err(map_mtd)?;
         let within = (byte_off - eb_start) as usize;
         whole[within..within + self.block_size].copy_from_slice(buf);
-        self.mtd
-            .erase(eb_start, ebs as u64)
-            .map_err(|e| DeviceError::Mtd(e.to_string()))?;
-        self.mtd
-            .program(eb_start, &whole)
-            .map_err(|e| DeviceError::Mtd(e.to_string()))
+        self.mtd.erase(eb_start, ebs as u64).map_err(map_mtd)?;
+        self.mtd.program(eb_start, &whole).map_err(map_mtd)
     }
 
     fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
@@ -427,6 +504,27 @@ mod tests {
         let mut buf = [0u8; 64];
         blk.read_block(3, &mut buf).unwrap();
         assert_eq!(buf, [5u8; 64]);
+    }
+
+    #[test]
+    fn fault_plan_scripts_eio_and_torn_programs() {
+        let mut mtd = MtdDevice::new(64, 4).unwrap();
+        mtd.set_fault_plan(Some(FaultPlan::eio(FaultKind::Both, 0, 2)));
+        let mut buf = [0u8; 4];
+        assert!(matches!(mtd.read(0, &mut buf), Err(MtdError::Io(_))));
+        assert!(matches!(mtd.erase(0, 64), Err(MtdError::Io(_))));
+        assert_eq!(mtd.faults_injected(), 2);
+        mtd.read(0, &mut buf).unwrap(); // healed
+
+        // Torn program: acked, but only the first 2 bytes reach the flash.
+        mtd.set_fault_plan(Some(
+            FaultPlan::eio(FaultKind::Write, 0, 1).with_torn_bytes(2),
+        ));
+        mtd.program(0, &[0x11, 0x22, 0x33, 0x44]).unwrap();
+        mtd.read(0, &mut buf).unwrap();
+        assert_eq!(buf, [0x11, 0x22, 0xFF, 0xFF]);
+        mtd.set_fault_plan(None);
+        mtd.program(0, &[0x11, 0x22, 0x33, 0x44]).unwrap();
     }
 
     #[test]

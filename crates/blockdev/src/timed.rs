@@ -192,6 +192,13 @@ impl<D: BlockDevice> BlockDevice for TimedDevice<D> {
         Ok(())
     }
 
+    fn power_cut(&mut self) -> DeviceResult<()> {
+        // Losing power costs no virtual time; the reboot's mount does.
+        self.inner.power_cut()?;
+        self.last_block = None;
+        Ok(())
+    }
+
     fn snapshot(&mut self) -> DeviceResult<DeviceSnapshot> {
         let snap = self.inner.snapshot()?;
         // A snapshot streams the whole image sequentially.

@@ -345,6 +345,15 @@ impl FingerprintStore {
     pub fn drop_key(&mut self, key: u64) {
         self.saved.remove(&key);
     }
+
+    /// Clears the live cache. Used after a crash-remount: every cached
+    /// digest describes pre-crash state and is suspect; the next hash
+    /// recomputes from what recovery actually reconstructed.
+    pub fn clear_live(&mut self) {
+        if self.enabled {
+            self.live = Arc::default();
+        }
+    }
 }
 
 fn hash_attrs(

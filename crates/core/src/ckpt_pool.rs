@@ -154,11 +154,15 @@ impl<S: SnapshotBytes> CheckpointPool<S> {
         self.inserts += 1;
         self.evicted.remove(&key);
         self.total_bytes += snap.total_bytes();
+        // A re-insert under an existing key must keep its pin: a DFS spine
+        // checkpoint re-saved under the same id would otherwise silently
+        // become evictable.
+        let pinned = self.entries.get(&key).is_some_and(|e| e.pinned);
         if let Some(old) = self.entries.insert(
             key,
             Entry {
                 snap,
-                pinned: false,
+                pinned,
                 last_use: self.tick,
             },
         ) {
@@ -315,6 +319,20 @@ mod tests {
         assert_eq!(pool.total_bytes(), 40);
         assert_eq!(pool.remove(7).unwrap().bytes, 40);
         assert_eq!(pool.total_bytes(), 0);
+    }
+
+    #[test]
+    fn reinsert_preserves_the_pin() {
+        let mut pool = CheckpointPool::new(Some(250));
+        pool.insert(1, snap(100));
+        pool.pin(1);
+        // Re-save the spine checkpoint under the same key.
+        pool.insert(1, snap(100));
+        assert_eq!(pool.stats().pinned, 1, "pin must survive replacement");
+        pool.insert(2, snap(100));
+        // Budget pressure: only the unpinned key 2 may go.
+        assert_eq!(pool.insert(3, snap(100)), vec![2]);
+        assert!(pool.contains(1), "pinned spine checkpoint evicted");
     }
 
     #[test]

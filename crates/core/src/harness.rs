@@ -5,9 +5,13 @@
 //! metadata (via the abstraction function). Any discrepancy is reported as a
 //! violation with the precise operation sequence that led to it (§2).
 
+use std::collections::HashMap;
+
 use blockdev::Clock;
 use mdigest::Digest128;
-use modelcheck::{ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, EVICTED_MARKER};
+use modelcheck::{
+    ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId, EVICTED_MARKER,
+};
 use vfs::{Errno, FileMode, OpenFlags, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig};
@@ -49,6 +53,14 @@ pub struct McfsConfig {
     /// to explorers as a budget-driven stop, not a fatal error. `None`
     /// (the default) never evicts.
     pub checkpoint_budget_bytes: Option<usize>,
+    /// Add a nondeterministic `crash` pseudo-operation to the op pool. A
+    /// crash drops every target's in-memory state, power-cuts its device
+    /// (unflushed writes vanish), and remounts through the target's recovery
+    /// path; the crash oracle then checks each recovered state is
+    /// *prefix-consistent* — equal to some state the run passed through
+    /// since the last sync point. Requires every target to support crashes
+    /// ([`CheckedTarget::supports_crash`](crate::target::CheckedTarget::supports_crash)).
+    pub crash_exploration: bool,
 }
 
 impl Default for McfsConfig {
@@ -62,6 +74,7 @@ impl Default for McfsConfig {
             majority_voting: true,
             incremental_fingerprint: true,
             checkpoint_budget_bytes: None,
+            crash_exploration: false,
         }
     }
 }
@@ -75,6 +88,16 @@ pub struct Mcfs {
     clock: Option<Clock>,
     last_hash: Option<Digest128>,
     coverage: Coverage,
+    /// Crash-oracle prefix window: abstract states the run has passed
+    /// through since the last sync point (checkpoint/restore resets it).
+    /// A crash recovery must land on one of these, or on the pre-crash
+    /// state itself.
+    prefix_hashes: Vec<u128>,
+    /// The prefix window to re-adopt when a checkpoint is restored.
+    ckpt_hashes: HashMap<u64, u128>,
+    crashes: u64,
+    crash_recoveries: u64,
+    crash_divergences: u64,
 }
 
 impl std::fmt::Debug for Mcfs {
@@ -128,12 +151,22 @@ impl Mcfs {
         for t in &targets[1..] {
             caps = caps.intersect(t.capabilities());
         }
-        let ops: Vec<FsOp> = cfg
+        let mut ops: Vec<FsOp> = cfg
             .pool
             .ops()
             .into_iter()
             .filter(|op| op.allowed_by(caps))
             .collect();
+        if cfg.crash_exploration {
+            // Crash exploration needs every target to survive a crash —
+            // device-backed targets via power-cut + recovery mount, RAM
+            // targets trivially. Refusing here beats a misleading
+            // violation later.
+            if !targets.iter().all(|t| t.supports_crash()) {
+                return Err(Errno::ENOSYS);
+            }
+            ops.push(FsOp::Crash);
+        }
         // Mount everything.
         for t in &mut targets {
             t.pre_op()?;
@@ -145,6 +178,11 @@ impl Mcfs {
             clock,
             last_hash: None,
             coverage: Coverage::new(),
+            prefix_hashes: Vec::new(),
+            ckpt_hashes: HashMap::new(),
+            crashes: 0,
+            crash_recoveries: 0,
+            crash_divergences: 0,
         };
         if harness.cfg.equalize_free_space {
             harness.equalize()?;
@@ -154,6 +192,7 @@ impl Mcfs {
         if hashes.windows(2).any(|w| w[0] != w[1]) {
             return Err(Errno::EINVAL);
         }
+        harness.prefix_hashes.push(hashes[0].as_u128());
         for t in &mut harness.targets {
             t.post_op()?;
         }
@@ -286,6 +325,124 @@ impl Mcfs {
         }
         msg
     }
+
+    /// Wraps every violation return out of [`apply`](ModelSystem::apply):
+    /// best-effort phase-4 cleanup first, so per-op remount targets are not
+    /// left mounted when the explorer stops mid-operation. Without this, a
+    /// replay (or any further use of the harness) starts from a different
+    /// mount/cache state than exploration saw.
+    fn violation(&mut self, msg: String) -> ApplyOutcome {
+        for t in &mut self.targets {
+            let _ = t.post_op();
+        }
+        ApplyOutcome::Violation(msg)
+    }
+
+    /// Records a post-operation state in the crash-oracle prefix window.
+    fn push_prefix(&mut self, hash: u128) {
+        if !self.cfg.crash_exploration {
+            return;
+        }
+        if self.prefix_hashes.last() != Some(&hash) {
+            self.prefix_hashes.push(hash);
+        }
+    }
+
+    /// The `crash` pseudo-operation: power-cut every target's device, run
+    /// its recovery mount, and check the oracle.
+    ///
+    /// A recovered state is *prefix-consistent* if it equals some state the
+    /// run passed through since the last sync point (targets sync on
+    /// checkpoint and, for per-op remount targets, after every operation),
+    /// or the pre-crash state itself. Each target must recover to a
+    /// prefix-consistent state — anything else (lost synced data, corrupted
+    /// recovery, a failed remount) is a violation with the usual replayable
+    /// trace. Targets may legally recover to *different* prefix states
+    /// (their sync points differ), in which case the branch is pruned: both
+    /// behaviors are correct, but lockstep comparison cannot continue.
+    fn apply_crash(&mut self) -> ApplyOutcome {
+        self.last_hash = None;
+        self.crashes += 1;
+        for t in &mut self.targets {
+            if let Err(e) = t.pre_op() {
+                let msg = format!("{}: pre-crash mount failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        // The state being crashed is always a legal recovery point: a file
+        // system that persists everything synchronously loses nothing.
+        let pre = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                let msg = format!("state traversal failed before crash: {e}");
+                return self.violation(msg);
+            }
+        };
+        let mut allowed = self.prefix_hashes.clone();
+        allowed.push(pre[0].as_u128());
+        // Crash + recovery mount on every target.
+        for t in &mut self.targets {
+            if let Err(e) = t.crash_remount() {
+                let msg = format!(
+                    "{}: crash recovery failed: {e} (file system not remountable after power cut)",
+                    t.name()
+                );
+                return self.violation(msg);
+            }
+        }
+        self.charge(self.cfg.syscall_cpu_ns * self.targets.len() as u64);
+        let recovered = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                let msg =
+                    format!("state traversal failed after crash recovery: {e} (recovery corrupted the file system?)");
+                return self.violation(msg);
+            }
+        };
+        // Oracle: every target individually recovered to an allowed state?
+        for (t, h) in self.targets.iter().zip(&recovered) {
+            if !allowed.contains(&h.as_u128()) {
+                let names: Vec<String> = self.targets.iter().map(|x| x.name()).collect();
+                let msg = format!(
+                    "crash-consistency violation: {} recovered to a state outside the \
+                     prefix window ({} allowed states; targets: {})",
+                    t.name(),
+                    allowed.len(),
+                    names.join(", ")
+                );
+                return self.violation(msg);
+            }
+        }
+        // All recoveries valid — but lockstep checking needs them equal.
+        if recovered.windows(2).any(|w| w[0] != w[1]) {
+            self.crash_divergences += 1;
+            for t in &mut self.targets {
+                let _ = t.post_op();
+            }
+            return ApplyOutcome::Prune(
+                "crash recoveries diverged (each prefix-consistent)".into(),
+            );
+        }
+        self.crash_recoveries += 1;
+        // The recovered state is the new sync floor: everything before it
+        // in the window is no longer reachable by a later crash.
+        self.prefix_hashes.clear();
+        self.prefix_hashes.push(recovered[0].as_u128());
+        self.last_hash = Some(recovered[0]);
+        for t in &mut self.targets {
+            if let Err(e) = t.post_op() {
+                let msg = format!("{}: post-crash unmount failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        for t in &mut self.targets {
+            if let Err(e) = t.track_state() {
+                let msg = format!("{}: state tracking failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        ApplyOutcome::Ok
+    }
 }
 
 impl ModelSystem for Mcfs {
@@ -296,11 +453,17 @@ impl ModelSystem for Mcfs {
     }
 
     fn apply(&mut self, op: &FsOp) -> ApplyOutcome {
+        // The crash pseudo-op never reaches per-target execution: the
+        // harness intercepts it and runs the crash oracle instead.
+        if matches!(op, FsOp::Crash) {
+            return self.apply_crash();
+        }
         self.last_hash = None;
         // Phase 0: mount (remount strategies).
         for t in &mut self.targets {
             if let Err(e) = t.pre_op() {
-                return ApplyOutcome::Violation(format!("{}: pre-op mount failed: {e}", t.name()));
+                let msg = format!("{}: pre-op mount failed: {e}", t.name());
+                return self.violation(msg);
             }
         }
         // Phase 0.5: drop cached fingerprints for the paths this operation
@@ -322,43 +485,38 @@ impl ModelSystem for Mcfs {
         self.charge(self.cfg.syscall_cpu_ns * self.targets.len() as u64);
         // Phase 2: integrity check — return values and error codes.
         if outcomes.windows(2).any(|w| w[0] != w[1]) {
-            return ApplyOutcome::Violation(self.describe_discrepancy("outcome", op, &outcomes));
+            let msg = self.describe_discrepancy("outcome", op, &outcomes);
+            return self.violation(msg);
         }
         self.coverage.record(op, &outcomes[0]);
         // Phase 3: integrity check — abstract states (file data + metadata).
         let hashes = match self.hash_all() {
             Ok(h) => h,
             Err(e) => {
-                return ApplyOutcome::Violation(format!(
-                    "state traversal failed after {op}: {e} (file system corrupted?)"
-                ))
+                let msg =
+                    format!("state traversal failed after {op}: {e} (file system corrupted?)");
+                return self.violation(msg);
             }
         };
         if hashes.windows(2).any(|w| w[0] != w[1]) {
-            return ApplyOutcome::Violation(self.describe_discrepancy(
-                "abstract-state",
-                op,
-                &hashes,
-            ));
+            let msg = self.describe_discrepancy("abstract-state", op, &hashes);
+            return self.violation(msg);
         }
         self.last_hash = Some(hashes[0]);
+        self.push_prefix(hashes[0].as_u128());
         // Phase 4: unmount (remount strategies).
         for t in &mut self.targets {
             if let Err(e) = t.post_op() {
-                return ApplyOutcome::Violation(format!(
-                    "{}: post-op unmount failed: {e}",
-                    t.name()
-                ));
+                let msg = format!("{}: post-op unmount failed: {e}", t.name());
+                return self.violation(msg);
             }
         }
         // Phase 5: per-transition state tracking (SPIN reading the tracked
         // buffers; free for the checkpoint-API strategy).
         for t in &mut self.targets {
             if let Err(e) = t.track_state() {
-                return ApplyOutcome::Violation(format!(
-                    "{}: state tracking failed: {e}",
-                    t.name()
-                ));
+                let msg = format!("{}: state tracking failed: {e}", t.name());
+                return self.violation(msg);
             }
         }
         ApplyOutcome::Ok
@@ -391,6 +549,15 @@ impl ModelSystem for Mcfs {
                 .save_state(id.0)
                 .map_err(|e| format!("{}: checkpoint failed: {e}", t.name()))?;
         }
+        if self.cfg.crash_exploration {
+            // Checkpointing syncs device-backed targets, so this state is a
+            // new sync floor: the crash window restarts here, and a restore
+            // of this checkpoint re-adopts it.
+            let h = self.abstract_state();
+            self.ckpt_hashes.insert(id.0, h);
+            self.prefix_hashes.clear();
+            self.prefix_hashes.push(h);
+        }
         Ok(total)
     }
 
@@ -406,6 +573,15 @@ impl ModelSystem for Mcfs {
                     format!("{}: restore failed: {e}", t.name())
                 }
             })?;
+        }
+        if self.cfg.crash_exploration {
+            // Back on the checkpointed state: its window applies again. If
+            // the record is gone the window starts empty — safe, because
+            // the oracle always admits the pre-crash state.
+            self.prefix_hashes.clear();
+            if let Some(&h) = self.ckpt_hashes.get(&id.0) {
+                self.prefix_hashes.push(h);
+            }
         }
         Ok(())
     }
@@ -440,7 +616,22 @@ impl ModelSystem for Mcfs {
         any.then_some(merged)
     }
 
+    fn crash_stats(&self) -> Option<CrashStats> {
+        self.cfg.crash_exploration.then_some(CrashStats {
+            crashes: self.crashes,
+            recoveries: self.crash_recoveries,
+            divergent_recoveries: self.crash_divergences,
+        })
+    }
+
     fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
+        // A crash commutes with nothing: it has an empty path footprint but
+        // rolls unsynced state back, so reordering it against any mutation
+        // changes what survives. Partial-order reduction must never sleep
+        // it or use it to sleep others.
+        if matches!(a, FsOp::Crash) || matches!(b, FsOp::Crash) {
+            return false;
+        }
         // Read-only operations don't change the hashed state: they commute
         // with everything.
         if !a.is_mutation() || !b.is_mutation() {
@@ -841,6 +1032,179 @@ mod tests {
             hashes
         };
         assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn crash_op_joins_the_pool_only_when_enabled() {
+        let m = verifs_pair(BugConfig::none());
+        assert!(!m.op_pool().contains(&FsOp::Crash));
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let m = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig {
+                crash_exploration: true,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(m.op_pool().contains(&FsOp::Crash));
+    }
+
+    #[test]
+    fn crash_exploration_requires_crash_capable_targets() {
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let r = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(e2, RemountMode::Never)),
+                Box::new(RemountTarget::new(e4, RemountMode::Never)),
+            ],
+            McfsConfig {
+                crash_exploration: true,
+                ..McfsConfig::default()
+            },
+        );
+        assert_eq!(r.err(), Some(Errno::ENOSYS));
+    }
+
+    #[test]
+    fn identical_verifs_pair_survives_crashes() {
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig {
+                crash_exploration: true,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        let script = [
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::Crash,
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+            FsOp::Crash,
+        ];
+        for op in &script {
+            assert!(matches!(m.apply(op), ApplyOutcome::Ok), "{op}");
+        }
+        let stats = m.crash_stats().expect("crash stats enabled");
+        assert_eq!(stats.crashes, 2);
+        assert_eq!(stats.recoveries, 2);
+        assert_eq!(stats.divergent_recoveries, 0);
+    }
+
+    #[test]
+    fn ext_pair_recovers_every_synced_op_across_a_crash() {
+        // Per-op remount syncs after every operation, so a crash must lose
+        // nothing: the recovered state equals the pre-crash state.
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(e2, RemountMode::PerOp)),
+                Box::new(RemountTarget::new(e4, RemountMode::PerOp)),
+            ],
+            McfsConfig {
+                crash_exploration: true,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        for op in [
+            FsOp::Mkdir {
+                path: "/d0".into(),
+                mode: 0o755,
+            },
+            FsOp::CreateFile {
+                path: "/d0/f1".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/d0/f1".into(),
+                offset: 0,
+                size: 512,
+                seed: 7,
+            },
+        ] {
+            assert!(matches!(m.apply(&op), ApplyOutcome::Ok), "{op}");
+        }
+        let before = m.abstract_state();
+        assert!(matches!(m.apply(&FsOp::Crash), ApplyOutcome::Ok));
+        assert_eq!(m.abstract_state(), before, "synced ops must survive");
+        let stats = m.crash_stats().unwrap();
+        assert_eq!((stats.crashes, stats.recoveries), (1, 1));
+    }
+
+    #[test]
+    fn violations_leave_per_op_targets_unmounted() {
+        // Regression: every violation return must still run phase-4
+        // cleanup, or per-op remount targets stay mounted and a subsequent
+        // replay diverges from what exploration observed.
+        let small = fs_ext::ext2_on_ram(128 * 1024).unwrap();
+        let big = fs_ext::ext2_on_ram(512 * 1024).unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(small, RemountMode::PerOp)),
+                Box::new(RemountTarget::new(big, RemountMode::PerOp)),
+            ],
+            McfsConfig {
+                equalize_free_space: false,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        let mut violated = false;
+        for i in 0..40 {
+            let ops = [
+                FsOp::CreateFile {
+                    path: format!("/fill{i}"),
+                    mode: 0o644,
+                },
+                FsOp::WriteFile {
+                    path: format!("/fill{i}"),
+                    offset: 0,
+                    size: 4096,
+                    seed: 1,
+                },
+            ];
+            for op in ops {
+                if let ApplyOutcome::Violation(_) = m.apply(&op) {
+                    violated = true;
+                    break;
+                }
+            }
+            if violated {
+                break;
+            }
+        }
+        assert!(violated, "capacity asymmetry must diverge");
+        for t in &mut m.targets {
+            assert!(
+                !t.fs_mut().is_mounted(),
+                "{}: left mounted after a violation",
+                t.name()
+            );
+        }
     }
 
     #[test]

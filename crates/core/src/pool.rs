@@ -134,6 +134,12 @@ pub enum FsOp {
         /// Target path.
         path: String,
     },
+    /// Pseudo-op: a power cut and reboot between operations. All in-memory
+    /// file-system state and unflushed device writes are lost, then every
+    /// target remounts and its recovery runs (the crash oracle checks the
+    /// recovered state is prefix-consistent). Only offered by the harness
+    /// when crash exploration is enabled and every target supports it.
+    Crash,
 }
 
 impl FsOp {
@@ -156,6 +162,7 @@ impl FsOp {
             FsOp::SetXattr { .. } => "setxattr",
             FsOp::RemoveXattr { .. } => "removexattr",
             FsOp::Access { .. } => "access",
+            FsOp::Crash => "crash",
         }
     }
 
@@ -187,6 +194,10 @@ impl FsOp {
             | FsOp::Access { path } => vec![path],
             FsOp::Rename { src, dst } | FsOp::Hardlink { src, dst } => vec![src, dst],
             FsOp::Symlink { target, linkpath } => vec![target, linkpath],
+            // A crash touches *everything* unsynced; it has no path
+            // footprint, and the harness's independence relation
+            // special-cases it as dependent on every operation.
+            FsOp::Crash => Vec::new(),
         }
     }
 
@@ -234,6 +245,7 @@ impl std::fmt::Display for FsOp {
             }
             FsOp::RemoveXattr { path, name } => write!(f, "removexattr({path}, {name})"),
             FsOp::Access { path } => write!(f, "access({path}, R_OK|W_OK)"),
+            FsOp::Crash => write!(f, "crash"),
         }
     }
 }
@@ -401,6 +413,10 @@ pub fn execute_with(
             };
             OpOutcome::from_result(fs.access(path, mode), |_| OpOutcome::Ok)
         }
+        // The harness intercepts `Crash` before per-file-system execution
+        // (it is a whole-system event, not a syscall); against a single
+        // file system it is a successful no-op.
+        FsOp::Crash => OpOutcome::Ok,
     }
 }
 

@@ -136,6 +136,28 @@ pub trait CheckedTarget: Send {
     fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
         abstract_state(self.fs_mut(), cfg)
     }
+
+    /// Whether this strategy can emulate a whole-system crash between
+    /// operations (see [`crash_remount`](Self::crash_remount)). The harness
+    /// only offers the `Crash` pseudo-op when every target supports it.
+    fn supports_crash(&self) -> bool {
+        false
+    }
+
+    /// Emulates a power cut and reboot: in-memory file-system state is lost
+    /// without a sync, the device drops its volatile write cache, and the
+    /// file system is mounted again so recovery runs. Implementations must
+    /// leave the file system mounted and clear any fingerprint cache — every
+    /// cached digest describes pre-crash state.
+    ///
+    /// # Errors
+    ///
+    /// `ENOSYS` when unsupported; recovery/mount errors otherwise (the
+    /// harness reports those as violations — a crashed file system must stay
+    /// remountable).
+    fn crash_remount(&mut self) -> VfsResult<()> {
+        Err(Errno::ENOSYS)
+    }
 }
 
 /// State tracking through the file system's own checkpoint/restore API —
@@ -268,6 +290,18 @@ impl<F: FileSystem + FsCheckpoint + Send> CheckedTarget for CheckpointTarget<F> 
 
     fn cached_abstract_state(&mut self, cfg: &AbstractionConfig) -> VfsResult<Digest128> {
         self.fingerprints.hash(&mut self.fs, cfg)
+    }
+
+    fn supports_crash(&self) -> bool {
+        true
+    }
+
+    fn crash_remount(&mut self) -> VfsResult<()> {
+        // The checkpoint-API strategy tracks a RAM-backed user-space file
+        // system whose operations are synchronously durable the moment they
+        // return — a crash loses nothing. Only caches are invalidated.
+        self.fingerprints.clear_live();
+        self.pre_op()
     }
 }
 
@@ -488,6 +522,19 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
         // the image itself is discarded — SPIN copies it into its state
         // vector, we only account the cost.
         self.fs.snapshot_device().map(|_| ())
+    }
+
+    fn supports_crash(&self) -> bool {
+        // No-remount mode deliberately never remounts (§3.2 reproduction);
+        // a crash-and-remount inside it would be contradictory.
+        self.mode != RemountMode::Never
+    }
+
+    fn crash_remount(&mut self) -> VfsResult<()> {
+        self.fs.crash_reboot()?;
+        self.charge_mount();
+        self.fingerprints.clear_live();
+        Ok(())
     }
 }
 

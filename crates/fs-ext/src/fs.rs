@@ -531,7 +531,11 @@ impl<D: BlockDevice> Core<'_, D> {
         if offset >= inode.size {
             return Ok(0);
         }
-        let end = (offset + out.len() as u64).min(inode.size);
+        // `lseek` accepts any u64 offset, so the end position can overflow.
+        let end = offset
+            .checked_add(out.len() as u64)
+            .ok_or(Errno::EFBIG)?
+            .min(inode.size);
         let mut pos = offset;
         while pos < end {
             let fblk = pos / self.bs as u64;
@@ -555,7 +559,7 @@ impl<D: BlockDevice> Core<'_, D> {
 
     fn write_file(&mut self, ino: u32, offset: u64, data: &[u8]) -> VfsResult<()> {
         let inode = self.inode(ino)?;
-        let end = offset + data.len() as u64;
+        let end = offset.checked_add(data.len() as u64).ok_or(Errno::EFBIG)?;
         let from = offset / self.bs as u64;
         let to = end.div_ceil(self.bs as u64);
         let needed = self.blocks_needed(&inode, from, to)?;
@@ -947,14 +951,18 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
         let bs = self.config.block_size;
         let has_journal = self.config.journal_blocks > 0;
         let mut c = self.core()?;
-        // Encode dirty inodes into their table blocks.
-        let dirty_inodes: Vec<u32> = c.m.idirty.drain().collect();
+        // Encode dirty inodes into their table blocks. Each inode leaves the
+        // dirty set only once its table block is encoded: an EIO mid-loop
+        // must not silently drop the remaining updates (the next sync
+        // retries them).
+        let dirty_inodes: Vec<u32> = c.m.idirty.iter().copied().collect();
         for ino in dirty_inodes {
             let inode = c.inode(ino)?;
             let per_block = bs / INODE_SIZE;
             let blk = c.m.sb.inode_table_start() + ino / per_block as u32;
             let off = (ino as usize % per_block) * INODE_SIZE;
             c.with_buf(blk, |b| inode.encode(&mut b[off..off + INODE_SIZE]))?;
+            c.m.idirty.remove(&ino);
         }
         // Encode superblock and bitmaps.
         if c.m.meta_dirty {
@@ -966,18 +974,20 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
             c.with_buf(2, |b| b.copy_from_slice(&bbm))?;
             c.m.meta_dirty = false;
         }
-        // Partition dirty buffers into metadata and data.
+        // Partition dirty buffers into metadata and data. The dirty flags
+        // clear per block as its device write succeeds — never before:
+        // on EIO the cache keeps the only good copy, and the next sync
+        // must write it again or the device stays silently stale.
         let data_start = c.m.sb.data_start();
         let mut meta: Vec<(u32, Vec<u8>)> = Vec::new();
         let mut data: Vec<(u32, Vec<u8>)> = Vec::new();
-        for (&blk, buf) in c.m.bufs.iter_mut() {
+        for (&blk, buf) in c.m.bufs.iter() {
             if buf.dirty {
                 if blk < data_start {
                     meta.push((blk, buf.data.clone()));
                 } else {
                     data.push((blk, buf.data.clone()));
                 }
-                buf.dirty = false;
             }
         }
         meta.sort_by_key(|(b, _)| *b);
@@ -988,17 +998,26 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
                 c.dev
                     .write_block(*blk as u64, image)
                     .map_err(|_| Errno::EIO)?;
+                c.m.bufs.get_mut(blk).expect("collected above").dirty = false;
             }
             if !meta.is_empty() {
                 let txn = c.m.txn;
                 c.m.txn = c.m.txn.wrapping_add(meta.len() as u32).wrapping_add(1);
                 journal::commit(c.dev, &c.m.sb, txn, &meta)?;
+                for (blk, _) in &meta {
+                    c.m.bufs.get_mut(blk).expect("collected above").dirty = false;
+                }
+            } else {
+                // Nothing to journal: still barrier the data writes so a
+                // power cut cannot take back what sync promised.
+                c.dev.flush().map_err(|_| Errno::EIO)?;
             }
         } else {
             for (blk, image) in meta.iter().chain(data.iter()) {
                 c.dev
                     .write_block(*blk as u64, image)
                     .map_err(|_| Errno::EIO)?;
+                c.m.bufs.get_mut(blk).expect("collected above").dirty = false;
             }
             c.dev.flush().map_err(|_| Errno::EIO)?;
         }
@@ -1484,6 +1503,15 @@ impl<D: BlockDevice> DeviceBacked for ExtFs<D> {
 
     fn device_size_bytes(&self) -> u64 {
         self.dev.size_bytes()
+    }
+
+    fn crash_reboot(&mut self) -> VfsResult<()> {
+        // Power fails: in-memory state (dirty inodes, buffers, fd table) is
+        // gone without a sync, the device drops its volatile cache, and the
+        // journal (if any) replays on the next mount.
+        self.m = None;
+        self.dev.power_cut().map_err(|_| Errno::EIO)?;
+        self.mount()
     }
 }
 

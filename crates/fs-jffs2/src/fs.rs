@@ -193,6 +193,12 @@ impl Jffs2Fs {
         })
     }
 
+    /// Direct access to the flash translation layer (fault injection and
+    /// assertions in tests).
+    pub fn device_mut(&mut self) -> &mut MtdBlock {
+        &mut self.dev
+    }
+
     /// Approximate bytes of in-memory mounted state (the scan-built index).
     pub fn cache_bytes(&self) -> usize {
         match &self.m {
@@ -1029,7 +1035,9 @@ impl FileSystem for Jffs2Fs {
         let info = m.inodes.get_mut(&of.ino).expect("open file");
         let size = info.content.len() as u64;
         let start = of.offset.min(size) as usize;
-        let end = (of.offset + out.len() as u64).min(size) as usize;
+        // `lseek` accepts any u64 offset: saturate the end position so a
+        // read far past EOF is an empty read (POSIX), never a wrapped range.
+        let end = of.offset.saturating_add(out.len() as u64).min(size) as usize;
         out[..end - start].copy_from_slice(&info.content[start..end]);
         info.atime = now;
         // atime updates stay in memory until the next node write, as JFFS2
@@ -1056,9 +1064,14 @@ impl FileSystem for Jffs2Fs {
             } else {
                 of.offset
             };
-            let end = offset + data.len() as u64;
+            let end = offset.checked_add(data.len() as u64).ok_or(Errno::EFBIG)?;
             (offset, end.max(info.content.len() as u64))
         };
+        // The in-core content model is dense: a file cannot outgrow the
+        // flash it must eventually be written to.
+        if new_len > self.dev.mtd().size_bytes() {
+            return Err(Errno::EFBIG);
+        }
         // Incremental writes append fragment nodes: pre-check that the
         // written range (plus per-fragment headers) fits.
         let frags = (data.len() / self.frag_max() + 2) as u64;
@@ -1094,6 +1107,9 @@ impl FileSystem for Jffs2Fs {
         }
         if 128 > self.free_bytes() {
             return Err(Errno::ENOSPC);
+        }
+        if size > self.dev.mtd().size_bytes() {
+            return Err(Errno::EFBIG);
         }
         let now = self.now()?;
         {
@@ -1499,6 +1515,15 @@ impl DeviceBacked for Jffs2Fs {
 
     fn device_size_bytes(&self) -> u64 {
         self.dev.mtd().size_bytes()
+    }
+
+    fn crash_reboot(&mut self) -> VfsResult<()> {
+        // Power fails: the in-core image is lost, the flash keeps whatever
+        // nodes were programmed (log writes are synchronous), and the next
+        // mount's full-device scan rebuilds the file system from them.
+        self.m = None;
+        self.dev.power_cut().map_err(|_| Errno::EIO)?;
+        self.mount()
     }
 }
 

@@ -706,7 +706,11 @@ impl<D: BlockDevice> Xcore<'_, D> {
         if offset >= inode.size {
             return Ok(0);
         }
-        let end = (offset + out.len() as u64).min(inode.size);
+        // `lseek` accepts any u64 offset, so the end position can overflow.
+        let end = offset
+            .checked_add(out.len() as u64)
+            .ok_or(Errno::EFBIG)?
+            .min(inode.size);
         let mut pos = offset;
         while pos < end {
             let fblk = pos / self.bs as u64;
@@ -726,7 +730,7 @@ impl<D: BlockDevice> Xcore<'_, D> {
     }
 
     fn write_file(&mut self, ino: u32, offset: u64, data: &[u8]) -> VfsResult<()> {
-        let end = offset + data.len() as u64;
+        let end = offset.checked_add(data.len() as u64).ok_or(Errno::EFBIG)?;
         // Dense allocation: everything up to the new end is backed.
         self.ensure_blocks(ino, end.div_ceil(self.bs as u64))?;
         let inode = self.inode(ino)?;
@@ -1155,8 +1159,10 @@ impl<D: BlockDevice> FileSystem for XfsFs<D> {
     fn sync(&mut self) -> VfsResult<()> {
         let bs = self.config.block_size;
         let mut c = self.core()?;
-        // Encode dirty inodes (and their overflow extent blocks).
-        let dirty: Vec<u32> = c.m.idirty.drain().collect();
+        // Encode dirty inodes (and their overflow extent blocks). Inodes
+        // leave the dirty set one by one as they are encoded, so an EIO
+        // mid-loop keeps the rest queued for the next sync.
+        let dirty: Vec<u32> = c.m.idirty.iter().copied().collect();
         for ino in dirty {
             let inode = c.inode(ino)?;
             let (blk, off) = c.inode_table_pos(ino);
@@ -1174,6 +1180,7 @@ impl<D: BlockDevice> FileSystem for XfsFs<D> {
                     }
                 })?;
             }
+            c.m.idirty.remove(&ino);
         }
         // Encode AG headers (keeping the superblock in block 0's tail).
         if c.m.meta_dirty {
@@ -1693,6 +1700,14 @@ impl<D: BlockDevice> DeviceBacked for XfsFs<D> {
 
     fn device_size_bytes(&self) -> u64 {
         self.dev.size_bytes()
+    }
+
+    fn crash_reboot(&mut self) -> VfsResult<()> {
+        // Power fails: unsynced in-memory state is lost, the device drops
+        // its volatile cache, and mount's log-recovery scan runs.
+        self.m = None;
+        self.dev.power_cut().map_err(|_| Errno::EIO)?;
+        self.mount()
     }
 }
 

@@ -4,7 +4,8 @@ use blockdev::Clock;
 
 use crate::memmodel::{MemConfig, MemoryModel, OutOfMemory};
 use crate::system::{
-    is_evicted_error, ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, Violation,
+    is_evicted_error, ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId,
+    Violation,
 };
 use crate::visited::{Visit, VisitedHandle, VisitedSet};
 
@@ -129,6 +130,9 @@ pub struct ExploreStats {
     /// End-of-run statistics of the system's checkpoint store, when it
     /// maintains a budgeted pool ([`ModelSystem::checkpoint_store_stats`]).
     pub checkpoint_store: Option<CheckpointStoreStats>,
+    /// End-of-run crash-injection statistics, when the system explores
+    /// crashes ([`ModelSystem::crash_stats`]).
+    pub crash: Option<CrashStats>,
 }
 
 impl ExploreStats {
@@ -381,6 +385,7 @@ impl DfsExplorer {
         })();
 
         stats.checkpoint_store = sys.checkpoint_store_stats();
+        stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
@@ -546,6 +551,7 @@ impl BfsExplorer {
         })();
 
         stats.checkpoint_store = sys.checkpoint_store_stats();
+        stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
@@ -805,6 +811,7 @@ impl RandomWalk {
         })();
 
         stats.checkpoint_store = sys.checkpoint_store_stats();
+        stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();

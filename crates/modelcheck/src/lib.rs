@@ -76,8 +76,8 @@ pub use explore::{
 pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use system::{
-    is_evicted_error, ApplyOutcome, CheckpointStoreStats, ModelSystem, StateId, Violation,
-    EVICTED_MARKER,
+    is_evicted_error, ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId,
+    Violation, EVICTED_MARKER,
 };
 pub use visited::{ResizeEvent, ShardedVisited, Visit, VisitedHandle, VisitedSet, BYTES_PER_ENTRY};
 

@@ -218,6 +218,10 @@ impl<S: ModelSystem> ModelSystem for Stoppable<'_, S> {
         self.inner.checkpoint_store_stats()
     }
 
+    fn crash_stats(&self) -> Option<crate::system::CrashStats> {
+        self.inner.crash_stats()
+    }
+
     fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
         self.inner.independent(a, b)
     }

@@ -61,6 +61,29 @@ impl CheckpointStoreStats {
     }
 }
 
+/// Statistics of a system's crash-injection machinery (how many crash
+/// pseudo-operations ran and how their recoveries fared), surfaced into
+/// exploration reports when the system explores crashes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CrashStats {
+    /// Crash pseudo-operations applied.
+    pub crashes: u64,
+    /// Crashes whose every target recovered to a prefix-consistent state.
+    pub recoveries: u64,
+    /// Crashes where the targets each recovered validly but to *different*
+    /// states (pruned, not a violation: both outcomes are legal).
+    pub divergent_recoveries: u64,
+}
+
+impl CrashStats {
+    /// Accumulates another system's stats (swarm workers sum per-shard).
+    pub fn merge(&mut self, other: &CrashStats) {
+        self.crashes += other.crashes;
+        self.recoveries += other.recoveries;
+        self.divergent_recoveries += other.divergent_recoveries;
+    }
+}
+
 /// Result of applying one operation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ApplyOutcome {
@@ -132,6 +155,11 @@ pub trait ModelSystem {
 
     /// Statistics of the system's checkpoint store, if it keeps one.
     fn checkpoint_store_stats(&self) -> Option<CheckpointStoreStats> {
+        None
+    }
+
+    /// Statistics of the system's crash injection, if it explores crashes.
+    fn crash_stats(&self) -> Option<CrashStats> {
         None
     }
 

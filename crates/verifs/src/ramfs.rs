@@ -648,7 +648,10 @@ impl FileSystem for VeriFs {
         let n = match &node.kind {
             NodeKind::Regular { buf, size } => {
                 let start = of.offset.min(*size) as usize;
-                let end = (of.offset + out.len() as u64).min(*size) as usize;
+                // `lseek` accepts any u64 offset: saturate the end position
+                // so a read far past EOF is an empty read (POSIX), never a
+                // wrapped range.
+                let end = of.offset.saturating_add(out.len() as u64).min(*size) as usize;
                 let n = end - start;
                 out[..n].copy_from_slice(&buf[start..end]);
                 n
@@ -676,7 +679,7 @@ impl FileSystem for VeriFs {
             NodeKind::Symlink { .. } => return Err(Errno::EINVAL),
         };
         let offset = if of.append { old_size } else { of.offset };
-        let end = offset + data.len() as u64;
+        let end = offset.checked_add(data.len() as u64).ok_or(Errno::EFBIG)?;
         let new_size = end.max(old_size);
         self.charge(old_size, new_size)?;
         let node = self.inode_mut(of.ino)?;

@@ -409,6 +409,22 @@ pub trait DeviceBacked {
     /// Size of the backing device in bytes (drives the checker's
     /// concrete-state memory accounting).
     fn device_size_bytes(&self) -> u64;
+
+    /// Emulates a whole-system crash and reboot: all in-memory file-system
+    /// state is dropped *without* a sync, the device loses its volatile
+    /// write cache ([`blockdev::BlockDevice::power_cut`]), and the file
+    /// system is mounted again so its recovery (journal replay, log scan,
+    /// …) runs. On return the file system is mounted.
+    ///
+    /// # Errors
+    ///
+    /// `ENOSYS` when the implementation cannot crash-remount (the default);
+    /// otherwise whatever mount/recovery fails with — which the checker
+    /// treats as a violation, since a crashed file system must stay
+    /// remountable.
+    fn crash_reboot(&mut self) -> VfsResult<()> {
+        Err(crate::Errno::ENOSYS)
+    }
 }
 
 #[cfg(test)]

@@ -38,14 +38,7 @@ fn read_file(fs: &mut dyn FileSystem, p: &str) -> Vec<u8> {
 fn read_faults_surface_as_eio_and_heal() {
     let disk = RamDisk::new(1024, 256 * 1024).unwrap();
     // Let mkfs and the first mount succeed, then fail a handful of reads.
-    let dev = FaultyDevice::new(
-        disk,
-        FaultPlan {
-            kind: FaultKind::Read,
-            skip: 12,
-            count: 4,
-        },
-    );
+    let dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Read, 12, 4));
     let mut fs = ExtFs::format(dev, ExtConfig::ext2()).unwrap();
     fs.mount().unwrap();
     write_file(&mut fs, "/data", &[7u8; 5000]);
@@ -93,11 +86,8 @@ fn write_faults_during_sync_do_not_brick_the_filesystem() {
     let disk = RamDisk::new(1024, 256 * 1024).unwrap();
     let dev = FaultyDevice::new(
         disk,
-        FaultPlan {
-            kind: FaultKind::Write,
-            skip: 80, // past mkfs + first mount
-            count: 3,
-        },
+        // Past mkfs + first mount, then fail three writes.
+        FaultPlan::eio(FaultKind::Write, 80, 3),
     );
     let mut fs = ExtFs::format(dev, ExtConfig::ext4()).unwrap();
     fs.mount().unwrap();
@@ -120,6 +110,167 @@ fn write_faults_during_sync_do_not_brick_the_filesystem() {
     fs.unmount().unwrap();
     fs.mount().unwrap();
     assert_eq!(read_file(&mut fs, "/a"), vec![1u8; 2000]);
+}
+
+/// Regression: `offset + len` arithmetic near `u64::MAX` must not wrap and
+/// corrupt the range math. (The bug: unchecked `offset + len as u64` in the
+/// read/write paths.) Every backend must agree on the observable semantics:
+/// a write whose end overflows fails with `EFBIG`; a read past EOF — however
+/// far past — returns 0 bytes, per POSIX `pread`.
+#[test]
+fn offset_overflow_is_efbig_on_every_backend() {
+    let mut backends: Vec<(&str, Box<dyn FileSystem>)> = vec![
+        ("ext2", Box::new(fs_ext::ext2_on_ram(256 * 1024).unwrap())),
+        ("ext4", Box::new(fs_ext::ext4_on_ram(256 * 1024).unwrap())),
+        (
+            "xfs",
+            Box::new(fs_xfs::xfs_on_ram(fs_xfs::MIN_DEVICE_BYTES).unwrap()),
+        ),
+        (
+            "jffs2",
+            Box::new(fs_jffs2::jffs2_on_mtdram(16 * 1024, 16).unwrap()),
+        ),
+        ("verifs2", Box::new(verifs::VeriFs::v2())),
+    ];
+    for (name, fs) in &mut backends {
+        let fs = fs.as_mut();
+        fs.mount().unwrap();
+        let fd = fs.create("/big", FileMode::REG_DEFAULT).unwrap();
+        fs.write(fd, b"hello").unwrap();
+        fs.lseek(fd, u64::MAX - 4).unwrap();
+        assert_eq!(
+            fs.write(fd, &[0u8; 16]).unwrap_err(),
+            Errno::EFBIG,
+            "{name}: write past u64 range"
+        );
+        let mut buf = [0u8; 512];
+        assert_eq!(
+            fs.read(fd, &mut buf).unwrap(),
+            0,
+            "{name}: read past EOF is an empty read, even near u64::MAX"
+        );
+        // The failed calls must not have disturbed the file.
+        fs.lseek(fd, 0).unwrap();
+        assert_eq!(fs.read(fd, &mut buf).unwrap(), 5, "{name}");
+        assert_eq!(&buf[..5], b"hello", "{name}");
+        fs.close(fd).unwrap();
+        assert_eq!(fs.stat("/big").unwrap().size, 5, "{name}");
+    }
+}
+
+/// How a backend exposes its fault-injection valve to the parity suite.
+trait FaultHost: FileSystem {
+    fn arm(&mut self, plan: FaultPlan);
+    fn shots(&mut self) -> u64;
+}
+
+impl FaultHost for ExtFs<FaultyDevice<RamDisk>> {
+    fn arm(&mut self, plan: FaultPlan) {
+        self.device_mut().set_plan(plan);
+    }
+    fn shots(&mut self) -> u64 {
+        self.device_mut().injected()
+    }
+}
+
+impl FaultHost for fs_xfs::XfsFs<FaultyDevice<RamDisk>> {
+    fn arm(&mut self, plan: FaultPlan) {
+        self.device_mut().set_plan(plan);
+    }
+    fn shots(&mut self) -> u64 {
+        self.device_mut().injected()
+    }
+}
+
+impl FaultHost for fs_jffs2::Jffs2Fs {
+    fn arm(&mut self, plan: FaultPlan) {
+        let p = (plan.count > 0).then_some(plan);
+        self.device_mut().mtd_mut().set_fault_plan(p);
+    }
+    fn shots(&mut self) -> u64 {
+        self.device_mut().mtd().faults_injected()
+    }
+}
+
+/// Shared errno-parity property: with an EIO window armed after mount,
+/// every failing operation must surface exactly `EIO` (never a panic,
+/// never a mistranslated errno), and once the window is consumed the file
+/// system must still sync, remount, and serve data written before the
+/// faults.
+fn eio_parity_case<F: FaultHost>(mut fs: F, skip: u64, count: u64) -> Result<(), Errno> {
+    fs.mount().unwrap();
+    write_file(&mut fs, "/keep", &[9u8; 1200]);
+    fs.sync().unwrap();
+    fs.arm(FaultPlan::eio(FaultKind::Both, skip, count));
+    let mut errors: Vec<Errno> = Vec::new();
+    let mut round = 0;
+    while fs.shots() < count {
+        match fs.create(&format!("/p{round}"), FileMode::REG_DEFAULT) {
+            Ok(fd) => {
+                if let Err(e) = fs.write(fd, &[round as u8; 64]) {
+                    errors.push(e);
+                }
+                let _ = fs.close(fd);
+            }
+            Err(e) => errors.push(e),
+        }
+        if let Err(e) = fs.sync() {
+            errors.push(e);
+        }
+        round += 1;
+        assert!(round < 300, "fault window never consumed");
+    }
+    for e in &errors {
+        if *e != Errno::EIO {
+            return Err(*e);
+        }
+    }
+    // Healed: the file system must be fully usable again.
+    fs.arm(FaultPlan::none());
+    fs.sync().unwrap();
+    fs.unmount().unwrap();
+    fs.mount().unwrap();
+    assert_eq!(read_file(&mut fs, "/keep"), vec![9u8; 1200]);
+    Ok(())
+}
+
+fn faulty_ram(block_size: usize, bytes: u64) -> FaultyDevice<RamDisk> {
+    FaultyDevice::new(RamDisk::new(block_size, bytes).unwrap(), FaultPlan::none())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Errno parity under injected EIO, ext2: every surfaced error is EIO.
+    #[test]
+    fn eio_parity_ext2(skip in 0u64..40, count in 1u64..4) {
+        let fs = ExtFs::format(faulty_ram(1024, 512 * 1024), ExtConfig::ext2()).unwrap();
+        prop_assert_eq!(eio_parity_case(fs, skip, count), Ok(()));
+    }
+
+    /// Errno parity under injected EIO, ext4 (journal commit paths).
+    #[test]
+    fn eio_parity_ext4(skip in 0u64..40, count in 1u64..4) {
+        let fs = ExtFs::format(faulty_ram(1024, 512 * 1024), ExtConfig::ext4()).unwrap();
+        prop_assert_eq!(eio_parity_case(fs, skip, count), Ok(()));
+    }
+
+    /// Errno parity under injected EIO, xfs.
+    #[test]
+    fn eio_parity_xfs(skip in 0u64..40, count in 1u64..4) {
+        let cfg = fs_xfs::XfsConfig::default();
+        let fs =
+            fs_xfs::XfsFs::format(faulty_ram(cfg.block_size, fs_xfs::MIN_DEVICE_BYTES), cfg)
+                .unwrap();
+        prop_assert_eq!(eio_parity_case(fs, skip, count), Ok(()));
+    }
+
+    /// Errno parity under injected EIO, jffs2 (MTD read/program/erase).
+    #[test]
+    fn eio_parity_jffs2(skip in 0u64..40, count in 1u64..4) {
+        let fs = fs_jffs2::jffs2_on_mtdram(16 * 1024, 16).unwrap();
+        prop_assert_eq!(eio_parity_case(fs, skip, count), Ok(()));
+    }
 }
 
 proptest! {
