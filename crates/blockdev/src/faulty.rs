@@ -63,6 +63,12 @@ pub struct FaultPlan {
     /// Emulate a volatile write-back cache: writes are held in memory until
     /// `flush`, and a power cut discards everything unflushed.
     pub volatile_cache: bool,
+    /// When set, the plan sees (and counts towards `skip`) only operations
+    /// on this address — the block number for [`FaultyDevice`], the byte
+    /// offset for [`MtdDevice`](crate::MtdDevice). Targeted plans pin a
+    /// fault to one on-disk location, so unrelated traffic (superblock
+    /// updates on remount, metadata syncs) does not advance the ordinal.
+    pub addr: Option<u64>,
 }
 
 impl FaultPlan {
@@ -74,6 +80,7 @@ impl FaultPlan {
             count: 0,
             torn_bytes: None,
             volatile_cache: false,
+            addr: None,
         }
     }
 
@@ -94,6 +101,21 @@ impl FaultPlan {
     pub fn with_torn_bytes(mut self, k: usize) -> Self {
         self.torn_bytes = Some(k);
         self
+    }
+
+    /// Restricts the plan to operations on one address (see
+    /// [`addr`](Self::addr)): only they are counted against `skip`, and only
+    /// they fault.
+    #[must_use]
+    pub fn at_addr(mut self, addr: u64) -> Self {
+        self.addr = Some(addr);
+        self
+    }
+
+    /// Whether an operation on `addr` falls under this plan's address
+    /// filter. Unfiltered plans cover everything.
+    pub fn covers(&self, addr: u64) -> bool {
+        self.addr.is_none_or(|a| a == addr)
     }
 
     /// Adds a volatile write-back cache (see
@@ -199,7 +221,10 @@ impl<D: BlockDevice> FaultyDevice<D> {
         self.inner
     }
 
-    fn next_fault(&mut self, op: FaultKind) -> Option<Fault> {
+    fn next_fault(&mut self, op: FaultKind, addr: u64) -> Option<Fault> {
+        if !self.plan.covers(addr) {
+            return None;
+        }
         let seen = match op {
             FaultKind::Write => {
                 self.writes_seen += 1;
@@ -237,7 +262,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
     }
 
     fn read_block(&mut self, block: u64, buf: &mut [u8]) -> DeviceResult<()> {
-        if self.next_fault(FaultKind::Read).is_some() {
+        if self.next_fault(FaultKind::Read, block).is_some() {
             return Err(DeviceError::Io(format!(
                 "injected read fault at block {block}"
             )));
@@ -264,7 +289,7 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
             self.inner.block_size(),
             self.inner.num_blocks(),
         )?;
-        match self.next_fault(FaultKind::Write) {
+        match self.next_fault(FaultKind::Write, block) {
             Some(Fault::Eio) => Err(DeviceError::Io(format!(
                 "injected write fault at block {block}"
             ))),
@@ -366,6 +391,29 @@ mod tests {
         let mut buf = [0u8; 8];
         dev.read_block(5, &mut buf).unwrap();
         assert_eq!(&buf, &[0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]);
+    }
+
+    #[test]
+    fn addr_targeted_plan_ignores_other_blocks() {
+        let disk = RamDisk::new(8, 64).unwrap();
+        let mut dev = FaultyDevice::new(
+            disk,
+            FaultPlan::eio(FaultKind::Write, 1, 1)
+                .with_torn_bytes(3)
+                .at_addr(5),
+        );
+        // Traffic on other blocks neither faults nor advances the ordinal.
+        dev.write_block(0, &[1; 8]).unwrap();
+        dev.write_block(3, &[2; 8]).unwrap();
+        dev.write_block(5, &[0xAA; 8]).unwrap(); // block 5 write #0: skipped
+        dev.write_block(0, &[4; 8]).unwrap();
+        dev.write_block(5, &[0xBB; 8]).unwrap(); // block 5 write #1: torn
+        assert_eq!(dev.injected(), 1);
+        let mut buf = [0u8; 8];
+        dev.read_block(5, &mut buf).unwrap();
+        assert_eq!(&buf, &[0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]);
+        dev.read_block(0, &mut buf).unwrap();
+        assert_eq!(buf, [4; 8], "untargeted blocks write through");
     }
 
     #[test]

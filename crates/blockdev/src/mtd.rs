@@ -127,8 +127,11 @@ impl MtdDevice {
         self.injected.get()
     }
 
-    fn next_fault(&self, op: FaultKind, seen: &Cell<u64>) -> Option<Fault> {
+    fn next_fault(&self, op: FaultKind, seen: &Cell<u64>, addr: u64) -> Option<Fault> {
         let plan = self.plan?;
+        if !plan.covers(addr) {
+            return None;
+        }
         let n = seen.get();
         seen.set(n + 1);
         let fault = plan.decide(op, n, self.injected.get());
@@ -181,7 +184,10 @@ impl MtdDevice {
         if end > self.size_bytes() {
             return Err(MtdError::OutOfRange);
         }
-        if self.next_fault(FaultKind::Read, &self.reads_seen).is_some() {
+        if self
+            .next_fault(FaultKind::Read, &self.reads_seen, offset)
+            .is_some()
+        {
             return Err(MtdError::Io(format!(
                 "injected read fault at offset {offset}"
             )));
@@ -217,7 +223,7 @@ impl MtdDevice {
                 }
             }
         }
-        match self.next_fault(FaultKind::Write, &self.programs_seen) {
+        match self.next_fault(FaultKind::Write, &self.programs_seen, offset) {
             Some(Fault::Eio) => {
                 return Err(MtdError::Io(format!(
                     "injected program fault at offset {offset}"
@@ -253,7 +259,7 @@ impl MtdDevice {
             return Err(MtdError::OutOfRange);
         }
         if self
-            .next_fault(FaultKind::Erase, &self.erases_seen)
+            .next_fault(FaultKind::Erase, &self.erases_seen, offset)
             .is_some()
         {
             return Err(MtdError::Io(format!(

@@ -6,6 +6,7 @@
 //! violation with the precise operation sequence that led to it (§2).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use blockdev::Clock;
 use mdigest::Digest128;
@@ -61,6 +62,12 @@ pub struct McfsConfig {
     /// since the last sync point. Requires every target to support crashes
     /// ([`CheckedTarget::supports_crash`](crate::target::CheckedTarget::supports_crash)).
     pub crash_exploration: bool,
+    /// Delta-debug every violation's trace down to a 1-minimal
+    /// counterexample before reporting it ([`crate::shrink`]). Requires a
+    /// harness factory ([`Mcfs::set_factory`]) so each candidate replays on
+    /// a *fresh* pair; without one the flag is inert. Off by default:
+    /// minimization costs replays at violation time.
+    pub minimize_violations: bool,
 }
 
 impl Default for McfsConfig {
@@ -75,9 +82,15 @@ impl Default for McfsConfig {
             incremental_fingerprint: true,
             checkpoint_budget_bytes: None,
             crash_exploration: false,
+            minimize_violations: false,
         }
     }
 }
+
+/// Builds a fresh, deterministic harness equivalent to the one being
+/// checked — the replay-validation factory behind
+/// [`McfsConfig::minimize_violations`] (see [`crate::shrink`]).
+pub type HarnessFactory = dyn Fn() -> VfsResult<Mcfs> + Send + Sync;
 
 /// The MCFS harness: implements [`ModelSystem`] over N checked targets so
 /// any `modelcheck` explorer can drive it.
@@ -98,6 +111,10 @@ pub struct Mcfs {
     crashes: u64,
     crash_recoveries: u64,
     crash_divergences: u64,
+    /// Builds a fresh equivalent harness; candidate traces from the
+    /// minimizer replay against factory products, never against this
+    /// (already violated) instance.
+    factory: Option<Arc<HarnessFactory>>,
 }
 
 impl std::fmt::Debug for Mcfs {
@@ -183,6 +200,7 @@ impl Mcfs {
             crashes: 0,
             crash_recoveries: 0,
             crash_divergences: 0,
+            factory: None,
         };
         if harness.cfg.equalize_free_space {
             harness.equalize()?;
@@ -202,6 +220,21 @@ impl Mcfs {
     /// The capability-filtered operation set.
     pub fn op_pool(&self) -> &[FsOp] {
         &self.ops
+    }
+
+    /// Attaches the replay factory counterexample minimization validates
+    /// against. The factory must rebuild a harness equivalent to this one —
+    /// same targets, same seeded bugs, same fault plans — deterministically;
+    /// [`McfsConfig::minimize_violations`] does nothing without it.
+    pub fn set_factory(&mut self, factory: Arc<HarnessFactory>) {
+        self.factory = Some(factory);
+    }
+
+    /// Builder-style [`set_factory`](Mcfs::set_factory).
+    #[must_use]
+    pub fn with_factory(mut self, factory: Arc<HarnessFactory>) -> Self {
+        self.factory = Some(factory);
+        self
     }
 
     /// Target names, for reports.
@@ -624,6 +657,24 @@ impl ModelSystem for Mcfs {
         })
     }
 
+    fn minimize(
+        &mut self,
+        trace: &[FsOp],
+        message: &str,
+    ) -> Option<(Vec<FsOp>, modelcheck::ShrinkStats)> {
+        if !self.cfg.minimize_violations {
+            return None;
+        }
+        let factory = self.factory.clone()?;
+        crate::shrink::shrink_trace(
+            factory.as_ref(),
+            trace,
+            message,
+            &crate::shrink::ShrinkConfig::default(),
+        )
+        .map(|o| (o.trace, o.stats))
+    }
+
     fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
         // A crash commutes with nothing: it has an empty path footprint but
         // rolls unsynced state back, so reordering it against any mutation
@@ -652,8 +703,13 @@ impl ModelSystem for Mcfs {
 }
 
 /// Replays a recorded operation trace against a fresh harness, reporting the
-/// index of the first violating operation (the paper highlights how precise
-/// traces make bugs easy to reproduce and fix, §6).
+/// index and message of the first violating operation (the paper highlights
+/// how precise traces make bugs easy to reproduce and fix, §6).
+///
+/// This answers "did *a* violation fire?", not "did *the recorded*
+/// violation fire?" — with several seeded bugs a replay can trip a
+/// different bug earlier in the trace. Callers confirming a specific
+/// counterexample must compare messages: use [`replay_checked`].
 pub fn replay(harness: &mut Mcfs, trace: &[FsOp]) -> Option<(usize, String)> {
     for (i, op) in trace.iter().enumerate() {
         match harness.apply(op) {
@@ -662,6 +718,40 @@ pub fn replay(harness: &mut Mcfs, trace: &[FsOp]) -> Option<(usize, String)> {
         }
     }
     None
+}
+
+/// Outcome of a message-checked replay ([`replay_checked`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayOutcome {
+    /// The first violation during replay carried exactly the expected
+    /// message; the counterexample is confirmed at this op index.
+    Reproduced { index: usize },
+    /// A violation fired, but with a different message — a *different* bug
+    /// tripped (possibly earlier in the trace). The counterexample is NOT
+    /// confirmed; trusting it would misattribute the failure.
+    DifferentViolation { index: usize, message: String },
+    /// The whole trace replayed without any violation.
+    NoViolation,
+}
+
+impl ReplayOutcome {
+    /// Whether the replay confirmed the expected violation.
+    pub fn reproduced(&self) -> bool {
+        matches!(self, ReplayOutcome::Reproduced { .. })
+    }
+}
+
+/// Replays `trace` and checks that the **first** violation to fire carries
+/// exactly `expected` — the trustworthy confirmation the shrinker and the
+/// crash-consistency tests need. Replay stops at the first violation either
+/// way: after one fires the harness states have already diverged, so later
+/// outcomes prove nothing.
+pub fn replay_checked(harness: &mut Mcfs, trace: &[FsOp], expected: &str) -> ReplayOutcome {
+    match replay(harness, trace) {
+        Some((index, message)) if message == expected => ReplayOutcome::Reproduced { index },
+        Some((index, message)) => ReplayOutcome::DifferentViolation { index, message },
+        None => ReplayOutcome::NoViolation,
+    }
 }
 
 #[cfg(test)]
@@ -1240,5 +1330,94 @@ mod tests {
         let (idx, msg) = hit.unwrap();
         assert_eq!(idx, 3, "divergence at the hole-creating write");
         assert!(msg.contains("discrepancy"));
+    }
+
+    /// Regression for the trusting-replay bug: with a second seeded bug in
+    /// the replay pair, the naive `replay` trips that *other* bug earlier in
+    /// the trace and "confirms" the counterexample anyway. `replay_checked`
+    /// compares messages and refuses.
+    #[test]
+    fn replay_checked_rejects_a_different_bug() {
+        // The recorded trace: three ops exercising append-within-capacity
+        // on /f1 (harmless for the hole bug), then the 4-op hole pattern
+        // on /f0. Recorded against a hole-bug-only pair.
+        let trace = vec![
+            FsOp::CreateFile {
+                path: "/f1".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f1".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+            FsOp::WriteFile {
+                path: "/f1".into(),
+                offset: 10,
+                size: 10,
+                seed: 2,
+            },
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 40,
+                seed: 1,
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 1,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 30,
+                size: 4,
+                seed: 2,
+            },
+        ];
+        let mut recorder = verifs_pair(BugConfig {
+            v2_hole_no_zero: true,
+            ..BugConfig::default()
+        });
+        let (idx, msg) = replay(&mut recorder, &trace).expect("hole bug must fire");
+        assert_eq!(idx, 6, "hole bug fires at the final write");
+
+        // Replay in an environment that also carries the size bug: a
+        // different violation fires earlier, at the /f1 append.
+        let both = BugConfig {
+            v2_hole_no_zero: true,
+            v2_size_only_on_capacity_growth: true,
+            ..BugConfig::default()
+        };
+        let naive = replay(&mut verifs_pair(both), &trace);
+        let (naive_idx, naive_msg) = naive.expect("some violation fires");
+        assert!(
+            naive_idx < idx,
+            "the second bug trips earlier ({naive_idx} < {idx}), yet naive \
+             replay still reports success"
+        );
+        assert_ne!(naive_msg, msg, "and with a different diagnosis");
+
+        // The checked replay tells the two apart.
+        match replay_checked(&mut verifs_pair(both), &trace, &msg) {
+            ReplayOutcome::DifferentViolation { index, message } => {
+                assert_eq!(index, naive_idx);
+                assert_eq!(message, naive_msg);
+            }
+            other => panic!("expected DifferentViolation, got {other:?}"),
+        }
+        // And still confirms against the faithful environment.
+        let faithful = BugConfig {
+            v2_hole_no_zero: true,
+            ..BugConfig::default()
+        };
+        assert_eq!(
+            replay_checked(&mut verifs_pair(faithful), &trace, &msg),
+            ReplayOutcome::Reproduced { index: idx }
+        );
     }
 }

@@ -61,6 +61,7 @@ pub mod ckpt_pool;
 mod coverage;
 mod harness;
 pub mod pool;
+pub mod shrink;
 mod target;
 mod vfs_checkpoint;
 
@@ -69,8 +70,14 @@ pub use abstraction::{
 };
 pub use ckpt_pool::{CheckpointPool, ExternalSnap, FsImage, SnapshotBytes};
 pub use coverage::Coverage;
-pub use harness::{replay, Mcfs, McfsConfig, EQUALIZE_DUMMY};
+pub use harness::{
+    replay, replay_checked, HarnessFactory, Mcfs, McfsConfig, ReplayOutcome, EQUALIZE_DUMMY,
+};
 pub use pool::{execute, execute_with, pattern, FsOp, OpOutcome, PoolConfig};
+pub use shrink::{
+    buggy_verifs_factory, harness_with_factory, repair_mask, shrink_trace, ShrinkConfig,
+    ShrinkOutcome,
+};
 pub use target::{
     CheckedTarget, CheckpointTarget, CriuTarget, RemountMode, RemountTarget, VmTarget,
 };

@@ -565,6 +565,14 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
     fn rename(&mut self, src: &str, dst: &str) -> VfsResult<()> {
         let (sparent, sname) = self.resolve_parent(src)?;
         let (dparent, dname) = self.resolve_parent(dst)?;
+        // A rename over an existing destination unlinks that inode: its
+        // cached attributes must go too, or a later stat through another
+        // link serves the pre-unlink nlink. Snapshot the target before the
+        // daemon replaces it.
+        let replaced = match self.cached_dentry(dparent, dname) {
+            Some(existing) => existing,
+            None => self.resolve(dst).ok(),
+        };
         let src_owned = src.to_string();
         let dst_owned = dst.to_string();
         let res = self.send(FuseOpKind::Rename, |fs| fs.rename(&src_owned, &dst_owned));
@@ -572,6 +580,9 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
             // The kernel drops both dentries; the next lookup refetches.
             self.drop_dentry(sparent, sname);
             self.drop_dentry(dparent, dname);
+            if let Some(ino) = replaced {
+                self.drop_attr(ino);
+            }
         }
         res
     }
@@ -846,6 +857,30 @@ mod tests {
         m.rename("/a", "/b").unwrap();
         assert_eq!(m.stat("/a"), Err(Errno::ENOENT));
         assert_eq!(m.stat("/b").unwrap().size, 1);
+    }
+
+    #[test]
+    fn rename_over_existing_invalidates_replaced_attrs() {
+        // Regression: rename over an existing destination unlinks the old
+        // destination inode, but only the two dentries were dropped — the
+        // replaced inode's attr-cache entry survived. Reachable through a
+        // hardlink alias, it served the pre-rename link count.
+        let mut m = mount_verifs(VeriFs::v2());
+        let fd = m.create("/a", FileMode::REG_DEFAULT).unwrap();
+        m.close(fd).unwrap();
+        let fd = m.create("/b", FileMode::REG_DEFAULT).unwrap();
+        m.close(fd).unwrap();
+        m.link("/b", "/c").unwrap();
+        // Warm the attr cache for /b's inode (shared with /c): nlink 2.
+        assert_eq!(m.stat("/b").unwrap().nlink, 2);
+        m.rename("/a", "/b").unwrap(); // unlinks the old /b inode
+        assert_eq!(
+            m.stat("/c").unwrap().nlink,
+            1,
+            "attr cache must not serve the replaced inode's stale nlink"
+        );
+        // And /b itself resolves to the renamed inode, not the old one.
+        assert_eq!(m.stat("/b").unwrap().nlink, 1);
     }
 
     #[test]

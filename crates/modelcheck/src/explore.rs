@@ -167,6 +167,28 @@ fn restore_failure(e: String) -> StopReason {
     }
 }
 
+/// Builds the [`Violation`] record for a just-detected violation, asking the
+/// system to minimize the counterexample ([`ModelSystem::minimize`] — a
+/// no-op unless the system enables it).
+fn record_violation<S: ModelSystem>(
+    sys: &mut S,
+    trace: Vec<S::Op>,
+    message: String,
+    ops_executed: u64,
+) -> Violation<S::Op> {
+    let (minimized_trace, shrink) = match sys.minimize(&trace, &message) {
+        Some((t, s)) => (Some(t), Some(s)),
+        None => (None, None),
+    };
+    Violation {
+        trace,
+        message,
+        ops_executed,
+        minimized_trace,
+        shrink,
+    }
+}
+
 struct Frame<Op> {
     state: StateId,
     ops: Vec<Op>,
@@ -311,11 +333,7 @@ impl DfsExplorer {
                             .filter_map(|f| f.op_from_parent.clone())
                             .collect();
                         trace.push(op);
-                        violations.push(Violation {
-                            trace,
-                            message,
-                            ops_executed: stats.ops_executed,
-                        });
+                        violations.push(record_violation(sys, trace, message, stats.ops_executed));
                         if self.cfg.stop_on_violation {
                             return StopReason::Violation;
                         }
@@ -498,11 +516,12 @@ impl BfsExplorer {
                             }
                             trace.reverse();
                             trace.push(op.clone());
-                            violations.push(Violation {
+                            violations.push(record_violation(
+                                sys,
                                 trace,
                                 message,
-                                ops_executed: stats.ops_executed,
-                            });
+                                stats.ops_executed,
+                            ));
                             if self.cfg.stop_on_violation {
                                 return StopReason::Violation;
                             }
@@ -714,11 +733,12 @@ impl RandomWalk {
                         continue;
                     }
                     ApplyOutcome::Violation(message) => {
-                        violations.push(Violation {
-                            trace: trace.clone(),
+                        violations.push(record_violation(
+                            sys,
+                            trace.clone(),
                             message,
-                            ops_executed: stats.ops_executed,
-                        });
+                            stats.ops_executed,
+                        ));
                         if self.cfg.stop_on_violation {
                             return StopReason::Violation;
                         }

@@ -66,6 +66,7 @@
 
 mod explore;
 mod memmodel;
+mod shrink;
 mod swarm;
 mod system;
 mod visited;
@@ -74,6 +75,7 @@ pub use explore::{
     BfsExplorer, DfsExplorer, ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason,
 };
 pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
+pub use shrink::{apply_mask, ddmin_mask, ShrinkStats};
 pub use swarm::{run_swarm, SwarmConfig, SwarmReport};
 pub use system::{
     is_evicted_error, ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId,

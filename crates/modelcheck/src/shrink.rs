@@ -1,0 +1,290 @@
+//! Delta-debugging trace minimization (Zeller's ddmin over kept-masks).
+//!
+//! The paper's payoff is the counterexample: a precise operation trace that
+//! "makes bugs easy to reproduce and fix" (§6). Explorer traces, however,
+//! are whatever depth the search happened to reach — crash-consistency
+//! violations routinely arrive as 40+-op traces where four ops matter. This
+//! module holds the system-agnostic half of the minimizer: a ddmin loop over
+//! *kept-masks* (`Vec<bool>` over trace indices) with two caller hooks,
+//!
+//! * `repair` — may flip removed indices back to *kept* to restore
+//!   dependencies a removal broke (an op consuming a path re-gains its
+//!   producer; a kept `Crash` re-gains the op establishing its checkpoint
+//!   boundary). Repair only ever re-adds; it never removes.
+//! * `test` — the acceptance oracle. The caller replays the candidate
+//!   against a *fresh* system and accepts only if the violation reproduces
+//!   with the same message (see `mcfs::shrink` for the file-system oracle).
+//!
+//! The engine maintains the invariant that every adopted mask passed `test`,
+//! so even a budget-truncated run returns a reproducing trace. After the
+//! chunk-removal phase it sweeps single removals to a fixpoint, which makes
+//! the result 1-minimal *modulo repair*: no single index can be removed
+//! (together with whatever repair re-adds) and still reproduce.
+
+/// Statistics of one minimization, reported inside
+/// [`Violation`](crate::Violation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Ops in the original trace.
+    pub ops_before: usize,
+    /// Ops in the minimized trace.
+    pub ops_after: usize,
+    /// Candidate masks generated and offered to the oracle (includes
+    /// candidates answered from the caller's replay cache).
+    pub candidates_tried: u64,
+    /// Fresh-harness replays actually executed (cache misses plus the
+    /// initial trustworthiness replay of the full trace).
+    pub replays_run: u64,
+}
+
+impl ShrinkStats {
+    /// Shrink factor (`ops_before / ops_after`); 1.0 when nothing shrank.
+    pub fn shrink_ratio(&self) -> f64 {
+        if self.ops_after == 0 {
+            return 1.0;
+        }
+        self.ops_before as f64 / self.ops_after as f64
+    }
+}
+
+/// Splits `kept` (indices currently in the trace) into `n` nearly equal
+/// contiguous chunks.
+fn chunks_of(kept: &[usize], n: usize) -> Vec<Vec<usize>> {
+    let n = n.clamp(1, kept.len().max(1));
+    let base = kept.len() / n;
+    let extra = kept.len() % n;
+    let mut out = Vec::with_capacity(n);
+    let mut at = 0usize;
+    for i in 0..n {
+        let len = base + usize::from(i < extra);
+        out.push(kept[at..at + len].to_vec());
+        at += len;
+    }
+    out
+}
+
+/// Minimizes a kept-mask over `n` trace indices with the ddmin strategy:
+/// remove progressively finer complements, repairing dependencies after
+/// every removal, then sweep single removals to 1-minimality.
+///
+/// `test` receives a candidate mask and must say whether the corresponding
+/// subtrace still reproduces the violation; the all-true mask is assumed to
+/// have passed already (callers gate on it — a trace that does not replay
+/// must not be "minimized"). `repair` may only flip entries from `false` to
+/// `true`. At most `max_tests` oracle calls are made; when the budget runs
+/// out the best mask found so far is returned.
+///
+/// Returns `(mask, tests_run)`.
+pub fn ddmin_mask(
+    n: usize,
+    repair: &mut dyn FnMut(&mut Vec<bool>),
+    test: &mut dyn FnMut(&[bool]) -> bool,
+    max_tests: u64,
+) -> (Vec<bool>, u64) {
+    let mut active = vec![true; n];
+    let mut tests = 0u64;
+    if n <= 1 {
+        return (active, tests);
+    }
+
+    // Phase 1: classic ddmin complement removal with doubling granularity.
+    let mut granularity = 2usize;
+    'outer: loop {
+        let kept: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+        if kept.len() <= 1 {
+            break;
+        }
+        granularity = granularity.min(kept.len());
+        let mut reduced = false;
+        for chunk in chunks_of(&kept, granularity) {
+            if tests >= max_tests {
+                break 'outer;
+            }
+            let mut cand = active.clone();
+            for &i in &chunk {
+                cand[i] = false;
+            }
+            repair(&mut cand);
+            if cand == active {
+                // Repair re-added the whole chunk: nothing actually removed.
+                continue;
+            }
+            tests += 1;
+            if test(&cand) {
+                active = cand;
+                reduced = true;
+                break;
+            }
+        }
+        if reduced {
+            // Something was removed at this granularity; retry coarse-first.
+            granularity = 2;
+            continue;
+        }
+        if granularity >= kept.len() {
+            break;
+        }
+        granularity = (granularity * 2).min(kept.len());
+    }
+
+    // Phase 2: single-removal sweep to a fixpoint (1-minimality modulo
+    // repair). Granularity-n ddmin already tried most singles, but repair
+    // and the adoption order can leave stragglers.
+    loop {
+        let mut improved = false;
+        for i in 0..n {
+            if !active[i] || tests >= max_tests {
+                continue;
+            }
+            let mut cand = active.clone();
+            cand[i] = false;
+            repair(&mut cand);
+            if cand == active {
+                continue; // i is pinned by repair; removing it is a no-op
+            }
+            tests += 1;
+            if test(&cand) {
+                active = cand;
+                improved = true;
+            }
+        }
+        if !improved || tests >= max_tests {
+            break;
+        }
+    }
+    (active, tests)
+}
+
+/// Applies a kept-mask to a trace.
+pub fn apply_mask<Op: Clone>(trace: &[Op], mask: &[bool]) -> Vec<Op> {
+    trace
+        .iter()
+        .zip(mask)
+        .filter(|(_, &keep)| keep)
+        .map(|(op, _)| op.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Oracle: reproduces iff all indices in `needed` are kept.
+    fn needs(needed: &[usize]) -> impl FnMut(&[bool]) -> bool + '_ {
+        move |mask: &[bool]| needed.iter().all(|&i| mask[i])
+    }
+
+    #[test]
+    fn shrinks_to_exactly_the_needed_ops() {
+        let needed = [3usize, 11, 17];
+        let mut test = needs(&needed);
+        let (mask, tests) = ddmin_mask(40, &mut |_| {}, &mut test, 10_000);
+        let kept: Vec<usize> = (0..40).filter(|&i| mask[i]).collect();
+        assert_eq!(kept, needed.to_vec());
+        assert!(tests > 0);
+    }
+
+    #[test]
+    fn single_op_trace_is_untouched() {
+        let (mask, tests) = ddmin_mask(1, &mut |_| {}, &mut |_| true, 100);
+        assert_eq!(mask, vec![true]);
+        assert_eq!(tests, 0);
+    }
+
+    #[test]
+    fn result_is_one_minimal() {
+        // Reproduces iff {2,5} kept OR {7} kept: ddmin must land on a local
+        // minimum where removing any single kept index breaks reproduction.
+        let mut test = |mask: &[bool]| (mask[2] && mask[5]) || mask[7];
+        let (mask, _) = ddmin_mask(10, &mut |_| {}, &mut test, 10_000);
+        let kept: Vec<usize> = (0..10).filter(|&i| mask[i]).collect();
+        assert!(test(&mask), "result must reproduce");
+        for &i in &kept {
+            let mut cand = mask.clone();
+            cand[i] = false;
+            assert!(!test(&cand), "removing {i} must break reproduction");
+        }
+        // Either minimal witness is acceptable; both are 1-minimal.
+        assert!(kept == vec![2, 5] || kept == vec![7], "{kept:?}");
+    }
+
+    #[test]
+    fn repair_keeps_dependent_pairs_together() {
+        // Index 6 is a "crash marker" anchored on index 4 (its checkpoint
+        // boundary): any candidate keeping 6 must keep 4. The oracle only
+        // reproduces when the pair survives intact — and *fails* (as a
+        // trustworthy oracle would) if 6 appears without 4.
+        let mut repair = |mask: &mut Vec<bool>| {
+            if mask[6] && !mask[4] {
+                mask[4] = true;
+            }
+        };
+        let mut boundary_broken = false;
+        let mut test = |mask: &[bool]| {
+            if mask[6] && !mask[4] {
+                boundary_broken = true;
+                return false;
+            }
+            mask[4] && mask[6]
+        };
+        let (mask, _) = ddmin_mask(12, &mut repair, &mut test, 10_000);
+        let kept: Vec<usize> = (0..12).filter(|&i| mask[i]).collect();
+        assert_eq!(kept, vec![4, 6]);
+        assert!(
+            !boundary_broken,
+            "repair must prevent candidates that separate the crash from its boundary"
+        );
+    }
+
+    #[test]
+    fn repair_allows_dropping_the_pair_together() {
+        // Same anchoring, but the pair is irrelevant to the bug: both must
+        // be dropped (the marker alone first or the unit via a chunk), never
+        // tested split.
+        let mut repair = |mask: &mut Vec<bool>| {
+            if mask[6] && !mask[4] {
+                mask[4] = true;
+            }
+        };
+        let mut test = |mask: &[bool]| {
+            assert!(!mask[6] || mask[4], "split pair offered to the oracle");
+            mask[1] && mask[9]
+        };
+        let (mask, _) = ddmin_mask(12, &mut repair, &mut test, 10_000);
+        let kept: Vec<usize> = (0..12).filter(|&i| mask[i]).collect();
+        assert_eq!(kept, vec![1, 9]);
+    }
+
+    #[test]
+    fn budget_truncation_still_returns_a_reproducing_mask() {
+        let needed = [0usize, 19, 38];
+        let mut calls = 0u64;
+        let mut test = |mask: &[bool]| {
+            calls += 1;
+            needed.iter().all(|&i| mask[i])
+        };
+        let (mask, tests) = ddmin_mask(40, &mut |_| {}, &mut test, 3);
+        assert_eq!(tests, 3);
+        assert_eq!(calls, 3);
+        assert!(needed.iter().all(|&i| mask[i]), "mask must still reproduce");
+    }
+
+    #[test]
+    fn stats_ratio() {
+        let s = ShrinkStats {
+            ops_before: 44,
+            ops_after: 4,
+            candidates_tried: 100,
+            replays_run: 60,
+        };
+        assert!((s.shrink_ratio() - 11.0).abs() < 1e-9);
+        assert_eq!(ShrinkStats::default().shrink_ratio(), 1.0);
+    }
+
+    #[test]
+    fn apply_mask_filters_in_order() {
+        let trace = vec!["a", "b", "c", "d"];
+        let mask = vec![true, false, false, true];
+        assert_eq!(apply_mask(&trace, &mask), vec!["a", "d"]);
+    }
+}

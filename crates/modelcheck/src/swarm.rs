@@ -75,6 +75,14 @@ impl<Op> SwarmReport<Op> {
         self.workers.iter().any(|w| w.stop == StopReason::Violation)
     }
 
+    /// The violation with the shortest reproduction trace across all
+    /// workers, judging each by its minimized trace when the worker that
+    /// found it minimized ([`crate::Violation::best_trace`]). Each worker
+    /// minimizes its own finds; the swarm reports the overall shortest.
+    pub fn shortest_violation(&self) -> Option<&crate::system::Violation<Op>> {
+        self.violations().min_by_key(|v| v.best_trace().len())
+    }
+
     /// Panic messages of workers that died, with their worker index.
     pub fn panics(&self) -> impl Iterator<Item = (usize, &str)> {
         self.workers
@@ -224,5 +232,13 @@ impl<S: ModelSystem> ModelSystem for Stoppable<'_, S> {
 
     fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
         self.inner.independent(a, b)
+    }
+
+    fn minimize(
+        &mut self,
+        trace: &[Self::Op],
+        message: &str,
+    ) -> Option<(Vec<Self::Op>, crate::ShrinkStats)> {
+        self.inner.minimize(trace, message)
     }
 }

@@ -170,6 +170,21 @@ pub trait ModelSystem {
         let _ = (a, b);
         false
     }
+
+    /// Minimizes a violating trace, returning the shrunk trace and shrink
+    /// statistics when the system supports (and has enabled) counterexample
+    /// minimization. Explorers call this at violation-record time; the
+    /// default does nothing. Implementations must validate candidates
+    /// against *fresh* instances — never the live, already-violated one —
+    /// and accept only candidates reproducing `message` exactly.
+    fn minimize(
+        &mut self,
+        trace: &[Self::Op],
+        message: &str,
+    ) -> Option<(Vec<Self::Op>, crate::ShrinkStats)> {
+        let _ = (trace, message);
+        None
+    }
 }
 
 /// A recorded property violation with its reproduction trace.
@@ -183,6 +198,21 @@ pub struct Violation<Op> {
     /// Operations executed before detection (the paper reports
     /// ops-to-detection for each bug found).
     pub ops_executed: u64,
+    /// Delta-debugged reproduction trace, when the system minimized the
+    /// counterexample ([`ModelSystem::minimize`]). Always a subsequence of
+    /// `trace` that reproduces a violation with the same `message` on a
+    /// fresh system.
+    pub minimized_trace: Option<Vec<Op>>,
+    /// Statistics of the minimization that produced `minimized_trace`.
+    pub shrink: Option<crate::ShrinkStats>,
+}
+
+impl<Op> Violation<Op> {
+    /// The best reproduction trace available: the minimized one when
+    /// minimization ran, the full recorded trace otherwise.
+    pub fn best_trace(&self) -> &[Op] {
+        self.minimized_trace.as_deref().unwrap_or(&self.trace)
+    }
 }
 
 impl<Op: fmt::Debug> fmt::Display for Violation<Op> {
@@ -195,6 +225,21 @@ impl<Op: fmt::Debug> fmt::Display for Violation<Op> {
         writeln!(f, "trace ({} ops):", self.trace.len())?;
         for (i, op) in self.trace.iter().enumerate() {
             writeln!(f, "  {:>3}. {op:?}", i + 1)?;
+        }
+        if let Some(min) = &self.minimized_trace {
+            match &self.shrink {
+                Some(s) => writeln!(
+                    f,
+                    "minimized trace ({} ops, {} candidates, {} replays):",
+                    min.len(),
+                    s.candidates_tried,
+                    s.replays_run
+                )?,
+                None => writeln!(f, "minimized trace ({} ops):", min.len())?,
+            }
+            for (i, op) in min.iter().enumerate() {
+                writeln!(f, "  {:>3}. {op:?}", i + 1)?;
+            }
         }
         Ok(())
     }
@@ -215,10 +260,33 @@ mod tests {
             trace: vec!["mkdir", "rmdir"],
             message: "hash mismatch".into(),
             ops_executed: 42,
+            minimized_trace: None,
+            shrink: None,
         };
         let s = v.to_string();
         assert!(s.contains("42 ops"));
         assert!(s.contains("mkdir"));
         assert!(s.contains("hash mismatch"));
+        assert!(!s.contains("minimized"));
+        assert_eq!(v.best_trace(), ["mkdir", "rmdir"]);
+    }
+
+    #[test]
+    fn violation_display_includes_minimized_trace() {
+        let v = Violation {
+            trace: vec!["mkdir", "stat", "rmdir"],
+            message: "hash mismatch".into(),
+            ops_executed: 42,
+            minimized_trace: Some(vec!["mkdir", "rmdir"]),
+            shrink: Some(crate::ShrinkStats {
+                ops_before: 3,
+                ops_after: 2,
+                candidates_tried: 5,
+                replays_run: 4,
+            }),
+        };
+        let s = v.to_string();
+        assert!(s.contains("minimized trace (2 ops, 5 candidates, 4 replays)"));
+        assert_eq!(v.best_trace(), ["mkdir", "rmdir"]);
     }
 }

@@ -46,6 +46,41 @@ impl BugConfig {
         BugConfig::default()
     }
 
+    /// Only paper bug 1: the VeriFS1 truncate-zeroing bug.
+    pub fn v1_truncate() -> Self {
+        BugConfig {
+            v1_truncate_no_zero: true,
+            ..BugConfig::default()
+        }
+    }
+
+    /// Only paper bug 2: VeriFS1 skipping kernel-cache invalidation on
+    /// rollback.
+    pub fn v1_invalidation() -> Self {
+        BugConfig {
+            v1_skip_invalidation: true,
+            ..BugConfig::default()
+        }
+    }
+
+    /// Only paper bug 3: the VeriFS2 hole-zeroing write bug. The canonical
+    /// seeded bug for deterministic harness factories — its minimal
+    /// counterexample is the 4-op create/write/truncate/write pattern.
+    pub fn v2_hole() -> Self {
+        BugConfig {
+            v2_hole_no_zero: true,
+            ..BugConfig::default()
+        }
+    }
+
+    /// Only paper bug 4: the VeriFS2 size-update-on-capacity-growth bug.
+    pub fn v2_size() -> Self {
+        BugConfig {
+            v2_size_only_on_capacity_growth: true,
+            ..BugConfig::default()
+        }
+    }
+
     /// Whether any bug is enabled.
     pub fn any(self) -> bool {
         self.v1_truncate_no_zero
@@ -63,6 +98,27 @@ mod tests {
     fn default_has_no_bugs() {
         assert!(!BugConfig::default().any());
         assert_eq!(BugConfig::none(), BugConfig::default());
+    }
+
+    #[test]
+    fn single_bug_constructors_enable_exactly_one_flag() {
+        let singles = [
+            BugConfig::v1_truncate(),
+            BugConfig::v1_invalidation(),
+            BugConfig::v2_hole(),
+            BugConfig::v2_size(),
+        ];
+        for (i, cfg) in singles.iter().enumerate() {
+            assert!(cfg.any(), "constructor {i}");
+            let flags = [
+                cfg.v1_truncate_no_zero,
+                cfg.v1_skip_invalidation,
+                cfg.v2_hole_no_zero,
+                cfg.v2_size_only_on_capacity_growth,
+            ];
+            assert_eq!(flags.iter().filter(|&&f| f).count(), 1, "constructor {i}");
+            assert!(flags[i], "constructor {i} sets its own flag");
+        }
     }
 
     #[test]

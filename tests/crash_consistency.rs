@@ -6,7 +6,8 @@
 use blockdev::{FaultKind, FaultPlan, FaultyDevice, RamDisk};
 use fs_ext::{ExtConfig, ExtFs};
 use mcfs::{
-    replay, CheckpointTarget, FsOp, Mcfs, McfsConfig, PoolConfig, RemountMode, RemountTarget,
+    replay_checked, CheckpointTarget, FsOp, Mcfs, McfsConfig, PoolConfig, RemountMode,
+    RemountTarget, ReplayOutcome,
 };
 use modelcheck::{ApplyOutcome, DfsExplorer, ExploreConfig, ModelSystem, RandomWalk, StopReason};
 use verifs::VeriFs;
@@ -169,8 +170,14 @@ fn torn_write_violation_replays_deterministically() {
     // must fire at the same op with the same diagnosis.
     let plan = FaultPlan::eio(FaultKind::Write, skip, 1).with_torn_bytes(17);
     let mut fresh = torn_pair(plan).expect("pair built once, must build again");
-    let hit = replay(&mut fresh, &script[..=idx]);
-    assert_eq!(hit, Some((idx, msg)), "trace must reproduce the violation");
+    // `replay_checked` rather than bare `replay`: confirmation means the
+    // *same* diagnosis at the same op, not just any violation en route.
+    let hit = replay_checked(&mut fresh, &script[..=idx], &msg);
+    assert_eq!(
+        hit,
+        ReplayOutcome::Reproduced { index: idx },
+        "trace must reproduce the violation"
+    );
 }
 
 /// The explorers find torn-write corruption on their own: a random walk
