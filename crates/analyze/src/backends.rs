@@ -1,0 +1,177 @@
+//! Backend constructors the lint registry runs against: every file-system
+//! implementation in the workspace, plus the historical buggy VeriFS
+//! variant the `MC002` regression test targets.
+
+use std::sync::Arc;
+
+use fusesim::{FuseConfig, FuseMount};
+use verifs::{VeriFs, VeriFsConfig};
+use vfs::{FileSystem, VfsResult};
+
+/// Device size for the ext2/ext4 backends (the paper's 256 KiB).
+pub const EXT_DEVICE_BYTES: u64 = 256 * 1024;
+/// Device size for XFS (its 16 MiB minimum).
+pub const XFS_DEVICE_BYTES: u64 = 16 * 1024 * 1024;
+/// JFFS2 flash geometry: erase-block size.
+pub const JFFS2_ERASE_BLOCK: usize = 16 * 1024;
+/// JFFS2 erase-block count (1 MiB total).
+pub const JFFS2_BLOCKS: usize = 64;
+
+/// One checkable backend: a name and a constructor yielding a fresh,
+/// mounted, empty file system.
+#[derive(Clone, Copy)]
+pub struct Backend {
+    /// Registry/report name.
+    pub name: &'static str,
+    /// Construction or per-op cost is high: sanitizers sample fewer pairs.
+    pub heavy: bool,
+    make: fn() -> VfsResult<Box<dyn FileSystem>>,
+}
+
+impl Backend {
+    /// A fresh, mounted, empty instance.
+    ///
+    /// # Errors
+    ///
+    /// Propagated format/mount errors.
+    pub fn fresh(&self) -> VfsResult<Box<dyn FileSystem>> {
+        (self.make)()
+    }
+}
+
+impl std::fmt::Debug for Backend {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Backend").field("name", &self.name).finish()
+    }
+}
+
+fn mk_verifs_v1() -> VfsResult<Box<dyn FileSystem>> {
+    let mut fs = VeriFs::v1();
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+fn mk_verifs_v2() -> VfsResult<Box<dyn FileSystem>> {
+    let mut fs = VeriFs::v2();
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+fn mk_fuse_verifs() -> VfsResult<Box<dyn FileSystem>> {
+    let mut mount = FuseMount::with_config(VeriFs::v2(), FuseConfig::default(), None);
+    let conn = mount.connection();
+    mount
+        .daemon_mut()
+        .fs_mut()
+        .set_invalidation_sink(Arc::new(conn));
+    mount.mount()?;
+    Ok(Box::new(mount))
+}
+
+fn mk_ext2() -> VfsResult<Box<dyn FileSystem>> {
+    let mut fs = fs_ext::ext2_on_ram(EXT_DEVICE_BYTES)?;
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+fn mk_ext4() -> VfsResult<Box<dyn FileSystem>> {
+    let mut fs = fs_ext::ext4_on_ram(EXT_DEVICE_BYTES)?;
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+fn mk_xfs() -> VfsResult<Box<dyn FileSystem>> {
+    let mut fs = fs_xfs::xfs_on_ram(XFS_DEVICE_BYTES)?;
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+fn mk_jffs2() -> VfsResult<Box<dyn FileSystem>> {
+    let mtd =
+        blockdev::MtdDevice::new(JFFS2_ERASE_BLOCK, JFFS2_BLOCKS).map_err(|_| vfs::Errno::EINVAL)?;
+    let mut fs = fs_jffs2::Jffs2Fs::format(mtd, fs_jffs2::Jffs2Config::default())?;
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+/// The quick set: the RAM backends plus one device-backed representative —
+/// what `mcfs-lint --quick` (the CI smoke gate) runs.
+pub fn quick() -> Vec<Backend> {
+    vec![
+        Backend {
+            name: "verifs-v1",
+            heavy: false,
+            make: mk_verifs_v1,
+        },
+        Backend {
+            name: "verifs-v2",
+            heavy: false,
+            make: mk_verifs_v2,
+        },
+        Backend {
+            name: "fuse-verifs",
+            heavy: false,
+            make: mk_fuse_verifs,
+        },
+        Backend {
+            name: "ext2",
+            heavy: true,
+            make: mk_ext2,
+        },
+    ]
+}
+
+/// Every backend in the workspace.
+pub fn all() -> Vec<Backend> {
+    let mut v = quick();
+    v.push(Backend {
+        name: "ext4",
+        heavy: true,
+        make: mk_ext4,
+    });
+    v.push(Backend {
+        name: "xfs",
+        heavy: true,
+        make: mk_xfs,
+    });
+    v.push(Backend {
+        name: "jffs2",
+        heavy: true,
+        make: mk_jffs2,
+    });
+    v
+}
+
+/// The historical buggy VeriFS2: hole writes skip zeroing (paper bug #1)
+/// *and* the beyond-EOF residue digest is disabled, reproducing the
+/// CHUNK-rounding abstraction aliasing that hid the hole bug from
+/// state-matched DFS. `MC002` must fire on this backend and stay clean on
+/// the fixed [`VeriFs::v2`].
+pub fn historical_verifs() -> VfsResult<Box<dyn FileSystem>> {
+    let mut cfg = VeriFsConfig::v2();
+    cfg.bugs.v2_hole_no_zero = true;
+    cfg.opaque_residue_digest = false;
+    let mut fs = VeriFs::with_config(cfg);
+    fs.mount()?;
+    Ok(Box::new(fs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_backend_constructs_mounted_and_empty() {
+        for b in all() {
+            let mut fs = b.fresh().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let entries = fs.getdents("/").unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            // Freshly formatted: nothing but special entries.
+            assert!(
+                entries.iter().all(|e| e.name.starts_with("lost+found")),
+                "{}: {entries:?}",
+                b.name
+            );
+        }
+        assert!(historical_verifs().is_ok());
+    }
+}

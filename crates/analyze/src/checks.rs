@@ -1,0 +1,588 @@
+//! The four sanitizers behind the lint codes.
+//!
+//! Every check is *dynamic* validation of a *static* claim: MC001 executes
+//! both orders of every pair the derived (or legacy) independence relation
+//! calls independent; MC002 hunts for visited-set fingerprint collisions
+//! that a POSIX probe suite can tell apart; MC003 replays identical
+//! sequences on two backends and compares errno models; MC004 round-trips
+//! checkpoints (API and device-image flavors) and checks the restored
+//! state is the checkpointed one.
+
+use std::collections::HashMap;
+
+use mcfs::effect::{heuristic_independent, independent, EffectProfile};
+use mcfs::{abstract_state, execute, AbstractionConfig, FsOp, OpOutcome, PoolConfig};
+use vfs::{DeviceBacked, FileSystem, FsCheckpoint, VfsResult};
+
+use crate::backends::Backend;
+use crate::report::{Diagnostic, LintCode, Severity};
+
+/// Deterministic xorshift64 PRNG: the sanitizers must be reproducible from
+/// their seed alone.
+pub struct XorShift64(u64);
+
+impl XorShift64 {
+    /// Seeded constructor (zero is mapped to a fixed nonzero state).
+    pub fn new(seed: u64) -> Self {
+        XorShift64(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+    }
+
+    /// Next raw value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Uniform-ish draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: usize) -> usize {
+        (self.next_u64() % n as u64) as usize
+    }
+}
+
+/// The state observation the sanitizers compare: the POSIX-observable
+/// abstraction hash plus the backend's opaque digest (hidden state such as
+/// beyond-EOF residue). Mirrors the harness's visited-set identity.
+fn observe(fs: &mut dyn FileSystem) -> (u128, Option<u128>) {
+    let h = abstract_state(fs, &AbstractionConfig::default())
+        .map(|d| d.as_u128())
+        .unwrap_or(u128::MAX);
+    (h, fs.opaque_state_digest())
+}
+
+/// Applies `ops` to a fresh instance and observes the final state.
+fn run_trace(backend: &Backend, ops: &[&FsOp]) -> VfsResult<(u128, Option<u128>)> {
+    let mut fs = backend.fresh()?;
+    for op in ops {
+        let _ = execute(fs.as_mut(), op, &[]);
+    }
+    Ok(observe(fs.as_mut()))
+}
+
+/// Which independence relation MC001 validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Relation {
+    /// The signature-derived relation ([`mcfs::effect`]); the default POR
+    /// driver — must pass on every backend.
+    Derived,
+    /// The original hand-written path-prefix heuristic; kept so the tests
+    /// can demonstrate its unsoundness (hard-link aliasing).
+    Heuristic,
+}
+
+/// MC001 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc001Config {
+    /// Sampled reachable prefixes per claimed-independent pair.
+    pub samples_per_pair: usize,
+    /// Maximum prefix length (lengths are drawn uniformly up to this).
+    pub prefix_len: usize,
+    /// Cap on the number of pairs exercised (`None` = all); heavy backends
+    /// sample.
+    pub max_pairs: Option<usize>,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mc001Config {
+    fn default() -> Self {
+        Mc001Config {
+            samples_per_pair: 2,
+            prefix_len: 3,
+            max_pairs: None,
+            seed: 0xc0ff_ee01,
+        }
+    }
+}
+
+/// MC001 — commutation sanitizer. For every pair `relation` claims
+/// independent, executes `prefix; a; b` and `prefix; b; a` from sampled
+/// reachable prefixes on a fresh backend instance and reports a diagnostic
+/// with the replayable sequence if the final states differ.
+///
+/// # Errors
+///
+/// Backend construction failures.
+pub fn mc001_commutation(
+    backend: &Backend,
+    pool_ops: &[FsOp],
+    relation: Relation,
+    cfg: &Mc001Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let caps = backend.fresh()?.capabilities();
+    let ops: Vec<FsOp> = pool_ops
+        .iter()
+        .filter(|o| o.allowed_by(caps))
+        .cloned()
+        .collect();
+    let kernel_caches = backend.fresh()?.caches_metadata();
+    let profile = EffectProfile::from_pool(&ops).with_kernel_caches(kernel_caches);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..ops.len() {
+        for j in (i + 1)..ops.len() {
+            let claimed = match relation {
+                Relation::Derived => independent(&ops[i], &ops[j], &profile),
+                Relation::Heuristic => heuristic_independent(&ops[i], &ops[j]),
+            };
+            if claimed {
+                pairs.push((i, j));
+            }
+        }
+    }
+    let mut rng = XorShift64::new(cfg.seed);
+    if let Some(max) = cfg.max_pairs {
+        // Deterministic partial Fisher-Yates, then truncate.
+        for k in 0..pairs.len().min(max) {
+            let pick = k + rng.below(pairs.len() - k);
+            pairs.swap(k, pick);
+        }
+        pairs.truncate(max);
+    }
+    let mutations: Vec<&FsOp> = ops.iter().filter(|o| o.is_mutation()).collect();
+    let mut out = Vec::new();
+    for (i, j) in pairs {
+        for _ in 0..cfg.samples_per_pair {
+            let plen = rng.below(cfg.prefix_len + 1);
+            let prefix: Vec<&FsOp> = (0..plen)
+                .map(|_| mutations[rng.below(mutations.len())])
+                .collect();
+            let mut ab = prefix.clone();
+            ab.push(&ops[i]);
+            ab.push(&ops[j]);
+            let mut ba = prefix.clone();
+            ba.push(&ops[j]);
+            ba.push(&ops[i]);
+            let state_ab = run_trace(backend, &ab)?;
+            let state_ba = run_trace(backend, &ba)?;
+            if state_ab != state_ba {
+                out.push(Diagnostic {
+                    code: LintCode::Mc001,
+                    severity: Severity::Error,
+                    backend: backend.name.to_string(),
+                    message: format!(
+                        "claimed-independent pair does not commute: `{}` vs `{}` \
+                         after a {plen}-op prefix (state {:032x}/{:?} vs {:032x}/{:?})",
+                        ops[i], ops[j], state_ab.0, state_ab.1, state_ba.0, state_ba.1
+                    ),
+                    replay: ab.iter().map(|o| o.to_string()).collect(),
+                });
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// MC002 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc002Config {
+    /// Enumerate all traces up to this length over the given op set.
+    pub max_len: usize,
+    /// Hard cap on enumerated traces.
+    pub max_traces: usize,
+    /// Cap on reported collisions (probing every member of a large bucket
+    /// is redundant).
+    pub max_findings: usize,
+}
+
+impl Default for Mc002Config {
+    fn default() -> Self {
+        Mc002Config {
+            max_len: 3,
+            max_traces: 4096,
+            max_findings: 4,
+        }
+    }
+}
+
+/// The probe suite MC002 uses to distinguish allegedly-equal states: hole
+/// writes into the tail chunk of every pool file (the access pattern that
+/// exposed the VeriFS CHUNK-rounding residue), followed by reads, stats
+/// and a root listing. Probe outcomes plus the post-probe abstraction hash
+/// form the observation.
+fn probe_suite(ops: &[FsOp]) -> Vec<FsOp> {
+    let mut files: Vec<&str> = Vec::new();
+    for op in ops {
+        for p in op.touched_paths() {
+            if !files.contains(&p) {
+                files.push(p);
+            }
+        }
+    }
+    let mut probes = Vec::new();
+    for f in &files {
+        probes.push(FsOp::WriteFile {
+            path: (*f).to_string(),
+            offset: 30,
+            size: 4,
+            seed: 7,
+        });
+        probes.push(FsOp::ReadFile {
+            path: (*f).to_string(),
+            offset: 0,
+            size: 64,
+        });
+        probes.push(FsOp::Stat {
+            path: (*f).to_string(),
+        });
+    }
+    probes.push(FsOp::Getdents { path: "/".into() });
+    probes
+}
+
+/// MC002 — abstraction-aliasing probe. Enumerates short traces over `ops`,
+/// groups the resulting states by their visited-set fingerprint
+/// (abstraction hash + opaque digest), and for every collision replays
+/// both traces and applies the probe suite: if the probes can tell the
+/// states apart, the fingerprint aliases observably distinct states and
+/// state-matched exploration would wrongly merge them.
+///
+/// # Errors
+///
+/// Backend construction failures.
+pub fn mc002_aliasing(
+    fresh: &dyn Fn() -> VfsResult<Box<dyn FileSystem>>,
+    backend_name: &str,
+    ops: &[FsOp],
+    cfg: &Mc002Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    assert!(!ops.is_empty(), "MC002 needs a non-empty op set");
+    // Enumerate traces of length 1..=max_len in lexicographic order.
+    let mut traces: Vec<Vec<usize>> = Vec::new();
+    'outer: for len in 1..=cfg.max_len {
+        let mut idx = vec![0usize; len];
+        loop {
+            traces.push(idx.clone());
+            if traces.len() >= cfg.max_traces {
+                break 'outer;
+            }
+            // Odometer increment.
+            let mut pos = len;
+            loop {
+                if pos == 0 {
+                    break;
+                }
+                pos -= 1;
+                idx[pos] += 1;
+                if idx[pos] < ops.len() {
+                    break;
+                }
+                idx[pos] = 0;
+                if pos == 0 {
+                    break;
+                }
+            }
+            if idx.iter().all(|&i| i == 0) {
+                break;
+            }
+        }
+    }
+    // Fingerprint every trace's final state.
+    let mut buckets: HashMap<(u128, Option<u128>), Vec<usize>> = HashMap::new();
+    for (t, trace) in traces.iter().enumerate() {
+        let mut fs = fresh()?;
+        for &i in trace {
+            let _ = execute(fs.as_mut(), &ops[i], &[]);
+        }
+        buckets.entry(observe(fs.as_mut())).or_default().push(t);
+    }
+    // Probe collisions: replay each colliding trace fresh and compare the
+    // probe observations against the bucket's representative.
+    let probes = probe_suite(ops);
+    let observe_probed = |trace: &[usize]| -> VfsResult<(Vec<OpOutcome>, u128)> {
+        let mut fs = fresh()?;
+        for &i in trace {
+            let _ = execute(fs.as_mut(), &ops[i], &[]);
+        }
+        let outcomes: Vec<OpOutcome> = probes.iter().map(|p| execute(fs.as_mut(), p, &[])).collect();
+        Ok((outcomes, observe(fs.as_mut()).0))
+    };
+    let mut out = Vec::new();
+    for members in buckets.values() {
+        if members.len() < 2 || out.len() >= cfg.max_findings {
+            continue;
+        }
+        let rep = observe_probed(&traces[members[0]])?;
+        for &other in &members[1..] {
+            if observe_probed(&traces[other])? != rep {
+                let render = |t: &[usize]| {
+                    t.iter()
+                        .map(|&i| ops[i].to_string())
+                        .collect::<Vec<_>>()
+                        .join("; ")
+                };
+                let mut replay: Vec<String> =
+                    traces[members[0]].iter().map(|&i| ops[i].to_string()).collect();
+                replay.push("-- vs --".to_string());
+                replay.extend(traces[other].iter().map(|&i| ops[i].to_string()));
+                replay.push("-- probes --".to_string());
+                replay.extend(probes.iter().map(|p| p.to_string()));
+                out.push(Diagnostic {
+                    code: LintCode::Mc002,
+                    severity: Severity::Error,
+                    backend: backend_name.to_string(),
+                    message: format!(
+                        "abstraction aliasing: traces [{}] and [{}] have equal \
+                         fingerprints but the probe suite distinguishes them",
+                        render(&traces[members[0]]),
+                        render(&traces[other]),
+                    ),
+                    replay,
+                });
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// MC003 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc003Config {
+    /// Random sequences per backend pair.
+    pub sequences: usize,
+    /// Ops per sequence.
+    pub seq_len: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mc003Config {
+    fn default() -> Self {
+        Mc003Config {
+            sequences: 40,
+            seq_len: 6,
+            seed: 0xc0ff_ee03,
+        }
+    }
+}
+
+/// MC003 — errno-model divergence. Replays identical random sequences
+/// (capability-intersected) on two backends and compares the *error
+/// model*: success-vs-failure and the errno itself at every step. Full
+/// outcome comparison is the harness's job; this lint isolates the errno
+/// dimension so model divergences show up without a full harness run.
+///
+/// # Errors
+///
+/// Backend construction failures.
+pub fn mc003_errno_parity(
+    a: &Backend,
+    b: &Backend,
+    pool: &PoolConfig,
+    cfg: &Mc003Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let caps = a.fresh()?.capabilities().intersect(b.fresh()?.capabilities());
+    let ops: Vec<FsOp> = pool
+        .ops()
+        .into_iter()
+        .filter(|o| o.allowed_by(caps))
+        .collect();
+    let mut rng = XorShift64::new(cfg.seed);
+    let mut out = Vec::new();
+    let pair_name = format!("{}/{}", a.name, b.name);
+    for _ in 0..cfg.sequences {
+        let seq: Vec<&FsOp> = (0..cfg.seq_len).map(|_| &ops[rng.below(ops.len())]).collect();
+        let mut fa = a.fresh()?;
+        let mut fb = b.fresh()?;
+        for (step, op) in seq.iter().enumerate() {
+            let oa = execute(fa.as_mut(), op, &[]);
+            let ob = execute(fb.as_mut(), op, &[]);
+            let ea = match &oa {
+                OpOutcome::Err(e) => Some(*e),
+                _ => None,
+            };
+            let eb = match &ob {
+                OpOutcome::Err(e) => Some(*e),
+                _ => None,
+            };
+            if ea != eb {
+                out.push(Diagnostic {
+                    code: LintCode::Mc003,
+                    severity: Severity::Error,
+                    backend: pair_name.clone(),
+                    message: format!(
+                        "errno divergence at step {step}: `{op}` -> {:?} on {} \
+                         but {:?} on {}",
+                        ea, a.name, eb, b.name
+                    ),
+                    replay: seq[..=step].iter().map(|o| o.to_string()).collect(),
+                });
+                break;
+            }
+        }
+        if out.len() >= 4 {
+            break;
+        }
+    }
+    Ok(out)
+}
+
+/// MC004 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc004Config {
+    /// Checkpoint/restore round trips.
+    pub rounds: usize,
+    /// Mutations before the checkpoint (reachable-state variety).
+    pub prefix_len: usize,
+    /// Mutations between checkpoint and restore.
+    pub suffix_len: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mc004Config {
+    fn default() -> Self {
+        Mc004Config {
+            rounds: 8,
+            prefix_len: 4,
+            suffix_len: 3,
+            seed: 0xc0ff_ee04,
+        }
+    }
+}
+
+fn random_mutations<'p>(
+    rng: &mut XorShift64,
+    mutations: &[&'p FsOp],
+    max_len: usize,
+) -> Vec<&'p FsOp> {
+    let len = rng.below(max_len + 1);
+    (0..len).map(|_| mutations[rng.below(mutations.len())]).collect()
+}
+
+/// MC004 (checkpoint-API flavor) — checkpoint/restore asymmetry. From a
+/// random reachable state: checkpoint, observe, mutate, `restore_keep`,
+/// observe again (must match), mutate again, `restore`, observe a third
+/// time (must still match). Any mismatch means restore does not reproduce
+/// the checkpointed state.
+///
+/// # Errors
+///
+/// Backend construction/checkpoint failures.
+pub fn mc004_checkpoint_symmetry<F: FileSystem + FsCheckpoint>(
+    fresh: &dyn Fn() -> VfsResult<F>,
+    backend_name: &str,
+    pool: &PoolConfig,
+    cfg: &Mc004Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let ops = pool.ops();
+    let caps = fresh()?.capabilities();
+    let mutations: Vec<&FsOp> = ops
+        .iter()
+        .filter(|o| o.is_mutation() && o.allowed_by(caps))
+        .collect();
+    let mut rng = XorShift64::new(cfg.seed);
+    let mut out = Vec::new();
+    for round in 0..cfg.rounds {
+        let mut fs = fresh()?;
+        let prefix = random_mutations(&mut rng, &mutations, cfg.prefix_len);
+        for op in &prefix {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.checkpoint(1)?;
+        let h0 = observe(&mut fs);
+        let suffix1 = random_mutations(&mut rng, &mutations, cfg.suffix_len);
+        for op in &suffix1 {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.restore_keep(1)?;
+        let h1 = observe(&mut fs);
+        let suffix2 = random_mutations(&mut rng, &mutations, cfg.suffix_len);
+        for op in &suffix2 {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.restore(1)?;
+        let h2 = observe(&mut fs);
+        if h1 != h0 || h2 != h0 {
+            let mut replay: Vec<String> = prefix.iter().map(|o| o.to_string()).collect();
+            replay.push("-- checkpoint(1) --".into());
+            replay.extend(suffix1.iter().map(|o| o.to_string()));
+            replay.push("-- restore(1) --".into());
+            out.push(Diagnostic {
+                code: LintCode::Mc004,
+                severity: Severity::Error,
+                backend: backend_name.to_string(),
+                message: format!(
+                    "checkpoint/restore asymmetry (round {round}): checkpointed \
+                     {h0:?}, restore_keep gave {h1:?}, restore gave {h2:?}"
+                ),
+                replay,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// MC004 (device-image flavor) — for device-backed file systems without a
+/// checkpoint API: snapshot the device (unmounted), remount, observe,
+/// mutate, restore the image, remount, observe again. The remount after
+/// the snapshot makes the baseline itself a post-remount state, so any
+/// mismatch is restore infidelity, not unmount lossiness.
+///
+/// # Errors
+///
+/// Backend construction/snapshot failures.
+pub fn mc004_device_symmetry<F: FileSystem + DeviceBacked>(
+    fresh: &dyn Fn() -> VfsResult<F>,
+    backend_name: &str,
+    pool: &PoolConfig,
+    cfg: &Mc004Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let ops = pool.ops();
+    let caps = fresh()?.capabilities();
+    let mutations: Vec<&FsOp> = ops
+        .iter()
+        .filter(|o| o.is_mutation() && o.allowed_by(caps))
+        .collect();
+    let mut rng = XorShift64::new(cfg.seed ^ 0xdead_beef);
+    let mut out = Vec::new();
+    for round in 0..cfg.rounds {
+        let mut fs = fresh()?;
+        let prefix = random_mutations(&mut rng, &mutations, cfg.prefix_len);
+        for op in &prefix {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.unmount()?;
+        let snap = fs.snapshot_device()?;
+        fs.mount()?;
+        let h0 = observe(&mut fs);
+        let suffix = random_mutations(&mut rng, &mutations, cfg.suffix_len);
+        for op in &suffix {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.unmount()?;
+        fs.restore_device(&snap)?;
+        fs.mount()?;
+        let h1 = observe(&mut fs);
+        if h1 != h0 {
+            let mut replay: Vec<String> = prefix.iter().map(|o| o.to_string()).collect();
+            replay.push("-- snapshot_device / remount --".into());
+            replay.extend(suffix.iter().map(|o| o.to_string()));
+            replay.push("-- restore_device / remount --".into());
+            out.push(Diagnostic {
+                code: LintCode::Mc004,
+                severity: Severity::Error,
+                backend: backend_name.to_string(),
+                message: format!(
+                    "device snapshot/restore asymmetry (round {round}): \
+                     baseline {h0:?} but restored state {h1:?}"
+                ),
+                replay,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// The mutation ops of `pool` that touch exactly `path` — the focused op
+/// set MC002 enumerates over (single-file traces alias most readily).
+pub fn single_file_mutations(pool: &PoolConfig, path: &str) -> Vec<FsOp> {
+    pool.ops()
+        .into_iter()
+        .filter(|o| o.is_mutation() && o.touched_paths() == vec![path])
+        .collect()
+}

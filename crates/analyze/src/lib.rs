@@ -1,0 +1,371 @@
+//! Static-analysis layer for the MCFS harness: the lint registry behind
+//! `mcfs-lint`.
+//!
+//! The harness's soundness rests on three inferred artifacts: the
+//! signature-derived independence relation driving partial-order reduction
+//! ([`mcfs::effect`]), the abstraction function collapsing concrete states
+//! into visited-set fingerprints, and the checkpoint machinery replaying
+//! exploration prefixes. Each is *derived* from the op pool and backend
+//! capabilities rather than hand-audited per backend, so this crate
+//! validates the derivations dynamically:
+//!
+//! - **MC001** (unsound independence): every claimed-independent pair is
+//!   executed in both orders from sampled reachable states.
+//! - **MC002** (abstraction aliasing): fingerprint collisions are probed
+//!   with a POSIX op suite that must not distinguish them.
+//! - **MC003** (errno-model divergence): identical sequences must fail
+//!   identically across backends.
+//! - **MC004** (checkpoint/restore asymmetry): restoring a checkpoint must
+//!   reproduce the checkpointed fingerprint.
+//!
+//! [`run_registry`] runs all four across the workspace backends and
+//! returns a [`report::LintReport`] renderable as text or SARIF-style
+//! JSON. The `mcfs-lint` binary (in the bench crate) is a thin CLI over
+//! it; CI runs `mcfs-lint --quick` as a smoke gate.
+
+#![warn(missing_docs)]
+
+pub mod backends;
+pub mod checks;
+pub mod report;
+
+pub use checks::{
+    mc001_commutation, mc002_aliasing, mc003_errno_parity, mc004_checkpoint_symmetry,
+    mc004_device_symmetry, single_file_mutations, Mc001Config, Mc002Config, Mc003Config,
+    Mc004Config, Relation, XorShift64,
+};
+pub use report::{Diagnostic, LintCode, LintReport, Severity};
+
+use mcfs::PoolConfig;
+use vfs::FileSystem;
+
+/// Registry run options.
+#[derive(Debug, Clone)]
+pub struct LintOptions {
+    /// Quick mode: light backends only plus one device-backed
+    /// representative, smaller sample counts — the CI smoke gate.
+    pub quick: bool,
+    /// Base PRNG seed for all sampled checks.
+    pub seed: u64,
+    /// Restrict to these codes (`None` = all).
+    pub codes: Option<Vec<LintCode>>,
+}
+
+impl Default for LintOptions {
+    fn default() -> Self {
+        LintOptions {
+            quick: false,
+            seed: 0x5eed_1e47,
+            codes: None,
+        }
+    }
+}
+
+impl LintOptions {
+    fn enabled(&self, code: LintCode) -> bool {
+        self.codes.as_ref().map_or(true, |cs| cs.contains(&code))
+    }
+}
+
+/// Converts a check-runner error into a diagnostic so a backend that fails
+/// to construct shows up as a finding instead of aborting the run.
+fn check_failure(code: LintCode, backend: &str, err: vfs::Errno) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: Severity::Error,
+        backend: backend.to_string(),
+        message: format!("check failed to run: {err}"),
+        replay: Vec::new(),
+    }
+}
+
+/// Runs the full lint registry and collects every finding.
+pub fn run_registry(opts: &LintOptions) -> LintReport {
+    let backend_list = if opts.quick {
+        backends::quick()
+    } else {
+        backends::all()
+    };
+    let pool = PoolConfig::small();
+    let pool_ops = pool.ops();
+    let mut report = LintReport {
+        backends: backend_list.iter().map(|b| b.name.to_string()).collect(),
+        ..LintReport::default()
+    };
+
+    // MC001: validate the derived independence relation on every backend.
+    if opts.enabled(LintCode::Mc001) {
+        for b in &backend_list {
+            let cfg = Mc001Config {
+                samples_per_pair: if b.heavy { 1 } else { 2 },
+                max_pairs: if b.heavy { Some(80) } else { None },
+                seed: opts.seed ^ 1,
+                ..Mc001Config::default()
+            };
+            report.checks_run += 1;
+            match mc001_commutation(b, &pool_ops, Relation::Derived, &cfg) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc001, b.name, e)),
+            }
+        }
+    }
+
+    // MC002: probe fingerprint collisions over single-file traces. The
+    // in-memory backends get the exhaustive length-3 enumeration; the
+    // device-backed ones are capped harder since every trace reformats.
+    if opts.enabled(LintCode::Mc002) {
+        let ops = single_file_mutations(&pool, "/f0");
+        for b in &backend_list {
+            let cfg = Mc002Config {
+                max_len: if b.heavy { 2 } else { 3 },
+                ..Mc002Config::default()
+            };
+            report.checks_run += 1;
+            let fresh = || b.fresh();
+            match mc002_aliasing(&fresh, b.name, &ops, &cfg) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc002, b.name, e)),
+            }
+        }
+    }
+
+    // MC003: errno parity between the reference implementation and each
+    // on-disk backend.
+    if opts.enabled(LintCode::Mc003) {
+        let reference = &backend_list[1]; // verifs-v2
+        for b in &backend_list {
+            if b.name == reference.name {
+                continue;
+            }
+            let cfg = Mc003Config {
+                sequences: if b.heavy { 20 } else { 40 },
+                seed: opts.seed ^ 3,
+                ..Mc003Config::default()
+            };
+            report.checks_run += 1;
+            match mc003_errno_parity(reference, b, &pool, &cfg) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => {
+                    let name = format!("{}/{}", reference.name, b.name);
+                    report
+                        .diagnostics
+                        .push(check_failure(LintCode::Mc003, &name, e));
+                }
+            }
+        }
+    }
+
+    // MC004: checkpoint symmetry on the checkpoint-API backends, device
+    // snapshot symmetry on the device-backed ones.
+    if opts.enabled(LintCode::Mc004) {
+        let cfg = Mc004Config {
+            rounds: if opts.quick { 6 } else { 10 },
+            seed: opts.seed ^ 4,
+            ..Mc004Config::default()
+        };
+        report.checks_run += 1;
+        match mc004_checkpoint_symmetry(
+            &|| {
+                let mut fs = verifs::VeriFs::v2();
+                fs.mount()?;
+                Ok(fs)
+            },
+            "verifs-v2",
+            &pool,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc004, "verifs-v2", e)),
+        }
+        report.checks_run += 1;
+        match mc004_checkpoint_symmetry(
+            &|| {
+                let mut mount = fusesim::FuseMount::with_config(
+                    verifs::VeriFs::v2(),
+                    fusesim::FuseConfig::default(),
+                    None,
+                );
+                let conn = mount.connection();
+                mount
+                    .daemon_mut()
+                    .fs_mut()
+                    .set_invalidation_sink(std::sync::Arc::new(conn));
+                mount.mount()?;
+                Ok(mount)
+            },
+            "fuse-verifs",
+            &pool,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc004, "fuse-verifs", e)),
+        }
+        report.checks_run += 1;
+        match mc004_device_symmetry(
+            &|| fs_ext::ext2_on_ram(backends::EXT_DEVICE_BYTES).and_then(|mut fs| {
+                fs.mount()?;
+                Ok(fs)
+            }),
+            "ext2",
+            &pool,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc004, "ext2", e)),
+        }
+        if !opts.quick {
+            report.checks_run += 1;
+            match mc004_device_symmetry(
+                &|| fs_xfs::xfs_on_ram(backends::XFS_DEVICE_BYTES).and_then(|mut fs| {
+                    fs.mount()?;
+                    Ok(fs)
+                }),
+                "xfs",
+                &pool,
+                &cfg,
+            ) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc004, "xfs", e)),
+            }
+            report.checks_run += 1;
+            match mc004_device_symmetry(
+                &|| {
+                    let mtd =
+                        blockdev::MtdDevice::new(backends::JFFS2_ERASE_BLOCK, backends::JFFS2_BLOCKS)
+                            .map_err(|_| vfs::Errno::EINVAL)?;
+                    let mut fs = fs_jffs2::Jffs2Fs::format(mtd, fs_jffs2::Jffs2Config::default())?;
+                    fs.mount()?;
+                    Ok(fs)
+                },
+                "jffs2",
+                &pool,
+                &cfg,
+            ) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc004, "jffs2", e)),
+            }
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mcfs::FsOp;
+    use vfs::{FileSystem, VfsResult};
+
+    /// The acceptance criterion: MC002 fires on the historical VeriFS
+    /// (hole writes skip zeroing, residue digest off — the CHUNK-rounding
+    /// aliasing) and stays clean on the fixed v2.
+    #[test]
+    fn mc002_fires_on_historical_verifs_and_is_clean_on_fixed() {
+        let pool = PoolConfig::small();
+        let ops = single_file_mutations(&pool, "/f0");
+        let cfg = Mc002Config::default();
+
+        let ds = mc002_aliasing(&backends::historical_verifs, "verifs-historical", &ops, &cfg)
+            .expect("historical backend runs");
+        assert!(
+            ds.iter().any(|d| d.code == LintCode::Mc002),
+            "CHUNK-rounding aliasing must be caught on the historical backend"
+        );
+        assert!(
+            !ds[0].replay.is_empty(),
+            "diagnostic carries a replayable trace"
+        );
+
+        let fixed = || -> VfsResult<Box<dyn FileSystem>> {
+            let mut fs = verifs::VeriFs::v2();
+            fs.mount()?;
+            Ok(Box::new(fs))
+        };
+        let ds = mc002_aliasing(&fixed, "verifs-v2", &ops, &cfg).expect("fixed backend runs");
+        assert!(ds.is_empty(), "fixed v2 must be alias-free: {ds:?}");
+    }
+
+    /// The old path-prefix heuristic calls hard-link-aliased pairs
+    /// independent; the commutation sanitizer catches that, while the
+    /// derived relation passes on the same op set.
+    #[test]
+    fn mc001_catches_heuristic_hardlink_unsoundness() {
+        let backend = backends::quick()[1]; // verifs-v2
+        let ops = vec![
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::Hardlink {
+                src: "/f0".into(),
+                dst: "/f1".into(),
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 0,
+            },
+            FsOp::WriteFile {
+                path: "/f1".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+        ];
+        let cfg = Mc001Config {
+            samples_per_pair: 256,
+            prefix_len: 3,
+            max_pairs: None,
+            seed: 7,
+        };
+        let ds = mc001_commutation(&backend, &ops, Relation::Heuristic, &cfg)
+            .expect("heuristic run completes");
+        assert!(
+            ds.iter().any(|d| d.code == LintCode::Mc001),
+            "heuristic must be caught treating aliased truncate/write as independent"
+        );
+
+        let ds = mc001_commutation(&backend, &ops, Relation::Derived, &cfg)
+            .expect("derived run completes");
+        assert!(ds.is_empty(), "derived relation must be sound: {ds:?}");
+    }
+
+    /// The quick registry on the fixed workspace is clean — the CI gate.
+    #[test]
+    fn quick_registry_is_clean_on_workspace() {
+        let report = run_registry(&LintOptions {
+            quick: true,
+            ..LintOptions::default()
+        });
+        assert!(
+            !report.has_errors(),
+            "quick registry must pass:\n{}",
+            report.render_human()
+        );
+        assert!(report.checks_run >= 9, "all four codes ran");
+    }
+
+    #[test]
+    fn code_filter_limits_checks() {
+        let report = run_registry(&LintOptions {
+            quick: true,
+            codes: Some(vec![LintCode::Mc003]),
+            ..LintOptions::default()
+        });
+        assert!(report.diagnostics.iter().all(|d| d.code == LintCode::Mc003));
+        assert!(report.checks_run < 9);
+    }
+}

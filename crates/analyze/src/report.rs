@@ -1,0 +1,285 @@
+//! The lint registry's diagnostics: stable codes, severities, and human /
+//! SARIF-style JSON rendering.
+
+use std::fmt;
+
+/// Stable diagnostic codes. Codes are append-only: a published code never
+/// changes meaning, so CI gates and suppressions stay valid across
+/// versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LintCode {
+    /// Unsound independence: a pair the POR relation claims independent
+    /// reached different abstract states under the two orders.
+    Mc001,
+    /// Abstraction aliasing: two states with equal visited-set fingerprints
+    /// are observably distinct under a probe suite.
+    Mc002,
+    /// Errno-model divergence: the same op sequence yields different error
+    /// codes on two backends.
+    Mc003,
+    /// Checkpoint/restore asymmetry: restoring a checkpoint does not
+    /// reproduce the checkpointed state.
+    Mc004,
+}
+
+impl LintCode {
+    /// All registered codes, in order.
+    pub const ALL: [LintCode; 4] = [
+        LintCode::Mc001,
+        LintCode::Mc002,
+        LintCode::Mc003,
+        LintCode::Mc004,
+    ];
+
+    /// The stable identifier (`MC001` ...).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::Mc001 => "MC001",
+            LintCode::Mc002 => "MC002",
+            LintCode::Mc003 => "MC003",
+            LintCode::Mc004 => "MC004",
+        }
+    }
+
+    /// One-line rule description (SARIF `shortDescription`).
+    pub fn description(self) -> &'static str {
+        match self {
+            LintCode::Mc001 => {
+                "unsound independence: a claimed-independent op pair does not commute"
+            }
+            LintCode::Mc002 => {
+                "abstraction aliasing: equal fingerprints, observably distinct states"
+            }
+            LintCode::Mc003 => "errno-model divergence across backends",
+            LintCode::Mc004 => "checkpoint/restore asymmetry",
+        }
+    }
+
+    /// Parses `MC001`-style identifiers (case-insensitive).
+    pub fn parse(s: &str) -> Option<LintCode> {
+        LintCode::ALL
+            .into_iter()
+            .find(|c| c.as_str().eq_ignore_ascii_case(s))
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Diagnostic severity, in decreasing order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// A soundness hole: exploration results cannot be trusted.
+    Error,
+    /// Suspicious but possibly benign (e.g. a known model divergence).
+    Warning,
+    /// Informational (e.g. a check was skipped for a backend).
+    Note,
+}
+
+impl Severity {
+    /// SARIF `level` value.
+    pub fn sarif_level(self) -> &'static str {
+        match self {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Note => "note",
+        }
+    }
+}
+
+/// One finding, with enough context to replay it.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable rule code.
+    pub code: LintCode,
+    /// Severity.
+    pub severity: Severity,
+    /// Backend (or backend pair) the finding was observed on.
+    pub backend: String,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Replayable op sequence (rendered with [`std::fmt::Display`]) that
+    /// reproduces the finding from a fresh file system.
+    pub replay: Vec<String>,
+}
+
+/// The result of a registry run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// All findings, in check order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of individual checks executed (code × backend).
+    pub checks_run: usize,
+    /// Backends the registry exercised.
+    pub backends: Vec<String>,
+}
+
+impl LintReport {
+    /// Whether any finding is [`Severity::Error`].
+    pub fn has_errors(&self) -> bool {
+        self.diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Findings with a given code.
+    pub fn with_code(&self, code: LintCode) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.code == code).collect()
+    }
+
+    /// Terminal rendering: one block per finding plus a summary line.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&format!(
+                "{}[{}] {}: {}\n",
+                match d.severity {
+                    Severity::Error => "error",
+                    Severity::Warning => "warning",
+                    Severity::Note => "note",
+                },
+                d.code,
+                d.backend,
+                d.message
+            ));
+            if !d.replay.is_empty() {
+                out.push_str("  replay:\n");
+                for op in &d.replay {
+                    out.push_str(&format!("    {op}\n"));
+                }
+            }
+        }
+        let errors = self
+            .diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count();
+        out.push_str(&format!(
+            "{} check(s) on {} backend(s): {} finding(s), {} error(s)\n",
+            self.checks_run,
+            self.backends.len(),
+            self.diagnostics.len(),
+            errors
+        ));
+        out
+    }
+
+    /// SARIF-style JSON (schema subset: tool driver with rules, results
+    /// with ruleId/level/message, replay under `properties`).
+    pub fn to_sarif_json(&self) -> String {
+        let mut rules = String::new();
+        for (i, c) in LintCode::ALL.iter().enumerate() {
+            if i > 0 {
+                rules.push(',');
+            }
+            rules.push_str(&format!(
+                "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+                c,
+                json_escape(c.description())
+            ));
+        }
+        let mut results = String::new();
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                results.push(',');
+            }
+            let mut replay = String::new();
+            for (j, op) in d.replay.iter().enumerate() {
+                if j > 0 {
+                    replay.push(',');
+                }
+                replay.push_str(&format!("\"{}\"", json_escape(op)));
+            }
+            results.push_str(&format!(
+                "{{\"ruleId\":\"{}\",\"level\":\"{}\",\"message\":{{\"text\":\"{}\"}},\
+                 \"properties\":{{\"backend\":\"{}\",\"replay\":[{}]}}}}",
+                d.code,
+                d.severity.sarif_level(),
+                json_escape(&d.message),
+                json_escape(&d.backend),
+                replay
+            ));
+        }
+        format!(
+            "{{\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
+             {{\"name\":\"mcfs-lint\",\"rules\":[{rules}]}}}},\
+             \"results\":[{results}]}}]}}"
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_and_are_stable() {
+        for c in LintCode::ALL {
+            assert_eq!(LintCode::parse(c.as_str()), Some(c));
+        }
+        assert_eq!(LintCode::parse("mc002"), Some(LintCode::Mc002));
+        assert_eq!(LintCode::parse("MC999"), None);
+    }
+
+    #[test]
+    fn sarif_json_is_escaped_and_structured() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                code: LintCode::Mc001,
+                severity: Severity::Error,
+                backend: "verifs-v2".into(),
+                message: "pair \"a\" vs b\ndiverged".into(),
+                replay: vec!["create_file(/f0, 0644)".into()],
+            }],
+            checks_run: 1,
+            backends: vec!["verifs-v2".into()],
+        };
+        let json = report.to_sarif_json();
+        assert!(json.contains("\"ruleId\":\"MC001\""));
+        assert!(json.contains("\\\"a\\\""), "quotes escaped: {json}");
+        assert!(json.contains("\\n"), "newlines escaped");
+        assert!(json.contains("\"level\":\"error\""));
+        assert!(report.has_errors());
+    }
+
+    #[test]
+    fn human_rendering_includes_replay_and_summary() {
+        let report = LintReport {
+            diagnostics: vec![Diagnostic {
+                code: LintCode::Mc004,
+                severity: Severity::Warning,
+                backend: "ext2".into(),
+                message: "asymmetry".into(),
+                replay: vec!["truncate(/f0, 10)".into()],
+            }],
+            checks_run: 3,
+            backends: vec!["ext2".into()],
+        };
+        let text = report.render_human();
+        assert!(text.contains("warning[MC004] ext2"));
+        assert!(text.contains("truncate(/f0, 10)"));
+        assert!(text.contains("3 check(s)"));
+        assert!(!report.has_errors());
+    }
+}

@@ -1,0 +1,85 @@
+//! `mcfs-lint` — run the harness-soundness lint registry.
+//!
+//! Validates the inferred artifacts the model checker's results depend on:
+//! the signature-derived independence relation (MC001), the visited-set
+//! abstraction (MC002), cross-backend errno models (MC003), and
+//! checkpoint/restore fidelity (MC004). See `analyze` crate docs.
+//!
+//! Usage:
+//!   mcfs-lint [--quick] [--json] [--code MC00N]... [--seed N] [--list]
+//!
+//! `--quick` runs the CI smoke subset (light backends + ext2);
+//! `--json` emits a SARIF-style report instead of text;
+//! `--code` restricts to specific codes (repeatable);
+//! `--list` prints the registered codes and exits.
+//!
+//! Exit status is 1 if any error-severity finding was produced.
+
+use analyze::{run_registry, LintCode, LintOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: mcfs-lint [--quick] [--json] [--code MC00N]... [--seed N] [--list]"
+        );
+        return;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for c in LintCode::ALL {
+            println!("{c}  {}", c.description());
+        }
+        return;
+    }
+    let mut codes: Vec<LintCode> = Vec::new();
+    let mut seed: u64 = LintOptions::default().seed;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--code" => {
+                i += 1;
+                let raw = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--code needs an argument (MC001..MC004)");
+                    std::process::exit(2);
+                });
+                match LintCode::parse(raw) {
+                    Some(c) => codes.push(c),
+                    None => {
+                        eprintln!("unknown lint code `{raw}` (try --list)");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--seed needs an integer argument");
+                        std::process::exit(2);
+                    });
+            }
+            "--quick" | "--json" => {}
+            other => {
+                eprintln!("unknown argument `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let opts = LintOptions {
+        quick: args.iter().any(|a| a == "--quick"),
+        seed,
+        codes: if codes.is_empty() { None } else { Some(codes) },
+    };
+    let report = run_registry(&opts);
+    if args.iter().any(|a| a == "--json") {
+        println!("{}", report.to_sarif_json());
+    } else {
+        print!("{}", report.render_human());
+    }
+    if report.has_errors() {
+        std::process::exit(1);
+    }
+}

@@ -17,6 +17,7 @@ use vfs::{Errno, FileMode, OpenFlags, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig};
 use crate::coverage::Coverage;
+use crate::effect::{EffectIndex, EffectProfile};
 use crate::pool::{execute_with, FsOp, OpOutcome, PoolConfig};
 use crate::target::CheckedTarget;
 
@@ -68,6 +69,12 @@ pub struct McfsConfig {
     /// a *fresh* pair; without one the flag is inert. Off by default:
     /// minimization costs replays at violation time.
     pub minimize_violations: bool,
+    /// Drive partial-order reduction off the original hand-written
+    /// path-prefix heuristic instead of the signature-derived relation
+    /// ([`crate::effect`]). Kept for A/B comparison on the benches; the
+    /// derived relation is both sounder (hard-link aliasing) and finer
+    /// (range-disjoint writes commute). Off by default.
+    pub legacy_por_heuristic: bool,
 }
 
 impl Default for McfsConfig {
@@ -83,6 +90,7 @@ impl Default for McfsConfig {
             checkpoint_budget_bytes: None,
             crash_exploration: false,
             minimize_violations: false,
+            legacy_por_heuristic: false,
         }
     }
 }
@@ -115,6 +123,8 @@ pub struct Mcfs {
     /// minimizer replay against factory products, never against this
     /// (already violated) instance.
     factory: Option<Arc<HarnessFactory>>,
+    /// Precomputed signature-derived independence over the filtered pool.
+    effects: EffectIndex,
 }
 
 impl std::fmt::Debug for Mcfs {
@@ -188,6 +198,15 @@ impl Mcfs {
         for t in &mut targets {
             t.pre_op()?;
         }
+        // Derive the POR independence relation from the filtered pool: the
+        // alias classes come from the `Hardlink` ops that survived the
+        // capability intersection, and targets behind caching kernel
+        // layers make cache-filling reads count as kernel-state writes.
+        let kernel_caches = targets.iter_mut().any(|t| t.fs_mut().caches_metadata());
+        let profile = EffectProfile::from_pool(&ops)
+            .with_kernel_caches(kernel_caches)
+            .with_atime(cfg.abstraction.include_atime);
+        let effects = EffectIndex::new(&ops, profile);
         let mut harness = Mcfs {
             targets,
             cfg,
@@ -201,6 +220,7 @@ impl Mcfs {
             crash_recoveries: 0,
             crash_divergences: 0,
             factory: None,
+            effects,
         };
         if harness.cfg.equalize_free_space {
             harness.equalize()?;
@@ -220,6 +240,52 @@ impl Mcfs {
     /// The capability-filtered operation set.
     pub fn op_pool(&self) -> &[FsOp] {
         &self.ops
+    }
+
+    /// The signature-derived independence matrix driving POR (see
+    /// [`crate::effect`]).
+    pub fn effect_index(&self) -> &EffectIndex {
+        &self.effects
+    }
+
+    /// The POSIX-observable abstraction hash alone, without the
+    /// opaque-digest fold — what `hash_all` compares across targets and
+    /// what the crash oracle's prefix window stores.
+    pub fn pure_abstract_state(&mut self) -> u128 {
+        if let Some(h) = self.last_hash {
+            return h.as_u128();
+        }
+        // Recompute from the first target (all agree whenever apply
+        // succeeded; before the first op this hashes the initial state).
+        let _ = self.targets[0].pre_op();
+        let cfg = self.cfg.abstraction.clone();
+        let h = if self.cfg.incremental_fingerprint {
+            self.targets[0].cached_abstract_state(&cfg)
+        } else {
+            abstract_state(self.targets[0].fs_mut(), &cfg)
+        }
+        .map(|d| d.as_u128())
+        .unwrap_or(u128::MAX);
+        let _ = self.targets[0].post_op();
+        self.last_hash = None;
+        h
+    }
+
+    /// XOR-fold of every target's
+    /// [`opaque_state_digest`](vfs::FileSystem::opaque_state_digest),
+    /// mixed with the target index so identical hidden state on two
+    /// targets cannot cancel to zero. Zero when no target reports one.
+    fn opaque_digest_fold(&mut self) -> u128 {
+        let mut acc = 0u128;
+        for (i, t) in self.targets.iter_mut().enumerate() {
+            if let Some(d) = t.fs_mut().opaque_state_digest() {
+                let mut bytes = [0u8; 24];
+                bytes[..8].copy_from_slice(&(i as u64).to_le_bytes());
+                bytes[8..].copy_from_slice(&d.to_le_bytes());
+                acc ^= mdigest::md5(&bytes).as_u128();
+            }
+        }
+        acc
     }
 
     /// Attaches the replay factory counterexample minimization validates
@@ -556,23 +622,13 @@ impl ModelSystem for Mcfs {
     }
 
     fn abstract_state(&mut self) -> u128 {
-        if let Some(h) = self.last_hash {
-            return h.as_u128();
-        }
-        // Recompute from the first target (all agree whenever apply
-        // succeeded; before the first op this hashes the initial state).
-        let _ = self.targets[0].pre_op();
-        let cfg = self.cfg.abstraction.clone();
-        let h = if self.cfg.incremental_fingerprint {
-            self.targets[0].cached_abstract_state(&cfg)
-        } else {
-            abstract_state(self.targets[0].fs_mut(), &cfg)
-        }
-        .map(|d| d.as_u128())
-        .unwrap_or(u128::MAX);
-        let _ = self.targets[0].post_op();
-        self.last_hash = None;
-        h
+        // Visited-set identity = the POSIX-observable abstraction plus the
+        // opaque digests: two states that hash equal but differ in hidden
+        // implementation state (e.g. stale bytes beyond EOF that a later
+        // hole write exposes) must not be matched away by the explorer.
+        // Cross-target comparisons stay on the pure hashes — targets may
+        // legitimately differ in hidden state.
+        self.pure_abstract_state() ^ self.opaque_digest_fold()
     }
 
     fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
@@ -585,8 +641,10 @@ impl ModelSystem for Mcfs {
         if self.cfg.crash_exploration {
             // Checkpointing syncs device-backed targets, so this state is a
             // new sync floor: the crash window restarts here, and a restore
-            // of this checkpoint re-adopts it.
-            let h = self.abstract_state();
+            // of this checkpoint re-adopts it. The window stores *pure*
+            // hashes (the oracle compares against `hash_all` results), so
+            // the opaque-digest fold must stay out of it.
+            let h = self.pure_abstract_state();
             self.ckpt_hashes.insert(id.0, h);
             self.prefix_hashes.clear();
             self.prefix_hashes.push(h);
@@ -676,29 +734,12 @@ impl ModelSystem for Mcfs {
     }
 
     fn independent(&self, a: &FsOp, b: &FsOp) -> bool {
-        // A crash commutes with nothing: it has an empty path footprint but
-        // rolls unsynced state back, so reordering it against any mutation
-        // changes what survives. Partial-order reduction must never sleep
-        // it or use it to sleep others.
-        if matches!(a, FsOp::Crash) || matches!(b, FsOp::Crash) {
-            return false;
+        if self.cfg.legacy_por_heuristic {
+            // The original hand-written path-prefix heuristic, kept for
+            // A/B comparison (`crash_explore` reports both).
+            return crate::effect::heuristic_independent(a, b);
         }
-        // Read-only operations don't change the hashed state: they commute
-        // with everything.
-        if !a.is_mutation() || !b.is_mutation() {
-            return true;
-        }
-        // Mutations commute when their path footprints are prefix-disjoint.
-        for pa in a.touched_paths() {
-            for pb in b.touched_paths() {
-                if vfs::path::is_same_or_descendant(pa, pb)
-                    || vfs::path::is_same_or_descendant(pb, pa)
-                {
-                    return false;
-                }
-            }
-        }
-        true
+        self.effects.independent(a, b)
     }
 }
 

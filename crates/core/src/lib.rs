@@ -59,6 +59,7 @@
 pub mod abstraction;
 pub mod ckpt_pool;
 mod coverage;
+pub mod effect;
 mod harness;
 pub mod pool;
 pub mod shrink;
@@ -70,6 +71,10 @@ pub use abstraction::{
 };
 pub use ckpt_pool::{CheckpointPool, ExternalSnap, FsImage, SnapshotBytes};
 pub use coverage::Coverage;
+pub use effect::{
+    heuristic_independent, independent as effect_independent, signature, Conflict, ConflictKind,
+    EffectIndex, EffectProfile, EffectSig, Independence, Place, WriteEffect, WriteKind,
+};
 pub use harness::{
     replay, replay_checked, HarnessFactory, Mcfs, McfsConfig, ReplayOutcome, EQUALIZE_DUMMY,
 };

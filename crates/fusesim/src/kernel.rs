@@ -370,6 +370,18 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
         self.daemon.fs().statfs()
     }
 
+    fn opaque_state_digest(&self) -> Option<u128> {
+        // Hidden residue lives in the wrapped daemon's state; the FUSE
+        // layer adds caches on top (reported via `caches_metadata`).
+        self.daemon.fs().opaque_state_digest()
+    }
+
+    fn caches_metadata(&self) -> bool {
+        // Lookups and stats fill the kernel dentry/attr caches: nominally
+        // read-only operations mutate kernel state behind this mount.
+        true
+    }
+
     fn create(&mut self, p: &str, mode: FileMode) -> VfsResult<Fd> {
         let (parent, name) = self.resolve_parent(p)?;
         // A live positive dentry answers EEXIST from the kernel alone —

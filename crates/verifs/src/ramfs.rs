@@ -52,6 +52,15 @@ pub struct VeriFsConfig {
     pub bugs: BugConfig,
     /// Maximum simultaneously open descriptors.
     pub max_fds: usize,
+    /// Expose stale bytes beyond EOF through
+    /// [`FileSystem::opaque_state_digest`]. Buffers are only ever grown in
+    /// [`CHUNK`]-sized steps and never shrunk, so a truncate-down leaves the
+    /// old bytes in place; the abstraction function cannot see them, but a
+    /// buggy hole write can surface them later. With this on (the default)
+    /// the digest folds that residue into the exploration fingerprint so
+    /// state-matched search keeps the two states apart. `false` reproduces
+    /// the historical aliasing behavior (lint `MC002`'s regression target).
+    pub opaque_residue_digest: bool,
 }
 
 impl VeriFsConfig {
@@ -63,6 +72,7 @@ impl VeriFsConfig {
             data_budget: None,
             bugs: BugConfig::none(),
             max_fds: vfs::DEFAULT_MAX_FDS,
+            opaque_residue_digest: true,
         }
     }
 
@@ -74,6 +84,7 @@ impl VeriFsConfig {
             data_budget: Some(DEFAULT_DATA_BUDGET),
             bugs: BugConfig::none(),
             max_fds: vfs::DEFAULT_MAX_FDS,
+            opaque_residue_digest: true,
         }
     }
 }
@@ -1059,6 +1070,39 @@ impl FileSystem for VeriFs {
         }
         node.ctime = now;
         Ok(())
+    }
+
+    fn opaque_state_digest(&self) -> Option<u128> {
+        if !self.config.opaque_residue_digest {
+            return None;
+        }
+        // Buffers are never shrunk, so bytes between a file's logical size
+        // and its physical capacity are stale residue the POSIX interface
+        // (and hence the abstraction function) cannot read — until a buggy
+        // hole write exposes them. Fold every *nonzero* residue into an
+        // order-independent digest: an all-zero tail behaves exactly like no
+        // tail (growth zero-fills), so it must fingerprint identically.
+        let mut acc: u128 = 0;
+        let mut any = false;
+        for (ino, slot) in self.state.inodes.iter().enumerate() {
+            let Some(inode) = slot else { continue };
+            if let NodeKind::Regular { buf, size } = &inode.kind {
+                let logical = (*size as usize).min(buf.len());
+                let residue = &buf[logical..];
+                if residue.iter().all(|&b| b == 0) {
+                    continue;
+                }
+                // XOR-fold per-inode digests keyed by inode number so two
+                // files with identical residues don't cancel out.
+                let mut bytes = Vec::with_capacity(16 + residue.len());
+                bytes.extend_from_slice(&(ino as u64).to_le_bytes());
+                bytes.extend_from_slice(&size.to_le_bytes());
+                bytes.extend_from_slice(residue);
+                acc ^= mdigest::md5(&bytes).as_u128();
+                any = true;
+            }
+        }
+        any.then_some(acc)
     }
 }
 

@@ -309,6 +309,32 @@ pub trait FileSystem: Send {
         let _ = (path, name);
         Err(Errno::ENOSYS)
     }
+
+    /// A digest of concrete state the abstraction function cannot observe
+    /// through the POSIX interface *now* but that can become observable
+    /// later (e.g. stale bytes beyond EOF in a buffer that is never shrunk,
+    /// exposed by a buggy hole write). Explorers fold this into the
+    /// visited-set identity so two states that alias under the abstraction
+    /// but differ in hidden residue are not deduplicated — aliasing there
+    /// would silently prune the only path that surfaces a bug.
+    ///
+    /// `None` (the default) means the implementation tracks no such hidden
+    /// state, or its residue is indistinguishable from none (all-zero). The
+    /// digest must be a pure function of the file-system state: equal after
+    /// checkpoint/restore, independent of wall-clock or allocation order.
+    fn opaque_state_digest(&self) -> Option<u128> {
+        None
+    }
+
+    /// Whether this implementation keeps kernel-side metadata caches
+    /// (dentry/attribute caches a FUSE mount fills on lookup) that
+    /// nominally read-only operations mutate. The effect-signature analysis
+    /// marks cache-filling reads as kernel-state writes when any checked
+    /// target reports `true`, so partial-order reduction never sleeps a
+    /// read whose cache fill changes later observable behavior.
+    fn caches_metadata(&self) -> bool {
+        false
+    }
 }
 
 /// The paper's proposed state checkpoint/restore API (§5), exposed by VeriFS

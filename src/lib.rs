@@ -1,2 +1,8 @@
 //! Workspace root crate: re-exports for examples and integration tests.
+//!
+//! The static-analysis layer lives in its own `analyze` crate and is
+//! re-exported here (rather than through `modelcheck`) because it drives
+//! concrete file-system backends to validate the derived relations, and
+//! `modelcheck` sits below those crates in the dependency order.
+pub use analyze;
 pub use mcfs as core;

@@ -309,13 +309,8 @@ fn swarm_reports_the_shortest_minimized_violation() {
 }
 
 /// DFS wiring: the depth-first explorer records minimized violations too.
-///
-/// Uses bug 4 (stale size field), not bug 3: the hole bug's trigger is
-/// stale bytes *beyond* EOF — concrete state outside the abstraction — so
-/// exhaustive DFS can match a same-fingerprint state reached without the
-/// stale bytes and prune the violating prefix. Bug 4 diverges in the
-/// abstracted size field the moment the buggy append runs, leaving no
-/// aliasing window.
+/// Bug 4 (stale size field) diverges in the abstracted size field the
+/// moment the buggy append runs, so any explorer sees it immediately.
 #[test]
 fn dfs_reports_minimized_violations() {
     let factory = buggy_verifs_factory(
@@ -348,4 +343,43 @@ fn dfs_reports_minimized_violations() {
     let mut fresh = (factory)().expect("factory rebuilds");
     assert!(replay_checked(&mut fresh, min, &v.message).reproduced());
     assert_one_minimal(factory.as_ref(), min, &v.message);
+}
+
+/// State-matched DFS finds the hole bug (bug 3). Historically it could
+/// not: the trigger is stale bytes *beyond* EOF — concrete state outside
+/// the POSIX abstraction — so the visited set matched the post-truncate
+/// state against a residue-free state reached earlier and pruned the
+/// violating continuation (the `MC002` aliasing pattern). VeriFS now folds
+/// an opaque beyond-EOF residue digest into its visited-set identity
+/// ([`vfs::FileSystem::opaque_state_digest`]), which separates the aliased
+/// states and puts the bug back in reach of exhaustive exploration.
+#[test]
+fn dfs_finds_the_hole_bug_through_the_residue_digest() {
+    let factory = buggy_verifs_factory(
+        BugConfig::v2_hole(),
+        McfsConfig {
+            minimize_violations: true,
+            pool: focused_pool(),
+            ..McfsConfig::default()
+        },
+    );
+    let mut m = harness_with_factory(Arc::clone(&factory)).expect("harness builds");
+    // Depth 4 holds the canonical counterexample: create, write@0 len 40,
+    // truncate to 1, hole write @30.
+    let report = modelcheck::DfsExplorer::new(ExploreConfig {
+        max_depth: 4,
+        max_ops: 2_000_000,
+        ..ExploreConfig::default()
+    })
+    .run(&mut m);
+    assert_eq!(
+        report.stop,
+        StopReason::Violation,
+        "state-matched DFS must reach the hole bug now that residue is in \
+         the visited-set identity"
+    );
+    let v = &report.violations[0];
+    let min = v.minimized_trace.as_ref().expect("minimized");
+    let mut fresh = (factory)().expect("factory rebuilds");
+    assert!(replay_checked(&mut fresh, min, &v.message).reproduced());
 }
