@@ -87,8 +87,8 @@ fn mk_xfs() -> VfsResult<Box<dyn FileSystem>> {
 }
 
 fn mk_jffs2() -> VfsResult<Box<dyn FileSystem>> {
-    let mtd =
-        blockdev::MtdDevice::new(JFFS2_ERASE_BLOCK, JFFS2_BLOCKS).map_err(|_| vfs::Errno::EINVAL)?;
+    let mtd = blockdev::MtdDevice::new(JFFS2_ERASE_BLOCK, JFFS2_BLOCKS)
+        .map_err(|_| vfs::Errno::EINVAL)?;
     let mut fs = fs_jffs2::Jffs2Fs::format(mtd, fs_jffs2::Jffs2Config::default())?;
     fs.mount()?;
     Ok(Box::new(fs))
@@ -164,7 +164,9 @@ mod tests {
     fn every_backend_constructs_mounted_and_empty() {
         for b in all() {
             let mut fs = b.fresh().unwrap_or_else(|e| panic!("{}: {e}", b.name));
-            let entries = fs.getdents("/").unwrap_or_else(|e| panic!("{}: {e}", b.name));
+            let entries = fs
+                .getdents("/")
+                .unwrap_or_else(|e| panic!("{}: {e}", b.name));
             // Freshly formatted: nothing but special entries.
             assert!(
                 entries.iter().all(|e| e.name.starts_with("lost+found")),

@@ -24,7 +24,11 @@ pub struct XorShift64(u64);
 impl XorShift64 {
     /// Seeded constructor (zero is mapped to a fixed nonzero state).
     pub fn new(seed: u64) -> Self {
-        XorShift64(if seed == 0 { 0x9e37_79b9_7f4a_7c15 } else { seed })
+        XorShift64(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
     }
 
     /// Next raw value.
@@ -297,7 +301,10 @@ pub fn mc002_aliasing(
         for &i in trace {
             let _ = execute(fs.as_mut(), &ops[i], &[]);
         }
-        let outcomes: Vec<OpOutcome> = probes.iter().map(|p| execute(fs.as_mut(), p, &[])).collect();
+        let outcomes: Vec<OpOutcome> = probes
+            .iter()
+            .map(|p| execute(fs.as_mut(), p, &[]))
+            .collect();
         Ok((outcomes, observe(fs.as_mut()).0))
     };
     let mut out = Vec::new();
@@ -314,8 +321,10 @@ pub fn mc002_aliasing(
                         .collect::<Vec<_>>()
                         .join("; ")
                 };
-                let mut replay: Vec<String> =
-                    traces[members[0]].iter().map(|&i| ops[i].to_string()).collect();
+                let mut replay: Vec<String> = traces[members[0]]
+                    .iter()
+                    .map(|&i| ops[i].to_string())
+                    .collect();
                 replay.push("-- vs --".to_string());
                 replay.extend(traces[other].iter().map(|&i| ops[i].to_string()));
                 replay.push("-- probes --".to_string());
@@ -375,7 +384,10 @@ pub fn mc003_errno_parity(
     pool: &PoolConfig,
     cfg: &Mc003Config,
 ) -> VfsResult<Vec<Diagnostic>> {
-    let caps = a.fresh()?.capabilities().intersect(b.fresh()?.capabilities());
+    let caps = a
+        .fresh()?
+        .capabilities()
+        .intersect(b.fresh()?.capabilities());
     let ops: Vec<FsOp> = pool
         .ops()
         .into_iter()
@@ -385,7 +397,9 @@ pub fn mc003_errno_parity(
     let mut out = Vec::new();
     let pair_name = format!("{}/{}", a.name, b.name);
     for _ in 0..cfg.sequences {
-        let seq: Vec<&FsOp> = (0..cfg.seq_len).map(|_| &ops[rng.below(ops.len())]).collect();
+        let seq: Vec<&FsOp> = (0..cfg.seq_len)
+            .map(|_| &ops[rng.below(ops.len())])
+            .collect();
         let mut fa = a.fresh()?;
         let mut fb = b.fresh()?;
         for (step, op) in seq.iter().enumerate() {
@@ -451,7 +465,9 @@ fn random_mutations<'p>(
     max_len: usize,
 ) -> Vec<&'p FsOp> {
     let len = rng.below(max_len + 1);
-    (0..len).map(|_| mutations[rng.below(mutations.len())]).collect()
+    (0..len)
+        .map(|_| mutations[rng.below(mutations.len())])
+        .collect()
 }
 
 /// MC004 (checkpoint-API flavor) — checkpoint/restore asymmetry. From a

@@ -63,7 +63,7 @@ impl Default for LintOptions {
 
 impl LintOptions {
     fn enabled(&self, code: LintCode) -> bool {
-        self.codes.as_ref().map_or(true, |cs| cs.contains(&code))
+        self.codes.as_ref().is_none_or(|cs| cs.contains(&code))
     }
 }
 
@@ -210,10 +210,12 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
         }
         report.checks_run += 1;
         match mc004_device_symmetry(
-            &|| fs_ext::ext2_on_ram(backends::EXT_DEVICE_BYTES).and_then(|mut fs| {
-                fs.mount()?;
-                Ok(fs)
-            }),
+            &|| {
+                fs_ext::ext2_on_ram(backends::EXT_DEVICE_BYTES).and_then(|mut fs| {
+                    fs.mount()?;
+                    Ok(fs)
+                })
+            },
             "ext2",
             &pool,
             &cfg,
@@ -226,10 +228,12 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
         if !opts.quick {
             report.checks_run += 1;
             match mc004_device_symmetry(
-                &|| fs_xfs::xfs_on_ram(backends::XFS_DEVICE_BYTES).and_then(|mut fs| {
-                    fs.mount()?;
-                    Ok(fs)
-                }),
+                &|| {
+                    fs_xfs::xfs_on_ram(backends::XFS_DEVICE_BYTES).and_then(|mut fs| {
+                        fs.mount()?;
+                        Ok(fs)
+                    })
+                },
                 "xfs",
                 &pool,
                 &cfg,
@@ -242,9 +246,11 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
             report.checks_run += 1;
             match mc004_device_symmetry(
                 &|| {
-                    let mtd =
-                        blockdev::MtdDevice::new(backends::JFFS2_ERASE_BLOCK, backends::JFFS2_BLOCKS)
-                            .map_err(|_| vfs::Errno::EINVAL)?;
+                    let mtd = blockdev::MtdDevice::new(
+                        backends::JFFS2_ERASE_BLOCK,
+                        backends::JFFS2_BLOCKS,
+                    )
+                    .map_err(|_| vfs::Errno::EINVAL)?;
                     let mut fs = fs_jffs2::Jffs2Fs::format(mtd, fs_jffs2::Jffs2Config::default())?;
                     fs.mount()?;
                     Ok(fs)
@@ -279,8 +285,13 @@ mod tests {
         let ops = single_file_mutations(&pool, "/f0");
         let cfg = Mc002Config::default();
 
-        let ds = mc002_aliasing(&backends::historical_verifs, "verifs-historical", &ops, &cfg)
-            .expect("historical backend runs");
+        let ds = mc002_aliasing(
+            &backends::historical_verifs,
+            "verifs-historical",
+            &ops,
+            &cfg,
+        )
+        .expect("historical backend runs");
         assert!(
             ds.iter().any(|d| d.code == LintCode::Mc002),
             "CHUNK-rounding aliasing must be caught on the historical backend"

@@ -148,6 +148,7 @@ fn main() {
                 ..ExploreConfig::default()
             },
             shared_visited: false,
+            strategies: vec![],
         };
         let report = run_swarm(&cfg, |_| {
             verifs_harness(

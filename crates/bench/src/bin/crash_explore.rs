@@ -22,13 +22,26 @@
 //! Usage: `cargo run --release -p mcfs-bench --bin crash_explore [ops] [--quick]`
 //!
 //! `--quick` shrinks the budget to CI-smoke size.
+//!
+//! # Kill-and-resume mode
+//!
+//! `crash_explore --snapshot run.pickle [ops]` runs a bounded work-stealing
+//! swarm over the VeriFS pairing (crash exploration on) and persists the
+//! run — visited set, frontier of replayable op-prefixes, stats — to
+//! `run.pickle` (atomic tempfile + rename, safe to SIGKILL). A later
+//! `crash_explore --resume run.pickle` reloads the file and finishes the
+//! exploration, re-exploring **zero** previously-visited states; the
+//! process enforces that invariant and reports what the resume cost.
 
 use blockdev::LatencyModel;
-use mcfs::{McfsConfig, PoolConfig, RemountMode};
+use mcfs::{FsOpCodec, McfsConfig, PoolConfig, RemountMode};
 use mcfs_bench::{
     measure_dfs, measure_dfs_depth, pair_ext2_ext4_cfg, pair_verifs_cfg, print_table, Pairing,
 };
-use modelcheck::CrashStats;
+use modelcheck::{
+    load_snapshot, run_swarm_persistent, CrashStats, ExploreConfig, SwarmConfig, SwarmPersist,
+    WorkerStrategy,
+};
 use vfs::VfsResult;
 
 type PairingBuilder = Box<dyn Fn(McfsConfig) -> VfsResult<Pairing>>;
@@ -81,6 +94,97 @@ fn measure(
     }
 }
 
+/// The fleet used by the `--snapshot` / `--resume` modes: a 2-worker
+/// work-stealing DFS over the VeriFS pairing with crash exploration on.
+fn resumable_cfg(max_ops: u64) -> SwarmConfig {
+    SwarmConfig {
+        workers: 2,
+        base: ExploreConfig {
+            max_depth: 3,
+            max_ops,
+            seed: 7,
+            ..ExploreConfig::default()
+        },
+        shared_visited: true,
+        strategies: vec![WorkerStrategy::Dfs],
+    }
+}
+
+fn resumable_factory(_idx: usize) -> mcfs::Mcfs {
+    let cfg = McfsConfig {
+        pool: PoolConfig::small(),
+        crash_exploration: true,
+        ..McfsConfig::default()
+    };
+    pair_verifs_cfg(cfg).expect("pairing").harness
+}
+
+/// `--snapshot <file>`: bounded run, persisted atomically to `<file>`.
+fn snapshot_mode(path: &str, budget: u64) {
+    let report = run_swarm_persistent(
+        &resumable_cfg(budget),
+        resumable_factory,
+        SwarmPersist {
+            codec: &FsOpCodec,
+            snapshot_path: Some(path.into()),
+            snapshot_every: 50,
+            resume: None,
+        },
+    );
+    if let Some(e) = &report.persist_error {
+        eprintln!("snapshot write failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "snapshot: {} states, {} ops, frontier persisted to {path}",
+        report.total_states(),
+        report.total_ops()
+    );
+    println!("resume with: crash_explore --resume {path}");
+}
+
+/// `--resume <file>`: reload and finish; zero re-explored states enforced.
+fn resume_mode(path: &str) {
+    let snap = match load_snapshot(std::path::Path::new(path), &FsOpCodec) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot load {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "resuming: {} visited states, {} frontier entries, generation {}",
+        snap.visited.len(),
+        snap.frontier.len(),
+        snap.generation
+    );
+    let report = run_swarm_persistent(
+        &resumable_cfg(u64::MAX),
+        resumable_factory,
+        SwarmPersist {
+            codec: &FsOpCodec,
+            snapshot_path: Some(path.into()),
+            snapshot_every: 50,
+            resume: Some(snap),
+        },
+    );
+    let resumed_new: u64 = report.workers.iter().map(|w| w.stats.states_new).sum();
+    let distinct = report.total_states();
+    let reexplored = (report.baseline.states_new + resumed_new).saturating_sub(distinct);
+    assert_eq!(
+        reexplored, 0,
+        "resume re-explored {reexplored} previously-visited states"
+    );
+    println!(
+        "resumed: {} snapshot + {} new = {} distinct states \
+         (0 re-explored, {} ops replayed to rebuild the frontier)",
+        report.baseline.states_new,
+        resumed_new,
+        distinct,
+        report.total_replayed()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = args.iter().any(|a| a == "--quick");
@@ -88,6 +192,18 @@ fn main() {
         .iter()
         .find_map(|a| a.parse().ok())
         .unwrap_or(if quick { 250 } else { 1_500 });
+    let flag_value = |flag: &str| {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .cloned()
+    };
+    if let Some(path) = flag_value("--snapshot") {
+        return snapshot_mode(&path, budget.min(400));
+    }
+    if let Some(path) = flag_value("--resume") {
+        return resume_mode(&path);
+    }
 
     let builders: Vec<(&'static str, PairingBuilder)> = vec![
         ("verifs1-vs-verifs2", Box::new(pair_verifs_cfg)),
@@ -203,7 +319,10 @@ fn main() {
                     r.pairing,
                     if r.legacy { "legacy " } else { "derived" }
                 ),
-                format!("{:>7} states  {:>8} transitions", r.states_new, r.ops_executed),
+                format!(
+                    "{:>7} states  {:>8} transitions",
+                    r.states_new, r.ops_executed
+                ),
             )
         })
         .collect();

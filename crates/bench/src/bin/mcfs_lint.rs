@@ -20,9 +20,7 @@ use analyze::{run_registry, LintCode, LintOptions};
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!(
-            "usage: mcfs-lint [--quick] [--json] [--code MC00N]... [--seed N] [--list]"
-        );
+        println!("usage: mcfs-lint [--quick] [--json] [--code MC00N]... [--seed N] [--list]");
         return;
     }
     if args.iter().any(|a| a == "--list") {
@@ -52,13 +50,10 @@ fn main() {
             }
             "--seed" => {
                 i += 1;
-                seed = args
-                    .get(i)
-                    .and_then(|s| s.parse().ok())
-                    .unwrap_or_else(|| {
-                        eprintln!("--seed needs an integer argument");
-                        std::process::exit(2);
-                    });
+                seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--seed needs an integer argument");
+                    std::process::exit(2);
+                });
             }
             "--quick" | "--json" => {}
             other => {

@@ -1,0 +1,322 @@
+//! Work-stealing swarm scaling and kill-and-resume overhead.
+//!
+//! The classic swarm (seed-diversified random walks) parallelizes trivially
+//! but duplicates work; the work-stealing frontier parallelizes the *same*
+//! depth-bounded DFS across workers, each expansion done exactly once
+//! fleet-wide. This bench measures how aggregate throughput scales with the
+//! fleet size, in **virtual time**: every worker owns a virtual clock that
+//! its harness charges per operation, and the fleet's elapsed time is the
+//! busiest worker's clock — on an N-worker fleet with perfect balance that
+//! is 1/N of the single-worker time, regardless of how many physical CPUs
+//! the host has. (Wall-clock would measure the host, not the algorithm;
+//! this container has one CPU.)
+//!
+//! A second section measures what resuming from a [`modelcheck::pickle`]
+//! snapshot costs: an interrupted run's visited set and frontier are
+//! reloaded, frontier prefixes are replayed to rebuild concrete states, and
+//! the sum of both phases' virtual times is compared against one
+//! uninterrupted run. The resumed phase must re-discover **zero**
+//! previously-visited states.
+//!
+//! Output: human-readable tables, then JSON (also written to
+//! `BENCH_swarm.json`).
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin swarm_scale [--quick]`
+
+use std::sync::Mutex;
+
+use blockdev::{Clock, LatencyModel};
+use mcfs::{FsOp, FsOpCodec, Mcfs, McfsConfig, PoolConfig, RemountMode};
+use mcfs_bench::{pair_ext2_ext4_cfg, pair_verifs_cfg, print_table, Pairing};
+use modelcheck::{
+    load_snapshot, run_swarm, run_swarm_persistent, ExploreConfig, SwarmConfig, SwarmPersist,
+    SwarmReport, WorkerStrategy,
+};
+use vfs::VfsResult;
+
+type PairingBuilder = Box<dyn Fn(McfsConfig) -> VfsResult<Pairing> + Sync>;
+
+struct ScaleRow {
+    pairing: &'static str,
+    workers: usize,
+    states: u64,
+    virtual_ms: f64,
+    states_per_sec: f64,
+    speedup: f64,
+}
+
+struct ResumeRow {
+    pairing: &'static str,
+    baseline_states: u64,
+    resumed_new: u64,
+    distinct: u64,
+    reexplored: u64,
+    replayed_ops: u64,
+    uninterrupted_ms: f64,
+    two_phase_ms: f64,
+    overhead_frac: f64,
+}
+
+fn swarm_cfg(workers: usize, max_depth: usize, max_ops: u64) -> SwarmConfig {
+    SwarmConfig {
+        workers,
+        base: ExploreConfig {
+            max_depth,
+            max_ops,
+            seed: 7,
+            ..ExploreConfig::default()
+        },
+        shared_visited: true,
+        strategies: vec![WorkerStrategy::Dfs],
+    }
+}
+
+/// Runs a fleet, returning the report plus the fleet's virtual elapsed time
+/// (the busiest worker's clock) in nanoseconds.
+fn run_timed(
+    cfg: &SwarmConfig,
+    build: &PairingBuilder,
+    harness_cfg: &McfsConfig,
+    persist: Option<SwarmPersist<'_, FsOp>>,
+) -> (SwarmReport<FsOp>, u64) {
+    let clocks: Mutex<Vec<Clock>> = Mutex::new(Vec::new());
+    let factory = |_idx: usize| -> Mcfs {
+        let pairing = build(harness_cfg.clone()).expect("pairing builds");
+        clocks.lock().unwrap().push(pairing.clock.clone());
+        pairing.harness
+    };
+    let report = match persist {
+        Some(p) => run_swarm_persistent(cfg, factory, p),
+        None => run_swarm(cfg, factory),
+    };
+    let elapsed = clocks
+        .lock()
+        .unwrap()
+        .iter()
+        .map(|c| c.now_ns())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    (report, elapsed)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    let harness_cfg = McfsConfig {
+        pool: PoolConfig::small(),
+        ..McfsConfig::default()
+    };
+    let builders: Vec<(&'static str, usize, PairingBuilder)> = vec![
+        (
+            "verifs1-vs-verifs2",
+            if quick { 3 } else { 4 },
+            Box::new(pair_verifs_cfg),
+        ),
+        (
+            "ext2-vs-ext4-ram",
+            3,
+            Box::new(|cfg| pair_ext2_ext4_cfg(LatencyModel::ram(), RemountMode::PerOp, cfg)),
+        ),
+    ];
+    let worker_counts: &[usize] = if quick { &[1, 2] } else { &[1, 2, 4, 8] };
+
+    // Section 1: scaling. Every fleet size exhausts the same depth-bounded
+    // space (shared visited, work-stealing frontier), so states/s ratios
+    // reduce to virtual-elapsed ratios.
+    let mut scale_rows: Vec<ScaleRow> = Vec::new();
+    for (label, depth, build) in &builders {
+        let mut single_rate = 0.0;
+        for &workers in worker_counts {
+            let cfg = swarm_cfg(workers, *depth, u64::MAX);
+            let (report, elapsed) = run_timed(&cfg, build, &harness_cfg, None);
+            assert!(
+                !report.found_violation(),
+                "{label}: scaling run must be violation-free"
+            );
+            let states = report.total_states();
+            let rate = states as f64 * 1e9 / elapsed as f64;
+            if workers == 1 {
+                single_rate = rate;
+            }
+            scale_rows.push(ScaleRow {
+                pairing: label,
+                workers,
+                states,
+                virtual_ms: elapsed as f64 / 1e6,
+                states_per_sec: rate,
+                speedup: if single_rate > 0.0 {
+                    rate / single_rate
+                } else {
+                    1.0
+                },
+            });
+        }
+        // Same exhaustive space at every fleet size.
+        let counts: Vec<u64> = scale_rows
+            .iter()
+            .filter(|r| r.pairing == *label)
+            .map(|r| r.states)
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] == w[1]),
+            "{label}: fleet sizes explored different spaces: {counts:?}"
+        );
+        if !quick {
+            let at4 = scale_rows
+                .iter()
+                .find(|r| r.pairing == *label && r.workers == 4)
+                .expect("4-worker row");
+            assert!(
+                at4.speedup >= 3.0,
+                "{label}: aggregate states/s at 4 workers is only {:.2}x the \
+                 single-worker rate (acceptance floor: 3x)",
+                at4.speedup
+            );
+        }
+    }
+
+    let table: Vec<(String, String)> = scale_rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{} x{}", r.pairing, r.workers),
+                format!(
+                    "{:>9.1} states/s  {:>7} states  {:>9.2} virt-ms  {:>5.2}x",
+                    r.states_per_sec, r.states, r.virtual_ms, r.speedup
+                ),
+            )
+        })
+        .collect();
+    print_table("Work-stealing swarm scaling (virtual time)", &table);
+
+    // Section 2: kill-and-resume. Interrupt a 2-worker run with a tight op
+    // budget, snapshot, resume from the file, and compare against one
+    // uninterrupted run of the same space.
+    let mut resume_rows: Vec<ResumeRow> = Vec::new();
+    let snap_dir = std::env::temp_dir().join("mcfs-swarm-scale");
+    std::fs::create_dir_all(&snap_dir).expect("temp dir");
+    for (label, depth, build) in &builders {
+        let full_cfg = swarm_cfg(2, *depth, u64::MAX);
+        let (control, control_ns) = run_timed(&full_cfg, build, &harness_cfg, None);
+        let full_states = control.total_states();
+
+        let path = snap_dir.join(format!("{label}.pickle"));
+        let _ = std::fs::remove_file(&path);
+        // Interrupt roughly mid-run.
+        let cut_ops = (control.total_ops() / 2).max(10);
+        let (phase1, phase1_ns) = run_timed(
+            &swarm_cfg(2, *depth, cut_ops),
+            build,
+            &harness_cfg,
+            Some(SwarmPersist {
+                codec: &FsOpCodec,
+                snapshot_path: Some(path.clone()),
+                snapshot_every: 0,
+                resume: None,
+            }),
+        );
+        assert!(
+            phase1.persist_error.is_none(),
+            "{label}: snapshot failed: {:?}",
+            phase1.persist_error
+        );
+        let snap = load_snapshot(&path, &FsOpCodec).expect("snapshot loads");
+        let baseline_states = snap.stats.states_new;
+        let (phase2, phase2_ns) = run_timed(
+            &full_cfg,
+            build,
+            &harness_cfg,
+            Some(SwarmPersist {
+                codec: &FsOpCodec,
+                snapshot_path: Some(path.clone()),
+                snapshot_every: 0,
+                resume: Some(snap),
+            }),
+        );
+        let resumed_new: u64 = phase2.workers.iter().map(|w| w.stats.states_new).sum();
+        let distinct = phase2.total_states();
+        // Anything re-explored would be re-counted as new by some worker.
+        let reexplored = (baseline_states + resumed_new).saturating_sub(distinct);
+        assert_eq!(
+            reexplored, 0,
+            "{label}: resumed run re-explored {reexplored} previously-visited states"
+        );
+        assert_eq!(
+            distinct, full_states,
+            "{label}: two-phase run lost states ({distinct} vs {full_states})"
+        );
+        let two_phase_ns = phase1_ns + phase2_ns;
+        resume_rows.push(ResumeRow {
+            pairing: label,
+            baseline_states,
+            resumed_new,
+            distinct,
+            reexplored,
+            replayed_ops: phase2.total_replayed(),
+            uninterrupted_ms: control_ns as f64 / 1e6,
+            two_phase_ms: two_phase_ns as f64 / 1e6,
+            overhead_frac: two_phase_ns as f64 / control_ns.max(1) as f64 - 1.0,
+        });
+        let _ = std::fs::remove_file(&path);
+    }
+
+    let table: Vec<(String, String)> = resume_rows
+        .iter()
+        .map(|r| {
+            (
+                r.pairing.to_string(),
+                format!(
+                    "{:>4} snap + {:>4} resumed = {:>5} states, 0 re-explored, \
+                     {:>5} ops replayed, {:>+6.1}% virtual-time overhead",
+                    r.baseline_states,
+                    r.resumed_new,
+                    r.distinct,
+                    r.replayed_ops,
+                    r.overhead_frac * 100.0
+                ),
+            )
+        })
+        .collect();
+    print_table("Kill-and-resume overhead (vs uninterrupted)", &table);
+
+    let scale_json: String = scale_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pairing\": \"{}\", \"workers\": {}, \"states\": {}, \
+                 \"virtual_ms\": {:.3}, \"states_per_sec\": {:.1}, \"speedup\": {:.3}}}",
+                r.pairing, r.workers, r.states, r.virtual_ms, r.states_per_sec, r.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let resume_json: String = resume_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pairing\": \"{}\", \"baseline_states\": {}, \"resumed_new\": {}, \
+                 \"distinct\": {}, \"reexplored\": {}, \"replayed_ops\": {}, \
+                 \"uninterrupted_ms\": {:.3}, \"two_phase_ms\": {:.3}, \
+                 \"overhead_frac\": {:.4}}}",
+                r.pairing,
+                r.baseline_states,
+                r.resumed_new,
+                r.distinct,
+                r.reexplored,
+                r.replayed_ops,
+                r.uninterrupted_ms,
+                r.two_phase_ms,
+                r.overhead_frac
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"scale\": [\n{scale_json}\n  ],\n  \
+         \"resume\": [\n{resume_json}\n  ]\n}}"
+    );
+    println!("\n{json}");
+    std::fs::write("BENCH_swarm.json", format!("{json}\n")).expect("write BENCH_swarm.json");
+}

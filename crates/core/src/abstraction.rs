@@ -258,6 +258,32 @@ impl FingerprintCache {
             self.map.remove(anc);
         }
     }
+
+    /// Exports the cached `(path, digest)` pairs, sorted by path so the
+    /// result is canonical (serialization-friendly).
+    pub fn export_entries(&self) -> Vec<(String, u128)> {
+        let mut out: Vec<(String, u128)> = self
+            .map
+            .iter()
+            .map(|(p, d)| (p.clone(), d.as_u128()))
+            .collect();
+        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// Rebuilds the cache from exported entries (replacing the current
+    /// contents). Digests are trusted verbatim: only feed back what
+    /// [`FingerprintCache::export_entries`] produced for an identically
+    /// configured target, or the next comparison will chase phantom
+    /// divergences.
+    pub fn load_entries(&mut self, entries: &[(String, u128)]) {
+        self.map.clear();
+        self.map.reserve(entries.len());
+        for (path, raw) in entries {
+            self.map
+                .insert(path.clone(), Digest128::from_bytes(raw.to_le_bytes()));
+        }
+    }
 }
 
 /// One target's fingerprint state: the live [`FingerprintCache`] plus
@@ -352,6 +378,28 @@ impl FingerprintStore {
     pub fn clear_live(&mut self) {
         if self.enabled {
             self.live = Arc::default();
+        }
+    }
+
+    /// Exports the live cache's `(path, digest)` pairs (sorted by path) for
+    /// persistence alongside a run snapshot. Saved per-checkpoint snapshots
+    /// are deliberately not exported: checkpoint keys are meaningless in a
+    /// resumed process, which rebuilds its checkpoints by replaying
+    /// frontier prefixes.
+    pub fn export_live(&self) -> Vec<(String, u128)> {
+        if self.enabled {
+            self.live.export_entries()
+        } else {
+            Vec::new()
+        }
+    }
+
+    /// Seeds the live cache from exported entries, so the first hash after
+    /// a resume is warm instead of a full-tree recompute. A disabled store
+    /// ignores the import.
+    pub fn import_live(&mut self, entries: &[(String, u128)]) {
+        if self.enabled {
+            Arc::make_mut(&mut self.live).load_entries(entries);
         }
     }
 }

@@ -544,6 +544,37 @@ impl Mcfs {
     }
 }
 
+impl Mcfs {
+    /// Re-seeds a **fresh** harness to the state a persisted frontier entry
+    /// names, by replaying its op-prefix through the normal
+    /// [`ModelSystem::apply`] path (so crash pseudo-ops, fingerprint
+    /// invalidation, and lockstep checks all run exactly as they did when
+    /// the prefix was first explored — this determinism is what makes
+    /// op-prefix frontiers a sound persistence format).
+    ///
+    /// Returns the number of ops that applied `Ok`. A `Prune` mid-prefix is
+    /// tolerated (the entry is stale — e.g. pool bounds changed — and the
+    /// caller should drop it); a `Violation` is an error, because a prefix
+    /// that was explored violation-free must replay violation-free on an
+    /// identically configured harness.
+    pub fn reseed_from_prefix(&mut self, prefix: &[FsOp]) -> Result<usize, String> {
+        let mut applied = 0usize;
+        for (i, op) in prefix.iter().enumerate() {
+            match ModelSystem::apply(self, op) {
+                ApplyOutcome::Ok => applied += 1,
+                ApplyOutcome::Prune(_) => {}
+                ApplyOutcome::Violation(msg) => {
+                    return Err(format!(
+                        "prefix replay violated at op {i} ({}): {msg}",
+                        op.name()
+                    ));
+                }
+            }
+        }
+        Ok(applied)
+    }
+}
+
 impl ModelSystem for Mcfs {
     type Op = FsOp;
 

@@ -65,6 +65,7 @@ pub mod pool;
 pub mod shrink;
 mod target;
 mod vfs_checkpoint;
+pub mod wire;
 
 pub use abstraction::{
     abstract_state, abstract_state_cached, AbstractionConfig, FingerprintCache, FingerprintStore,
@@ -87,3 +88,4 @@ pub use target::{
     CheckedTarget, CheckpointTarget, CriuTarget, RemountMode, RemountTarget, VmTarget,
 };
 pub use vfs_checkpoint::VfsCheckpointTarget;
+pub use wire::FsOpCodec;

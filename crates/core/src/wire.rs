@@ -1,0 +1,326 @@
+//! Wire codec for [`FsOp`] traces.
+//!
+//! Implements [`modelcheck::OpCodec`] so swarm snapshots (visited set +
+//! frontier of replayable op-prefixes, `modelcheck::pickle`) can persist
+//! harness runs across process restarts. One tag byte per variant followed
+//! by the variant's fields; strings are length-prefixed UTF-8 (the pickle
+//! module's `put_str`/`ByteReader::str` framing), integers little-endian.
+//!
+//! The tag assignment is part of the on-disk format: new `FsOp` variants
+//! must take fresh tags, and existing tags must never be reused for a
+//! different shape — old snapshots have to keep decoding. Unknown tags
+//! decode to [`PickleError::Corrupt`], which the loader surfaces instead of
+//! misreading the rest of the stream.
+
+use crate::pool::FsOp;
+use modelcheck::pickle::put_str;
+use modelcheck::{ByteReader, OpCodec, PickleError};
+
+/// Variant tags. Never renumber; append only.
+const TAG_CREATE_FILE: u8 = 0;
+const TAG_WRITE_FILE: u8 = 1;
+const TAG_TRUNCATE: u8 = 2;
+const TAG_MKDIR: u8 = 3;
+const TAG_RMDIR: u8 = 4;
+const TAG_UNLINK: u8 = 5;
+const TAG_RENAME: u8 = 6;
+const TAG_HARDLINK: u8 = 7;
+const TAG_SYMLINK: u8 = 8;
+const TAG_READ_FILE: u8 = 9;
+const TAG_STAT: u8 = 10;
+const TAG_GETDENTS: u8 = 11;
+const TAG_CHMOD: u8 = 12;
+const TAG_SET_XATTR: u8 = 13;
+const TAG_REMOVE_XATTR: u8 = 14;
+const TAG_ACCESS: u8 = 15;
+const TAG_CRASH: u8 = 16;
+
+fn put_u16(out: &mut Vec<u8>, v: u16) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn read_u16(r: &mut ByteReader<'_>) -> Result<u16, PickleError> {
+    let lo = r.u8()? as u16;
+    let hi = r.u8()? as u16;
+    Ok(lo | (hi << 8))
+}
+
+/// Stateless [`OpCodec`] for [`FsOp`]; pass `&FsOpCodec` wherever the pickle
+/// layer wants a codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FsOpCodec;
+
+impl OpCodec<FsOp> for FsOpCodec {
+    fn encode_op(&self, op: &FsOp, out: &mut Vec<u8>) {
+        match op {
+            FsOp::CreateFile { path, mode } => {
+                out.push(TAG_CREATE_FILE);
+                put_str(out, path);
+                put_u16(out, *mode);
+            }
+            FsOp::WriteFile {
+                path,
+                offset,
+                size,
+                seed,
+            } => {
+                out.push(TAG_WRITE_FILE);
+                put_str(out, path);
+                put_u64(out, *offset);
+                put_u64(out, *size);
+                out.push(*seed);
+            }
+            FsOp::Truncate { path, size } => {
+                out.push(TAG_TRUNCATE);
+                put_str(out, path);
+                put_u64(out, *size);
+            }
+            FsOp::Mkdir { path, mode } => {
+                out.push(TAG_MKDIR);
+                put_str(out, path);
+                put_u16(out, *mode);
+            }
+            FsOp::Rmdir { path } => {
+                out.push(TAG_RMDIR);
+                put_str(out, path);
+            }
+            FsOp::Unlink { path } => {
+                out.push(TAG_UNLINK);
+                put_str(out, path);
+            }
+            FsOp::Rename { src, dst } => {
+                out.push(TAG_RENAME);
+                put_str(out, src);
+                put_str(out, dst);
+            }
+            FsOp::Hardlink { src, dst } => {
+                out.push(TAG_HARDLINK);
+                put_str(out, src);
+                put_str(out, dst);
+            }
+            FsOp::Symlink { target, linkpath } => {
+                out.push(TAG_SYMLINK);
+                put_str(out, target);
+                put_str(out, linkpath);
+            }
+            FsOp::ReadFile { path, offset, size } => {
+                out.push(TAG_READ_FILE);
+                put_str(out, path);
+                put_u64(out, *offset);
+                put_u64(out, *size);
+            }
+            FsOp::Stat { path } => {
+                out.push(TAG_STAT);
+                put_str(out, path);
+            }
+            FsOp::Getdents { path } => {
+                out.push(TAG_GETDENTS);
+                put_str(out, path);
+            }
+            FsOp::Chmod { path, mode } => {
+                out.push(TAG_CHMOD);
+                put_str(out, path);
+                put_u16(out, *mode);
+            }
+            FsOp::SetXattr { path, name, seed } => {
+                out.push(TAG_SET_XATTR);
+                put_str(out, path);
+                put_str(out, name);
+                out.push(*seed);
+            }
+            FsOp::RemoveXattr { path, name } => {
+                out.push(TAG_REMOVE_XATTR);
+                put_str(out, path);
+                put_str(out, name);
+            }
+            FsOp::Access { path } => {
+                out.push(TAG_ACCESS);
+                put_str(out, path);
+            }
+            FsOp::Crash => out.push(TAG_CRASH),
+        }
+    }
+
+    fn decode_op(&self, r: &mut ByteReader<'_>) -> Result<FsOp, PickleError> {
+        let tag = r.u8()?;
+        Ok(match tag {
+            TAG_CREATE_FILE => FsOp::CreateFile {
+                path: r.str()?,
+                mode: read_u16(r)?,
+            },
+            TAG_WRITE_FILE => FsOp::WriteFile {
+                path: r.str()?,
+                offset: r.u64()?,
+                size: r.u64()?,
+                seed: r.u8()?,
+            },
+            TAG_TRUNCATE => FsOp::Truncate {
+                path: r.str()?,
+                size: r.u64()?,
+            },
+            TAG_MKDIR => FsOp::Mkdir {
+                path: r.str()?,
+                mode: read_u16(r)?,
+            },
+            TAG_RMDIR => FsOp::Rmdir { path: r.str()? },
+            TAG_UNLINK => FsOp::Unlink { path: r.str()? },
+            TAG_RENAME => FsOp::Rename {
+                src: r.str()?,
+                dst: r.str()?,
+            },
+            TAG_HARDLINK => FsOp::Hardlink {
+                src: r.str()?,
+                dst: r.str()?,
+            },
+            TAG_SYMLINK => FsOp::Symlink {
+                target: r.str()?,
+                linkpath: r.str()?,
+            },
+            TAG_READ_FILE => FsOp::ReadFile {
+                path: r.str()?,
+                offset: r.u64()?,
+                size: r.u64()?,
+            },
+            TAG_STAT => FsOp::Stat { path: r.str()? },
+            TAG_GETDENTS => FsOp::Getdents { path: r.str()? },
+            TAG_CHMOD => FsOp::Chmod {
+                path: r.str()?,
+                mode: read_u16(r)?,
+            },
+            TAG_SET_XATTR => FsOp::SetXattr {
+                path: r.str()?,
+                name: r.str()?,
+                seed: r.u8()?,
+            },
+            TAG_REMOVE_XATTR => FsOp::RemoveXattr {
+                path: r.str()?,
+                name: r.str()?,
+            },
+            TAG_ACCESS => FsOp::Access { path: r.str()? },
+            TAG_CRASH => FsOp::Crash,
+            other => {
+                return Err(PickleError::Corrupt(format!("unknown FsOp tag {other}")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_variants() -> Vec<FsOp> {
+        vec![
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 4096,
+                size: 7,
+                seed: 0xAB,
+            },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: u64::MAX,
+            },
+            FsOp::Mkdir {
+                path: "/d0".into(),
+                mode: 0o755,
+            },
+            FsOp::Rmdir { path: "/d0".into() },
+            FsOp::Unlink { path: "/f0".into() },
+            FsOp::Rename {
+                src: "/f0".into(),
+                dst: "/d0/f1".into(),
+            },
+            FsOp::Hardlink {
+                src: "/f0".into(),
+                dst: "/l0".into(),
+            },
+            FsOp::Symlink {
+                target: "../f0".into(),
+                linkpath: "/s0".into(),
+            },
+            FsOp::ReadFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 4096,
+            },
+            FsOp::Stat { path: "/f0".into() },
+            FsOp::Getdents { path: "/".into() },
+            FsOp::Chmod {
+                path: "/f0".into(),
+                mode: 0o7777,
+            },
+            FsOp::SetXattr {
+                path: "/f0".into(),
+                name: "user.k".into(),
+                seed: 3,
+            },
+            FsOp::RemoveXattr {
+                path: "/f0".into(),
+                name: "user.k".into(),
+            },
+            FsOp::Access { path: "/f0".into() },
+            FsOp::Crash,
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        let codec = FsOpCodec;
+        for op in all_variants() {
+            let mut buf = Vec::new();
+            codec.encode_op(&op, &mut buf);
+            let mut r = ByteReader::new(&buf);
+            let back = codec.decode_op(&mut r).expect("decodes");
+            assert_eq!(back, op);
+            assert_eq!(r.remaining(), 0, "trailing bytes after {op:?}");
+        }
+    }
+
+    #[test]
+    fn concatenated_trace_round_trips() {
+        let codec = FsOpCodec;
+        let trace = all_variants();
+        let mut buf = Vec::new();
+        for op in &trace {
+            codec.encode_op(op, &mut buf);
+        }
+        let mut r = ByteReader::new(&buf);
+        let back: Vec<FsOp> = (0..trace.len())
+            .map(|_| codec.decode_op(&mut r).unwrap())
+            .collect();
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn unknown_tag_is_corrupt_not_garbage() {
+        let codec = FsOpCodec;
+        let buf = [0xFFu8, 0, 0];
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            codec.decode_op(&mut r),
+            Err(PickleError::Corrupt(_))
+        ));
+    }
+
+    #[test]
+    fn non_ascii_paths_survive() {
+        let codec = FsOpCodec;
+        let op = FsOp::CreateFile {
+            path: "/päth/文件".into(),
+            mode: 0o600,
+        };
+        let mut buf = Vec::new();
+        codec.encode_op(&op, &mut buf);
+        let back = codec.decode_op(&mut ByteReader::new(&buf)).unwrap();
+        assert_eq!(back, op);
+    }
+}

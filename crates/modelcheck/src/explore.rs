@@ -98,10 +98,16 @@ pub enum StopReason {
 }
 
 /// Counters from one exploration.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ExploreStats {
     /// Operations executed against the system(s).
     pub ops_executed: u64,
+    /// Operations re-executed only to reconstruct a frontier state from its
+    /// op-prefix (work-stealing swarm workers and resumed runs replay
+    /// prefixes deterministically instead of shipping concrete state).
+    /// Replays never discover states; they are counted separately so
+    /// resume/steal overhead is visible. Not included in `ops_executed`.
+    pub ops_replayed: u64,
     /// Distinct abstract states discovered.
     pub states_new: u64,
     /// Abstract states matched against the visited table (duplicates
@@ -144,6 +150,38 @@ impl ExploreStats {
             Some(self.ops_executed as f64 * 1e9 / self.virtual_ns as f64)
         }
     }
+
+    /// Accumulates `other` into `self`: counters are summed (`virtual_ns`
+    /// included — in an aggregate it reads as total work time), watermarks
+    /// (`max_depth_seen`, `peak_memory_bytes`, `hit_rate`) take the maximum,
+    /// and the optional store/crash stats merge field-wise. Used to combine
+    /// one worker's rounds and to aggregate a fleet into a snapshot.
+    pub fn merge(&mut self, other: &ExploreStats) {
+        self.ops_executed += other.ops_executed;
+        self.ops_replayed += other.ops_replayed;
+        self.states_new += other.states_new;
+        self.states_matched += other.states_matched;
+        self.pruned += other.pruned;
+        self.checkpoints += other.checkpoints;
+        self.restores += other.restores;
+        self.max_depth_seen = self.max_depth_seen.max(other.max_depth_seen);
+        self.resize_events += other.resize_events;
+        self.peak_memory_bytes = self.peak_memory_bytes.max(other.peak_memory_bytes);
+        self.swap_traffic_bytes += other.swap_traffic_bytes;
+        self.swapped_bytes += other.swapped_bytes;
+        self.hit_rate = self.hit_rate.max(other.hit_rate);
+        self.virtual_ns += other.virtual_ns;
+        match (&mut self.checkpoint_store, &other.checkpoint_store) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.checkpoint_store = Some(*b),
+            _ => {}
+        }
+        match (&mut self.crash, &other.crash) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.crash = Some(*b),
+            _ => {}
+        }
+    }
 }
 
 /// The outcome of one exploration.
@@ -170,7 +208,7 @@ fn restore_failure(e: String) -> StopReason {
 /// Builds the [`Violation`] record for a just-detected violation, asking the
 /// system to minimize the counterexample ([`ModelSystem::minimize`] — a
 /// no-op unless the system enables it).
-fn record_violation<S: ModelSystem>(
+pub(crate) fn record_violation<S: ModelSystem>(
     sys: &mut S,
     trace: Vec<S::Op>,
     message: String,

@@ -1,72 +1,194 @@
-//! Swarm verification: many diversified searches in parallel.
+//! Swarm verification: many searches in parallel, optionally work-stealing
+//! and resumable.
 //!
 //! SPIN's swarm technique (Holzmann et al.) runs N independent verifications
-//! with different seeds and strategies, optionally sharing nothing — the
-//! paper plans to use it to explore larger state spaces in parallel (§7).
-//! [`run_swarm`] runs one explorer per worker thread over systems produced
-//! by a factory, with a shared stop flag so the first violation cancels the
-//! fleet.
+//! with different seeds and strategies — the paper plans to use it to explore
+//! larger state spaces in parallel (§7). [`run_swarm`] runs one explorer per
+//! worker thread over systems produced by a factory, with a shared stop flag
+//! so the first violation cancels the fleet.
 //!
-//! Two visited-set modes exist. Classic swarm gives each worker a private
-//! set: maximum diversification, but workers re-expand each other's states.
-//! With [`SwarmConfig::shared_visited`] the fleet shares one
-//! [`ShardedVisited`]: a state expanded by any worker is matched (pruned) by
-//! every other, trading some diversity for no duplicated expansion work.
+//! Two fleet shapes exist:
+//!
+//! * **Classic walks** ([`SwarmConfig::strategies`] empty): every worker runs
+//!   a seed-diversified [`RandomWalk`]. With private visited sets workers
+//!   re-expand each other's states (maximum diversity); with
+//!   [`SwarmConfig::shared_visited`] they share one [`ShardedVisited`] and a
+//!   state expanded anywhere is pruned everywhere.
+//! * **Work-stealing frontier** (`strategies` non-empty): pending states
+//!   live in per-worker deques as *replayable op-prefixes*
+//!   ([`FrontierEntry`]); a worker whose deque runs dry steals half of a
+//!   victim's. The shared visited set arbitrates, so each state is expanded
+//!   exactly once fleet-wide and DFS/BFS — not just walks — parallelize.
+//!   [`WorkerStrategy::Dfs`] workers pop newest-first,
+//!   [`WorkerStrategy::Bfs`] oldest-first, and [`WorkerStrategy::Walk`]
+//!   workers run random walks against the same shared set. The system's
+//!   independence relation (e.g. the harness's `EffectIndex`) still applies
+//!   per-worker through sleep sets carried in the entries.
+//!
+//! The op-prefix frontier is also what makes a swarm *resumable*:
+//! [`run_swarm_persistent`] periodically pickles the shared visited set, the
+//! frontier, RNG cursors, and cumulative stats to disk (atomically — see
+//! [`pickle::save_atomic`]) and can start from a loaded [`RunSnapshot`],
+//! re-exploring zero already-visited states. Snapshots are taken at *round*
+//! boundaries: the fleet runs `snapshot_every` expansions, the worker scope
+//! joins (queues quiescent — no entry is ever half-expanded), the snapshot
+//! is cut, and the next round's workers are re-spawned from the factory.
 //!
 //! A panicking worker does not abort the fleet: the panic is caught, the
-//! worker's slot reports [`StopReason::WorkerPanic`], and the survivors run
-//! to completion.
+//! worker's slot reports [`StopReason::WorkerPanic`], its queue remains
+//! stealable by survivors, and the rest of the fleet runs to completion.
 
+use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
 
-use crate::explore::{ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason};
-use crate::system::ModelSystem;
-use crate::visited::ShardedVisited;
+use parking_lot::Mutex;
+
+use crate::explore::{
+    record_violation, ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason,
+};
+use crate::pickle::{self, deal_frontier, FrontierEntry, OpCodec, RngCursor, RunSnapshot};
+use crate::system::{is_evicted_error, ApplyOutcome, ModelSystem, StateId, Violation};
+use crate::visited::{ShardedVisited, Visit};
+
+/// How one swarm worker searches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerStrategy {
+    /// Pop the newest frontier entry (depth-first flavour: best replay
+    /// locality — children of the state just expanded replay one op).
+    Dfs,
+    /// Pop the oldest frontier entry (breadth-first flavour: finds shallow
+    /// violations first, replays longer prefixes).
+    Bfs,
+    /// Seed-diversified random walk over the shared visited set; does not
+    /// consume the frontier but prunes against (and feeds) the same set.
+    Walk,
+}
 
 /// Swarm configuration.
 #[derive(Debug, Clone)]
 pub struct SwarmConfig {
     /// Number of worker searches.
     pub workers: usize,
-    /// Base exploration config; each worker gets `seed = base.seed + index`
-    /// (classic swarm diversification).
+    /// Base exploration config; walk workers get `seed = base.seed + index`
+    /// (classic swarm diversification). In frontier mode `max_ops` and
+    /// `max_states` are *fleet-wide* budgets — the frontier is shared, so
+    /// per-worker budgets would be arbitrary; walk workers keep per-worker
+    /// op budgets as before.
     pub base: ExploreConfig,
     /// Share one sharded visited set across the fleet so workers skip
     /// states another worker already expanded, instead of duplicating work
-    /// with private per-worker sets.
+    /// with private per-worker sets. Implied (always on) in frontier mode,
+    /// where work-stealing without a shared set would be unsound.
     pub shared_visited: bool,
+    /// Per-worker strategy assignment, cycled over the worker index (e.g.
+    /// `[Dfs, Dfs, Walk]` over 5 workers gives Dfs,Dfs,Walk,Dfs,Dfs).
+    /// Empty selects the classic all-walk swarm; any non-empty assignment
+    /// selects the work-stealing frontier.
+    pub strategies: Vec<WorkerStrategy>,
+}
+
+/// Persistence options for [`run_swarm_persistent`].
+pub struct SwarmPersist<'a, Op> {
+    /// Encoder/decoder for the system's op type.
+    pub codec: &'a (dyn OpCodec<Op> + Sync),
+    /// Where to write snapshots (atomic tempfile + rename); `None` disables
+    /// snapshotting (a run can still *start* from `resume`).
+    pub snapshot_path: Option<PathBuf>,
+    /// Snapshot cadence in frontier expansions (walk workers count ops
+    /// toward it). The fleet pauses at this boundary — workers park between
+    /// entry expansions — so every snapshot is a consistent visited+frontier
+    /// cut. 0 means "only at the end of the run".
+    ///
+    /// When this is non-zero the factory is called once per worker per
+    /// *round*, so it must produce a fresh system (at the initial state) on
+    /// every call.
+    pub snapshot_every: u64,
+    /// Resume from a previously pickled snapshot: its visited set is
+    /// preloaded (no contained state is ever re-counted), its frontier is
+    /// redistributed across the workers, and its stats become the report's
+    /// [`SwarmReport::baseline`].
+    pub resume: Option<RunSnapshot<Op>>,
 }
 
 /// Aggregated swarm outcome.
 #[derive(Debug)]
 pub struct SwarmReport<Op> {
     /// Per-worker reports, indexed by worker. A worker that panicked
-    /// reports [`StopReason::WorkerPanic`] with zeroed stats.
+    /// reports [`StopReason::WorkerPanic`] with the stats it had
+    /// accumulated before dying.
     pub workers: Vec<ExploreReport<Op>>,
+    /// Distinct states in the shared visited set at the end of the run,
+    /// when one was used (`shared_visited` or frontier mode). `None` for
+    /// private-set fleets, where no global distinct count exists.
+    pub distinct_states: Option<u64>,
+    /// Stats carried in from the resumed snapshot (zero for fresh runs) —
+    /// the totals below include them, so a resumed run reports its whole
+    /// life, not just the latest process.
+    pub baseline: ExploreStats,
+    /// Error from the last snapshot write, if any (the search itself still
+    /// completed; only persistence failed).
+    pub persist_error: Option<String>,
 }
 
 impl<Op> SwarmReport<Op> {
-    /// Total operations executed across the swarm.
+    /// Total operations executed across the swarm's whole life (including
+    /// generations before a resume; prefix replays are counted separately —
+    /// see [`SwarmReport::total_replayed`]).
     pub fn total_ops(&self) -> u64 {
-        self.workers.iter().map(|w| w.stats.ops_executed).sum()
+        self.baseline.ops_executed
+            + self
+                .workers
+                .iter()
+                .map(|w| w.stats.ops_executed)
+                .sum::<u64>()
     }
 
-    /// Total distinct states across workers. With private visited sets
-    /// workers may overlap (swarm trades duplicate work for parallelism and
-    /// diversity); with a shared set this is the global distinct count.
+    /// Total distinct states found by the swarm.
+    ///
+    /// With a shared visited set this is the set's true distinct count, not
+    /// a per-worker sum: summing `states_new` undercounts resumed runs
+    /// (preloaded states appear in no worker's count) and makes private-
+    /// and shared-set numbers incomparable. With private sets workers may
+    /// genuinely overlap and the per-worker sum is the only number there
+    /// is.
     pub fn total_states(&self) -> u64 {
-        self.workers.iter().map(|w| w.stats.states_new).sum()
+        match self.distinct_states {
+            Some(n) => n,
+            None => {
+                self.baseline.states_new
+                    + self.workers.iter().map(|w| w.stats.states_new).sum::<u64>()
+            }
+        }
     }
 
     /// Total visited-set matches across workers — with a shared set this
     /// includes states first expanded by *another* worker.
     pub fn total_matched(&self) -> u64 {
-        self.workers.iter().map(|w| w.stats.states_matched).sum()
+        self.baseline.states_matched
+            + self
+                .workers
+                .iter()
+                .map(|w| w.stats.states_matched)
+                .sum::<u64>()
+    }
+
+    /// Total operations replayed to reconstruct frontier states from their
+    /// op-prefixes — the overhead work-stealing and resume pay instead of
+    /// shipping concrete state between workers or processes.
+    pub fn total_replayed(&self) -> u64 {
+        self.baseline.ops_replayed
+            + self
+                .workers
+                .iter()
+                .map(|w| w.stats.ops_replayed)
+                .sum::<u64>()
     }
 
     /// All violations found by any worker.
-    pub fn violations(&self) -> impl Iterator<Item = &crate::system::Violation<Op>> {
+    pub fn violations(&self) -> impl Iterator<Item = &Violation<Op>> {
         self.workers.iter().flat_map(|w| w.violations.iter())
     }
 
@@ -79,7 +201,7 @@ impl<Op> SwarmReport<Op> {
     /// workers, judging each by its minimized trace when the worker that
     /// found it minimized ([`crate::Violation::best_trace`]). Each worker
     /// minimizes its own finds; the swarm reports the overall shortest.
-    pub fn shortest_violation(&self) -> Option<&crate::system::Violation<Op>> {
+    pub fn shortest_violation(&self) -> Option<&Violation<Op>> {
         self.violations().min_by_key(|v| v.best_trace().len())
     }
 
@@ -106,15 +228,59 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
-/// Runs `cfg.workers` randomized searches in parallel over systems produced
-/// by `factory` (one system per worker, seeded by worker index).
+/// Classifies a restore error: budget-driven eviction is distinct from a
+/// genuine failure (mirrors the explorers' handling).
+fn restore_failure(e: String) -> StopReason {
+    if is_evicted_error(&e) {
+        StopReason::CheckpointEvicted(e)
+    } else {
+        StopReason::Fatal(e)
+    }
+}
+
+/// Runs `cfg.workers` searches in parallel over systems produced by
+/// `factory` (one system per worker, seeded by worker index).
 ///
-/// The first worker to find a violation raises the shared stop flag; other
-/// workers notice it through their op budgets being re-checked each step —
-/// here, by a wrapper system that reports no further operations. A worker
-/// panic is contained to its slot (see [`SwarmReport::panics`]); the rest
-/// of the fleet keeps searching.
+/// With an empty [`SwarmConfig::strategies`] this is the classic
+/// seed-diversified walk swarm; otherwise the work-stealing frontier runs
+/// (see the module docs). The first worker to find a violation raises the
+/// shared stop flag. A worker panic is contained to its slot (see
+/// [`SwarmReport::panics`]); the rest of the fleet keeps searching.
 pub fn run_swarm<S, F>(cfg: &SwarmConfig, factory: F) -> SwarmReport<S::Op>
+where
+    S: ModelSystem,
+    S::Op: Send + 'static,
+    F: Fn(usize) -> S + Sync,
+{
+    if cfg.strategies.is_empty() {
+        run_walk_swarm(cfg, factory)
+    } else {
+        run_frontier_swarm::<S, F>(cfg, factory, None)
+    }
+}
+
+/// Runs a resumable work-stealing swarm: like [`run_swarm`] with non-empty
+/// strategies (an empty assignment defaults to all-[`WorkerStrategy::Dfs`]
+/// here), plus periodic atomic snapshots and/or an initial state loaded
+/// from a [`RunSnapshot`] (see [`SwarmPersist`]).
+pub fn run_swarm_persistent<S, F>(
+    cfg: &SwarmConfig,
+    factory: F,
+    persist: SwarmPersist<'_, S::Op>,
+) -> SwarmReport<S::Op>
+where
+    S: ModelSystem,
+    S::Op: Send + 'static,
+    F: Fn(usize) -> S + Sync,
+{
+    run_frontier_swarm::<S, F>(cfg, factory, Some(persist))
+}
+
+// ---------------------------------------------------------------------------
+// Classic walk swarm (strategies empty)
+// ---------------------------------------------------------------------------
+
+fn run_walk_swarm<S, F>(cfg: &SwarmConfig, factory: F) -> SwarmReport<S::Op>
 where
     S: ModelSystem,
     S::Op: Send + 'static,
@@ -172,8 +338,629 @@ where
             .into_iter()
             .map(|r| r.expect("worker slot filled"))
             .collect(),
+        distinct_states: shared.map(|s| s.len() as u64),
+        baseline: ExploreStats::default(),
+        persist_error: None,
     }
 }
+
+// ---------------------------------------------------------------------------
+// Work-stealing frontier swarm
+// ---------------------------------------------------------------------------
+
+/// Per-worker checkpoint cache capacity: concrete states keyed by the
+/// op-prefix that reaches them, so a worker expanding its own just-pushed
+/// children replays one op instead of the whole prefix. Eviction is FIFO —
+/// with LIFO (Dfs) pops the newest cached states are the hot ones.
+const PREFIX_CACHE_CAP: usize = 64;
+
+/// Shared coordination state of one frontier fleet.
+struct FrontierShared<Op> {
+    /// Per-worker frontier deques. Owners push children to the back; Dfs
+    /// pops the back, Bfs pops the front, thieves steal from the front
+    /// (oldest entries — the biggest unexplored subtrees).
+    queues: Vec<Mutex<VecDeque<FrontierEntry<Op>>>>,
+    /// The fleet-shared visited set (also what gets pickled).
+    visited: ShardedVisited,
+    /// Workers currently expanding an entry; termination needs empty queues
+    /// *and* zero busy workers (a busy worker may be about to push
+    /// children).
+    busy: AtomicUsize,
+    /// First violation (or fleet-wide budget) raised: everyone drains.
+    stop: AtomicBool,
+    /// The current round's expansion quota is spent: workers park between
+    /// entry expansions so a consistent snapshot can be cut.
+    round_done: AtomicBool,
+    /// Expansions (and walk ops) performed this round.
+    round_work: AtomicU64,
+    /// Fleet-wide executed-op / new-state counters backing the shared
+    /// budgets; initialized with the resumed baseline so budgets span
+    /// generations.
+    ops_total: AtomicU64,
+    states_total: AtomicU64,
+}
+
+impl<Op> FrontierShared<Op> {
+    fn queues_all_empty(&self) -> bool {
+        self.queues.iter().all(|q| q.lock().is_empty())
+    }
+
+    /// Counts one unit of round work and raises the round flag at `quota`.
+    fn tick_round(&self, quota: u64) {
+        if self.round_work.fetch_add(1, Ordering::SeqCst) + 1 >= quota {
+            self.round_done.store(true, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Decrements `busy` even if the expansion panics, so the survivors'
+/// termination detection cannot wedge on a dead worker's stale count.
+struct BusyGuard<'a>(&'a AtomicUsize);
+
+impl Drop for BusyGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// The worker-index → strategy assignment for a fleet.
+fn resolve_strategies(cfg: &SwarmConfig) -> Vec<WorkerStrategy> {
+    let workers = cfg.workers.max(1);
+    if cfg.strategies.is_empty() {
+        vec![WorkerStrategy::Dfs; workers]
+    } else {
+        (0..workers)
+            .map(|i| cfg.strategies[i % cfg.strategies.len()])
+            .collect()
+    }
+}
+
+/// Derives a walk worker's seed for a given round/generation — diversified
+/// so resumed or later-round walks explore new paths instead of repeating
+/// ones the shared visited set has already pruned.
+fn walk_seed(base: u64, idx: usize, round: u64, generation: u32) -> u64 {
+    base.wrapping_add(idx as u64)
+        .wrapping_add(round.wrapping_mul(0x9E37_79B9))
+        .wrapping_add((generation as u64).wrapping_mul(0x85EB_CA6B_0000))
+}
+
+fn run_frontier_swarm<S, F>(
+    cfg: &SwarmConfig,
+    factory: F,
+    persist: Option<SwarmPersist<'_, S::Op>>,
+) -> SwarmReport<S::Op>
+where
+    S: ModelSystem,
+    S::Op: Send + 'static,
+    F: Fn(usize) -> S + Sync,
+{
+    let workers = cfg.workers.max(1);
+    let strategies = resolve_strategies(cfg);
+    let visited = ShardedVisited::new(cfg.base.visited_capacity, workers.max(8));
+
+    let mut baseline = ExploreStats::default();
+    let mut generation = 0u32;
+    let mut initial_frontier: Option<Vec<FrontierEntry<S::Op>>> = None;
+    let (codec, snapshot_path, snapshot_every) = match &persist {
+        Some(p) => (Some(p.codec), p.snapshot_path.clone(), p.snapshot_every),
+        None => (None, None, 0),
+    };
+    if let Some(p) = persist {
+        if let Some(snap) = p.resume {
+            visited.load_entries(&snap.visited);
+            baseline = snap.stats.clone();
+            generation = snap.generation + 1;
+            initial_frontier = Some(snap.frontier);
+        }
+    }
+
+    let shared = FrontierShared::<S::Op> {
+        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        visited,
+        busy: AtomicUsize::new(0),
+        stop: AtomicBool::new(false),
+        round_done: AtomicBool::new(false),
+        round_work: AtomicU64::new(0),
+        ops_total: AtomicU64::new(baseline.ops_executed),
+        states_total: AtomicU64::new(baseline.states_new),
+    };
+
+    // Seed the frontier: the resumed entries round-robin across frontier
+    // (non-walk) workers, or the single root entry for a fresh run.
+    let frontier_idxs: Vec<usize> = strategies
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| **s != WorkerStrategy::Walk)
+        .map(|(i, _)| i)
+        .collect();
+    match initial_frontier {
+        Some(entries) => {
+            let dealt = deal_frontier(entries, frontier_idxs.len().max(1));
+            for (slot, queue) in dealt.into_iter().enumerate() {
+                // An all-walk fleet parks resumed entries on queue 0: never
+                // expanded, but carried forward into the next snapshot.
+                let idx = frontier_idxs.get(slot).copied().unwrap_or(0);
+                shared.queues[idx].lock().extend(queue);
+            }
+        }
+        None => {
+            if let Some(&first) = frontier_idxs.first() {
+                shared.queues[first].lock().push_back(FrontierEntry {
+                    prefix: Vec::new(),
+                    sleep: Vec::new(),
+                });
+            }
+        }
+    }
+
+    // Per-worker accumulators, merged across snapshot rounds.
+    let mut agg_stats: Vec<ExploreStats> = (0..workers).map(|_| ExploreStats::default()).collect();
+    let mut agg_violations: Vec<Vec<Violation<S::Op>>> = (0..workers).map(|_| Vec::new()).collect();
+    let mut last_stop: Vec<Option<StopReason>> = (0..workers).map(|_| None).collect();
+    let mut pending: Vec<bool> = (0..workers).map(|_| true).collect();
+    let mut persist_error = None;
+    let mut round = 0u64;
+
+    loop {
+        shared.round_done.store(false, Ordering::SeqCst);
+        shared.round_work.store(0, Ordering::SeqCst);
+        let quota = if snapshot_path.is_some() && snapshot_every > 0 {
+            snapshot_every
+        } else {
+            u64::MAX
+        };
+
+        std::thread::scope(|scope| {
+            for (idx, ((stats_slot, viol_slot), stop_slot)) in agg_stats
+                .iter_mut()
+                .zip(agg_violations.iter_mut())
+                .zip(last_stop.iter_mut())
+                .enumerate()
+            {
+                if !pending[idx] {
+                    continue;
+                }
+                let shared = &shared;
+                let factory = &factory;
+                let base = &cfg.base;
+                let strategy = strategies[idx];
+                scope.spawn(move || {
+                    let result = catch_unwind(AssertUnwindSafe(|| match strategy {
+                        WorkerStrategy::Walk => run_walk_round::<S, F>(
+                            idx, factory, base, shared, round, generation, quota, stats_slot,
+                            viol_slot,
+                        ),
+                        _ => run_frontier_worker::<S, F>(
+                            idx, factory, base, shared, strategy, quota, stats_slot, viol_slot,
+                        ),
+                    }));
+                    let outcome = match result {
+                        Ok(reason) => reason,
+                        Err(payload) => Some(StopReason::WorkerPanic(panic_message(payload))),
+                    };
+                    if let Some(reason) = outcome {
+                        *stop_slot = Some(reason);
+                    }
+                });
+            }
+        });
+
+        // A worker whose round ended with a terminal reason is not
+        // re-spawned; `None` means the round quota interrupted it mid-search
+        // and it resumes next round.
+        for idx in 0..workers {
+            if pending[idx] && last_stop[idx].is_some() {
+                pending[idx] = false;
+            }
+        }
+
+        // Snapshot at the (quiescent) round boundary: the scope joined, so
+        // the queues and visited set are a consistent cut of the search.
+        if let (Some(path), Some(codec)) = (&snapshot_path, codec) {
+            let mut frontier = Vec::new();
+            for q in &shared.queues {
+                frontier.extend(q.lock().iter().cloned());
+            }
+            let mut stats = baseline.clone();
+            for s in &agg_stats {
+                stats.merge(s);
+            }
+            let rng = (0..workers)
+                .map(|i| RngCursor {
+                    seed: walk_seed(cfg.base.seed, i, round, generation),
+                    draws: agg_stats[i].ops_executed,
+                })
+                .collect();
+            let snap = RunSnapshot {
+                base_seed: cfg.base.seed,
+                workers: workers as u32,
+                generation,
+                visited: shared.visited.export_entries(),
+                frontier,
+                rng,
+                stats,
+            };
+            let bytes = pickle::encode_snapshot(&snap, codec);
+            if let Err(e) = pickle::save_atomic(path, &bytes) {
+                persist_error = Some(e.to_string());
+            }
+        }
+
+        round += 1;
+        if shared.stop.load(Ordering::SeqCst) || pending.iter().all(|p| !p) || quota == u64::MAX {
+            break;
+        }
+    }
+
+    SwarmReport {
+        workers: agg_stats
+            .into_iter()
+            .zip(agg_violations)
+            .zip(last_stop)
+            .map(|((stats, violations), stop)| ExploreReport {
+                stats,
+                violations,
+                stop: stop.unwrap_or(StopReason::Exhausted),
+            })
+            .collect(),
+        distinct_states: Some(shared.visited.len() as u64),
+        baseline,
+        persist_error,
+    }
+}
+
+/// One round of a walk worker: a seed-diversified random walk over the
+/// shared visited set, drained early if the round quota or stop flag rises.
+#[allow(clippy::too_many_arguments)]
+fn run_walk_round<S, F>(
+    idx: usize,
+    factory: &F,
+    base: &ExploreConfig,
+    shared: &FrontierShared<S::Op>,
+    round: u64,
+    generation: u32,
+    quota: u64,
+    stats_slot: &mut ExploreStats,
+    viol_slot: &mut Vec<Violation<S::Op>>,
+) -> Option<StopReason>
+where
+    S: ModelSystem,
+    F: Fn(usize) -> S + Sync,
+{
+    let mut worker_cfg = base.clone();
+    worker_cfg.seed = walk_seed(base.seed, idx, round, generation);
+    // Per-worker op budget, minus what this worker's earlier rounds used.
+    worker_cfg.max_ops = base.max_ops.saturating_sub(stats_slot.ops_executed);
+    if worker_cfg.max_ops == 0 {
+        return Some(StopReason::OpBudget);
+    }
+    let mut sys = RoundStoppable {
+        inner: factory(idx),
+        stop: &shared.stop,
+        round_done: &shared.round_done,
+    };
+    let mut visited = shared.visited.clone();
+    let walk = RandomWalk::new(worker_cfg);
+    let report = walk.run_resumable(&mut sys, &mut visited, |_| shared.tick_round(quota));
+    let drained_by_round = shared.round_done.load(Ordering::SeqCst);
+    stats_slot.merge(&report.stats);
+    viol_slot.extend(report.violations);
+    match report.stop {
+        StopReason::Violation => {
+            shared.stop.store(true, Ordering::SeqCst);
+            Some(StopReason::Violation)
+        }
+        // Drained at the round boundary: the walk has budget left, resume
+        // it next round (with a fresh derived seed).
+        StopReason::Exhausted if drained_by_round => None,
+        other => Some(other),
+    }
+}
+
+/// A frontier (Dfs/Bfs) worker's round: pop-or-steal entries and expand
+/// them against the shared visited set until the frontier is exhausted, a
+/// budget trips, or the round quota pauses the fleet.
+///
+/// Returns `Some(reason)` when the worker is done for good, `None` when the
+/// round quota (or a fleet stop raised elsewhere) interrupted it.
+#[allow(clippy::too_many_arguments)]
+fn run_frontier_worker<S, F>(
+    idx: usize,
+    factory: &F,
+    cfg: &ExploreConfig,
+    shared: &FrontierShared<S::Op>,
+    strategy: WorkerStrategy,
+    quota: u64,
+    stats: &mut ExploreStats,
+    viols: &mut Vec<Violation<S::Op>>,
+) -> Option<StopReason>
+where
+    S: ModelSystem,
+    F: Fn(usize) -> S + Sync,
+{
+    let mut sys = factory(idx);
+    let root = StateId(0);
+    let mut next_id = 1u64;
+    if let Err(e) = sys.checkpoint(root) {
+        return Some(StopReason::Fatal(e));
+    }
+    // The root is every replay's fallback: pinned so the budgeted store can
+    // never evict it.
+    sys.pin(root);
+    stats.checkpoints += 1;
+    // Every worker fingerprints the root, but only the fleet-wide first
+    // insert counts it as a discovered state (resumed runs re-match it).
+    let root_hash = sys.abstract_state();
+    if shared.visited.insert_at(root_hash, 0).0 == Visit::New {
+        stats.states_new += 1;
+        shared.states_total.fetch_add(1, Ordering::SeqCst);
+    }
+
+    // Replay cache: op-prefix → concrete checkpoint, so expanding a child
+    // of a recently expanded state replays one op, not the whole prefix.
+    let mut cache: VecDeque<(Vec<S::Op>, StateId)> = VecDeque::new();
+    let mut idle_spins = 0u32;
+
+    'entries: loop {
+        if shared.stop.load(Ordering::SeqCst) || shared.round_done.load(Ordering::SeqCst) {
+            return None;
+        }
+        if shared.ops_total.load(Ordering::SeqCst) >= cfg.max_ops {
+            shared.stop.store(true, Ordering::SeqCst);
+            return Some(StopReason::OpBudget);
+        }
+        if shared.states_total.load(Ordering::SeqCst) >= cfg.max_states {
+            shared.stop.store(true, Ordering::SeqCst);
+            return Some(StopReason::StateBudget);
+        }
+
+        // Busy is raised *before* popping: an entry in hand always shows as
+        // in-flight work, so idle workers cannot conclude "exhausted" while
+        // children are still coming.
+        shared.busy.fetch_add(1, Ordering::SeqCst);
+        let guard = BusyGuard(&shared.busy);
+        let entry = {
+            let mut own = shared.queues[idx].lock();
+            match strategy {
+                WorkerStrategy::Bfs => own.pop_front(),
+                _ => own.pop_back(),
+            }
+        }
+        .or_else(|| steal(shared, idx));
+        let Some(entry) = entry else {
+            drop(guard);
+            // The rare losing race here (another worker popped the last
+            // entry between our two checks) costs this worker's
+            // parallelism, never coverage: whoever holds an entry drains
+            // its own children.
+            if shared.busy.load(Ordering::SeqCst) == 0 && shared.queues_all_empty() {
+                return Some(StopReason::Exhausted);
+            }
+            // Yield first (on a loaded single-CPU host this reschedules the
+            // worker actually holding work); back off to a sleep only after
+            // repeated misses so multi-CPU hosts don't burn a core.
+            idle_spins += 1;
+            if idle_spins < 64 {
+                std::thread::yield_now();
+            } else {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+            continue;
+        };
+        idle_spins = 0;
+
+        // --- Position the system at the entry's state: restore the longest
+        // cached prefix, then deterministically replay the rest.
+        let mut replay_from = 0usize;
+        loop {
+            let mut best: Option<(usize, usize)> = None; // (cache idx, prefix len)
+            for (ci, (p, _)) in cache.iter().enumerate() {
+                if p.len() > best.map_or(0, |(_, l)| l)
+                    && p.len() <= entry.prefix.len()
+                    && entry.prefix.starts_with(p)
+                {
+                    best = Some((ci, p.len()));
+                }
+            }
+            match best {
+                Some((ci, plen)) => {
+                    let id = cache[ci].1;
+                    match sys.restore(id) {
+                        Ok(()) => {
+                            stats.restores += 1;
+                            replay_from = plen;
+                            break;
+                        }
+                        Err(e) if is_evicted_error(&e) => {
+                            // The cached checkpoint aged out of the budgeted
+                            // store: forget it, fall back to a shorter one.
+                            cache.remove(ci);
+                            continue;
+                        }
+                        Err(e) => return Some(StopReason::Fatal(e)),
+                    }
+                }
+                None => match sys.restore(root) {
+                    Ok(()) => {
+                        stats.restores += 1;
+                        break;
+                    }
+                    Err(e) => return Some(restore_failure(e)),
+                },
+            }
+        }
+        for (i, op) in entry.prefix.iter().enumerate().skip(replay_from) {
+            match sys.apply(op) {
+                ApplyOutcome::Ok => stats.ops_replayed += 1,
+                ApplyOutcome::Prune(_) => {
+                    // A prefix that replayed cleanly when discovered cannot
+                    // prune under deterministic replay; treat it as a stale
+                    // entry and drop it rather than poison the run.
+                    stats.pruned += 1;
+                    shared.tick_round(quota);
+                    continue 'entries;
+                }
+                ApplyOutcome::Violation(message) => {
+                    let trace = entry.prefix[..=i].to_vec();
+                    viols.push(record_violation(
+                        &mut sys,
+                        trace,
+                        message,
+                        stats.ops_executed,
+                    ));
+                    if cfg.stop_on_violation {
+                        shared.stop.store(true, Ordering::SeqCst);
+                        return Some(StopReason::Violation);
+                    }
+                    shared.tick_round(quota);
+                    continue 'entries;
+                }
+            }
+        }
+
+        // --- Checkpoint the entry state (restored once per sibling op
+        // below) and cache it for this worker's future replays.
+        let ent_id = StateId(next_id);
+        next_id += 1;
+        if let Err(e) = sys.checkpoint(ent_id) {
+            return Some(StopReason::Fatal(e));
+        }
+        sys.pin(ent_id);
+        stats.checkpoints += 1;
+        cache.push_back((entry.prefix.clone(), ent_id));
+        if cache.len() > PREFIX_CACHE_CAP {
+            if let Some((_, old)) = cache.pop_front() {
+                sys.release(old);
+            }
+        }
+
+        // --- Expand: apply every enabled op, fingerprint, push new states.
+        let depth = entry.prefix.len();
+        let ops = sys.ops();
+        let mut at_entry = true;
+        for (i, op) in ops.iter().enumerate() {
+            if cfg.por && entry.sleep.contains(op) {
+                stats.pruned += 1;
+                continue;
+            }
+            if !at_entry {
+                if let Err(e) = sys.restore(ent_id) {
+                    // ent_id is pinned for the whole expansion; any failure
+                    // is genuine.
+                    sys.unpin(ent_id);
+                    return Some(restore_failure(e));
+                }
+                stats.restores += 1;
+            }
+            at_entry = false;
+            let outcome = sys.apply(op);
+            stats.ops_executed += 1;
+            shared.ops_total.fetch_add(1, Ordering::SeqCst);
+            match outcome {
+                ApplyOutcome::Ok => {}
+                ApplyOutcome::Prune(_) => {
+                    stats.pruned += 1;
+                    continue;
+                }
+                ApplyOutcome::Violation(message) => {
+                    let mut trace = entry.prefix.clone();
+                    trace.push(op.clone());
+                    viols.push(record_violation(
+                        &mut sys,
+                        trace,
+                        message,
+                        stats.ops_executed,
+                    ));
+                    if cfg.stop_on_violation {
+                        shared.stop.store(true, Ordering::SeqCst);
+                        sys.unpin(ent_id);
+                        return Some(StopReason::Violation);
+                    }
+                    continue;
+                }
+            }
+            let h = sys.abstract_state();
+            let (visit, resize) = shared.visited.insert_at(h, depth as u32 + 1);
+            if resize.is_some() {
+                stats.resize_events += 1;
+            }
+            match visit {
+                Visit::Matched => {
+                    stats.states_matched += 1;
+                    continue;
+                }
+                Visit::New => {
+                    stats.states_new += 1;
+                    shared.states_total.fetch_add(1, Ordering::SeqCst);
+                }
+                // Shallower: a known state reached closer to the root must
+                // be re-expanded or depth-bounded coverage would depend on
+                // which worker got there first.
+                Visit::Shallower => {}
+            }
+            stats.max_depth_seen = stats.max_depth_seen.max(depth + 1);
+            if depth + 1 < cfg.max_depth {
+                let sleep = if cfg.por {
+                    let mut s: Vec<S::Op> = entry
+                        .sleep
+                        .iter()
+                        .filter(|x| sys.independent(x, op))
+                        .cloned()
+                        .collect();
+                    for prev in &ops[..i] {
+                        if sys.independent(prev, op) && !s.contains(prev) {
+                            s.push(prev.clone());
+                        }
+                    }
+                    s
+                } else {
+                    Vec::new()
+                };
+                let mut prefix = entry.prefix.clone();
+                prefix.push(op.clone());
+                shared.queues[idx]
+                    .lock()
+                    .push_back(FrontierEntry { prefix, sleep });
+            }
+        }
+        sys.unpin(ent_id);
+        drop(guard);
+        shared.tick_round(quota);
+        // One expansion per scheduling slice: on a single-CPU host this is
+        // what lets idle workers steal before the current worker drains the
+        // whole frontier itself (virtual-time speedup tracks the work
+        // *split*, so balance matters more than raw wall throughput).
+        std::thread::yield_now();
+    }
+}
+
+/// Steals roughly half of the first non-empty victim queue (from its front
+/// — the oldest entries, i.e. the largest unexplored subtrees), moving the
+/// surplus into the thief's own queue and returning one entry to expand.
+fn steal<Op: Clone>(shared: &FrontierShared<Op>, idx: usize) -> Option<FrontierEntry<Op>> {
+    let n = shared.queues.len();
+    for off in 1..n {
+        let victim_idx = (idx + off) % n;
+        let stolen: Vec<FrontierEntry<Op>> = {
+            let mut victim = shared.queues[victim_idx].lock();
+            let len = victim.len();
+            if len == 0 {
+                continue;
+            }
+            let take = len.div_ceil(2);
+            victim.drain(..take).collect()
+        };
+        let mut it = stolen.into_iter();
+        let first = it.next();
+        shared.queues[idx].lock().extend(it);
+        return first;
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Stop-flag system wrappers
+// ---------------------------------------------------------------------------
 
 /// Wrapper that reports no enabled operations once the shared stop flag is
 /// raised, draining the remaining workers quickly.
@@ -182,63 +969,91 @@ struct Stoppable<'a, S> {
     stop: &'a AtomicBool,
 }
 
-impl<S: ModelSystem> ModelSystem for Stoppable<'_, S> {
-    type Op = S::Op;
-
-    fn ops(&mut self) -> Vec<Self::Op> {
-        if self.stop.load(Ordering::Relaxed) {
-            // No ops and an empty restart set terminates the walk via its
-            // op budget; force it sooner by returning nothing forever.
-            return Vec::new();
-        }
-        self.inner.ops()
-    }
-
-    fn apply(&mut self, op: &Self::Op) -> crate::system::ApplyOutcome {
-        self.inner.apply(op)
-    }
-
-    fn abstract_state(&mut self) -> u128 {
-        self.inner.abstract_state()
-    }
-
-    fn checkpoint(&mut self, id: crate::system::StateId) -> Result<usize, String> {
-        self.inner.checkpoint(id)
-    }
-
-    fn restore(&mut self, id: crate::system::StateId) -> Result<(), String> {
-        self.inner.restore(id)
-    }
-
-    fn release(&mut self, id: crate::system::StateId) {
-        self.inner.release(id)
-    }
-
-    fn pin(&mut self, id: crate::system::StateId) {
-        self.inner.pin(id)
-    }
-
-    fn unpin(&mut self, id: crate::system::StateId) {
-        self.inner.unpin(id)
-    }
-
-    fn checkpoint_store_stats(&self) -> Option<crate::system::CheckpointStoreStats> {
-        self.inner.checkpoint_store_stats()
-    }
-
-    fn crash_stats(&self) -> Option<crate::system::CrashStats> {
-        self.inner.crash_stats()
-    }
-
-    fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
-        self.inner.independent(a, b)
-    }
-
-    fn minimize(
-        &mut self,
-        trace: &[Self::Op],
-        message: &str,
-    ) -> Option<(Vec<Self::Op>, crate::ShrinkStats)> {
-        self.inner.minimize(trace, message)
+impl<S> Stoppable<'_, S> {
+    fn drained(&self) -> bool {
+        self.stop.load(Ordering::Relaxed)
     }
 }
+
+/// Like [`Stoppable`], but also drains at a snapshot round boundary so walk
+/// workers park for a consistent fleet snapshot.
+struct RoundStoppable<'a, S> {
+    inner: S,
+    stop: &'a AtomicBool,
+    round_done: &'a AtomicBool,
+}
+
+impl<S> RoundStoppable<'_, S> {
+    fn drained(&self) -> bool {
+        self.stop.load(Ordering::Relaxed) || self.round_done.load(Ordering::Relaxed)
+    }
+}
+
+macro_rules! delegate_system {
+    ($ty:ident) => {
+        impl<S: ModelSystem> ModelSystem for $ty<'_, S> {
+            type Op = S::Op;
+
+            fn ops(&mut self) -> Vec<Self::Op> {
+                if self.drained() {
+                    // No ops and an empty restart set terminates the walk
+                    // via its op budget; force it sooner by returning
+                    // nothing forever.
+                    return Vec::new();
+                }
+                self.inner.ops()
+            }
+
+            fn apply(&mut self, op: &Self::Op) -> crate::system::ApplyOutcome {
+                self.inner.apply(op)
+            }
+
+            fn abstract_state(&mut self) -> u128 {
+                self.inner.abstract_state()
+            }
+
+            fn checkpoint(&mut self, id: crate::system::StateId) -> Result<usize, String> {
+                self.inner.checkpoint(id)
+            }
+
+            fn restore(&mut self, id: crate::system::StateId) -> Result<(), String> {
+                self.inner.restore(id)
+            }
+
+            fn release(&mut self, id: crate::system::StateId) {
+                self.inner.release(id)
+            }
+
+            fn pin(&mut self, id: crate::system::StateId) {
+                self.inner.pin(id)
+            }
+
+            fn unpin(&mut self, id: crate::system::StateId) {
+                self.inner.unpin(id)
+            }
+
+            fn checkpoint_store_stats(&self) -> Option<crate::system::CheckpointStoreStats> {
+                self.inner.checkpoint_store_stats()
+            }
+
+            fn crash_stats(&self) -> Option<crate::system::CrashStats> {
+                self.inner.crash_stats()
+            }
+
+            fn independent(&self, a: &Self::Op, b: &Self::Op) -> bool {
+                self.inner.independent(a, b)
+            }
+
+            fn minimize(
+                &mut self,
+                trace: &[Self::Op],
+                message: &str,
+            ) -> Option<(Vec<Self::Op>, crate::ShrinkStats)> {
+                self.inner.minimize(trace, message)
+            }
+        }
+    };
+}
+
+delegate_system!(Stoppable);
+delegate_system!(RoundStoppable);

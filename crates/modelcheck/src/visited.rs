@@ -165,6 +165,33 @@ impl VisitedSet {
     pub fn bytes(&self) -> u64 {
         self.set.len() as u64 * BYTES_PER_ENTRY
     }
+
+    /// Exports every `(fingerprint, depth)` entry, sorted by fingerprint so
+    /// the serialized form is canonical (byte-identical across exports of
+    /// the same set, whatever the insertion order was).
+    pub fn export_entries(&self) -> Vec<(u128, u32)> {
+        let mut out: Vec<(u128, u32)> = self.set.iter().map(|(&h, &d)| (h, d)).collect();
+        out.sort_unstable_by_key(|&(h, _)| h);
+        out
+    }
+
+    /// Bulk-loads previously exported entries, keeping the shallowest depth
+    /// on collision. Loading does *not* fire modelled resize events — the
+    /// run that discovered these states already paid those costs; the
+    /// doubling threshold is advanced past the loaded size instead.
+    pub fn load_entries(&mut self, entries: &[(u128, u32)]) {
+        for &(h, d) in entries {
+            match self.set.get(&h) {
+                Some(&prev) if prev <= d => {}
+                _ => {
+                    self.set.insert(h, d);
+                }
+            }
+        }
+        while self.set.len() >= self.threshold {
+            self.threshold *= 2;
+        }
+    }
 }
 
 impl Default for VisitedSet {
@@ -274,6 +301,25 @@ impl ShardedVisited {
     /// Total modelled bytes across shards.
     pub fn bytes(&self) -> u64 {
         self.shards.iter().map(|s| s.lock().bytes()).sum()
+    }
+
+    /// Exports every `(fingerprint, depth)` entry across shards, sorted by
+    /// fingerprint (canonical order — see [`VisitedSet::export_entries`]).
+    pub fn export_entries(&self) -> Vec<(u128, u32)> {
+        let mut out = Vec::new();
+        for shard in self.shards.iter() {
+            out.extend(shard.lock().export_entries());
+        }
+        out.sort_unstable_by_key(|&(h, _)| h);
+        out
+    }
+
+    /// Bulk-loads previously exported entries into the owning shards without
+    /// firing modelled resize events (see [`VisitedSet::load_entries`]).
+    pub fn load_entries(&self, entries: &[(u128, u32)]) {
+        for &(h, d) in entries {
+            self.shard_for(h).lock().load_entries(&[(h, d)]);
+        }
     }
 }
 

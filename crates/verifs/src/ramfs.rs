@@ -1084,6 +1084,7 @@ impl FileSystem for VeriFs {
         // tail (growth zero-fills), so it must fingerprint identically.
         let mut acc: u128 = 0;
         let mut any = false;
+        let mut canon: Option<Vec<Option<String>>> = None;
         for (ino, slot) in self.state.inodes.iter().enumerate() {
             let Some(inode) = slot else { continue };
             if let NodeKind::Regular { buf, size } = &inode.kind {
@@ -1092,10 +1093,22 @@ impl FileSystem for VeriFs {
                 if residue.iter().all(|&b| b == 0) {
                     continue;
                 }
-                // XOR-fold per-inode digests keyed by inode number so two
-                // files with identical residues don't cancel out.
-                let mut bytes = Vec::with_capacity(16 + residue.len());
-                bytes.extend_from_slice(&(ino as u64).to_le_bytes());
+                // XOR-fold per-inode digests keyed by the inode's canonical
+                // path so two files with identical residues don't cancel
+                // out. The key must NOT be the inode number: slot assignment
+                // depends on creation order, and two op interleavings that
+                // reach the same observable state would then fingerprint
+                // differently, making state-matched exploration counts
+                // depend on visit order. Orphans (no path) have no residue
+                // the POSIX interface could ever surface again, but key
+                // them by slot as a conservative fallback.
+                let paths = canon.get_or_insert_with(|| self.canonical_paths());
+                let mut bytes = Vec::with_capacity(24 + residue.len());
+                match &paths[ino] {
+                    Some(path) => bytes.extend_from_slice(path.as_bytes()),
+                    None => bytes.extend_from_slice(&(ino as u64).to_le_bytes()),
+                }
+                bytes.push(0);
                 bytes.extend_from_slice(&size.to_le_bytes());
                 bytes.extend_from_slice(residue);
                 acc ^= mdigest::md5(&bytes).as_u128();
@@ -1103,6 +1116,50 @@ impl FileSystem for VeriFs {
             }
         }
         any.then_some(acc)
+    }
+}
+
+impl VeriFs {
+    /// Lexicographically-smallest path reaching each inode, indexed by
+    /// inode number. Directories have exactly one parent, so the walk is a
+    /// tree traversal; hardlinked files keep the smallest of their names.
+    /// Orphans (unlinked-but-open inodes) get `None`.
+    fn canonical_paths(&self) -> Vec<Option<String>> {
+        let mut canon: Vec<Option<String>> = vec![None; self.state.inodes.len()];
+        let root = Ino::ROOT.0 as usize;
+        if root < canon.len() {
+            canon[root] = Some(String::from("/"));
+        }
+        let mut stack: Vec<(u64, String)> = vec![(Ino::ROOT.0, String::new())];
+        while let Some((dir, prefix)) = stack.pop() {
+            let Some(Some(inode)) = self.state.inodes.get(dir as usize) else {
+                continue;
+            };
+            let NodeKind::Directory { entries } = &inode.kind else {
+                continue;
+            };
+            for (name, &child) in entries.iter() {
+                let path = format!("{prefix}/{name}");
+                let is_dir = matches!(
+                    self.state.inodes.get(child as usize),
+                    Some(Some(Inode {
+                        kind: NodeKind::Directory { .. },
+                        ..
+                    }))
+                );
+                match &mut canon[child as usize] {
+                    slot @ None => {
+                        *slot = Some(path.clone());
+                        if is_dir {
+                            stack.push((child, path));
+                        }
+                    }
+                    Some(existing) if path < *existing => *existing = path,
+                    _ => {}
+                }
+            }
+        }
+        canon
     }
 }
 

@@ -50,6 +50,7 @@ fn main() {
             ..ExploreConfig::default()
         },
         shared_visited: false,
+        strategies: vec![],
     };
     println!(
         "launching a swarm of {} diversified searches...",

@@ -292,6 +292,7 @@ fn swarm_reports_the_shortest_minimized_violation() {
                 ..ExploreConfig::default()
             },
             shared_visited: false,
+            strategies: vec![],
         },
         |_idx| harness_with_factory(Arc::clone(&factory)).expect("worker harness builds"),
     );
