@@ -1,0 +1,250 @@
+//! Out-of-core exploration scaling: exhaustive runs whose visited set is a
+//! multiple of the RAM budget.
+//!
+//! Section 1 exhausts the same depth-bounded VeriFS space under RAM budgets
+//! of ∞ (all in memory), 1×, 1/4× and 1/10× of the visited set's modelled
+//! size, reporting states/s in **virtual time** (spill page traffic charges
+//! the shared clock at the budget's `ns_per_mib`). Acceptance: the 1/10×
+//! run must stay above 50% of the in-memory rate, classify the identical
+//! state count, and the memmodel predictor's swap traffic must land within
+//! 20% of the measured spill traffic — the model is validated against the
+//! machinery, not the other way round.
+//!
+//! Section 2 squeezes an ext2/ext4 run's checkpoint pool under a byte
+//! budget with the spill tier attached: eviction pressure must demote
+//! device snapshots to disk (COW-chunk deduplicated) and promote them back
+//! on restore instead of failing with `ESTALE`.
+//!
+//! Results go to `BENCH_oocore.json`.
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin oocore_scale [--quick]`
+
+use blockdev::LatencyModel;
+use mcfs::{McfsConfig, PoolConfig, RemountMode};
+use mcfs_bench::{pair_ext2_ext4_cfg, pair_verifs, print_table};
+use modelcheck::{DfsExplorer, ExploreConfig, ExploreReport, MemBudget, RandomWalk, StopReason};
+
+struct Row {
+    budget_label: &'static str,
+    ram_bytes: u64,
+    states: u64,
+    virtual_ms: f64,
+    states_per_sec: f64,
+    rate_ratio: f64,
+    pages_written: u64,
+    pages_read: u64,
+    measured_swap_bytes: u64,
+    predicted_swap_bytes: u64,
+    model_error: f64,
+    bloom_skips: u64,
+}
+
+fn run_dfs(depth: usize, budget: Option<MemBudget>) -> ExploreReport<mcfs::FsOp> {
+    let mut pairing = pair_verifs(PoolConfig::small()).expect("verifs pairing");
+    let explorer = DfsExplorer::new(ExploreConfig {
+        max_depth: depth,
+        max_ops: u64::MAX,
+        seed: 42,
+        mem_budget: budget,
+        ..ExploreConfig::default()
+    })
+    .with_clock(pairing.clock.clone());
+    let report = explorer.run(&mut pairing.harness);
+    assert!(
+        matches!(report.stop, StopReason::Exhausted),
+        "scaling run must exhaust, stopped with {:?}",
+        report.stop
+    );
+    report
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let depth = if quick { 3 } else { 4 };
+
+    // ----- Section 1: visited-set scaling -------------------------------
+    let baseline = run_dfs(depth, None);
+    let set_bytes = baseline.stats.visited_peak_bytes;
+    let base_rate = baseline.stats.states_new as f64 * 1e9 / baseline.stats.virtual_ns as f64;
+    assert!(set_bytes > 0, "baseline must report the visited-set size");
+
+    let budgets: [(&'static str, Option<u64>); 4] = [
+        ("inf", None),
+        ("1x", Some(set_bytes)),
+        ("1/4x", Some(set_bytes / 4)),
+        ("1/10x", Some(set_bytes / 10)),
+    ];
+    let mut rows = Vec::new();
+    for (label, ram) in budgets {
+        let report = match ram {
+            None => run_dfs(depth, None),
+            Some(bytes) => run_dfs(depth, Some(MemBudget::new(bytes))),
+        };
+        let s = &report.stats;
+        assert_eq!(
+            s.states_new, baseline.stats.states_new,
+            "{label}: budgeted run classified a different state count"
+        );
+        let rate = s.states_new as f64 * 1e9 / s.virtual_ns as f64;
+        let spill = s.spill.unwrap_or_default();
+        rows.push(Row {
+            budget_label: label,
+            ram_bytes: ram.unwrap_or(0),
+            states: s.states_new,
+            virtual_ms: s.virtual_ns as f64 / 1e6,
+            states_per_sec: rate,
+            rate_ratio: rate / base_rate,
+            pages_written: spill.pages_written,
+            pages_read: spill.pages_read,
+            measured_swap_bytes: spill.measured_swap_bytes(),
+            predicted_swap_bytes: spill.predicted_swap_bytes,
+            model_error: spill.model_error(),
+            bloom_skips: spill.bloom_skips,
+        });
+    }
+
+    let table: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{} ({} B RAM)", r.budget_label, r.ram_bytes),
+                format!(
+                    "{} states, {:.2} virt-ms, {:.0} states/s ({:.0}% of in-mem), \
+                     {} pg out / {} pg in, model err {:.1}%",
+                    r.states,
+                    r.virtual_ms,
+                    r.states_per_sec,
+                    r.rate_ratio * 100.0,
+                    r.pages_written,
+                    r.pages_read,
+                    r.model_error * 100.0
+                ),
+            )
+        })
+        .collect();
+    print_table(
+        &format!("Out-of-core visited set (depth {depth}, VeriFS pairing)"),
+        &table,
+    );
+
+    let tenth = rows.last().expect("1/10x row");
+    assert!(
+        tenth.pages_written > 0,
+        "the 1/10x budget must actually spill pages"
+    );
+    assert!(
+        tenth.rate_ratio > 0.5,
+        "1/10x-budget run fell to {:.1}% of the in-memory rate \
+         (acceptance floor: 50%)",
+        tenth.rate_ratio * 100.0
+    );
+    for r in &rows {
+        if r.measured_swap_bytes > 0 {
+            assert!(
+                r.model_error <= 0.20,
+                "{}: memmodel predicted {} B of swap traffic vs {} B measured \
+                 ({:.1}% error, acceptance ceiling: 20%)",
+                r.budget_label,
+                r.predicted_swap_bytes,
+                r.measured_swap_bytes,
+                r.model_error * 100.0
+            );
+        }
+    }
+
+    // ----- Section 2: checkpoint-pool demotion --------------------------
+    // A spread-restart random walk keeps *unpinned* restart checkpoints
+    // resident (DFS pins its whole spine, so it never exercises demotion).
+    // Squeezing the pool to roughly two device snapshots with the spill
+    // tier attached must demote snapshots to disk under pressure and
+    // promote them back on restore instead of ESTALE-ing the walk back to
+    // the root.
+    let ckpt_budget = 600 << 10;
+    let walk_ops = if quick { 800 } else { 4_000 };
+    let mut pairing = pair_ext2_ext4_cfg(
+        LatencyModel::ram(),
+        RemountMode::PerOp,
+        McfsConfig {
+            pool: PoolConfig::small(),
+            checkpoint_budget_bytes: Some(ckpt_budget),
+            mem_budget: Some(MemBudget::new(64 << 10)),
+            ..McfsConfig::default()
+        },
+    )
+    .expect("ext pairing");
+    let walk = RandomWalk::new(ExploreConfig {
+        max_depth: 5,
+        max_ops: walk_ops,
+        seed: 42,
+        restart_spread: 0.5,
+        ..ExploreConfig::default()
+    })
+    .with_clock(pairing.clock.clone());
+    let report = walk.run_observed(&mut pairing.harness, |_| {});
+    assert!(
+        matches!(report.stop, StopReason::OpBudget),
+        "the walk must run out its op budget, stopped with {:?}",
+        report.stop
+    );
+    let ckpt = report
+        .stats
+        .checkpoint_store
+        .expect("remount targets report pool stats");
+    assert!(
+        ckpt.demotions > 0,
+        "the squeezed pool must demote snapshots (stats: {ckpt:?})"
+    );
+    assert!(
+        ckpt.promotions > 0,
+        "restored restart targets must promote back from disk (stats: {ckpt:?})"
+    );
+    print_table(
+        "Checkpoint-pool spill (ext2 vs ext4, 600 KiB pool budget)",
+        &[
+            ("demotions".into(), ckpt.demotions.to_string()),
+            ("promotions".into(), ckpt.promotions.to_string()),
+            ("hard evictions".into(), ckpt.evictions.to_string()),
+            (
+                "unique bytes on disk".into(),
+                format!("{} (COW-chunk deduplicated)", ckpt.spilled_bytes),
+            ),
+        ],
+    );
+
+    // ----- JSON ---------------------------------------------------------
+    let scale_json: String = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"budget\": \"{}\", \"ram_bytes\": {}, \"states\": {}, \
+                 \"virtual_ms\": {:.3}, \"states_per_sec\": {:.1}, \
+                 \"rate_ratio\": {:.4}, \"pages_written\": {}, \"pages_read\": {}, \
+                 \"measured_swap_bytes\": {}, \"predicted_swap_bytes\": {}, \
+                 \"model_error\": {:.4}, \"bloom_skips\": {}}}",
+                r.budget_label,
+                r.ram_bytes,
+                r.states,
+                r.virtual_ms,
+                r.states_per_sec,
+                r.rate_ratio,
+                r.pages_written,
+                r.pages_read,
+                r.measured_swap_bytes,
+                r.predicted_swap_bytes,
+                r.model_error,
+                r.bloom_skips
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"depth\": {depth},\n  \
+         \"visited_set_bytes\": {set_bytes},\n  \"scale\": [\n{scale_json}\n  ],\n  \
+         \"checkpoint_spill\": {{\"demotions\": {}, \"promotions\": {}, \
+         \"evictions\": {}, \"spilled_bytes\": {}}}\n}}",
+        ckpt.demotions, ckpt.promotions, ckpt.evictions, ckpt.spilled_bytes
+    );
+    println!("\n{json}");
+    std::fs::write("BENCH_oocore.json", format!("{json}\n")).expect("write BENCH_oocore.json");
+}

@@ -154,6 +154,33 @@ impl CowImage {
         self.chunks.iter().map(|c| c.as_slice())
     }
 
+    /// Reassembles an image from chunks previously produced by
+    /// [`CowImage::chunks`] (e.g. reloaded from a disk spill tier). Returns
+    /// `None` when the chunks do not tile an image of the given geometry:
+    /// every chunk must be `chunk_size` bytes except a shorter final one.
+    pub fn from_chunks(chunk_size: usize, chunks: Vec<Vec<u8>>) -> Option<Self> {
+        if chunk_size == 0 {
+            return None;
+        }
+        let len: usize = chunks.iter().map(Vec::len).sum();
+        let n = chunks.len();
+        for (i, c) in chunks.iter().enumerate() {
+            let want = if i + 1 == n {
+                len - (n - 1) * chunk_size
+            } else {
+                chunk_size
+            };
+            if c.len() != want || c.is_empty() {
+                return None;
+            }
+        }
+        Some(CowImage {
+            chunk_size,
+            len,
+            chunks: chunks.into_iter().map(Arc::new).collect(),
+        })
+    }
+
     /// Materializes the full image as one contiguous vector.
     pub fn to_vec(&self) -> Vec<u8> {
         let mut out = Vec::with_capacity(self.len);

@@ -97,6 +97,24 @@ impl DeviceSnapshot {
         self.image.chunks()
     }
 
+    /// The chunk granularity of the underlying COW image.
+    pub fn chunk_size(&self) -> usize {
+        self.image.chunk_size()
+    }
+
+    /// Reassembles a snapshot from chunks previously produced by
+    /// [`DeviceSnapshot::chunks`] (the checkpoint pool's disk-promotion
+    /// path). Returns `None` on geometry mismatch.
+    pub fn from_chunks(block_size: usize, chunk_size: usize, chunks: Vec<Vec<u8>>) -> Option<Self> {
+        if block_size == 0 {
+            return None;
+        }
+        Some(DeviceSnapshot {
+            block_size,
+            image: CowImage::from_chunks(chunk_size, chunks)?,
+        })
+    }
+
     /// Materializes the full image as one contiguous vector.
     pub fn to_vec(&self) -> Vec<u8> {
         self.image.to_vec()

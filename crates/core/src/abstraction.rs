@@ -259,15 +259,25 @@ impl FingerprintCache {
         }
     }
 
+    /// Visits every cached `(path, digest)` pair in path order — the
+    /// canonical export order — without cloning the paths. Serializers
+    /// stream straight from this into their output buffer; only a vector of
+    /// path *references* is materialized for the sort.
+    pub fn for_each_sorted(&self, mut f: impl FnMut(&str, u128)) {
+        let mut paths: Vec<&String> = self.map.keys().collect();
+        paths.sort_unstable();
+        for p in paths {
+            f(p, self.map[p].as_u128());
+        }
+    }
+
     /// Exports the cached `(path, digest)` pairs, sorted by path so the
-    /// result is canonical (serialization-friendly).
+    /// result is canonical. Prefer [`for_each_sorted`]
+    /// (FingerprintCache::for_each_sorted) when the pairs are consumed once:
+    /// it skips cloning every path.
     pub fn export_entries(&self) -> Vec<(String, u128)> {
-        let mut out: Vec<(String, u128)> = self
-            .map
-            .iter()
-            .map(|(p, d)| (p.clone(), d.as_u128()))
-            .collect();
-        out.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        let mut out = Vec::with_capacity(self.map.len());
+        self.for_each_sorted(|p, d| out.push((p.to_string(), d)));
         out
     }
 
@@ -391,6 +401,15 @@ impl FingerprintStore {
             self.live.export_entries()
         } else {
             Vec::new()
+        }
+    }
+
+    /// Streaming form of [`export_live`](FingerprintStore::export_live):
+    /// visits the live `(path, digest)` pairs in canonical path order
+    /// without materializing owned copies. A disabled store visits nothing.
+    pub fn for_each_live(&self, f: impl FnMut(&str, u128)) {
+        if self.enabled {
+            self.live.for_each_sorted(f);
         }
     }
 

@@ -11,7 +11,8 @@ use std::sync::Arc;
 use blockdev::Clock;
 use mdigest::Digest128;
 use modelcheck::{
-    ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId, EVICTED_MARKER,
+    ApplyOutcome, CheckpointStoreStats, CrashStats, MemBudget, ModelSystem, SpillStore, StateId,
+    EVICTED_MARKER,
 };
 use vfs::{Errno, FileMode, OpenFlags, VfsResult};
 
@@ -55,6 +56,15 @@ pub struct McfsConfig {
     /// to explorers as a budget-driven stop, not a fatal error. `None`
     /// (the default) never evicts.
     pub checkpoint_budget_bytes: Option<usize>,
+    /// Out-of-core memory budget. When set, the harness opens a spill store
+    /// and attaches it to every target's checkpoint pool: budget pressure
+    /// then demotes device snapshots to disk (COW-chunk deduplicated)
+    /// instead of evicting them, and the page traffic's virtual-time cost is
+    /// charged to the run's clock. Explorers read the same budget from
+    /// `ExploreConfig::mem_budget` for the visited set and frontier; pass
+    /// the one budget to both configs. `None` (the default) keeps the pool
+    /// RAM-only.
+    pub mem_budget: Option<MemBudget>,
     /// Add a nondeterministic `crash` pseudo-operation to the op pool. A
     /// crash drops every target's in-memory state, power-cuts its device
     /// (unflushed writes vanish), and remounts through the target's recovery
@@ -88,6 +98,7 @@ impl Default for McfsConfig {
             majority_voting: true,
             incremental_fingerprint: true,
             checkpoint_budget_bytes: None,
+            mem_budget: None,
             crash_exploration: false,
             minimize_violations: false,
             legacy_por_heuristic: false,
@@ -125,6 +136,10 @@ pub struct Mcfs {
     factory: Option<Arc<HarnessFactory>>,
     /// Precomputed signature-derived independence over the filtered pool.
     effects: EffectIndex,
+    /// The spill store the targets' checkpoint pools demote to (when
+    /// [`McfsConfig::mem_budget`] is set); drained into the virtual clock
+    /// after each operation so checkpoint page traffic costs virtual time.
+    ckpt_spill: Option<Arc<SpillStore>>,
 }
 
 impl std::fmt::Debug for Mcfs {
@@ -170,8 +185,15 @@ impl Mcfs {
         if targets.len() < 2 {
             return Err(Errno::EINVAL);
         }
+        let ckpt_spill = match &cfg.mem_budget {
+            Some(budget) => Some(SpillStore::new(budget).map_err(|_| Errno::EIO)?),
+            None => None,
+        };
         for t in &mut targets {
             t.set_checkpoint_budget(cfg.checkpoint_budget_bytes);
+            if let Some(store) = &ckpt_spill {
+                t.set_checkpoint_spill(store.clone());
+            }
         }
         // Intersect capabilities and generate the bounded op set.
         let mut caps = targets[0].capabilities();
@@ -221,6 +243,7 @@ impl Mcfs {
             crash_divergences: 0,
             factory: None,
             effects,
+            ckpt_spill,
         };
         if harness.cfg.equalize_free_space {
             harness.equalize()?;
@@ -318,6 +341,22 @@ impl Mcfs {
         if let Some(c) = &self.clock {
             c.advance_ns(ns);
         }
+    }
+
+    /// Drains the checkpoint spill store's accumulated page-traffic cost
+    /// into the virtual clock (demotions/promotions happened since the last
+    /// drain).
+    fn charge_ckpt_spill(&self) {
+        if let Some(s) = &self.ckpt_spill {
+            self.charge(s.take_pending_ns());
+        }
+    }
+
+    /// The spill store the targets' checkpoint pools demote to, if
+    /// [`McfsConfig::mem_budget`] attached one (benchmarks read its
+    /// counters).
+    pub fn checkpoint_spill_store(&self) -> Option<&Arc<SpillStore>> {
+        self.ckpt_spill.as_ref()
     }
 
     /// Free-space equalization (§3.4): find the smallest available capacity
@@ -669,6 +708,7 @@ impl ModelSystem for Mcfs {
                 .save_state(id.0)
                 .map_err(|e| format!("{}: checkpoint failed: {e}", t.name()))?;
         }
+        self.charge_ckpt_spill();
         if self.cfg.crash_exploration {
             // Checkpointing syncs device-backed targets, so this state is a
             // new sync floor: the crash window restarts here, and a restore
@@ -705,6 +745,7 @@ impl ModelSystem for Mcfs {
                 self.prefix_hashes.push(h);
             }
         }
+        self.charge_ckpt_spill();
         Ok(())
     }
 

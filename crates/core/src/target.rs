@@ -13,9 +13,11 @@
 //! * [`CriuTarget`] — CRIU process snapshots: refuses processes holding
 //!   device nodes, so it works for Ganesha-like servers but not FUSE.
 
+use std::sync::Arc;
+
 use blockdev::{Clock, DeviceSnapshot};
 use mdigest::{Digest128, Md5};
-use modelcheck::CheckpointStoreStats;
+use modelcheck::{CheckpointStoreStats, SpillStore};
 use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig, FingerprintStore};
@@ -64,6 +66,15 @@ pub trait CheckedTarget: Send {
     /// (restoring one then fails with `ESTALE`). Default: no store to bound.
     fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
         let _ = budget;
+    }
+
+    /// Attaches a disk spill tier to this target's checkpoint store: budget
+    /// pressure then demotes chunk-decomposable snapshots to `store` instead
+    /// of evicting them (see `CheckpointPool::enable_spill`). Default: no
+    /// store, or snapshots the strategy cannot demote — the budget keeps
+    /// hard-evicting.
+    fn set_checkpoint_spill(&mut self, store: Arc<SpillStore>) {
+        let _ = store;
     }
 
     /// Pins the snapshot under `key` against budget-driven eviction.
@@ -472,6 +483,10 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
 
     fn set_checkpoint_budget(&mut self, budget: Option<usize>) {
         self.snapshots.set_budget(budget);
+    }
+
+    fn set_checkpoint_spill(&mut self, store: Arc<SpillStore>) {
+        self.snapshots.enable_spill(store);
     }
 
     fn pin_state(&mut self, key: u64) {

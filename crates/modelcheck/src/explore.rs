@@ -3,11 +3,12 @@
 use blockdev::Clock;
 
 use crate::memmodel::{MemConfig, MemoryModel, OutOfMemory};
+use crate::spill::{MemBudget, SpillStats};
 use crate::system::{
     is_evicted_error, ApplyOutcome, CheckpointStoreStats, CrashStats, ModelSystem, StateId,
     Violation,
 };
-use crate::visited::{Visit, VisitedHandle, VisitedSet};
+use crate::visited::{ShardedVisited, Visit, VisitedHandle, VisitedSet};
 
 /// Exploration bounds and options.
 #[derive(Debug, Clone)]
@@ -27,6 +28,11 @@ pub struct ExploreConfig {
     pub por: bool,
     /// Memory model budgets.
     pub mem: MemConfig,
+    /// Out-of-core budget: when set, the visited set spills cold entries to
+    /// disk instead of growing without bound, real page traffic is charged
+    /// to the virtual clock, and [`ExploreStats::spill`] reports the
+    /// counters. `None` keeps the fully in-RAM sets.
+    pub mem_budget: Option<MemBudget>,
     /// Initial visited-table capacity (first modelled resize threshold).
     pub visited_capacity: usize,
     /// Keep every visited state's concrete image charged against the memory
@@ -61,6 +67,7 @@ impl Default for ExploreConfig {
             stop_on_violation: true,
             por: false,
             mem: MemConfig::default(),
+            mem_budget: None,
             visited_capacity: 1 << 16,
             retain_states: false,
             restart_spread: 0.0,
@@ -133,6 +140,13 @@ pub struct ExploreStats {
     pub hit_rate: f64,
     /// Virtual time consumed (0 without a clock).
     pub virtual_ns: u64,
+    /// Peak bytes held by the visited set (hot cache only when spilling;
+    /// the whole table when fully in RAM). Tracked as a watermark so the
+    /// hot-budget enforcement of [`ExploreConfig::mem_budget`] is auditable.
+    pub visited_peak_bytes: u64,
+    /// Spill-store counters when the run used an out-of-core visited set
+    /// ([`ExploreConfig::mem_budget`]); `None` for fully in-RAM runs.
+    pub spill: Option<SpillStats>,
     /// End-of-run statistics of the system's checkpoint store, when it
     /// maintains a budgeted pool ([`ModelSystem::checkpoint_store_stats`]).
     pub checkpoint_store: Option<CheckpointStoreStats>,
@@ -171,6 +185,12 @@ impl ExploreStats {
         self.swapped_bytes += other.swapped_bytes;
         self.hit_rate = self.hit_rate.max(other.hit_rate);
         self.virtual_ns += other.virtual_ns;
+        self.visited_peak_bytes = self.visited_peak_bytes.max(other.visited_peak_bytes);
+        match (&mut self.spill, &other.spill) {
+            (Some(a), Some(b)) => a.merge(b),
+            (None, Some(b)) => self.spill = Some(*b),
+            _ => {}
+        }
         match (&mut self.checkpoint_store, &other.checkpoint_store) {
             (Some(a), Some(b)) => a.merge(b),
             (None, Some(b)) => self.checkpoint_store = Some(*b),
@@ -202,6 +222,16 @@ fn restore_failure(e: String) -> StopReason {
         StopReason::CheckpointEvicted(e)
     } else {
         StopReason::Fatal(e)
+    }
+}
+
+/// The report for a run that could not start because the spill store failed
+/// to initialize (bad spill dir, exhausted fds, ...).
+fn spill_init_failure<Op>(e: String) -> ExploreReport<Op> {
+    ExploreReport {
+        stats: ExploreStats::default(),
+        violations: Vec::new(),
+        stop: StopReason::Fatal(format!("spill store init failed: {e}")),
     }
 }
 
@@ -262,10 +292,19 @@ impl DfsExplorer {
         }
     }
 
-    /// Runs the exploration to completion or budget.
+    /// Runs the exploration to completion or budget. With
+    /// [`ExploreConfig::mem_budget`] set, the visited set is disk-spilling.
     pub fn run<S: ModelSystem>(&self, sys: &mut S) -> ExploreReport<S::Op> {
-        let mut visited = VisitedSet::new(self.cfg.visited_capacity);
-        self.run_with_visited(sys, &mut visited)
+        match &self.cfg.mem_budget {
+            Some(budget) => match ShardedVisited::with_spill(self.cfg.visited_capacity, budget) {
+                Ok(mut visited) => self.run_with_visited(sys, &mut visited),
+                Err(e) => spill_init_failure(e),
+            },
+            None => {
+                let mut visited = VisitedSet::new(self.cfg.visited_capacity);
+                self.run_with_visited(sys, &mut visited)
+            }
+        }
     }
 
     /// Runs with a caller-owned visited set — the paper's §7 resumability:
@@ -292,6 +331,10 @@ impl DfsExplorer {
         let root = StateId(next_id);
         next_id += 1;
         let stop = (|| -> StopReason {
+            self.charge(visited.take_pending_ns());
+            if let Some(e) = visited.error() {
+                return StopReason::Fatal(format!("visited spill failed: {e}"));
+            }
             match sys.checkpoint(root) {
                 Ok(bytes) => match mem.store(root, bytes as u64) {
                     Ok(cost) => self.charge(cost),
@@ -386,6 +429,10 @@ impl DfsExplorer {
                     self.charge(mem.set_overhead(visited.bytes() + r.transient_bytes));
                     self.charge(mem.set_overhead(visited.bytes()));
                 }
+                self.charge(visited.take_pending_ns());
+                if let Some(e) = visited.error() {
+                    return StopReason::Fatal(format!("visited spill failed: {e}"));
+                }
                 if visit == Visit::Matched {
                     stats.states_matched += 1;
                     continue;
@@ -440,12 +487,15 @@ impl DfsExplorer {
             }
         })();
 
+        self.charge(visited.take_pending_ns());
         stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
         stats.hit_rate = mem.hit_rate();
+        stats.visited_peak_bytes = visited.peak_bytes();
+        stats.spill = visited.spill_stats();
         stats.virtual_ns = self
             .clock
             .as_ref()
@@ -488,21 +538,44 @@ impl BfsExplorer {
 
     /// Runs the exploration.
     pub fn run<S: ModelSystem>(&self, sys: &mut S) -> ExploreReport<S::Op> {
+        match &self.cfg.mem_budget {
+            Some(budget) => match ShardedVisited::with_spill(self.cfg.visited_capacity, budget) {
+                Ok(mut visited) => self.run_with_visited(sys, &mut visited),
+                Err(e) => spill_init_failure(e),
+            },
+            None => {
+                let mut visited = VisitedSet::new(self.cfg.visited_capacity);
+                self.run_with_visited(sys, &mut visited)
+            }
+        }
+    }
+
+    /// Runs with a caller-owned visited set (§7 resumability — see
+    /// [`DfsExplorer::run_with_visited`]).
+    pub fn run_with_visited<S: ModelSystem, V: VisitedHandle>(
+        &self,
+        sys: &mut S,
+        visited: &mut V,
+    ) -> ExploreReport<S::Op> {
         use std::collections::VecDeque;
         let start_ns = self.clock.as_ref().map(Clock::now_ns).unwrap_or(0);
         let mut stats = ExploreStats::default();
         let mut violations = Vec::new();
-        let mut visited = VisitedSet::new(self.cfg.visited_capacity);
         let mut mem = MemoryModel::new(self.cfg.mem);
         let mut next_id = 0u64;
         // Parent-pointer arena for trace reconstruction.
         let mut arena: Vec<(Option<usize>, Option<S::Op>)> = vec![(None, None)];
 
-        visited.insert(sys.abstract_state());
-        stats.states_new += 1;
+        if visited.insert(sys.abstract_state()).0 {
+            stats.states_new += 1;
+        }
         let root = StateId(next_id);
         next_id += 1;
         let stop = (|| -> StopReason {
+            self.charge(visited.take_pending_ns());
+            if let Some(e) = visited.error() {
+                return StopReason::Fatal(format!("visited spill failed: {e}"));
+            }
             match sys.checkpoint(root) {
                 Ok(bytes) => match mem.store(root, bytes as u64) {
                     Ok(cost) => self.charge(cost),
@@ -575,6 +648,10 @@ impl BfsExplorer {
                         self.charge(r.cost_ns);
                         self.charge(mem.set_overhead(visited.bytes()));
                     }
+                    self.charge(visited.take_pending_ns());
+                    if let Some(e) = visited.error() {
+                        return StopReason::Fatal(format!("visited spill failed: {e}"));
+                    }
                     if visit != Visit::New {
                         stats.states_matched += 1;
                         continue;
@@ -607,12 +684,15 @@ impl BfsExplorer {
             StopReason::Exhausted
         })();
 
+        self.charge(visited.take_pending_ns());
         stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
         stats.hit_rate = mem.hit_rate();
+        stats.visited_peak_bytes = visited.peak_bytes();
+        stats.spill = visited.spill_stats();
         stats.virtual_ns = self
             .clock
             .as_ref()
@@ -665,8 +745,16 @@ impl RandomWalk {
         sys: &mut S,
         observe: impl FnMut(&ExploreStats),
     ) -> ExploreReport<S::Op> {
-        let mut visited = VisitedSet::new(self.cfg.visited_capacity);
-        self.run_resumable(sys, &mut visited, observe)
+        match &self.cfg.mem_budget {
+            Some(budget) => match ShardedVisited::with_spill(self.cfg.visited_capacity, budget) {
+                Ok(mut visited) => self.run_resumable(sys, &mut visited, observe),
+                Err(e) => spill_init_failure(e),
+            },
+            None => {
+                let mut visited = VisitedSet::new(self.cfg.visited_capacity);
+                self.run_resumable(sys, &mut visited, observe)
+            }
+        }
     }
 
     /// Runs with a caller-owned visited set (§7 resumability — see
@@ -695,6 +783,10 @@ impl RandomWalk {
         let mut next_id = 1u64;
         let mut stored: Vec<StateId> = vec![root];
         let stop = (|| -> StopReason {
+            self.charge(visited.take_pending_ns());
+            if let Some(e) = visited.error() {
+                return StopReason::Fatal(format!("visited spill failed: {e}"));
+            }
             match sys.checkpoint(root) {
                 Ok(bytes) => match mem.store(root, bytes as u64) {
                     Ok(cost) => self.charge(cost),
@@ -795,6 +887,10 @@ impl RandomWalk {
                     self.charge(mem.set_overhead(visited.bytes() + r.transient_bytes));
                     self.charge(mem.set_overhead(visited.bytes()));
                 }
+                self.charge(visited.take_pending_ns());
+                if let Some(e) = visited.error() {
+                    return StopReason::Fatal(format!("visited spill failed: {e}"));
+                }
                 if is_new {
                     stats.states_new += 1;
                     // The walker checkpoints newly discovered states, as
@@ -868,12 +964,15 @@ impl RandomWalk {
             }
         })();
 
+        self.charge(visited.take_pending_ns());
         stats.checkpoint_store = sys.checkpoint_store_stats();
         stats.crash = sys.crash_stats();
         stats.peak_memory_bytes = mem.peak_bytes();
         stats.swap_traffic_bytes = mem.swap_traffic_bytes();
         stats.swapped_bytes = mem.swapped_bytes();
         stats.hit_rate = mem.hit_rate();
+        stats.visited_peak_bytes = visited.peak_bytes();
+        stats.spill = visited.spill_stats();
         stats.virtual_ns = self
             .clock
             .as_ref()

@@ -68,6 +68,7 @@ mod explore;
 mod memmodel;
 pub mod pickle;
 mod shrink;
+mod spill;
 mod swarm;
 mod system;
 mod visited;
@@ -77,10 +78,14 @@ pub use explore::{
 };
 pub use memmodel::{MemConfig, MemoryModel, OutOfMemory};
 pub use pickle::{
-    decode_snapshot, encode_snapshot, load_snapshot, save_atomic, ByteReader, FrontierEntry,
-    OpCodec, PickleError, RngCursor, RunSnapshot, FORMAT_VERSION,
+    decode_snapshot, encode_snapshot, fnv128, load_snapshot, save_atomic, ByteReader,
+    FrontierEntry, OpCodec, PickleError, RngCursor, RunSnapshot, SnapshotWriter, FORMAT_VERSION,
 };
 pub use shrink::{apply_mask, ddmin_mask, ShrinkStats};
+pub use spill::{
+    FrontierQueue, FrontierSpill, MemBudget, PageLoc, SpillCtx, SpillFaults, SpillSet, SpillStats,
+    SpillStore, PAGE_VERSION,
+};
 pub use swarm::{
     run_swarm, run_swarm_persistent, SwarmConfig, SwarmPersist, SwarmReport, WorkerStrategy,
 };

@@ -65,8 +65,12 @@ pub struct MemoryModel {
     sizes: HashMap<u64, u64>,
     resident: HashSet<u64>,
     resident_bytes: u64,
-    /// LRU queue (may contain stale ids; cleaned lazily).
-    lru: VecDeque<u64>,
+    /// LRU queue of `(id, touch_seq)` (may contain stale pairs; cleaned
+    /// lazily — a pair is live only while it matches `touch_seq`).
+    lru: VecDeque<(u64, u64)>,
+    /// Latest touch sequence number per id; stale queue pairs are skipped.
+    touch_seq: HashMap<u64, u64>,
+    seq: u64,
     total_bytes: u64,
     /// Non-state overhead (visited table etc.) charged against RAM first.
     overhead_bytes: u64,
@@ -86,6 +90,8 @@ impl MemoryModel {
             resident: HashSet::new(),
             resident_bytes: 0,
             lru: VecDeque::new(),
+            touch_seq: HashMap::new(),
+            seq: 0,
             total_bytes: 0,
             overhead_bytes: 0,
             peak_bytes: 0,
@@ -105,17 +111,15 @@ impl MemoryModel {
     }
 
     fn touch(&mut self, id: u64) {
-        self.lru.push_back(id);
+        self.seq += 1;
+        self.touch_seq.insert(id, self.seq);
+        self.lru.push_back((id, self.seq));
         // Lazy cleanup bound: the queue may hold stale duplicates.
         if self.lru.len() > self.sizes.len() * 4 + 16 {
-            let mut seen = HashSet::new();
-            let mut fresh = VecDeque::new();
-            for &x in self.lru.iter().rev() {
-                if self.sizes.contains_key(&x) && seen.insert(x) {
-                    fresh.push_front(x);
-                }
-            }
-            self.lru = fresh;
+            let touch_seq = &self.touch_seq;
+            let sizes = &self.sizes;
+            self.lru
+                .retain(|&(x, s)| sizes.contains_key(&x) && touch_seq.get(&x) == Some(&s));
         }
     }
 
@@ -123,9 +127,15 @@ impl MemoryModel {
         let budget = self.ram_for_states();
         let mut cost = 0;
         while self.resident_bytes > budget {
-            let Some(victim) = self.lru.pop_front() else {
+            let Some((victim, s)) = self.lru.pop_front() else {
                 break;
             };
+            // A re-touched id leaves a stale pair behind; only its newest
+            // pair reflects true recency, so skip the rest — popping them
+            // would evict entries that are in fact hot.
+            if self.touch_seq.get(&victim) != Some(&s) {
+                continue;
+            }
             if self.resident.remove(&victim) {
                 let bytes = self.sizes.get(&victim).copied().unwrap_or(0);
                 self.resident_bytes -= bytes;
@@ -180,6 +190,7 @@ impl MemoryModel {
     pub fn release(&mut self, id: StateId) {
         if let Some(bytes) = self.sizes.remove(&id.0) {
             self.total_bytes -= bytes;
+            self.touch_seq.remove(&id.0);
             if self.resident.remove(&id.0) {
                 self.resident_bytes -= bytes;
             }

@@ -48,14 +48,17 @@ use std::io::Write;
 use std::path::Path;
 
 use crate::explore::ExploreStats;
+use crate::spill::SpillStats;
 use crate::system::{CheckpointStoreStats, CrashStats};
 
 /// Leading magic of every pickle stream.
 pub const MAGIC: [u8; 8] = *b"MCFSPKL\x01";
 
 /// Current format version. Bump on any incompatible layout change; readers
-/// reject versions they do not know.
-pub const FORMAT_VERSION: u32 = 1;
+/// reject versions they do not know. Version 2 extended the stats section
+/// with the out-of-core counters (`visited_peak_bytes`, the optional
+/// [`SpillStats`] block, and the checkpoint-store demotion fields).
+pub const FORMAT_VERSION: u32 = 2;
 
 /// Why a pickle stream failed to load.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -92,8 +95,10 @@ impl std::error::Error for PickleError {}
 
 /// FNV-1a over 128 bits — the integrity checksum. Not cryptographic; it
 /// detects torn/bit-rotted files, which is all resume needs (a hostile
-/// snapshot is out of scope — the file is the checker's own).
-fn fnv128(data: &[u8]) -> u128 {
+/// snapshot is out of scope — the file is the checker's own). Public so other
+/// layers (e.g. the checkpoint pool's spilled-chunk dedup) can content-hash
+/// with the same function the wire formats use.
+pub fn fnv128(data: &[u8]) -> u128 {
     const OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
     const PRIME: u128 = 0x0000000001000000000000000000013B;
     let mut h = OFFSET;
@@ -295,6 +300,24 @@ fn encode_stats(out: &mut Vec<u8>, s: &ExploreStats) {
     put_u64(out, s.swapped_bytes);
     put_u64(out, s.hit_rate.to_bits());
     put_u64(out, s.virtual_ns);
+    put_u64(out, s.visited_peak_bytes);
+    match &s.spill {
+        None => out.push(0),
+        Some(sp) => {
+            out.push(1);
+            put_u64(out, sp.pages_written);
+            put_u64(out, sp.pages_read);
+            put_u64(out, sp.file_bytes_written);
+            put_u64(out, sp.file_bytes_read);
+            put_u64(out, sp.spilled_bytes);
+            put_u64(out, sp.reloaded_bytes);
+            put_u64(out, sp.hot_hits);
+            put_u64(out, sp.cold_hits);
+            put_u64(out, sp.bloom_skips);
+            put_u64(out, sp.evictions);
+            put_u64(out, sp.predicted_swap_bytes);
+        }
+    }
     match &s.checkpoint_store {
         None => out.push(0),
         Some(c) => {
@@ -306,6 +329,9 @@ fn encode_stats(out: &mut Vec<u8>, s: &ExploreStats) {
             put_u64(out, c.resident_bytes as u64);
             put_u64(out, c.evictions);
             put_u64(out, c.inserts);
+            put_u64(out, c.demotions);
+            put_u64(out, c.promotions);
+            put_u64(out, c.spilled_bytes);
         }
     }
     match &s.crash {
@@ -335,8 +361,27 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<ExploreStats, PickleError> {
         swapped_bytes: r.u64()?,
         hit_rate: f64::from_bits(r.u64()?),
         virtual_ns: r.u64()?,
+        visited_peak_bytes: r.u64()?,
+        spill: None,
         checkpoint_store: None,
         crash: None,
+    };
+    s.spill = match r.u8()? {
+        0 => None,
+        1 => Some(SpillStats {
+            pages_written: r.u64()?,
+            pages_read: r.u64()?,
+            file_bytes_written: r.u64()?,
+            file_bytes_read: r.u64()?,
+            spilled_bytes: r.u64()?,
+            reloaded_bytes: r.u64()?,
+            hot_hits: r.u64()?,
+            cold_hits: r.u64()?,
+            bloom_skips: r.u64()?,
+            evictions: r.u64()?,
+            predicted_swap_bytes: r.u64()?,
+        }),
+        t => return Err(PickleError::Corrupt(format!("bad spill-stats tag {t}"))),
     };
     s.checkpoint_store = match r.u8()? {
         0 => None,
@@ -348,6 +393,9 @@ fn decode_stats(r: &mut ByteReader<'_>) -> Result<ExploreStats, PickleError> {
             resident_bytes: r.u64()? as usize,
             evictions: r.u64()?,
             inserts: r.u64()?,
+            demotions: r.u64()?,
+            promotions: r.u64()?,
+            spilled_bytes: r.u64()?,
         }),
         t => return Err(PickleError::Corrupt(format!("bad store-stats tag {t}"))),
     };
@@ -409,6 +457,100 @@ pub fn encode_snapshot<Op>(snap: &RunSnapshot<Op>, codec: &dyn OpCodec<Op>) -> V
     let sum = fnv128(&out);
     put_u128(&mut out, sum);
     out
+}
+
+/// Streaming snapshot encoder producing bytes **identical** to
+/// [`encode_snapshot`] without ever materializing the visited set as a
+/// `Vec` — the §7 export path for bigger-than-RAM runs pipes
+/// `ShardedVisited::stream_entries` straight into it, page by page.
+///
+/// Sections must be written in wire order: `begin_visited` →
+/// `visited_entry`× → `frontier_entry`s via [`SnapshotWriter::frontier`] →
+/// [`SnapshotWriter::rng`] → [`SnapshotWriter::finish`]. Visited entries
+/// must arrive sorted by fingerprint (the canonical order); debug builds
+/// assert it.
+pub struct SnapshotWriter<'c, Op> {
+    out: Vec<u8>,
+    codec: &'c dyn OpCodec<Op>,
+    visited_declared: u32,
+    visited_written: u32,
+    last_fp: Option<u128>,
+}
+
+impl<'c, Op> SnapshotWriter<'c, Op> {
+    /// Starts a stream with the snapshot header.
+    pub fn new(codec: &'c dyn OpCodec<Op>, base_seed: u64, workers: u32, generation: u32) -> Self {
+        let mut out = Vec::with_capacity(256);
+        out.extend_from_slice(&MAGIC);
+        put_u32(&mut out, FORMAT_VERSION);
+        put_u64(&mut out, base_seed);
+        put_u32(&mut out, workers);
+        put_u32(&mut out, generation);
+        SnapshotWriter {
+            out,
+            codec,
+            visited_declared: 0,
+            visited_written: 0,
+            last_fp: None,
+        }
+    }
+
+    /// Declares the visited-entry count (the wire format length-prefixes
+    /// the section, so the count must be known up front — sets track it as
+    /// `len()` without materializing entries).
+    pub fn begin_visited(&mut self, count: u32) {
+        self.visited_declared = count;
+        put_u32(&mut self.out, count);
+    }
+
+    /// Appends one visited entry; must be called in fingerprint order.
+    pub fn visited_entry(&mut self, fingerprint: u128, depth: u32) {
+        debug_assert!(
+            self.last_fp.is_none_or(|p| p < fingerprint),
+            "visited entries must stream in sorted order"
+        );
+        self.last_fp = Some(fingerprint);
+        self.visited_written += 1;
+        put_u128(&mut self.out, fingerprint);
+        put_u32(&mut self.out, depth);
+    }
+
+    /// Writes the frontier section (after the last visited entry).
+    pub fn frontier(&mut self, entries: &[FrontierEntry<Op>]) {
+        assert_eq!(
+            self.visited_written, self.visited_declared,
+            "visited section incomplete"
+        );
+        put_u32(&mut self.out, entries.len() as u32);
+        for entry in entries {
+            put_u32(&mut self.out, entry.prefix.len() as u32);
+            for op in &entry.prefix {
+                self.codec.encode_op(op, &mut self.out);
+            }
+            put_u32(&mut self.out, entry.sleep.len() as u32);
+            for op in &entry.sleep {
+                self.codec.encode_op(op, &mut self.out);
+            }
+        }
+    }
+
+    /// Writes the RNG-cursor section.
+    pub fn rng(&mut self, cursors: &[RngCursor]) {
+        put_u32(&mut self.out, cursors.len() as u32);
+        for c in cursors {
+            put_u64(&mut self.out, c.seed);
+            put_u64(&mut self.out, c.draws);
+        }
+    }
+
+    /// Writes the stats section, stamps the checksum, and returns the
+    /// finished stream.
+    pub fn finish(mut self, stats: &ExploreStats) -> Vec<u8> {
+        encode_stats(&mut self.out, stats);
+        let sum = fnv128(&self.out);
+        put_u128(&mut self.out, sum);
+        self.out
+    }
 }
 
 /// Parses and verifies a snapshot from its byte form.
@@ -592,9 +734,22 @@ mod tests {
                 states_matched: 11,
                 hit_rate: 0.75,
                 max_depth_seen: 6,
+                visited_peak_bytes: 4096,
+                spill: Some(SpillStats {
+                    pages_written: 5,
+                    pages_read: 3,
+                    spilled_bytes: 960,
+                    reloaded_bytes: 480,
+                    bloom_skips: 17,
+                    predicted_swap_bytes: 1300,
+                    ..SpillStats::default()
+                }),
                 checkpoint_store: Some(CheckpointStoreStats {
                     snapshots: 3,
                     inserts: 12,
+                    demotions: 4,
+                    promotions: 2,
+                    spilled_bytes: 2048,
                     ..CheckpointStoreStats::default()
                 }),
                 crash: Some(CrashStats {
@@ -618,6 +773,22 @@ mod tests {
         assert_eq!(back, expect);
         // Canonical bytes: re-encoding the decoded snapshot is bit-identical.
         assert_eq!(encode_snapshot(&back, &U32Codec), bytes);
+    }
+
+    #[test]
+    fn snapshot_writer_bytes_match_encode_snapshot() {
+        let snap = sample();
+        let batch = encode_snapshot(&snap, &U32Codec);
+        let mut sorted = snap.visited.clone();
+        sorted.sort_unstable_by_key(|&(h, _)| h);
+        let mut w = SnapshotWriter::new(&U32Codec, snap.base_seed, snap.workers, snap.generation);
+        w.begin_visited(sorted.len() as u32);
+        for (h, d) in sorted {
+            w.visited_entry(h, d);
+        }
+        w.frontier(&snap.frontier);
+        w.rng(&snap.rng);
+        assert_eq!(w.finish(&snap.stats), batch);
     }
 
     #[test]

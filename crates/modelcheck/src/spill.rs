@@ -1,0 +1,1692 @@
+//! Out-of-core spilling: disk-backed visited set and frontier pages.
+//!
+//! The paper's evaluation (§6, Fig. 3) is bounded by RAM: the VeriFS1 run
+//! slows as the visited set and checkpoints outgrow the 64 GB VM and start
+//! swapping. [`crate::memmodel`] *simulates* those dynamics; this module
+//! *manages* them, so real exhaustive runs are bounded by state-space size
+//! instead of host memory. A [`MemBudget`] caps the checker's hot RAM;
+//! overflow spills to an append-only page file and is reloaded on demand.
+//!
+//! # Page file
+//!
+//! Pages reuse the pickle container discipline: each page is framed as
+//!
+//! ```text
+//! magic    8 bytes  b"MCFSPKL\x01"   (same magic as snapshots)
+//! version  u32      PAGE_VERSION
+//! len      u32      body length
+//! body     ...      kind-tagged payload (visited entries or frontier ops)
+//! checksum u128     FNV-1a-128 over everything above
+//! ```
+//!
+//! Visited bodies store `(fingerprint, depth)` entries sorted by
+//! fingerprint and delta-compressed with LEB128 varints — consecutive
+//! uniform 128-bit fingerprints within one shard share their high bits, so
+//! deltas are short. Frontier bodies store op-prefixes via the caller's
+//! [`OpCodec`], exactly like snapshot frontiers.
+//!
+//! The page file is an unnamed-in-spirit per-run temp file (removed on
+//! drop); it is *not* a persistence format — resume still goes through the
+//! pickle snapshot, which is written from the merged view of hot + pages.
+//!
+//! # Hot cache and probes
+//!
+//! [`SpillSet`] shards fingerprints by their top bits exactly like
+//! `ShardedVisited`. Each shard keeps a hot `HashMap`; when the aggregate
+//! hot bytes exceed the budget, the least-recently-touched shard's hot map
+//! is drained to one page (clock-style shard LRU — eviction is per shard,
+//! so one page write amortizes hundreds of entries). Every page keeps an
+//! in-RAM bloom filter (~10 bits/entry, 4 probes), so a cold probe reads at
+//! most the pages whose filters claim the fingerprint — usually one, often
+//! zero. Pages are probed newest-first: re-loaded entries are re-installed
+//! hot with their minimum depth, so a newer page can only hold an equal or
+//! shallower depth than an older one, and the first hit is the true
+//! minimum.
+//!
+//! # Model validation, not substitution
+//!
+//! A private [`MemoryModel`] "predictor" is driven with the same entry
+//! stores/accesses the real structure serves, using its entry-granular LRU.
+//! Its predicted swap traffic is reported next to the *measured* spill
+//! traffic in [`SpillStats`] — the bench asserts they agree, which is what
+//! keeps the simulation honest now that the checker also manages real
+//! memory.
+//!
+//! # Failure discipline
+//!
+//! A spill file that fails (EIO, torn write caught by the page checksum)
+//! poisons the store: the first error is recorded, subsequent inserts
+//! degrade to `Matched` (never `New` — no state is silently re-counted),
+//! and explorers check [`SpillSet::error`] after every insert so the run
+//! stops loudly with a replayable `Fatal` instead of silently dropping
+//! visited states. [`SpillFaults`] injects those failures for tests.
+
+use std::collections::{HashMap, VecDeque};
+use std::fs;
+use std::os::unix::fs::FileExt;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use crate::memmodel::{MemConfig, MemoryModel};
+use crate::pickle::{fnv128, ByteReader, FrontierEntry, OpCodec, PickleError, MAGIC};
+use crate::system::StateId;
+use crate::visited::{ResizeEvent, Visit, BYTES_PER_ENTRY, REHASH_NS_PER_ENTRY};
+
+/// Version of the spill-page framing (independent of the snapshot format).
+pub const PAGE_VERSION: u32 = 1;
+
+const PAGE_KIND_VISITED: u8 = 1;
+const PAGE_KIND_FRONTIER: u8 = 2;
+
+/// Bloom sizing: ~10 bits per entry, 4 probes ≈ 1% false-positive rate.
+const BLOOM_BITS_PER_ENTRY: usize = 10;
+const BLOOM_HASHES: u64 = 4;
+
+/// Never spill fewer than this many frontier entries per page (tiny pages
+/// waste frame overhead and file syscalls).
+const MIN_FRONTIER_BATCH: usize = 16;
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+/// RAM budget for out-of-core exploration, threaded through
+/// `ExploreConfig`/`SwarmConfig`/`McfsConfig`.
+#[derive(Debug, Clone)]
+pub struct MemBudget {
+    /// Hot-cache budget in bytes for the visited set. Entries beyond this
+    /// spill to disk (at [`BYTES_PER_ENTRY`] modelled bytes per entry).
+    pub ram_bytes: u64,
+    /// Directory for spill files. `None` = the system temp dir.
+    pub spill_dir: Option<PathBuf>,
+    /// Visited-set shard count (rounded up to a power of two). More shards
+    /// mean finer-grained eviction and less lock contention.
+    pub shards: usize,
+    /// Virtual-ns cost per MiB of real page traffic, charged to the run's
+    /// virtual clock (mirrors `MemConfig::swap_ns_per_mib`).
+    pub ns_per_mib: u64,
+    /// Hot-cache budget in bytes for each swarm worker's frontier queue;
+    /// colder op-prefix entries spill to pages.
+    pub frontier_hot_bytes: u64,
+    /// Fault injection for tests; default injects nothing.
+    pub faults: SpillFaults,
+}
+
+impl MemBudget {
+    /// A budget of `ram_bytes` with default sharding, swap cost, and a
+    /// frontier allowance of a quarter of the visited budget.
+    pub fn new(ram_bytes: u64) -> Self {
+        MemBudget {
+            ram_bytes,
+            spill_dir: None,
+            shards: 64,
+            ns_per_mib: 100_000,
+            frontier_hot_bytes: (ram_bytes / 4).max(4096),
+            faults: SpillFaults::default(),
+        }
+    }
+
+    /// The directory spill files go to.
+    pub fn dir(&self) -> PathBuf {
+        self.spill_dir.clone().unwrap_or_else(std::env::temp_dir)
+    }
+}
+
+/// Deterministic fault injection on the spill file (all counters are
+/// 0-based page-operation ordinals).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillFaults {
+    /// Fail the Nth page write with an injected EIO.
+    pub fail_write_at: Option<u64>,
+    /// Fail the Nth page read with an injected EIO.
+    pub fail_read_at: Option<u64>,
+    /// Tear the Nth page write: only half the frame reaches the file but it
+    /// is recorded as complete, so the eventual read fails its checksum.
+    pub torn_write_at: Option<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+/// Counters for out-of-core behavior, surfaced through `ExploreStats`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpillStats {
+    /// Pages written to the spill file (visited + frontier).
+    pub pages_written: u64,
+    /// Pages read back from the spill file.
+    pub pages_read: u64,
+    /// Real framed bytes written to the spill file.
+    pub file_bytes_written: u64,
+    /// Real framed bytes read from the spill file.
+    pub file_bytes_read: u64,
+    /// Modelled visited-entry bytes demoted to disk (48 B per entry).
+    pub spilled_bytes: u64,
+    /// Modelled visited-entry bytes promoted back to the hot cache.
+    pub reloaded_bytes: u64,
+    /// Probes answered by a shard's hot map.
+    pub hot_hits: u64,
+    /// Probes answered by a spilled page.
+    pub cold_hits: u64,
+    /// Page reads avoided because a bloom filter ruled the page out.
+    pub bloom_skips: u64,
+    /// Shard hot-map evictions (each producing one page).
+    pub evictions: u64,
+    /// The memmodel predictor's swap traffic for the same workload —
+    /// compare against [`SpillStats::measured_swap_bytes`].
+    pub predicted_swap_bytes: u64,
+}
+
+impl SpillStats {
+    /// Measured visited-entry swap traffic (demotions + promotions), the
+    /// quantity [`SpillStats::predicted_swap_bytes`] is validated against.
+    /// Frontier page traffic is excluded here (the model only covers the
+    /// visited set) but visible in the `pages_*`/`file_bytes_*` counters.
+    pub fn measured_swap_bytes(&self) -> u64 {
+        self.spilled_bytes + self.reloaded_bytes
+    }
+
+    /// Relative error of the memmodel prediction vs measurement (0.0 when
+    /// both are zero).
+    pub fn model_error(&self) -> f64 {
+        let measured = self.measured_swap_bytes();
+        if measured == 0 {
+            return if self.predicted_swap_bytes == 0 {
+                0.0
+            } else {
+                1.0
+            };
+        }
+        (self.predicted_swap_bytes as f64 - measured as f64).abs() / measured as f64
+    }
+
+    /// Field-wise sum, for merging per-worker stats.
+    pub fn merge(&mut self, o: &SpillStats) {
+        self.pages_written += o.pages_written;
+        self.pages_read += o.pages_read;
+        self.file_bytes_written += o.file_bytes_written;
+        self.file_bytes_read += o.file_bytes_read;
+        self.spilled_bytes += o.spilled_bytes;
+        self.reloaded_bytes += o.reloaded_bytes;
+        self.hot_hits += o.hot_hits;
+        self.cold_hits += o.cold_hits;
+        self.bloom_skips += o.bloom_skips;
+        self.evictions += o.evictions;
+        self.predicted_swap_bytes += o.predicted_swap_bytes;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Page store
+// ---------------------------------------------------------------------------
+
+/// Location of one framed page in the spill file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageLoc {
+    /// Byte offset of the frame start.
+    pub offset: u64,
+    /// Full frame length (magic + version + len + body + checksum).
+    pub len: u32,
+}
+
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Append-only page file shared by the visited set and frontier queues.
+/// All operations are `&self` (positioned I/O); the file is deleted on
+/// drop. The first failure poisons the store — see the module docs.
+#[derive(Debug)]
+pub struct SpillStore {
+    file: fs::File,
+    path: PathBuf,
+    end: AtomicU64,
+    ns_per_mib: u64,
+    pending_ns: AtomicU64,
+    error: Mutex<Option<String>>,
+    faults: SpillFaults,
+    writes: AtomicU64,
+    reads: AtomicU64,
+    pages_written: AtomicU64,
+    pages_read: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+}
+
+impl SpillStore {
+    /// Opens a fresh spill file under the budget's directory.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable message when the directory or file cannot be
+    /// created.
+    pub fn new(budget: &MemBudget) -> Result<Arc<SpillStore>, String> {
+        let dir = budget.dir();
+        fs::create_dir_all(&dir).map_err(|e| format!("spill dir {}: {e}", dir.display()))?;
+        let seq = SPILL_SEQ.fetch_add(1, Ordering::Relaxed);
+        let path = dir.join(format!("mcfs-spill-{}-{seq}.pages", std::process::id()));
+        let file = fs::OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create_new(true)
+            .open(&path)
+            .map_err(|e| format!("spill file {}: {e}", path.display()))?;
+        Ok(Arc::new(SpillStore {
+            file,
+            path,
+            end: AtomicU64::new(0),
+            ns_per_mib: budget.ns_per_mib,
+            pending_ns: AtomicU64::new(0),
+            error: Mutex::new(None),
+            faults: budget.faults,
+            writes: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
+            pages_written: AtomicU64::new(0),
+            pages_read: AtomicU64::new(0),
+            bytes_written: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
+        }))
+    }
+
+    /// Records the first error and returns `msg` for propagation.
+    pub(crate) fn poison(&self, msg: String) -> String {
+        let mut e = self.error.lock();
+        if e.is_none() {
+            *e = Some(msg.clone());
+        }
+        msg
+    }
+
+    /// The first spill failure, if any. A poisoned store means visited
+    /// answers can no longer be trusted — callers must stop the run.
+    pub fn error(&self) -> Option<String> {
+        self.error.lock().clone()
+    }
+
+    fn charge(&self, bytes: u64) {
+        self.pending_ns
+            .fetch_add(bytes * self.ns_per_mib / (1 << 20), Ordering::Relaxed);
+    }
+
+    /// Virtual-ns accumulated by real page traffic since the last take;
+    /// explorers drain this onto the run's virtual clock.
+    pub fn take_pending_ns(&self) -> u64 {
+        self.pending_ns.swap(0, Ordering::Relaxed)
+    }
+
+    /// Frames `body` and appends it to the file.
+    ///
+    /// # Errors
+    ///
+    /// On real or injected I/O failure; the store is poisoned.
+    pub fn write_page(&self, body: &[u8]) -> Result<PageLoc, String> {
+        let mut frame = Vec::with_capacity(body.len() + 32);
+        frame.extend_from_slice(&MAGIC);
+        frame.extend_from_slice(&PAGE_VERSION.to_le_bytes());
+        frame.extend_from_slice(&(body.len() as u32).to_le_bytes());
+        frame.extend_from_slice(body);
+        let sum = fnv128(&frame);
+        frame.extend_from_slice(&sum.to_le_bytes());
+
+        let n = self.writes.fetch_add(1, Ordering::Relaxed);
+        if self.faults.fail_write_at == Some(n) {
+            return Err(self.poison(format!("spill page write {n}: injected EIO")));
+        }
+        let offset = self.end.fetch_add(frame.len() as u64, Ordering::Relaxed);
+        let torn = self.faults.torn_write_at == Some(n);
+        let persisted = if torn {
+            &frame[..frame.len() / 2]
+        } else {
+            &frame[..]
+        };
+        self.file
+            .write_all_at(persisted, offset)
+            .map_err(|e| self.poison(format!("spill page write at {offset}: {e}")))?;
+        self.pages_written.fetch_add(1, Ordering::Relaxed);
+        self.bytes_written
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.charge(frame.len() as u64);
+        Ok(PageLoc {
+            offset,
+            len: frame.len() as u32,
+        })
+    }
+
+    /// Reads back a page body, verifying frame and checksum.
+    ///
+    /// # Errors
+    ///
+    /// On I/O failure or any integrity violation (torn write, bit rot);
+    /// the store is poisoned.
+    pub fn read_page(&self, loc: PageLoc) -> Result<Vec<u8>, String> {
+        let n = self.reads.fetch_add(1, Ordering::Relaxed);
+        if self.faults.fail_read_at == Some(n) {
+            return Err(self.poison(format!("spill page read {n}: injected EIO")));
+        }
+        let mut frame = vec![0u8; loc.len as usize];
+        self.file
+            .read_exact_at(&mut frame, loc.offset)
+            .map_err(|e| self.poison(format!("spill page read at {}: {e}", loc.offset)))?;
+        self.pages_read.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read
+            .fetch_add(frame.len() as u64, Ordering::Relaxed);
+        self.charge(frame.len() as u64);
+
+        if frame.len() < MAGIC.len() + 8 + 16 || frame[..MAGIC.len()] != MAGIC {
+            return Err(self.poison(format!("spill page at {}: bad magic", loc.offset)));
+        }
+        let (payload, tail) = frame.split_at(frame.len() - 16);
+        let stored = u128::from_le_bytes(tail.try_into().unwrap());
+        if fnv128(payload) != stored {
+            return Err(self.poison(format!(
+                "spill page at {}: checksum mismatch (torn or corrupt write)",
+                loc.offset
+            )));
+        }
+        let version = u32::from_le_bytes(payload[8..12].try_into().unwrap());
+        if version != PAGE_VERSION {
+            return Err(self.poison(format!("spill page at {}: version {version}", loc.offset)));
+        }
+        let body_len = u32::from_le_bytes(payload[12..16].try_into().unwrap()) as usize;
+        if body_len != payload.len() - 16 {
+            return Err(self.poison(format!("spill page at {}: bad body length", loc.offset)));
+        }
+        Ok(payload[16..].to_vec())
+    }
+
+    /// Real pages written so far (visited + frontier).
+    pub fn pages_written(&self) -> u64 {
+        self.pages_written.load(Ordering::Relaxed)
+    }
+
+    /// Real pages read so far.
+    pub fn pages_read(&self) -> u64 {
+        self.pages_read.load(Ordering::Relaxed)
+    }
+
+    /// Real framed bytes written so far.
+    pub fn bytes_written(&self) -> u64 {
+        self.bytes_written.load(Ordering::Relaxed)
+    }
+
+    /// Real framed bytes read so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read.load(Ordering::Relaxed)
+    }
+
+    #[cfg(test)]
+    pub(crate) fn path(&self) -> &std::path::Path {
+        &self.path
+    }
+}
+
+impl Drop for SpillStore {
+    fn drop(&mut self) {
+        fs::remove_file(&self.path).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Varint + page codecs
+// ---------------------------------------------------------------------------
+
+fn put_varint(out: &mut Vec<u8>, mut v: u128) {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(b);
+            return;
+        }
+        out.push(b | 0x80);
+    }
+}
+
+fn get_varint(r: &mut ByteReader<'_>) -> Result<u128, String> {
+    let mut v = 0u128;
+    let mut shift = 0u32;
+    loop {
+        let b = r.u8().map_err(|e| e.to_string())?;
+        if shift >= 128 {
+            return Err("varint overflow".into());
+        }
+        v |= ((b & 0x7f) as u128) << shift;
+        if b & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Encodes sorted `(fingerprint, depth)` entries as a visited page body.
+fn encode_visited_page(shard_idx: u32, entries: &[(u128, u32)]) -> Vec<u8> {
+    debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    let mut out = Vec::with_capacity(entries.len() * 8 + 16);
+    out.push(PAGE_KIND_VISITED);
+    out.extend_from_slice(&shard_idx.to_le_bytes());
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    let mut prev = 0u128;
+    for &(h, d) in entries {
+        put_varint(&mut out, h.wrapping_sub(prev));
+        put_varint(&mut out, d as u128);
+        prev = h;
+    }
+    out
+}
+
+/// Decodes a visited page body back to sorted entries.
+fn decode_visited_page(body: &[u8]) -> Result<(u32, Vec<(u128, u32)>), String> {
+    let es = |e: PickleError| e.to_string();
+    let mut r = ByteReader::new(body);
+    let kind = r.u8().map_err(es)?;
+    if kind != PAGE_KIND_VISITED {
+        return Err(format!("bad visited page kind {kind}"));
+    }
+    let shard_idx = r.u32().map_err(es)?;
+    let count = r.u32().map_err(es)? as usize;
+    if count > body.len() {
+        return Err(format!("visited page count {count} exceeds body"));
+    }
+    let mut prev = 0u128;
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let delta = get_varint(&mut r)?;
+        let depth = get_varint(&mut r)?;
+        if depth > u32::MAX as u128 {
+            return Err("visited page depth overflow".into());
+        }
+        prev = prev.wrapping_add(delta);
+        out.push((prev, depth as u32));
+    }
+    if r.remaining() != 0 {
+        return Err(format!("visited page: {} trailing bytes", r.remaining()));
+    }
+    Ok((shard_idx, out))
+}
+
+// ---------------------------------------------------------------------------
+// Bloom filters (in RAM, one per spilled page)
+// ---------------------------------------------------------------------------
+
+fn bloom_indices(words: usize, h: u128) -> impl Iterator<Item = (usize, u64)> {
+    let bits = (words as u64) * 64;
+    let h1 = h as u64;
+    let h2 = ((h >> 64) as u64) | 1;
+    (0..BLOOM_HASHES).map(move |i| {
+        let bit = h1.wrapping_add(i.wrapping_mul(h2)) % bits;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    })
+}
+
+fn bloom_build(entries: &[(u128, u32)]) -> Box<[u64]> {
+    let bits = (entries.len() * BLOOM_BITS_PER_ENTRY).div_ceil(64).max(1) * 64;
+    let mut words = vec![0u64; bits / 64];
+    for &(h, _) in entries {
+        for (w, mask) in bloom_indices(words.len(), h) {
+            words[w] |= mask;
+        }
+    }
+    words.into_boxed_slice()
+}
+
+fn bloom_maybe(words: &[u64], h: u128) -> bool {
+    bloom_indices(words.len(), h).all(|(w, mask)| words[w] & mask != 0)
+}
+
+// ---------------------------------------------------------------------------
+// Spilling visited set
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct PageRef {
+    loc: PageLoc,
+    bloom: Box<[u64]>,
+}
+
+#[derive(Debug)]
+struct SpillShard {
+    /// Hot entries; invariant: an entry present here holds the minimum
+    /// depth known for its fingerprint (pages may hold stale deeper
+    /// copies, min-merged on export).
+    hot: HashMap<u128, u32>,
+    /// Spilled pages, oldest first. Probed newest-first.
+    pages: Vec<PageRef>,
+    /// Distinct fingerprints ever inserted into this shard (hot + cold).
+    distinct: u64,
+    /// Modelled resize threshold over `distinct` — matches the in-memory
+    /// `VisitedSet` dynamics exactly, because hot-cache churn never
+    /// changes `distinct`.
+    threshold: usize,
+    resizes: u32,
+}
+
+#[derive(Debug)]
+struct ShardSlot {
+    inner: Mutex<SpillShard>,
+    /// Last-touch tick for clock-LRU victim selection (racy reads are fine).
+    touch: AtomicU64,
+    /// Cached hot entry count so victim selection never takes locks.
+    hot_len: AtomicUsize,
+}
+
+/// A disk-spilling visited set with the same classification semantics as
+/// `ShardedVisited` (it *is* the backing store `ShardedVisited` delegates
+/// to when a [`MemBudget`] is configured). See the module docs.
+#[derive(Debug)]
+pub struct SpillSet {
+    slots: Vec<ShardSlot>,
+    shard_bits: u32,
+    ram_bytes: u64,
+    store: Arc<SpillStore>,
+    tick: AtomicU64,
+    hot_bytes: AtomicU64,
+    /// Bloom filters + page bookkeeping kept in RAM (reported in `bytes`).
+    meta_bytes: AtomicU64,
+    peak_bytes: AtomicU64,
+    spilled_bytes: AtomicU64,
+    reloaded_bytes: AtomicU64,
+    hot_hits: AtomicU64,
+    cold_hits: AtomicU64,
+    bloom_skips: AtomicU64,
+    evictions: AtomicU64,
+    /// The validated-against memory model: driven with the same entry
+    /// traffic, evicting by its own entry-granular LRU.
+    predictor: Mutex<MemoryModel>,
+}
+
+fn fold_id(h: u128) -> StateId {
+    StateId((h ^ (h >> 64)) as u64)
+}
+
+impl SpillSet {
+    /// Creates a spilling set with the aggregate first-resize threshold of
+    /// `initial_capacity`, budgeted by `budget`.
+    ///
+    /// # Errors
+    ///
+    /// When the spill file cannot be created.
+    pub fn new(initial_capacity: usize, budget: &MemBudget) -> Result<SpillSet, String> {
+        let n = budget.shards.max(1).next_power_of_two();
+        let per_shard = (initial_capacity / n).max(2);
+        let store = SpillStore::new(budget)?;
+        let predictor = MemoryModel::new(MemConfig {
+            ram_bytes: budget.ram_bytes,
+            // Effectively unbounded swap: the predictor models traffic,
+            // the real OOM guard is the spill file itself.
+            swap_bytes: u64::MAX / 2,
+            swap_ns_per_mib: budget.ns_per_mib,
+        });
+        let slots = (0..n)
+            .map(|_| ShardSlot {
+                inner: Mutex::new(SpillShard {
+                    hot: HashMap::new(),
+                    pages: Vec::new(),
+                    distinct: 0,
+                    threshold: per_shard,
+                    resizes: 0,
+                }),
+                touch: AtomicU64::new(0),
+                hot_len: AtomicUsize::new(0),
+            })
+            .collect();
+        Ok(SpillSet {
+            slots,
+            shard_bits: n.trailing_zeros(),
+            ram_bytes: budget.ram_bytes,
+            store,
+            tick: AtomicU64::new(0),
+            hot_bytes: AtomicU64::new(0),
+            meta_bytes: AtomicU64::new(0),
+            peak_bytes: AtomicU64::new(0),
+            spilled_bytes: AtomicU64::new(0),
+            reloaded_bytes: AtomicU64::new(0),
+            hot_hits: AtomicU64::new(0),
+            cold_hits: AtomicU64::new(0),
+            bloom_skips: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            predictor: Mutex::new(predictor),
+        })
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shared page store (the swarm frontier reuses it).
+    pub fn store(&self) -> &Arc<SpillStore> {
+        &self.store
+    }
+
+    fn shard_idx(&self, h: u128) -> usize {
+        if self.shard_bits == 0 {
+            0
+        } else {
+            (h >> (128 - self.shard_bits)) as usize
+        }
+    }
+
+    fn bump_peak(&self) {
+        let now = self.hot_bytes.load(Ordering::Relaxed) + self.meta_bytes.load(Ordering::Relaxed);
+        self.peak_bytes.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Inserts a fingerprint at depth 0 (see `VisitedSet::insert`).
+    pub fn insert(&self, h: u128) -> (bool, Option<ResizeEvent>) {
+        let (visit, resize) = self.insert_at(h, 0);
+        (visit == Visit::New, resize)
+    }
+
+    /// Inserts a fingerprint reached at `depth`, classifying the visit
+    /// exactly as the in-memory set would — hot hit, cold page probe, or
+    /// genuinely new. A poisoned store degrades to `Matched` (never a
+    /// spurious `New`); callers must then observe [`SpillSet::error`].
+    pub fn insert_at(&self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
+        let idx = self.shard_idx(h);
+        let slot = &self.slots[idx];
+        slot.touch.store(
+            self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+            Ordering::Relaxed,
+        );
+        let result = {
+            let mut g = slot.inner.lock();
+            let r = self.insert_locked(&mut g, h, depth);
+            slot.hot_len.store(g.hot.len(), Ordering::Relaxed);
+            r
+        };
+        self.maybe_evict();
+        result
+    }
+
+    fn insert_locked(
+        &self,
+        g: &mut SpillShard,
+        h: u128,
+        depth: u32,
+    ) -> (Visit, Option<ResizeEvent>) {
+        let id = fold_id(h);
+        if let Some(&prev) = g.hot.get(&h) {
+            self.hot_hits.fetch_add(1, Ordering::Relaxed);
+            let _ = self.predictor.lock().access(id);
+            if depth < prev {
+                g.hot.insert(h, depth);
+                return (Visit::Shallower, None);
+            }
+            return (Visit::Matched, None);
+        }
+        match self.probe_pages(g, h) {
+            Err(_) => (Visit::Matched, None), // poisoned; run stops via error()
+            Ok(Some(prev)) => {
+                self.cold_hits.fetch_add(1, Ordering::Relaxed);
+                self.reloaded_bytes
+                    .fetch_add(BYTES_PER_ENTRY, Ordering::Relaxed);
+                g.hot.insert(h, prev.min(depth));
+                self.hot_bytes.fetch_add(BYTES_PER_ENTRY, Ordering::Relaxed);
+                self.bump_peak();
+                let _ = self.predictor.lock().access(id);
+                if depth < prev {
+                    (Visit::Shallower, None)
+                } else {
+                    (Visit::Matched, None)
+                }
+            }
+            Ok(None) => {
+                g.hot.insert(h, depth);
+                g.distinct += 1;
+                self.hot_bytes.fetch_add(BYTES_PER_ENTRY, Ordering::Relaxed);
+                self.bump_peak();
+                let _ = self.predictor.lock().store(id, BYTES_PER_ENTRY);
+                let mut resize = None;
+                if g.distinct as usize >= g.threshold {
+                    let entries = g.distinct;
+                    resize = Some(ResizeEvent {
+                        entries,
+                        cost_ns: entries * REHASH_NS_PER_ENTRY,
+                        transient_bytes: entries * BYTES_PER_ENTRY,
+                    });
+                    g.threshold *= 2;
+                    g.resizes += 1;
+                }
+                (Visit::New, resize)
+            }
+        }
+    }
+
+    /// Probes spilled pages newest-first; the first hit is the minimum
+    /// depth (see the module docs for why).
+    fn probe_pages(&self, g: &SpillShard, h: u128) -> Result<Option<u32>, String> {
+        for page in g.pages.iter().rev() {
+            if !bloom_maybe(&page.bloom, h) {
+                self.bloom_skips.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+            let body = self.store.read_page(page.loc)?;
+            let (_, entries) = decode_visited_page(&body).map_err(|e| self.store.poison(e))?;
+            if let Ok(i) = entries.binary_search_by_key(&h, |&(f, _)| f) {
+                return Ok(Some(entries[i].1));
+            }
+        }
+        Ok(None)
+    }
+
+    fn pick_victim(&self) -> Option<usize> {
+        let mut best: Option<(u64, usize)> = None;
+        for (i, slot) in self.slots.iter().enumerate() {
+            if slot.hot_len.load(Ordering::Relaxed) == 0 {
+                continue;
+            }
+            let t = slot.touch.load(Ordering::Relaxed);
+            if best.is_none_or(|(bt, _)| t < bt) {
+                best = Some((t, i));
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Demotes least-recently-touched shards' hot maps to pages until the
+    /// hot cache fits the budget.
+    fn maybe_evict(&self) {
+        while self.hot_bytes.load(Ordering::Relaxed) > self.ram_bytes {
+            let Some(victim) = self.pick_victim() else {
+                return;
+            };
+            let slot = &self.slots[victim];
+            let mut g = slot.inner.lock();
+            if g.hot.is_empty() {
+                slot.hot_len.store(0, Ordering::Relaxed);
+                continue;
+            }
+            let mut entries: Vec<(u128, u32)> = g.hot.drain().collect();
+            entries.sort_unstable_by_key(|&(f, _)| f);
+            let n = entries.len() as u64;
+            self.hot_bytes
+                .fetch_sub(n * BYTES_PER_ENTRY, Ordering::Relaxed);
+            slot.hot_len.store(0, Ordering::Relaxed);
+            let body = encode_visited_page(victim as u32, &entries);
+            if let Ok(loc) = self.store.write_page(&body) {
+                let bloom = bloom_build(&entries);
+                self.meta_bytes
+                    .fetch_add((bloom.len() * 8 + 48) as u64, Ordering::Relaxed);
+                g.pages.push(PageRef { loc, bloom });
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+                self.spilled_bytes
+                    .fetch_add(n * BYTES_PER_ENTRY, Ordering::Relaxed);
+            }
+            // On write failure the store is poisoned and the run stops; the
+            // drained entries are not re-installed (the state set is no
+            // longer trustworthy either way).
+            self.bump_peak();
+        }
+    }
+
+    /// Whether `h` has been visited (hot or spilled).
+    pub fn contains(&self, h: u128) -> bool {
+        self.depth_of(h).is_some()
+    }
+
+    /// Depth recorded for `h`, if visited.
+    pub fn depth_of(&self, h: u128) -> Option<u32> {
+        let slot = &self.slots[self.shard_idx(h)];
+        let g = slot.inner.lock();
+        if let Some(&d) = g.hot.get(&h) {
+            return Some(d);
+        }
+        self.probe_pages(&g, h).ok().flatten()
+    }
+
+    /// Number of distinct states visited (exact: spilling never changes
+    /// the distinct count).
+    pub fn len(&self) -> usize {
+        self.slots
+            .iter()
+            .map(|s| s.inner.lock().distinct as usize)
+            .sum()
+    }
+
+    /// Whether no state has been visited.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total modelled resizes across shards.
+    pub fn resizes(&self) -> u32 {
+        self.slots.iter().map(|s| s.inner.lock().resizes).sum()
+    }
+
+    /// RAM actually held: hot entries plus bloom/page metadata.
+    pub fn bytes(&self) -> u64 {
+        self.hot_bytes.load(Ordering::Relaxed) + self.meta_bytes.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`SpillSet::bytes`].
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Consistent `(len, bytes, resizes)` snapshot: all shard locks are
+    /// held simultaneously, so no concurrent insert can skew the sums.
+    pub fn snapshot_counts(&self) -> (usize, u64, u32) {
+        let guards: Vec<_> = self.slots.iter().map(|s| s.inner.lock()).collect();
+        let len = guards.iter().map(|g| g.distinct as usize).sum();
+        let resizes = guards.iter().map(|g| g.resizes).sum();
+        drop(guards);
+        (len, self.bytes(), resizes)
+    }
+
+    /// Streams every `(fingerprint, depth)` entry in globally sorted order
+    /// (shards are routed by top bits, so shard order is fingerprint
+    /// order), min-merging spilled pages with the hot map shard by shard —
+    /// peak extra memory is one shard's worth, not the whole set.
+    ///
+    /// # Errors
+    ///
+    /// On spill-file read failure (the store is poisoned).
+    pub fn stream_entries(&self, mut f: impl FnMut(u128, u32)) -> Result<(), String> {
+        for slot in &self.slots {
+            let g = slot.inner.lock();
+            let mut merged: HashMap<u128, u32> = HashMap::with_capacity(g.hot.len());
+            for page in &g.pages {
+                let body = self.store.read_page(page.loc)?;
+                let (_, entries) = decode_visited_page(&body).map_err(|e| self.store.poison(e))?;
+                for (h, d) in entries {
+                    merged
+                        .entry(h)
+                        .and_modify(|v| *v = (*v).min(d))
+                        .or_insert(d);
+                }
+            }
+            for (&h, &d) in &g.hot {
+                merged
+                    .entry(h)
+                    .and_modify(|v| *v = (*v).min(d))
+                    .or_insert(d);
+            }
+            let mut sorted: Vec<(u128, u32)> = merged.into_iter().collect();
+            sorted.sort_unstable_by_key(|&(h, _)| h);
+            for (h, d) in sorted {
+                f(h, d);
+            }
+        }
+        Ok(())
+    }
+
+    /// Exports all entries sorted by fingerprint.
+    ///
+    /// # Errors
+    ///
+    /// On spill-file read failure.
+    pub fn export_entries(&self) -> Result<Vec<(u128, u32)>, String> {
+        let mut out = Vec::new();
+        self.stream_entries(|h, d| out.push((h, d)))?;
+        Ok(out)
+    }
+
+    /// Bulk-loads previously exported entries, min-merging depths without
+    /// firing modelled resize events (mirrors `VisitedSet::load_entries`);
+    /// evicts periodically so a big resume load cannot balloon the hot
+    /// cache past the budget.
+    pub fn load_entries(&self, entries: &[(u128, u32)]) {
+        for (i, &(h, d)) in entries.iter().enumerate() {
+            let idx = self.shard_idx(h);
+            let slot = &self.slots[idx];
+            slot.touch.store(
+                self.tick.fetch_add(1, Ordering::Relaxed) + 1,
+                Ordering::Relaxed,
+            );
+            {
+                let mut g = slot.inner.lock();
+                self.load_one(&mut g, h, d);
+                slot.hot_len.store(g.hot.len(), Ordering::Relaxed);
+            }
+            if i % 1024 == 1023 {
+                self.maybe_evict();
+            }
+        }
+        self.maybe_evict();
+    }
+
+    fn load_one(&self, g: &mut SpillShard, h: u128, d: u32) {
+        if let Some(&prev) = g.hot.get(&h) {
+            if d < prev {
+                g.hot.insert(h, d);
+            }
+            return;
+        }
+        match self.probe_pages(g, h) {
+            Err(_) => {}
+            Ok(Some(prev)) => {
+                g.hot.insert(h, prev.min(d));
+                self.hot_bytes.fetch_add(BYTES_PER_ENTRY, Ordering::Relaxed);
+            }
+            Ok(None) => {
+                g.hot.insert(h, d);
+                g.distinct += 1;
+                self.hot_bytes.fetch_add(BYTES_PER_ENTRY, Ordering::Relaxed);
+                while g.distinct as usize >= g.threshold {
+                    g.threshold *= 2;
+                }
+                let _ = self.predictor.lock().store(fold_id(h), BYTES_PER_ENTRY);
+            }
+        }
+        self.bump_peak();
+    }
+
+    /// Virtual-ns accumulated by real page traffic since the last take.
+    pub fn take_pending_ns(&self) -> u64 {
+        self.store.take_pending_ns()
+    }
+
+    /// The first spill failure, if any — the run must stop when set.
+    pub fn error(&self) -> Option<String> {
+        self.store.error()
+    }
+
+    /// Current out-of-core counters, including the predictor's traffic.
+    pub fn spill_stats(&self) -> SpillStats {
+        SpillStats {
+            pages_written: self.store.pages_written(),
+            pages_read: self.store.pages_read(),
+            file_bytes_written: self.store.bytes_written(),
+            file_bytes_read: self.store.bytes_read(),
+            spilled_bytes: self.spilled_bytes.load(Ordering::Relaxed),
+            reloaded_bytes: self.reloaded_bytes.load(Ordering::Relaxed),
+            hot_hits: self.hot_hits.load(Ordering::Relaxed),
+            cold_hits: self.cold_hits.load(Ordering::Relaxed),
+            bloom_skips: self.bloom_skips.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            predicted_swap_bytes: self.predictor.lock().swap_traffic_bytes(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spilling frontier queue
+// ---------------------------------------------------------------------------
+
+/// Shared spill context for frontier queues: the page store (shared with
+/// the visited set) and the per-queue hot budget.
+#[derive(Debug)]
+pub struct FrontierSpill {
+    store: Arc<SpillStore>,
+    hot_cap_bytes: u64,
+}
+
+impl FrontierSpill {
+    /// Wraps `store` with a per-queue hot budget.
+    pub fn new(store: Arc<SpillStore>, hot_cap_bytes: u64) -> Self {
+        FrontierSpill {
+            store,
+            hot_cap_bytes,
+        }
+    }
+
+    /// The underlying page store.
+    pub fn store(&self) -> &Arc<SpillStore> {
+        &self.store
+    }
+}
+
+/// Per-call spill context: `None` runs the queue as a plain in-memory
+/// deque (the non-persistent swarm path has no codec to page ops with).
+pub type SpillCtx<'c, Op> = Option<(&'c FrontierSpill, &'c dyn OpCodec<Op>)>;
+
+/// Rough resident bytes of one frontier entry (ops are enum-sized; this is
+/// a model figure for budgeting, not an allocator measurement).
+fn entry_bytes<Op>(e: &FrontierEntry<Op>) -> u64 {
+    ((e.prefix.len() + e.sleep.len()) * 16 + 32) as u64
+}
+
+#[derive(Debug)]
+struct FrontierPage {
+    loc: PageLoc,
+    count: u32,
+}
+
+/// A worker frontier deque whose cold middle spills to pages. Logical
+/// order is `head[..], pages[0] … pages[last], tail[..]`: pushes land on
+/// the tail (and its oldest half spills to a new page when over budget),
+/// front pops reload the oldest page into the head, back pops reload the
+/// newest page into the tail — so BFS pops and steals hit the oldest
+/// entries first while DFS only touches pages once the tail drains.
+#[derive(Debug)]
+pub struct FrontierQueue<Op> {
+    /// Entries older than every page (reloaded from the pages' front).
+    head: VecDeque<FrontierEntry<Op>>,
+    /// Entries newer than every page (where pushes land).
+    tail: VecDeque<FrontierEntry<Op>>,
+    hot_bytes: u64,
+    pages: Vec<FrontierPage>,
+}
+
+impl<Op> Default for FrontierQueue<Op> {
+    fn default() -> Self {
+        FrontierQueue {
+            head: VecDeque::new(),
+            tail: VecDeque::new(),
+            hot_bytes: 0,
+            pages: Vec::new(),
+        }
+    }
+}
+
+impl<Op> FrontierQueue<Op> {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Entries across hot deques and spilled pages.
+    pub fn len(&self) -> usize {
+        self.head.len()
+            + self.tail.len()
+            + self.pages.iter().map(|p| p.count as usize).sum::<usize>()
+    }
+
+    /// Whether no entry is pending.
+    pub fn is_empty(&self) -> bool {
+        self.head.is_empty() && self.tail.is_empty() && self.pages.is_empty()
+    }
+}
+
+impl<Op: Clone> FrontierQueue<Op> {
+    fn load_page(
+        &self,
+        spill: &FrontierSpill,
+        codec: &dyn OpCodec<Op>,
+        page: &FrontierPage,
+    ) -> Result<Vec<FrontierEntry<Op>>, String> {
+        let body = spill.store.read_page(page.loc)?;
+        let entries = decode_frontier_page(&body, codec).map_err(|e| spill.store.poison(e))?;
+        if entries.len() != page.count as usize {
+            return Err(spill.store.poison(format!(
+                "frontier page count mismatch at {}",
+                page.loc.offset
+            )));
+        }
+        Ok(entries)
+    }
+
+    /// Appends an entry; spills the oldest half of the hot deque to one
+    /// page when the hot budget is exceeded.
+    ///
+    /// # Errors
+    ///
+    /// On spill-file write failure (the store is poisoned).
+    pub fn push_back(&mut self, e: FrontierEntry<Op>, ctx: SpillCtx<'_, Op>) -> Result<(), String> {
+        self.hot_bytes += entry_bytes(&e);
+        self.tail.push_back(e);
+        if let Some((spill, codec)) = ctx {
+            if self.hot_bytes > spill.hot_cap_bytes && self.tail.len() >= MIN_FRONTIER_BATCH {
+                let n = self.tail.len() / 2;
+                let batch: Vec<FrontierEntry<Op>> = self.tail.drain(..n).collect();
+                for b in &batch {
+                    self.hot_bytes -= entry_bytes(b);
+                }
+                let body = encode_frontier_page(&batch, codec);
+                let loc = spill.store.write_page(&body)?;
+                self.pages.push(FrontierPage {
+                    loc,
+                    count: batch.len() as u32,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the globally oldest entry (BFS order), reloading the oldest
+    /// page first when one exists.
+    ///
+    /// # Errors
+    ///
+    /// On spill-file read failure, or if pages exist but no spill context
+    /// was supplied.
+    pub fn pop_front(
+        &mut self,
+        ctx: SpillCtx<'_, Op>,
+    ) -> Result<Option<FrontierEntry<Op>>, String> {
+        if self.head.is_empty() && !self.pages.is_empty() {
+            let Some((spill, codec)) = ctx else {
+                return Err("frontier pages present without spill context".into());
+            };
+            let page = self.pages.remove(0);
+            for e in self.load_page(spill, codec, &page)? {
+                self.hot_bytes += entry_bytes(&e);
+                self.head.push_back(e);
+            }
+        }
+        Ok(self
+            .head
+            .pop_front()
+            .or_else(|| self.tail.pop_front())
+            .inspect(|e| {
+                self.hot_bytes -= entry_bytes(e);
+            }))
+    }
+
+    /// Pops the globally newest entry (DFS order); pages are only touched
+    /// once the hot deque is empty.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrontierQueue::pop_front`].
+    pub fn pop_back(&mut self, ctx: SpillCtx<'_, Op>) -> Result<Option<FrontierEntry<Op>>, String> {
+        if self.tail.is_empty() {
+            if let Some(page) = self.pages.pop() {
+                let Some((spill, codec)) = ctx else {
+                    self.pages.push(page);
+                    return Err("frontier pages present without spill context".into());
+                };
+                let entries = self.load_page(spill, codec, &page)?;
+                for e in entries {
+                    self.hot_bytes += entry_bytes(&e);
+                    self.tail.push_back(e);
+                }
+            }
+        }
+        Ok(self
+            .tail
+            .pop_back()
+            .or_else(|| self.head.pop_back())
+            .inspect(|e| {
+                self.hot_bytes -= entry_bytes(e);
+            }))
+    }
+
+    /// Removes and returns the oldest half of the queue (work-stealing
+    /// semantics of `drain(..len/2)`), reloading whole pages as needed.
+    ///
+    /// # Errors
+    ///
+    /// As [`FrontierQueue::pop_front`].
+    pub fn steal_half(&mut self, ctx: SpillCtx<'_, Op>) -> Result<Vec<FrontierEntry<Op>>, String> {
+        let total = self.len();
+        if total == 0 {
+            return Ok(Vec::new());
+        }
+        let target = total.div_ceil(2);
+        let mut out: Vec<FrontierEntry<Op>> = Vec::with_capacity(target);
+        while out.len() < target {
+            let Some(e) = self.head.pop_front() else {
+                break;
+            };
+            self.hot_bytes -= entry_bytes(&e);
+            out.push(e);
+        }
+        // Whole pages next (oldest first); a page may overshoot the target
+        // slightly, which work-stealing tolerates.
+        while out.len() < target && !self.pages.is_empty() {
+            let Some((spill, codec)) = ctx else {
+                return Err("frontier pages present without spill context".into());
+            };
+            let page = self.pages.remove(0);
+            out.extend(self.load_page(spill, codec, &page)?);
+        }
+        while out.len() < target {
+            match self.tail.pop_front() {
+                Some(e) => {
+                    self.hot_bytes -= entry_bytes(&e);
+                    out.push(e);
+                }
+                None => break,
+            }
+        }
+        Ok(out)
+    }
+
+    /// Bulk-appends stolen entries to the hot end (no spill check — the
+    /// next `push_back` rebalances).
+    pub fn extend_back(&mut self, entries: Vec<FrontierEntry<Op>>) {
+        for e in entries {
+            self.hot_bytes += entry_bytes(&e);
+            self.tail.push_back(e);
+        }
+    }
+
+    /// Non-destructive snapshot of every pending entry in logical order
+    /// (for quiescent pickle snapshots).
+    ///
+    /// # Errors
+    ///
+    /// As [`FrontierQueue::pop_front`].
+    pub fn collect_all(&self, ctx: SpillCtx<'_, Op>) -> Result<Vec<FrontierEntry<Op>>, String> {
+        let mut out = Vec::with_capacity(self.len());
+        out.extend(self.head.iter().cloned());
+        for page in &self.pages {
+            let Some((spill, codec)) = ctx else {
+                return Err("frontier pages present without spill context".into());
+            };
+            out.extend(self.load_page(spill, codec, page)?);
+        }
+        out.extend(self.tail.iter().cloned());
+        Ok(out)
+    }
+}
+
+fn encode_frontier_page<Op>(entries: &[FrontierEntry<Op>], codec: &dyn OpCodec<Op>) -> Vec<u8> {
+    let mut out = Vec::with_capacity(entries.len() * 16 + 16);
+    out.push(PAGE_KIND_FRONTIER);
+    out.extend_from_slice(&0u32.to_le_bytes()); // reserved
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.extend_from_slice(&(e.prefix.len() as u32).to_le_bytes());
+        for op in &e.prefix {
+            codec.encode_op(op, &mut out);
+        }
+        out.extend_from_slice(&(e.sleep.len() as u32).to_le_bytes());
+        for op in &e.sleep {
+            codec.encode_op(op, &mut out);
+        }
+    }
+    out
+}
+
+fn decode_frontier_page<Op>(
+    body: &[u8],
+    codec: &dyn OpCodec<Op>,
+) -> Result<Vec<FrontierEntry<Op>>, String> {
+    let es = |e: PickleError| e.to_string();
+    let mut r = ByteReader::new(body);
+    let kind = r.u8().map_err(es)?;
+    if kind != PAGE_KIND_FRONTIER {
+        return Err(format!("bad frontier page kind {kind}"));
+    }
+    let _reserved = r.u32().map_err(es)?;
+    let count = r.u32().map_err(es)? as usize;
+    if count > body.len() {
+        return Err(format!("frontier page count {count} exceeds body"));
+    }
+    let mut out = Vec::with_capacity(count);
+    for _ in 0..count {
+        let np = r.u32().map_err(es)? as usize;
+        if np > r.remaining() {
+            return Err("frontier prefix length exceeds body".into());
+        }
+        let mut prefix = Vec::with_capacity(np);
+        for _ in 0..np {
+            prefix.push(codec.decode_op(&mut r).map_err(es)?);
+        }
+        let ns = r.u32().map_err(es)? as usize;
+        if ns > r.remaining() {
+            return Err("frontier sleep length exceeds body".into());
+        }
+        let mut sleep = Vec::with_capacity(ns);
+        for _ in 0..ns {
+            sleep.push(codec.decode_op(&mut r).map_err(es)?);
+        }
+        out.push(FrontierEntry { prefix, sleep });
+    }
+    if r.remaining() != 0 {
+        return Err(format!("frontier page: {} trailing bytes", r.remaining()));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    struct U32Codec;
+
+    impl OpCodec<u32> for U32Codec {
+        fn encode_op(&self, op: &u32, out: &mut Vec<u8>) {
+            out.extend_from_slice(&op.to_le_bytes());
+        }
+        fn decode_op(&self, r: &mut ByteReader<'_>) -> Result<u32, PickleError> {
+            r.u32()
+        }
+    }
+
+    fn tiny_budget(ram_entries: u64) -> MemBudget {
+        let mut b = MemBudget::new(ram_entries * BYTES_PER_ENTRY);
+        b.shards = 4;
+        b
+    }
+
+    fn lcg(state: &mut u128) -> u128 {
+        *state = state
+            .wrapping_mul(0x2d99787926d46932a4c1f32680f70c55)
+            .wrapping_add(1);
+        *state
+    }
+
+    #[test]
+    fn varint_round_trip() {
+        let samples = [
+            0u128,
+            1,
+            127,
+            128,
+            300,
+            u64::MAX as u128,
+            u128::MAX,
+            1 << 100,
+        ];
+        let mut out = Vec::new();
+        for &v in &samples {
+            put_varint(&mut out, v);
+        }
+        let mut r = ByteReader::new(&out);
+        for &v in &samples {
+            assert_eq!(get_varint(&mut r).unwrap(), v);
+        }
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn visited_page_round_trip() {
+        let entries: Vec<(u128, u32)> = (0..200u128)
+            .map(|i| (i * i * 7919 + (i << 90), i as u32 % 9))
+            .collect();
+        let mut sorted = entries.clone();
+        sorted.sort_unstable_by_key(|&(h, _)| h);
+        let body = encode_visited_page(3, &sorted);
+        let (idx, back) = decode_visited_page(&body).expect("decode");
+        assert_eq!(idx, 3);
+        assert_eq!(back, sorted);
+        // Delta compression: far below the 20 bytes/entry of raw encoding.
+        assert!(body.len() < sorted.len() * 20, "body {} bytes", body.len());
+    }
+
+    #[test]
+    fn page_store_round_trip_and_cleanup() {
+        let store = SpillStore::new(&MemBudget::new(1024)).expect("store");
+        let path = store.path().to_path_buf();
+        let a = store.write_page(b"hello spill").unwrap();
+        let b = store.write_page(&[0u8; 5000]).unwrap();
+        assert_eq!(store.read_page(a).unwrap(), b"hello spill");
+        assert_eq!(store.read_page(b).unwrap(), vec![0u8; 5000]);
+        assert_eq!(store.pages_written(), 2);
+        assert_eq!(store.pages_read(), 2);
+        assert!(store.take_pending_ns() > 0);
+        assert!(path.exists());
+        drop(store);
+        assert!(!path.exists(), "spill file removed on drop");
+    }
+
+    #[test]
+    fn page_store_detects_corruption() {
+        let store = SpillStore::new(&MemBudget::new(1024)).expect("store");
+        let loc = store.write_page(b"payload-payload-payload").unwrap();
+        // Flip one byte in the middle of the frame on disk.
+        let mut raw = fs::read(store.path()).unwrap();
+        raw[loc.offset as usize + 12] ^= 0x20;
+        fs::write(store.path(), &raw).unwrap();
+        let err = store.read_page(loc).unwrap_err();
+        assert!(err.contains("checksum") || err.contains("magic"), "{err}");
+        assert!(store.error().is_some(), "store poisoned");
+    }
+
+    /// The core equivalence property: with a budget forcing heavy spilling,
+    /// every insert classifies exactly as a plain min-depth map would, and
+    /// the exported set is identical.
+    #[test]
+    fn spillset_matches_plain_map_under_tiny_budget() {
+        let set = SpillSet::new(64, &tiny_budget(10)).expect("spillset");
+        let mut reference: BTreeMap<u128, u32> = BTreeMap::new();
+        let mut state = 0xfeed_beef_u128;
+        let mut keys: Vec<u128> = Vec::new();
+        for i in 0..600u32 {
+            // Mix of fresh keys and revisits at varying depths.
+            let h = if i % 3 == 0 && !keys.is_empty() {
+                keys[(lcg(&mut state) as usize) % keys.len()]
+            } else {
+                let k = lcg(&mut state);
+                keys.push(k);
+                k
+            };
+            let depth = (lcg(&mut state) as u32) % 12;
+            let expect = match reference.get(&h) {
+                None => {
+                    reference.insert(h, depth);
+                    Visit::New
+                }
+                Some(&prev) if depth < prev => {
+                    reference.insert(h, depth);
+                    Visit::Shallower
+                }
+                Some(_) => Visit::Matched,
+            };
+            let (got, _) = set.insert_at(h, depth);
+            assert_eq!(got, expect, "insert {i} of {h:x} at depth {depth}");
+        }
+        assert_eq!(set.len(), reference.len());
+        let exported = set.export_entries().expect("export");
+        let want: Vec<(u128, u32)> = reference.into_iter().collect();
+        assert_eq!(exported, want, "exported set identical and sorted");
+        let stats = set.spill_stats();
+        assert!(stats.evictions > 0, "budget of 10 entries must evict");
+        assert!(stats.pages_written > 0 && stats.cold_hits > 0);
+        assert!(set.error().is_none());
+        assert!(set.peak_bytes() > 0);
+        // The predictor saw the same workload; with RAM 10 entries and ~400
+        // distinct keys both must report substantial traffic.
+        assert!(stats.predicted_swap_bytes > 0);
+        assert!(stats.measured_swap_bytes() > 0);
+    }
+
+    #[test]
+    fn spillset_stays_within_hot_budget() {
+        let budget = tiny_budget(32);
+        let set = SpillSet::new(64, &budget).expect("spillset");
+        let mut state = 7u128;
+        for _ in 0..2000 {
+            set.insert(lcg(&mut state));
+        }
+        assert!(
+            set.hot_bytes.load(Ordering::Relaxed) <= budget.ram_bytes,
+            "hot cache within budget after eviction settles"
+        );
+        assert_eq!(set.len(), 2000);
+    }
+
+    #[test]
+    fn spillset_resize_dynamics_match_unbudgeted() {
+        // Same shard count, same capacity, same keys: the budgeted set must
+        // fire resize events at exactly the same inserts as the RAM set,
+        // because thresholds track distinct counts, not hot occupancy.
+        let mut b = tiny_budget(8);
+        b.shards = 4;
+        let spill = SpillSet::new(64, &b).expect("spillset");
+        let ram = crate::visited::ShardedVisited::new(64, 4);
+        let mut state = 99u128;
+        for _ in 0..400 {
+            let h = lcg(&mut state);
+            let (sv, sr) = spill.insert_at(h, 0);
+            let (rv, rr) = ram.insert_at(h, 0);
+            assert_eq!(sv, rv);
+            assert_eq!(sr, rr);
+        }
+        assert_eq!(spill.resizes(), ram.resizes());
+    }
+
+    #[test]
+    fn injected_write_failure_poisons_loudly() {
+        let mut b = tiny_budget(4);
+        b.faults.fail_write_at = Some(0);
+        let set = SpillSet::new(16, &b).expect("spillset");
+        let mut state = 3u128;
+        for _ in 0..64 {
+            set.insert(lcg(&mut state));
+        }
+        let err = set.error().expect("write failure must poison");
+        assert!(err.contains("injected EIO"), "{err}");
+    }
+
+    #[test]
+    fn torn_write_fails_checksum_on_read() {
+        let mut b = tiny_budget(4);
+        b.faults.torn_write_at = Some(0);
+        let set = SpillSet::new(16, &b).expect("spillset");
+        let mut state = 5u128;
+        let mut keys = Vec::new();
+        for _ in 0..64 {
+            let h = lcg(&mut state);
+            keys.push(h);
+            set.insert(h);
+        }
+        // Re-probe everything: the torn page must be detected, not treated
+        // as "state never visited".
+        for &h in &keys {
+            set.insert(h);
+        }
+        let err = set.error().expect("torn page must poison on read");
+        assert!(
+            err.contains("checksum") || err.contains("read"),
+            "loud integrity error, got: {err}"
+        );
+    }
+
+    #[test]
+    fn injected_read_failure_poisons_loudly() {
+        let mut b = tiny_budget(4);
+        b.faults.fail_read_at = Some(0);
+        let set = SpillSet::new(16, &b).expect("spillset");
+        let mut state = 11u128;
+        let mut keys = Vec::new();
+        for _ in 0..64 {
+            let h = lcg(&mut state);
+            keys.push(h);
+            set.insert(h);
+        }
+        for &h in &keys {
+            set.insert(h);
+        }
+        assert!(set.error().expect("poisoned").contains("injected EIO"));
+    }
+
+    #[test]
+    fn load_entries_min_merges_into_spilled_state() {
+        let set = SpillSet::new(16, &tiny_budget(4)).expect("spillset");
+        let mut state = 42u128;
+        let keys: Vec<u128> = (0..100).map(|_| lcg(&mut state)).collect();
+        for &h in &keys {
+            set.insert_at(h, 9);
+        }
+        // Reload the same keys at shallower depth plus some fresh ones.
+        let mut loaded: Vec<(u128, u32)> = keys.iter().map(|&h| (h, 2)).collect();
+        loaded.push((0xabcdef, 7));
+        set.load_entries(&loaded);
+        assert_eq!(set.len(), 101);
+        assert_eq!(set.depth_of(keys[0]), Some(2), "min depth wins");
+        assert_eq!(set.depth_of(0xabcdef), Some(7));
+        // Loading never fires resize events, but thresholds advanced:
+        // fresh inserts continue from the loaded size.
+        let exported = set.export_entries().unwrap();
+        assert_eq!(exported.len(), 101);
+        assert!(exported.windows(2).all(|w| w[0].0 < w[1].0), "sorted");
+    }
+
+    #[test]
+    fn snapshot_counts_are_consistent() {
+        let set = SpillSet::new(16, &tiny_budget(8)).expect("spillset");
+        let mut state = 13u128;
+        for _ in 0..300 {
+            set.insert(lcg(&mut state));
+        }
+        let (len, bytes, resizes) = set.snapshot_counts();
+        assert_eq!(len, 300);
+        assert_eq!(bytes, set.bytes());
+        assert_eq!(resizes, set.resizes());
+    }
+
+    // -- frontier ----------------------------------------------------------
+
+    fn fe(tag: u32, n: usize) -> FrontierEntry<u32> {
+        FrontierEntry {
+            prefix: (0..n as u32).map(|i| tag * 1000 + i).collect(),
+            sleep: vec![tag],
+        }
+    }
+
+    #[test]
+    fn frontier_page_round_trip() {
+        let entries: Vec<FrontierEntry<u32>> = (0..20).map(|i| fe(i, (i as usize) % 5)).collect();
+        let body = encode_frontier_page(&entries, &U32Codec);
+        let back = decode_frontier_page(&body, &U32Codec).expect("decode");
+        assert_eq!(back, entries);
+    }
+
+    #[test]
+    fn frontier_queue_matches_plain_deque() {
+        let store = SpillStore::new(&MemBudget::new(1024)).expect("store");
+        // Tiny hot budget: force spilling after ~16 entries.
+        let spill = FrontierSpill::new(store, 16 * 40);
+        let ctx: SpillCtx<'_, u32> = Some((&spill, &U32Codec));
+        let mut q = FrontierQueue::new();
+        let mut reference: VecDeque<FrontierEntry<u32>> = VecDeque::new();
+        let mut state = 17u128;
+        for i in 0..400u32 {
+            let roll = lcg(&mut state) % 10;
+            if roll < 6 {
+                let e = fe(i, 3);
+                reference.push_back(e.clone());
+                q.push_back(e, ctx).unwrap();
+            } else if roll < 8 {
+                assert_eq!(q.pop_front(ctx).unwrap(), reference.pop_front(), "i={i}");
+            } else {
+                assert_eq!(q.pop_back(ctx).unwrap(), reference.pop_back(), "i={i}");
+            }
+            assert_eq!(q.len(), reference.len());
+        }
+        // Drain fully from the front.
+        while let Some(want) = reference.pop_front() {
+            assert_eq!(q.pop_front(ctx).unwrap(), Some(want));
+        }
+        assert!(q.is_empty());
+        assert!(spill.store().pages_written() > 0, "spilling happened");
+        assert!(spill.store().error().is_none());
+    }
+
+    #[test]
+    fn frontier_steal_half_takes_oldest() {
+        let store = SpillStore::new(&MemBudget::new(1024)).expect("store");
+        let spill = FrontierSpill::new(store, 16 * 40);
+        let ctx: SpillCtx<'_, u32> = Some((&spill, &U32Codec));
+        let mut q = FrontierQueue::new();
+        for i in 0..100u32 {
+            q.push_back(fe(i, 2), ctx).unwrap();
+        }
+        assert!(spill.store().pages_written() > 0);
+        let stolen = q.steal_half(ctx).unwrap();
+        assert!(stolen.len() >= 50, "stole {} of 100", stolen.len());
+        // Stolen entries are the oldest (lowest tags), in order.
+        for (k, e) in stolen.iter().enumerate() {
+            assert_eq!(e.sleep, vec![k as u32]);
+        }
+        // Remainder continues from where the steal stopped.
+        let next = q.pop_front(ctx).unwrap().unwrap();
+        assert_eq!(next.sleep, vec![stolen.len() as u32]);
+    }
+
+    #[test]
+    fn frontier_collect_all_is_nondestructive_and_ordered() {
+        let store = SpillStore::new(&MemBudget::new(1024)).expect("store");
+        let spill = FrontierSpill::new(store, 16 * 40);
+        let ctx: SpillCtx<'_, u32> = Some((&spill, &U32Codec));
+        let mut q = FrontierQueue::new();
+        for i in 0..60u32 {
+            q.push_back(fe(i, 2), ctx).unwrap();
+        }
+        let all = q.collect_all(ctx).unwrap();
+        assert_eq!(all.len(), 60);
+        for (k, e) in all.iter().enumerate() {
+            assert_eq!(e.sleep, vec![k as u32]);
+        }
+        assert_eq!(q.len(), 60, "collect_all must not consume");
+        let again = q.collect_all(ctx).unwrap();
+        assert_eq!(again, all);
+    }
+
+    #[test]
+    fn frontier_without_ctx_is_a_plain_deque() {
+        let mut q: FrontierQueue<u32> = FrontierQueue::new();
+        for i in 0..1000u32 {
+            q.push_back(fe(i, 2), None).unwrap();
+        }
+        assert_eq!(q.len(), 1000);
+        assert_eq!(q.pop_front(None).unwrap().unwrap().sleep, vec![0]);
+        assert_eq!(q.pop_back(None).unwrap().unwrap().sleep, vec![999]);
+    }
+}

@@ -49,7 +49,9 @@ use parking_lot::Mutex;
 use crate::explore::{
     record_violation, ExploreConfig, ExploreReport, ExploreStats, RandomWalk, StopReason,
 };
+use crate::pickle::SnapshotWriter;
 use crate::pickle::{self, deal_frontier, FrontierEntry, OpCodec, RngCursor, RunSnapshot};
+use crate::spill::{FrontierQueue, FrontierSpill, SpillCtx, SpillStats};
 use crate::system::{is_evicted_error, ApplyOutcome, ModelSystem, StateId, Violation};
 use crate::visited::{ShardedVisited, Visit};
 
@@ -87,6 +89,11 @@ pub struct SwarmConfig {
     /// `[Dfs, Dfs, Walk]` over 5 workers gives Dfs,Dfs,Walk,Dfs,Dfs).
     /// Empty selects the classic all-walk swarm; any non-empty assignment
     /// selects the work-stealing frontier.
+    ///
+    /// Out-of-core operation rides in [`ExploreConfig::mem_budget`] on
+    /// `base`: a shared visited set becomes disk-spilling, and in
+    /// [`run_swarm_persistent`] (where an op codec exists) the per-worker
+    /// frontier queues spill cold op-prefix pages to the same store.
     pub strategies: Vec<WorkerStrategy>,
 }
 
@@ -131,6 +138,15 @@ pub struct SwarmReport<Op> {
     /// Error from the last snapshot write, if any (the search itself still
     /// completed; only persistence failed).
     pub persist_error: Option<String>,
+    /// Fleet-wide spill counters of the *shared* visited set (and any
+    /// spilling frontier queues, which share its page store). Per-worker
+    /// stats deliberately exclude these — the set is one global structure,
+    /// so charging each worker the whole set's traffic would overcount on
+    /// merge. `None` when no shared spill-backed set was used (private-set
+    /// fleets report per-worker `stats.spill` instead).
+    pub spill: Option<SpillStats>,
+    /// Peak hot-cache bytes of the shared visited set (0 without one).
+    pub visited_peak_bytes: u64,
 }
 
 impl<Op> SwarmReport<Op> {
@@ -238,6 +254,25 @@ fn restore_failure(e: String) -> StopReason {
     }
 }
 
+/// A fleet that could not start because the shared spill store failed to
+/// initialize: every worker slot reports the failure.
+fn spill_init_report<Op>(workers: usize, e: &str) -> SwarmReport<Op> {
+    SwarmReport {
+        workers: (0..workers.max(1))
+            .map(|_| ExploreReport {
+                stats: ExploreStats::default(),
+                violations: Vec::new(),
+                stop: StopReason::Fatal(format!("spill store init failed: {e}")),
+            })
+            .collect(),
+        distinct_states: None,
+        baseline: ExploreStats::default(),
+        persist_error: None,
+        spill: None,
+        visited_peak_bytes: 0,
+    }
+}
+
 /// Runs `cfg.workers` searches in parallel over systems produced by
 /// `factory` (one system per worker, seeded by worker index).
 ///
@@ -288,10 +323,21 @@ where
 {
     let stop = AtomicBool::new(false);
     // One shard per worker (rounded up to a power of two, min 8) keeps
-    // same-shard collisions between workers rare.
-    let shared = cfg
-        .shared_visited
-        .then(|| ShardedVisited::new(cfg.base.visited_capacity, cfg.workers.max(8)));
+    // same-shard collisions between workers rare. With a memory budget the
+    // shared set spills cold shards to disk instead.
+    let shared = match (cfg.shared_visited, &cfg.base.mem_budget) {
+        (false, _) => None,
+        (true, None) => Some(ShardedVisited::new(
+            cfg.base.visited_capacity,
+            cfg.workers.max(8),
+        )),
+        (true, Some(budget)) => {
+            match ShardedVisited::with_spill(cfg.base.visited_capacity, budget) {
+                Ok(v) => Some(v),
+                Err(e) => return spill_init_report(cfg.workers, &e),
+            }
+        }
+    };
     let mut reports: Vec<Option<ExploreReport<S::Op>>> = (0..cfg.workers).map(|_| None).collect();
 
     std::thread::scope(|scope| {
@@ -310,7 +356,16 @@ where
                     };
                     let walk = RandomWalk::new(worker_cfg);
                     match shared {
-                        Some(mut visited) => walk.run_resumable(&mut sys, &mut visited, |_| {}),
+                        Some(mut visited) => {
+                            let mut report = walk.run_resumable(&mut sys, &mut visited, |_| {});
+                            // The shared set's spill counters are fleet-wide;
+                            // they surface once in `SwarmReport::spill`, not
+                            // per worker (summing per-worker copies of the
+                            // same global counters would overcount).
+                            report.stats.spill = None;
+                            report.stats.visited_peak_bytes = 0;
+                            report
+                        }
                         None => walk.run(&mut sys),
                     }
                 }));
@@ -338,9 +393,11 @@ where
             .into_iter()
             .map(|r| r.expect("worker slot filled"))
             .collect(),
-        distinct_states: shared.map(|s| s.len() as u64),
+        distinct_states: shared.as_ref().map(|s| s.len() as u64),
         baseline: ExploreStats::default(),
         persist_error: None,
+        spill: shared.as_ref().and_then(|s| s.spill_stats()),
+        visited_peak_bytes: shared.as_ref().map(|s| s.peak_bytes()).unwrap_or(0),
     }
 }
 
@@ -356,10 +413,14 @@ const PREFIX_CACHE_CAP: usize = 64;
 
 /// Shared coordination state of one frontier fleet.
 struct FrontierShared<Op> {
-    /// Per-worker frontier deques. Owners push children to the back; Dfs
+    /// Per-worker frontier queues. Owners push children to the back; Dfs
     /// pops the back, Bfs pops the front, thieves steal from the front
-    /// (oldest entries — the biggest unexplored subtrees).
-    queues: Vec<Mutex<VecDeque<FrontierEntry<Op>>>>,
+    /// (oldest entries — the biggest unexplored subtrees). Under a memory
+    /// budget with a codec, cold middles spill to pages.
+    queues: Vec<Mutex<FrontierQueue<Op>>>,
+    /// Spill context for the queues: present only in persistent runs with a
+    /// [`crate::MemBudget`] (spilling op-prefixes needs the op codec).
+    frontier_spill: Option<FrontierSpill>,
     /// The fleet-shared visited set (also what gets pickled).
     visited: ShardedVisited,
     /// Workers currently expanding an entry; termination needs empty queues
@@ -436,7 +497,13 @@ where
 {
     let workers = cfg.workers.max(1);
     let strategies = resolve_strategies(cfg);
-    let visited = ShardedVisited::new(cfg.base.visited_capacity, workers.max(8));
+    let visited = match &cfg.base.mem_budget {
+        Some(budget) => match ShardedVisited::with_spill(cfg.base.visited_capacity, budget) {
+            Ok(v) => v,
+            Err(e) => return spill_init_report(workers, &e),
+        },
+        None => ShardedVisited::new(cfg.base.visited_capacity, workers.max(8)),
+    };
 
     let mut baseline = ExploreStats::default();
     let mut generation = 0u32;
@@ -454,8 +521,21 @@ where
         }
     }
 
+    // Frontier spilling needs both a budget (the hot cap) and a codec (to
+    // encode op-prefixes into pages); the queues share the visited set's
+    // page store so one spill file serves the whole run.
+    let frontier_spill = match (&cfg.base.mem_budget, codec) {
+        (Some(budget), Some(_)) => visited
+            .spill_set()
+            .map(|s| FrontierSpill::new(s.store().clone(), budget.frontier_hot_bytes)),
+        _ => None,
+    };
+
     let shared = FrontierShared::<S::Op> {
-        queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        queues: (0..workers)
+            .map(|_| Mutex::new(FrontierQueue::new()))
+            .collect(),
+        frontier_spill,
         visited,
         busy: AtomicUsize::new(0),
         stop: AtomicBool::new(false),
@@ -479,16 +559,18 @@ where
             for (slot, queue) in dealt.into_iter().enumerate() {
                 // An all-walk fleet parks resumed entries on queue 0: never
                 // expanded, but carried forward into the next snapshot.
+                // Seeding never spills (no I/O to fail here); the first
+                // over-budget worker push drains the excess to pages.
                 let idx = frontier_idxs.get(slot).copied().unwrap_or(0);
-                shared.queues[idx].lock().extend(queue);
+                shared.queues[idx].lock().extend_back(queue.into());
             }
         }
         None => {
             if let Some(&first) = frontier_idxs.first() {
-                shared.queues[first].lock().push_back(FrontierEntry {
+                shared.queues[first].lock().extend_back(vec![FrontierEntry {
                     prefix: Vec::new(),
                     sleep: Vec::new(),
-                });
+                }]);
             }
         }
     }
@@ -531,7 +613,8 @@ where
                             viol_slot,
                         ),
                         _ => run_frontier_worker::<S, F>(
-                            idx, factory, base, shared, strategy, quota, stats_slot, viol_slot,
+                            idx, factory, base, shared, strategy, quota, codec, stats_slot,
+                            viol_slot,
                         ),
                     }));
                     let outcome = match result {
@@ -556,33 +639,65 @@ where
 
         // Snapshot at the (quiescent) round boundary: the scope joined, so
         // the queues and visited set are a consistent cut of the search.
+        // Both big sections stream — visited entries page-by-page through
+        // the writer, spilled frontier pages one queue at a time — so the
+        // snapshot path never materializes the whole set as a second copy.
         if let (Some(path), Some(codec)) = (&snapshot_path, codec) {
+            let ctx: SpillCtx<'_, S::Op> = shared
+                .frontier_spill
+                .as_ref()
+                .map(|fs| (fs, codec as &dyn OpCodec<S::Op>));
             let mut frontier = Vec::new();
+            let mut frontier_err: Option<String> = None;
             for q in &shared.queues {
-                frontier.extend(q.lock().iter().cloned());
+                match q.lock().collect_all(ctx) {
+                    Ok(entries) => frontier.extend(entries),
+                    Err(e) => {
+                        frontier_err = Some(e);
+                        break;
+                    }
+                }
             }
             let mut stats = baseline.clone();
             for s in &agg_stats {
                 stats.merge(s);
             }
-            let rng = (0..workers)
+            // The shared set's fleet-wide spill counters ride in the
+            // snapshot stats (per-worker stats exclude them — see
+            // `SwarmReport::spill`).
+            if let Some(cur) = shared.visited.spill_stats() {
+                match &mut stats.spill {
+                    Some(b) => b.merge(&cur),
+                    None => stats.spill = Some(cur),
+                }
+            }
+            stats.visited_peak_bytes = stats.visited_peak_bytes.max(shared.visited.peak_bytes());
+            let rng: Vec<RngCursor> = (0..workers)
                 .map(|i| RngCursor {
                     seed: walk_seed(cfg.base.seed, i, round, generation),
                     draws: agg_stats[i].ops_executed,
                 })
                 .collect();
-            let snap = RunSnapshot {
-                base_seed: cfg.base.seed,
-                workers: workers as u32,
-                generation,
-                visited: shared.visited.export_entries(),
-                frontier,
-                rng,
-                stats,
-            };
-            let bytes = pickle::encode_snapshot(&snap, codec);
-            if let Err(e) = pickle::save_atomic(path, &bytes) {
-                persist_error = Some(e.to_string());
+            match frontier_err {
+                Some(e) => persist_error = Some(format!("frontier snapshot failed: {e}")),
+                None => {
+                    let mut w =
+                        SnapshotWriter::new(codec, cfg.base.seed, workers as u32, generation);
+                    w.begin_visited(shared.visited.len() as u32);
+                    match shared.visited.stream_entries(|h, d| w.visited_entry(h, d)) {
+                        Ok(()) => {
+                            w.frontier(&frontier);
+                            w.rng(&rng);
+                            let bytes = w.finish(&stats);
+                            if let Err(e) = pickle::save_atomic(path, &bytes) {
+                                persist_error = Some(e.to_string());
+                            }
+                        }
+                        Err(e) => {
+                            persist_error = Some(format!("visited snapshot failed: {e}"));
+                        }
+                    }
+                }
             }
         }
 
@@ -606,6 +721,8 @@ where
         distinct_states: Some(shared.visited.len() as u64),
         baseline,
         persist_error,
+        spill: shared.visited.spill_stats(),
+        visited_peak_bytes: shared.visited.peak_bytes(),
     }
 }
 
@@ -641,8 +758,12 @@ where
     };
     let mut visited = shared.visited.clone();
     let walk = RandomWalk::new(worker_cfg);
-    let report = walk.run_resumable(&mut sys, &mut visited, |_| shared.tick_round(quota));
+    let mut report = walk.run_resumable(&mut sys, &mut visited, |_| shared.tick_round(quota));
     let drained_by_round = shared.round_done.load(Ordering::SeqCst);
+    // Shared-set spill counters surface fleet-wide (snapshot stats and
+    // `SwarmReport::spill`), not per worker.
+    report.stats.spill = None;
+    report.stats.visited_peak_bytes = 0;
     stats_slot.merge(&report.stats);
     viol_slot.extend(report.violations);
     match report.stop {
@@ -671,6 +792,7 @@ fn run_frontier_worker<S, F>(
     shared: &FrontierShared<S::Op>,
     strategy: WorkerStrategy,
     quota: u64,
+    codec: Option<&(dyn OpCodec<S::Op> + Sync)>,
     stats: &mut ExploreStats,
     viols: &mut Vec<Violation<S::Op>>,
 ) -> Option<StopReason>
@@ -678,6 +800,20 @@ where
     S: ModelSystem,
     F: Fn(usize) -> S + Sync,
 {
+    // Queue spill context: page store + codec, present only in budgeted
+    // persistent runs (both live for the whole scope, so one binding
+    // serves every queue operation below).
+    let ctx: SpillCtx<'_, S::Op> = match (&shared.frontier_spill, codec) {
+        (Some(fs), Some(c)) => Some((fs, c as &dyn OpCodec<S::Op>)),
+        _ => None,
+    };
+    // A spill failure anywhere poisons the store: stop the fleet loudly so
+    // no worker keeps searching over a silently shrunken frontier/visited
+    // set (the error message carries the replayable cause).
+    let spill_fatal = |what: &str, e: String| {
+        shared.stop.store(true, Ordering::SeqCst);
+        Some(StopReason::Fatal(format!("{what} spill failed: {e}")))
+    };
     let mut sys = factory(idx);
     let root = StateId(0);
     let mut next_id = 1u64;
@@ -694,6 +830,9 @@ where
     if shared.visited.insert_at(root_hash, 0).0 == Visit::New {
         stats.states_new += 1;
         shared.states_total.fetch_add(1, Ordering::SeqCst);
+    }
+    if let Some(e) = shared.visited.error() {
+        return spill_fatal("visited", e);
     }
 
     // Replay cache: op-prefix → concrete checkpoint, so expanding a child
@@ -719,14 +858,21 @@ where
         // children are still coming.
         shared.busy.fetch_add(1, Ordering::SeqCst);
         let guard = BusyGuard(&shared.busy);
-        let entry = {
+        let popped = {
             let mut own = shared.queues[idx].lock();
             match strategy {
-                WorkerStrategy::Bfs => own.pop_front(),
-                _ => own.pop_back(),
+                WorkerStrategy::Bfs => own.pop_front(ctx),
+                _ => own.pop_back(ctx),
             }
-        }
-        .or_else(|| steal(shared, idx));
+        };
+        let entry = match popped {
+            Ok(Some(e)) => Some(e),
+            Ok(None) => match steal(shared, idx, ctx) {
+                Ok(e) => e,
+                Err(e) => return spill_fatal("frontier", e),
+            },
+            Err(e) => return spill_fatal("frontier", e),
+        };
         let Some(entry) = entry else {
             drop(guard);
             // The rare losing race here (another worker popped the last
@@ -884,6 +1030,10 @@ where
             if resize.is_some() {
                 stats.resize_events += 1;
             }
+            if let Some(e) = shared.visited.error() {
+                sys.unpin(ent_id);
+                return spill_fatal("visited", e);
+            }
             match visit {
                 Visit::Matched => {
                     stats.states_matched += 1;
@@ -918,9 +1068,13 @@ where
                 };
                 let mut prefix = entry.prefix.clone();
                 prefix.push(op.clone());
-                shared.queues[idx]
+                let pushed = shared.queues[idx]
                     .lock()
-                    .push_back(FrontierEntry { prefix, sleep });
+                    .push_back(FrontierEntry { prefix, sleep }, ctx);
+                if let Err(e) = pushed {
+                    sys.unpin(ent_id);
+                    return spill_fatal("frontier", e);
+                }
             }
         }
         sys.unpin(ent_id);
@@ -937,25 +1091,36 @@ where
 /// Steals roughly half of the first non-empty victim queue (from its front
 /// — the oldest entries, i.e. the largest unexplored subtrees), moving the
 /// surplus into the thief's own queue and returning one entry to expand.
-fn steal<Op: Clone>(shared: &FrontierShared<Op>, idx: usize) -> Option<FrontierEntry<Op>> {
+/// Spilled victim pages reload transparently (steal-half pulls whole pages
+/// rather than splitting one).
+///
+/// # Errors
+///
+/// On spill-file failure while reloading a victim's pages.
+fn steal<Op: Clone>(
+    shared: &FrontierShared<Op>,
+    idx: usize,
+    ctx: SpillCtx<'_, Op>,
+) -> Result<Option<FrontierEntry<Op>>, String> {
     let n = shared.queues.len();
     for off in 1..n {
         let victim_idx = (idx + off) % n;
         let stolen: Vec<FrontierEntry<Op>> = {
             let mut victim = shared.queues[victim_idx].lock();
-            let len = victim.len();
-            if len == 0 {
+            if victim.is_empty() {
                 continue;
             }
-            let take = len.div_ceil(2);
-            victim.drain(..take).collect()
+            victim.steal_half(ctx)?
         };
+        if stolen.is_empty() {
+            continue;
+        }
         let mut it = stolen.into_iter();
         let first = it.next();
-        shared.queues[idx].lock().extend(it);
-        return first;
+        shared.queues[idx].lock().extend_back(it.collect());
+        return Ok(first);
     }
-    None
+    Ok(None)
 }
 
 // ---------------------------------------------------------------------------

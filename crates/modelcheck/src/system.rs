@@ -46,6 +46,13 @@ pub struct CheckpointStoreStats {
     pub evictions: u64,
     /// Snapshots inserted so far.
     pub inserts: u64,
+    /// Snapshots demoted to the disk spill tier instead of being dropped
+    /// (out-of-core checkpoint pool; 0 when spill is disabled).
+    pub demotions: u64,
+    /// Demoted snapshots promoted back to RAM on access.
+    pub promotions: u64,
+    /// Bytes currently held by the disk spill tier for demoted snapshots.
+    pub spilled_bytes: u64,
 }
 
 impl CheckpointStoreStats {
@@ -58,6 +65,9 @@ impl CheckpointStoreStats {
         self.resident_bytes += other.resident_bytes;
         self.evictions += other.evictions;
         self.inserts += other.inserts;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.spilled_bytes += other.spilled_bytes;
     }
 }
 

@@ -16,6 +16,8 @@ use std::collections::HashMap;
 use parking_lot::Mutex;
 use std::sync::Arc;
 
+use crate::spill::{MemBudget, SpillSet, SpillStats};
+
 /// A hash-table resize event, reported when an insert crosses the capacity
 /// threshold.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,7 +37,7 @@ pub const BYTES_PER_ENTRY: u64 = 48;
 /// Per-entry rehash cost in virtual nanoseconds. Rehashing a table that no
 /// longer fits RAM is page-fault dominated (the Fig. 3 "resize dip"), so
 /// this models a faulting rehash, not an in-cache one.
-const REHASH_NS_PER_ENTRY: u64 = 40_000;
+pub(crate) const REHASH_NS_PER_ENTRY: u64 = 40_000;
 
 /// How an insert related to the existing table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -71,6 +73,31 @@ pub trait VisitedHandle {
     /// Whether no state has been visited.
     fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// High-water mark of [`VisitedHandle::bytes`]. In-RAM sets only grow,
+    /// so the default (current bytes) is exact for them; spilling sets
+    /// track the real peak across evictions.
+    fn peak_bytes(&self) -> u64 {
+        self.bytes()
+    }
+
+    /// First backing-store failure, if any. In-RAM sets cannot fail;
+    /// spilling sets poison on I/O or integrity errors, and explorers must
+    /// stop the run loudly when this turns `Some`.
+    fn error(&self) -> Option<String> {
+        None
+    }
+
+    /// Virtual-ns of real page traffic accumulated since the last call
+    /// (zero for in-RAM sets); explorers drain this onto the run's clock.
+    fn take_pending_ns(&mut self) -> u64 {
+        0
+    }
+
+    /// Out-of-core counters, when a spill budget is active.
+    fn spill_stats(&self) -> Option<SpillStats> {
+        None
     }
 }
 
@@ -166,12 +193,26 @@ impl VisitedSet {
         self.set.len() as u64 * BYTES_PER_ENTRY
     }
 
+    /// Visits every `(fingerprint, depth)` entry sorted by fingerprint (the
+    /// canonical export order) without materializing owned pairs — only a
+    /// sorted key index. Serializers stream from this straight into their
+    /// output (see `SnapshotWriter`).
+    pub fn stream_entries(&self, mut f: impl FnMut(u128, u32)) {
+        let mut keys: Vec<u128> = self.set.keys().copied().collect();
+        keys.sort_unstable();
+        for h in keys {
+            f(h, self.set[&h]);
+        }
+    }
+
     /// Exports every `(fingerprint, depth)` entry, sorted by fingerprint so
     /// the serialized form is canonical (byte-identical across exports of
-    /// the same set, whatever the insertion order was).
+    /// the same set, whatever the insertion order was). Prefer
+    /// [`stream_entries`](VisitedSet::stream_entries) for one-shot
+    /// consumers.
     pub fn export_entries(&self) -> Vec<(u128, u32)> {
-        let mut out: Vec<(u128, u32)> = self.set.iter().map(|(&h, &d)| (h, d)).collect();
-        out.sort_unstable_by_key(|&(h, _)| h);
+        let mut out = Vec::with_capacity(self.set.len());
+        self.stream_entries(|h, d| out.push((h, d)));
         out
     }
 
@@ -230,10 +271,15 @@ impl VisitedHandle for VisitedSet {
 /// split into N smaller (and briefly overlapping) dips.
 ///
 /// Cloning shares the underlying shards.
+///
+/// With a [`MemBudget`] (see [`ShardedVisited::with_spill`]) the set is
+/// backed by a disk-spilling [`SpillSet`] instead of in-RAM shards — same
+/// classification semantics, bounded hot memory.
 #[derive(Debug, Clone)]
 pub struct ShardedVisited {
     shards: Arc<Vec<Mutex<VisitedSet>>>,
     shard_bits: u32,
+    spill: Option<Arc<SpillSet>>,
 }
 
 impl ShardedVisited {
@@ -248,12 +294,37 @@ impl ShardedVisited {
         ShardedVisited {
             shards: Arc::new(shards),
             shard_bits: n.trailing_zeros(),
+            spill: None,
         }
+    }
+
+    /// Creates a disk-spilling set budgeted by `budget`, with the same
+    /// aggregate first-resize threshold semantics as [`ShardedVisited::new`].
+    ///
+    /// # Errors
+    ///
+    /// When the spill file cannot be created.
+    pub fn with_spill(initial_capacity: usize, budget: &MemBudget) -> Result<Self, String> {
+        let set = SpillSet::new(initial_capacity, budget)?;
+        Ok(ShardedVisited {
+            shards: Arc::new(Vec::new()),
+            shard_bits: 0,
+            spill: Some(Arc::new(set)),
+        })
+    }
+
+    /// The backing spill set, when one is configured (the swarm shares its
+    /// page store with frontier queues).
+    pub fn spill_set(&self) -> Option<&Arc<SpillSet>> {
+        self.spill.as_ref()
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        match &self.spill {
+            Some(s) => s.shard_count(),
+            None => self.shards.len(),
+        }
     }
 
     fn shard_for(&self, h: u128) -> &Mutex<VisitedSet> {
@@ -270,56 +341,150 @@ impl ShardedVisited {
 
     /// Inserts a fingerprint at depth 0 (see [`VisitedSet::insert`]).
     pub fn insert(&self, h: u128) -> (bool, Option<ResizeEvent>) {
-        self.shard_for(h).lock().insert(h)
+        match &self.spill {
+            Some(s) => s.insert(h),
+            None => self.shard_for(h).lock().insert(h),
+        }
     }
 
     /// Inserts a fingerprint at `depth` (see [`VisitedSet::insert_at`]).
     pub fn insert_at(&self, h: u128, depth: u32) -> (Visit, Option<ResizeEvent>) {
-        self.shard_for(h).lock().insert_at(h, depth)
+        match &self.spill {
+            Some(s) => s.insert_at(h, depth),
+            None => self.shard_for(h).lock().insert_at(h, depth),
+        }
     }
 
     /// Whether `h` has been visited.
     pub fn contains(&self, h: u128) -> bool {
-        self.shard_for(h).lock().contains(h)
+        match &self.spill {
+            Some(s) => s.contains(h),
+            None => self.shard_for(h).lock().contains(h),
+        }
     }
 
     /// Number of distinct states across all shards.
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.lock().len()).sum()
+        match &self.spill {
+            Some(s) => s.len(),
+            None => self.shards.iter().map(|s| s.lock().len()).sum(),
+        }
     }
 
     /// Whether every shard is empty.
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.lock().is_empty())
+        match &self.spill {
+            Some(s) => s.is_empty(),
+            None => self.shards.iter().all(|s| s.lock().is_empty()),
+        }
     }
 
     /// Total modelled resizes across shards.
     pub fn resizes(&self) -> u32 {
-        self.shards.iter().map(|s| s.lock().resizes()).sum()
+        match &self.spill {
+            Some(s) => s.resizes(),
+            None => self.shards.iter().map(|s| s.lock().resizes()).sum(),
+        }
     }
 
-    /// Total modelled bytes across shards.
+    /// Total modelled bytes across shards (hot bytes + page metadata when
+    /// spilling).
     pub fn bytes(&self) -> u64 {
-        self.shards.iter().map(|s| s.lock().bytes()).sum()
+        match &self.spill {
+            Some(s) => s.bytes(),
+            None => self.shards.iter().map(|s| s.lock().bytes()).sum(),
+        }
+    }
+
+    /// High-water mark of [`ShardedVisited::bytes`]. In-RAM shards only
+    /// grow, so their current bytes are the peak; the spill set tracks its
+    /// real peak across evictions.
+    pub fn peak_bytes(&self) -> u64 {
+        match &self.spill {
+            Some(s) => s.peak_bytes(),
+            None => self.bytes(),
+        }
+    }
+
+    /// Consistent `(len, bytes, resizes)` snapshot: every shard lock is
+    /// held simultaneously, so concurrent inserts cannot skew the sums the
+    /// way three separate [`ShardedVisited::len`]/[`ShardedVisited::bytes`]/
+    /// [`ShardedVisited::resizes`] calls mid-run can.
+    pub fn stats_snapshot(&self) -> (usize, u64, u32) {
+        match &self.spill {
+            Some(s) => s.snapshot_counts(),
+            None => {
+                let guards: Vec<_> = self.shards.iter().map(|s| s.lock()).collect();
+                let len = guards.iter().map(|g| g.len()).sum();
+                let bytes = guards.iter().map(|g| g.bytes()).sum();
+                let resizes = guards.iter().map(|g| g.resizes()).sum();
+                (len, bytes, resizes)
+            }
+        }
     }
 
     /// Exports every `(fingerprint, depth)` entry across shards, sorted by
     /// fingerprint (canonical order — see [`VisitedSet::export_entries`]).
+    ///
+    /// # Panics
+    ///
+    /// When a spilled page cannot be read back — the visited set is no
+    /// longer trustworthy and exporting a partial one would silently drop
+    /// states. Prefer [`ShardedVisited::stream_entries`] to handle the
+    /// error gracefully.
     pub fn export_entries(&self) -> Vec<(u128, u32)> {
         let mut out = Vec::new();
-        for shard in self.shards.iter() {
-            out.extend(shard.lock().export_entries());
-        }
-        out.sort_unstable_by_key(|&(h, _)| h);
+        self.stream_entries(|h, d| out.push((h, d)))
+            .unwrap_or_else(|e| panic!("visited export failed: {e}"));
         out
+    }
+
+    /// Streams every `(fingerprint, depth)` entry in globally sorted order
+    /// (fingerprints are routed to shards by their top bits, so per-shard
+    /// sorted output concatenates to a sorted whole) without materializing
+    /// the full set — at most one shard is held at a time.
+    ///
+    /// # Errors
+    ///
+    /// On spill-file read failure (in-RAM sets cannot fail).
+    pub fn stream_entries(&self, mut f: impl FnMut(u128, u32)) -> Result<(), String> {
+        match &self.spill {
+            Some(s) => s.stream_entries(f),
+            None => {
+                for shard in self.shards.iter() {
+                    shard.lock().stream_entries(&mut f);
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Bulk-loads previously exported entries into the owning shards without
     /// firing modelled resize events (see [`VisitedSet::load_entries`]).
     pub fn load_entries(&self, entries: &[(u128, u32)]) {
-        for &(h, d) in entries {
-            self.shard_for(h).lock().load_entries(&[(h, d)]);
+        match &self.spill {
+            Some(s) => s.load_entries(entries),
+            None => {
+                for &(h, d) in entries {
+                    self.shard_for(h).lock().load_entries(&[(h, d)]);
+                }
+            }
         }
+    }
+
+    /// First spill failure, if any — see [`VisitedHandle::error`].
+    pub fn error(&self) -> Option<String> {
+        self.spill.as_ref().and_then(|s| s.error())
+    }
+
+    /// Virtual-ns of real page traffic since the last call (zero in RAM).
+    pub fn take_pending_ns(&self) -> u64 {
+        self.spill.as_ref().map_or(0, |s| s.take_pending_ns())
+    }
+
+    /// Out-of-core counters, when spilling is active.
+    pub fn spill_stats(&self) -> Option<SpillStats> {
+        self.spill.as_ref().map(|s| s.spill_stats())
     }
 }
 
@@ -334,6 +499,22 @@ impl VisitedHandle for ShardedVisited {
 
     fn len(&self) -> usize {
         ShardedVisited::len(self)
+    }
+
+    fn peak_bytes(&self) -> u64 {
+        ShardedVisited::peak_bytes(self)
+    }
+
+    fn error(&self) -> Option<String> {
+        ShardedVisited::error(self)
+    }
+
+    fn take_pending_ns(&mut self) -> u64 {
+        ShardedVisited::take_pending_ns(self)
+    }
+
+    fn spill_stats(&self) -> Option<SpillStats> {
+        ShardedVisited::spill_stats(self)
     }
 }
 
@@ -472,6 +653,35 @@ mod tests {
                 "first-round shard resize at aggregate {agg}, want near 64"
             );
         }
+    }
+
+    #[test]
+    fn spill_backed_sharded_set_matches_ram_one() {
+        let mut budget = MemBudget::new(16 * BYTES_PER_ENTRY);
+        budget.shards = 4;
+        let spilled = ShardedVisited::with_spill(64, &budget).expect("spill set");
+        let ram = ShardedVisited::new(64, 4);
+        let mut state = 0xdead_beef_u128;
+        for i in 0..300u32 {
+            state = state
+                .wrapping_mul(0x2d99787926d46932a4c1f32680f70c55)
+                .wrapping_add(1);
+            let h = if i % 4 == 0 { state >> 1 << 1 } else { state };
+            let d = i % 7;
+            assert_eq!(spilled.insert_at(h, d), ram.insert_at(h, d), "insert {i}");
+        }
+        assert_eq!(spilled.len(), ram.len());
+        assert_eq!(spilled.resizes(), ram.resizes());
+        assert_eq!(spilled.export_entries(), ram.export_entries());
+        let (len, bytes, resizes) = spilled.stats_snapshot();
+        assert_eq!((len, resizes), (ram.len(), ram.resizes()));
+        assert!(bytes <= budget.ram_bytes + spilled.spill_stats().unwrap().pages_written * 1024);
+        assert!(spilled.error().is_none());
+        assert!(
+            spilled.spill_stats().unwrap().evictions > 0,
+            "16-entry budget must spill"
+        );
+        assert!(spilled.peak_bytes() > 0);
     }
 
     #[test]
