@@ -1,4 +1,4 @@
-//! The four sanitizers behind the lint codes.
+//! The five sanitizers behind the lint codes.
 //!
 //! Every check is *dynamic* validation of a *static* claim: MC001 executes
 //! both orders of every pair the derived (or legacy) independence relation
@@ -6,13 +6,15 @@
 //! that a POSIX probe suite can tell apart; MC003 replays identical
 //! sequences on two backends and compares errno models; MC004 round-trips
 //! checkpoints (API and device-image flavors) and checks the restored
-//! state is the checkpointed one.
+//! state is the checkpointed one; MC005 corrupts derivable metadata in the
+//! device image and checks fsck converges without losing reachable data.
 
 use std::collections::HashMap;
 
+use blockdev::DeviceSnapshot;
 use mcfs::effect::{heuristic_independent, independent, EffectProfile};
 use mcfs::{abstract_state, execute, AbstractionConfig, FsOp, OpOutcome, PoolConfig};
-use vfs::{DeviceBacked, FileSystem, FsCheckpoint, VfsResult};
+use vfs::{DeviceBacked, Errno, FileSystem, FsCheckpoint, VfsResult};
 
 use crate::backends::Backend;
 use crate::report::{Diagnostic, LintCode, Severity};
@@ -589,6 +591,265 @@ pub fn mc004_device_symmetry<F: FileSystem + DeviceBacked>(
                 ),
                 replay,
             });
+        }
+    }
+    Ok(out)
+}
+
+/// MC005 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc005Config {
+    /// Fresh-volume rounds (each gets its own random prefix).
+    pub rounds: usize,
+    /// Mutations before the snapshot (reachable-state variety).
+    pub prefix_len: usize,
+    /// Corrupted-image variants per round.
+    pub corruptions: usize,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mc005Config {
+    fn default() -> Self {
+        Mc005Config {
+            rounds: 4,
+            prefix_len: 4,
+            corruptions: 2,
+            seed: 0xc0ff_ee05,
+        }
+    }
+}
+
+/// Rebuilds a restorable snapshot carrying `img` with `template`'s
+/// geometry (the corruptors work on a flat byte image).
+fn snapshot_with_bytes(template: &DeviceSnapshot, img: &[u8]) -> Option<DeviceSnapshot> {
+    let chunks: Vec<Vec<u8>> = img
+        .chunks(template.chunk_size())
+        .map(<[u8]>::to_vec)
+        .collect();
+    DeviceSnapshot::from_chunks(template.block_size(), template.chunk_size(), chunks)
+}
+
+/// Derivable-metadata corruptor for the ext layout: scrambles both
+/// allocation bitmaps and the superblock free counters (all rebuilt from
+/// the inode table and directory tree), fills the journal area with
+/// garbage (replay validation must detect and discard it), and sets the
+/// dirty flag so repair runs the full scan. No live inode or data block
+/// is touched, so a correct fsck recovers every reachable byte.
+pub fn ext_derivable_corruptor(img: &mut [u8], rng: &mut XorShift64) {
+    let Ok(sb) = fs_ext::layout::SuperBlock::decode(img) else {
+        return;
+    };
+    let bs = sb.block_size as usize;
+    // Words 4 and 5: free_blocks / free_inodes.
+    for byte in &mut img[16..24] {
+        *byte = (rng.next_u64() & 0xff) as u8;
+    }
+    // Word 7: flags — force the dirty bit on.
+    let flags = sb.flags | fs_ext::layout::SB_FLAG_DIRTY;
+    img[28..32].copy_from_slice(&flags.to_le_bytes());
+    // Blocks 1 and 2: the data and inode allocation bitmaps.
+    for byte in &mut img[bs..3 * bs] {
+        if rng.next_u64() & 1 == 0 {
+            *byte = (rng.next_u64() & 0xff) as u8;
+        }
+    }
+    // The journal area (ext4; empty range on ext2).
+    let js = sb.journal_start() as usize * bs;
+    let je = (js + sb.journal_blocks as usize * bs).min(img.len());
+    for byte in &mut img[js..je] {
+        *byte = (rng.next_u64() & 0xff) as u8;
+    }
+}
+
+/// Derivable-metadata corruptor for JFFS2: programs an undecodable
+/// half-written node (valid magic and length, wrong CRC) at the log end
+/// of every erase block with room — the torn-program garbage the scanner
+/// must quarantine. Only erased space is overwritten, so every live node
+/// survives and a correct repair loses nothing.
+pub fn jffs2_corrupt_log_tails(img: &mut [u8], erase_block: usize, rng: &mut XorShift64) {
+    use fs_jffs2::log;
+    const GARBAGE_LEN: usize = 16;
+    for blk in img.chunks_mut(erase_block) {
+        let mut off = 0;
+        while let Ok(Some((_, used))) = log::Node::decode(&blk[off..]) {
+            off += used;
+        }
+        // Only blocks that already hold nodes: torn programs happen at the
+        // head of an active log, and leaving the free blocks erased keeps
+        // GC room for the scrub pass.
+        if off == 0 || off + GARBAGE_LEN > blk.len() || blk[off..].iter().any(|&b| b != 0xff) {
+            continue;
+        }
+        let mut garbage = [0u8; GARBAGE_LEN];
+        garbage[..2].copy_from_slice(&log::NODE_MAGIC.to_le_bytes());
+        garbage[2] = log::NT_DIRENT;
+        garbage[3..7].copy_from_slice(&(GARBAGE_LEN as u32).to_le_bytes());
+        for b in &mut garbage[log::HEADER_LEN..] {
+            *b = (rng.next_u64() & 0xff) as u8;
+        }
+        // Store a CRC guaranteed not to match the body.
+        let bad_crc = log::node_crc(&garbage[log::HEADER_LEN..]) ^ 0xdead_beef;
+        garbage[7..log::HEADER_LEN].copy_from_slice(&bad_crc.to_le_bytes());
+        blk[off..off + GARBAGE_LEN].copy_from_slice(&garbage);
+    }
+}
+
+/// MC005 — repair convergence. From a random reachable state, twice over:
+///
+/// 1. **Healthy volume**: fsck on a freshly synced volume must report a
+///    clean bill and leave the observable state untouched (a repair pass
+///    that "fixes" a consistent volume either loses reachable data or
+///    mis-models the layout).
+/// 2. **Corrupted volume**: `corrupt` scrambles *derivable* metadata only
+///    (allocator state, journal garbage, torn log tails) in the device
+///    image; fsck must then repair it, reach a fixed point within two
+///    runs (the second run reports clean), and recover every reachable
+///    byte the corruption left intact.
+///
+/// # Errors
+///
+/// Backend construction/snapshot failures.
+pub fn mc005_repair_convergence<F: FileSystem + DeviceBacked>(
+    fresh: &dyn Fn() -> VfsResult<F>,
+    backend_name: &str,
+    pool: &PoolConfig,
+    corrupt: &dyn Fn(&mut [u8], &mut XorShift64),
+    cfg: &Mc005Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let ops = pool.ops();
+    let caps = fresh()?.capabilities();
+    let mutations: Vec<&FsOp> = ops
+        .iter()
+        .filter(|o| o.is_mutation() && o.allowed_by(caps))
+        .collect();
+    let mut rng = XorShift64::new(cfg.seed);
+    let mut out = Vec::new();
+    for round in 0..cfg.rounds {
+        let mut fs = fresh()?;
+        let prefix = random_mutations(&mut rng, &mutations, cfg.prefix_len);
+        for op in &prefix {
+            let _ = execute(&mut fs, op, &[]);
+        }
+        fs.unmount()?;
+        let snap = fs.snapshot_device()?;
+        fs.mount()?;
+        let h0 = observe(&mut fs);
+        let mut replay: Vec<String> = prefix.iter().map(|o| o.to_string()).collect();
+        replay.push("-- snapshot_device / remount --".into());
+        // Phase 1: a consistent volume needs no repairs and loses nothing.
+        match fs.fsck() {
+            Ok(report) if !report.is_clean() => {
+                out.push(Diagnostic {
+                    code: LintCode::Mc005,
+                    severity: Severity::Error,
+                    backend: backend_name.to_string(),
+                    message: format!(
+                        "fsck \"repaired\" a consistent volume (round {round}): {}",
+                        report.fixes.join("; ")
+                    ),
+                    replay: replay.clone(),
+                });
+                continue;
+            }
+            Ok(_) => {}
+            Err(e) => {
+                out.push(Diagnostic {
+                    code: LintCode::Mc005,
+                    severity: Severity::Error,
+                    backend: backend_name.to_string(),
+                    message: format!("fsck failed on a consistent volume (round {round}): {e}"),
+                    replay: replay.clone(),
+                });
+                continue;
+            }
+        }
+        if observe(&mut fs) != h0 {
+            out.push(Diagnostic {
+                code: LintCode::Mc005,
+                severity: Severity::Error,
+                backend: backend_name.to_string(),
+                message: format!(
+                    "fsck changed the observable state of a consistent volume (round {round})"
+                ),
+                replay: replay.clone(),
+            });
+            continue;
+        }
+        // Phase 2: repair of derivable-metadata corruption converges and
+        // recovers all reachable data.
+        for variant in 0..cfg.corruptions {
+            let mut img = snap.to_vec();
+            corrupt(&mut img, &mut rng);
+            let Some(bad) = snapshot_with_bytes(&snap, &img) else {
+                return Err(Errno::EIO);
+            };
+            fs.unmount()?;
+            fs.restore_device(&bad)?;
+            let mut replay = replay.clone();
+            replay.push(format!(
+                "-- corrupt derivable metadata (variant {variant}) --"
+            ));
+            match fs.fsck() {
+                Ok(_) => {}
+                Err(e) => {
+                    out.push(Diagnostic {
+                        code: LintCode::Mc005,
+                        severity: Severity::Error,
+                        backend: backend_name.to_string(),
+                        message: format!(
+                            "fsck failed to repair derivable-metadata corruption \
+                             (round {round}, variant {variant}): {e}"
+                        ),
+                        replay,
+                    });
+                    fs.restore_device(&snap)?;
+                    fs.mount()?;
+                    continue;
+                }
+            }
+            match fs.fsck() {
+                Ok(report) if !report.is_clean() => {
+                    out.push(Diagnostic {
+                        code: LintCode::Mc005,
+                        severity: Severity::Error,
+                        backend: backend_name.to_string(),
+                        message: format!(
+                            "repair is not a fixed point within two runs (round {round}, \
+                             variant {variant}): second fsck still fixed: {}",
+                            report.fixes.join("; ")
+                        ),
+                        replay: replay.clone(),
+                    });
+                }
+                Ok(_) => {}
+                Err(e) => {
+                    out.push(Diagnostic {
+                        code: LintCode::Mc005,
+                        severity: Severity::Error,
+                        backend: backend_name.to_string(),
+                        message: format!(
+                            "second fsck failed after a successful repair \
+                             (round {round}, variant {variant}): {e}"
+                        ),
+                        replay: replay.clone(),
+                    });
+                }
+            }
+            fs.mount()?;
+            if observe(&mut fs) != h0 {
+                out.push(Diagnostic {
+                    code: LintCode::Mc005,
+                    severity: Severity::Error,
+                    backend: backend_name.to_string(),
+                    message: format!(
+                        "repair lost reachable user data (round {round}, variant {variant}): \
+                         the corruption touched only derivable metadata, but the repaired \
+                         volume differs from the pre-corruption state"
+                    ),
+                    replay,
+                });
+            }
         }
     }
     Ok(out)

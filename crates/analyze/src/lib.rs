@@ -17,8 +17,11 @@
 //!   identically across backends.
 //! - **MC004** (checkpoint/restore asymmetry): restoring a checkpoint must
 //!   reproduce the checkpointed fingerprint.
+//! - **MC005** (repair non-convergence): fsck on a volume whose *derivable*
+//!   metadata was corrupted must reach a fixed point within two runs and
+//!   recover every reachable byte.
 //!
-//! [`run_registry`] runs all four across the workspace backends and
+//! [`run_registry`] runs all five across the workspace backends and
 //! returns a [`report::LintReport`] renderable as text or SARIF-style
 //! JSON. The `mcfs-lint` binary (in the bench crate) is a thin CLI over
 //! it; CI runs `mcfs-lint --quick` as a smoke gate.
@@ -30,9 +33,10 @@ pub mod checks;
 pub mod report;
 
 pub use checks::{
-    mc001_commutation, mc002_aliasing, mc003_errno_parity, mc004_checkpoint_symmetry,
-    mc004_device_symmetry, single_file_mutations, Mc001Config, Mc002Config, Mc003Config,
-    Mc004Config, Relation, XorShift64,
+    ext_derivable_corruptor, jffs2_corrupt_log_tails, mc001_commutation, mc002_aliasing,
+    mc003_errno_parity, mc004_checkpoint_symmetry, mc004_device_symmetry, mc005_repair_convergence,
+    single_file_mutations, Mc001Config, Mc002Config, Mc003Config, Mc004Config, Mc005Config,
+    Relation, XorShift64,
 };
 pub use report::{Diagnostic, LintCode, LintReport, Severity};
 
@@ -267,6 +271,74 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
         }
     }
 
+    // MC005: repair convergence on the fsck-capable on-disk backends,
+    // against corruptors that scramble only derivable metadata.
+    if opts.enabled(LintCode::Mc005) {
+        let cfg = Mc005Config {
+            rounds: if opts.quick { 2 } else { 4 },
+            seed: opts.seed ^ 5,
+            ..Mc005Config::default()
+        };
+        report.checks_run += 1;
+        match mc005_repair_convergence(
+            &|| {
+                fs_ext::ext2_on_ram(backends::EXT_DEVICE_BYTES).and_then(|mut fs| {
+                    fs.mount()?;
+                    Ok(fs)
+                })
+            },
+            "ext2",
+            &pool,
+            &ext_derivable_corruptor,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc005, "ext2", e)),
+        }
+        if !opts.quick {
+            report.checks_run += 1;
+            match mc005_repair_convergence(
+                &|| {
+                    fs_ext::ext4_on_ram(backends::EXT_DEVICE_BYTES).and_then(|mut fs| {
+                        fs.mount()?;
+                        Ok(fs)
+                    })
+                },
+                "ext4",
+                &pool,
+                &ext_derivable_corruptor,
+                &cfg,
+            ) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc005, "ext4", e)),
+            }
+        }
+        report.checks_run += 1;
+        match mc005_repair_convergence(
+            &|| {
+                let mtd =
+                    blockdev::MtdDevice::new(backends::JFFS2_ERASE_BLOCK, backends::JFFS2_BLOCKS)
+                        .map_err(|_| vfs::Errno::EINVAL)?;
+                let mut fs = fs_jffs2::Jffs2Fs::format(mtd, fs_jffs2::Jffs2Config::default())?;
+                fs.mount()?;
+                Ok(fs)
+            },
+            "jffs2",
+            &pool,
+            &|img, rng| jffs2_corrupt_log_tails(img, backends::JFFS2_ERASE_BLOCK, rng),
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc005, "jffs2", e)),
+        }
+    }
+
     report
 }
 
@@ -378,5 +450,47 @@ mod tests {
         });
         assert!(report.diagnostics.iter().all(|d| d.code == LintCode::Mc003));
         assert!(report.checks_run < 9);
+    }
+
+    /// MC005's teeth: corruption that destroys *non*-derivable metadata
+    /// (the inode table) is unrepairable data loss, and the convergence
+    /// check must flag it rather than let fsck silently "succeed".
+    #[test]
+    fn mc005_flags_unrepairable_data_loss() {
+        let destroy_inode_table = |img: &mut [u8], _rng: &mut XorShift64| {
+            let sb = fs_ext::layout::SuperBlock::decode(img).unwrap();
+            let bs = sb.block_size as usize;
+            let start = sb.inode_table_start() as usize * bs;
+            let end = start + sb.inode_table_blocks() as usize * bs;
+            for b in &mut img[start..end] {
+                *b = 0;
+            }
+        };
+        let cfg = Mc005Config {
+            rounds: 6,
+            prefix_len: 5,
+            corruptions: 1,
+            seed: 0x5eed_1e47 ^ 5,
+        };
+        let ds = mc005_repair_convergence(
+            &|| {
+                // Pre-populate so every round has reachable data to lose.
+                let mut fs = fs_ext::ext2_on_ram(backends::EXT_DEVICE_BYTES)?;
+                fs.mount()?;
+                let fd = fs.create("/keep", vfs::FileMode::REG_DEFAULT)?;
+                fs.write(fd, b"reachable")?;
+                fs.close(fd)?;
+                Ok(fs)
+            },
+            "ext2",
+            &PoolConfig::small(),
+            &destroy_inode_table,
+            &cfg,
+        )
+        .expect("check runs");
+        assert!(
+            ds.iter().any(|d| d.code == LintCode::Mc005),
+            "wiping the inode table must surface as an MC005 finding"
+        );
     }
 }

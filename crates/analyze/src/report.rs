@@ -20,15 +20,20 @@ pub enum LintCode {
     /// Checkpoint/restore asymmetry: restoring a checkpoint does not
     /// reproduce the checkpointed state.
     Mc004,
+    /// Repair non-convergence: fsck on a (possibly corrupted) volume does
+    /// not reach a fixed point within two runs, or strictly loses
+    /// reachable user data relative to what the corruption left intact.
+    Mc005,
 }
 
 impl LintCode {
     /// All registered codes, in order.
-    pub const ALL: [LintCode; 4] = [
+    pub const ALL: [LintCode; 5] = [
         LintCode::Mc001,
         LintCode::Mc002,
         LintCode::Mc003,
         LintCode::Mc004,
+        LintCode::Mc005,
     ];
 
     /// The stable identifier (`MC001` ...).
@@ -38,6 +43,7 @@ impl LintCode {
             LintCode::Mc002 => "MC002",
             LintCode::Mc003 => "MC003",
             LintCode::Mc004 => "MC004",
+            LintCode::Mc005 => "MC005",
         }
     }
 
@@ -52,6 +58,9 @@ impl LintCode {
             }
             LintCode::Mc003 => "errno-model divergence across backends",
             LintCode::Mc004 => "checkpoint/restore asymmetry",
+            LintCode::Mc005 => {
+                "repair non-convergence: fsck is not a two-run fixed point or loses reachable data"
+            }
         }
     }
 

@@ -1,0 +1,249 @@
+//! Repair cost: what does pFSCK-style pass parallelism buy, and what does
+//! adding the `Fsck` pseudo-op to the operation pool cost the explorer?
+//!
+//! **Section 1 — parallel repair speedup (virtual time).** An ext4 image
+//! is populated, its derivable metadata (bitmaps, free counters, journal
+//! area, dirty flag) scrambled, and the same repair run at 1, 2, 4, and 8
+//! workers. The CPU-bound passes (inode scan, link counts) charge a shared
+//! virtual clock per worker and cost the maximum over workers, so the
+//! speedup is deterministic and machine-independent. The run asserts the
+//! headline number: ≥1.5× at 4 workers.
+//!
+//! **Section 2 — fsck as an explorable operation.** The ext2-vs-ext4
+//! pairing is explored under the same DFS budget with and without
+//! `fsck_exploration`, comparing states/s and reporting how many repair
+//! branches the three fsck oracles (repair safety, convergence,
+//! idempotence) checked. Both runs must be violation-free.
+//!
+//! Output: a human-readable table, then JSON (also written to
+//! `BENCH_fsck.json`).
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin fsck_bench [ops] [--quick]`
+
+use analyze::{ext_derivable_corruptor, XorShift64};
+use blockdev::{Clock, DeviceSnapshot, LatencyModel, RamDisk};
+use fs_ext::{ExtConfig, ExtFs, FsckOptions};
+use mcfs::{FsckStats, McfsConfig, PoolConfig, RemountMode};
+use mcfs_bench::{measure_dfs, pair_ext2_ext4_cfg, print_table};
+use vfs::{DeviceBacked, FileMode, FileSystem};
+
+const WORKER_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn snapshot_like(template: &DeviceSnapshot, img: &[u8]) -> DeviceSnapshot {
+    let cs = template.chunk_size();
+    let chunks = img.chunks(cs).map(|c| c.to_vec()).collect();
+    DeviceSnapshot::from_chunks(template.block_size(), cs, chunks).expect("same geometry")
+}
+
+/// A populated ext4 volume with scrambled derivable metadata: real repair
+/// work for every pass.
+fn dirty_image(device_bytes: u64, files: usize) -> (ExtFs<RamDisk>, DeviceSnapshot) {
+    let disk = RamDisk::new(1024, device_bytes).unwrap();
+    // Scale the inode table with the workload: the inode scan and
+    // link-count passes (the parallel section) walk every slot.
+    let config = ExtConfig {
+        inodes_count: (files as u32 * 2).clamp(64, 4096),
+        ..ExtConfig::ext4()
+    };
+    let mut fs = ExtFs::format(disk, config).unwrap();
+    fs.mount().unwrap();
+    for d in 0..4 {
+        fs.mkdir(&format!("/d{d}"), FileMode::DIR_DEFAULT).unwrap();
+    }
+    for i in 0..files {
+        let fd = fs
+            .create(&format!("/d{}/f{i}", i % 4), FileMode::REG_DEFAULT)
+            .unwrap();
+        fs.write(fd, &[i as u8; 200]).unwrap();
+        fs.close(fd).unwrap();
+    }
+    fs.unmount().unwrap();
+    let snap = fs.snapshot_device().unwrap();
+    let mut img = snap.to_vec();
+    let mut rng = XorShift64::new(0x0f5c_bec4);
+    ext_derivable_corruptor(&mut img, &mut rng);
+    let dirty = snapshot_like(&snap, &img);
+    (fs, dirty)
+}
+
+struct RepairRow {
+    workers: usize,
+    virtual_ns: u64,
+    repairs_made: u64,
+    speedup: f64,
+}
+
+fn measure_repair(device_bytes: u64, files: usize) -> Vec<RepairRow> {
+    let (mut fs, dirty) = dirty_image(device_bytes, files);
+    let mut rows: Vec<RepairRow> = Vec::new();
+    for &workers in &WORKER_COUNTS {
+        fs.restore_device(&dirty).unwrap();
+        let clock = Clock::new();
+        let start = clock.now_ns();
+        let report = fs
+            .fsck_with(&FsckOptions::parallel(workers, clock.clone()))
+            .expect("repair of derivable corruption");
+        let virtual_ns = clock.now_ns() - start;
+        assert!(
+            report.repairs_made > 0,
+            "scrambled metadata must need repairs"
+        );
+        // Every worker count converges to the same image: a second run
+        // finds nothing (the idempotence oracle, at bench scale).
+        assert!(
+            fs.fsck_with(&FsckOptions::parallel(workers, Clock::new()))
+                .expect("second run")
+                .is_clean(),
+            "repair at {workers} workers is not a fixed point"
+        );
+        let speedup = rows
+            .first()
+            .map(|base| base.virtual_ns as f64 / virtual_ns.max(1) as f64)
+            .unwrap_or(1.0);
+        rows.push(RepairRow {
+            workers,
+            virtual_ns,
+            repairs_made: report.repairs_made,
+            speedup,
+        });
+    }
+    rows
+}
+
+struct ExploreRow {
+    fsck_exploration: bool,
+    ops_per_sec: f64,
+    states_per_sec: f64,
+    states_new: u64,
+    fsck: FsckStats,
+}
+
+fn measure_explore(fsck_exploration: bool, budget: u64) -> ExploreRow {
+    let cfg = McfsConfig {
+        pool: PoolConfig::small(),
+        fsck_exploration,
+        ..McfsConfig::default()
+    };
+    let mut pairing =
+        pair_ext2_ext4_cfg(LatencyModel::ram(), RemountMode::PerOp, cfg).expect("pairing");
+    let (ops_per_sec, report) = measure_dfs(&mut pairing, budget);
+    assert!(
+        report.violations.is_empty(),
+        "fsck exploration over correct file systems must be violation-free, \
+         found: {}",
+        report.violations[0]
+    );
+    let fsck = pairing.harness.fsck_stats().unwrap_or_default();
+    if fsck_exploration {
+        assert!(fsck.fscks > 0, "no fsck branches explored");
+    }
+    let states_per_sec =
+        ops_per_sec * report.stats.states_new as f64 / report.stats.ops_executed.max(1) as f64;
+    ExploreRow {
+        fsck_exploration,
+        ops_per_sec,
+        states_per_sec,
+        states_new: report.stats.states_new,
+        fsck,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let budget: u64 = args
+        .iter()
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(if quick { 200 } else { 1_200 });
+    let (device_bytes, files) = if quick {
+        (512 * 1024, 24)
+    } else {
+        (2 * 1024 * 1024, 96)
+    };
+
+    let repair_rows = measure_repair(device_bytes, files);
+    let at4 = repair_rows
+        .iter()
+        .find(|r| r.workers == 4)
+        .expect("4-worker row");
+    assert!(
+        at4.speedup >= 1.5,
+        "parallel repair speedup at 4 workers is {:.2}x, need >= 1.5x",
+        at4.speedup
+    );
+    let repair_table: Vec<(String, String)> = repair_rows
+        .iter()
+        .map(|r| {
+            (
+                format!("{} worker(s)", r.workers),
+                format!(
+                    "{:>12} virtual ns  {:>5.2}x  ({} repairs)",
+                    r.virtual_ns, r.speedup, r.repairs_made
+                ),
+            )
+        })
+        .collect();
+    print_table("Parallel repair (virtual time)", &repair_table);
+
+    let explore_rows: Vec<ExploreRow> = [false, true]
+        .iter()
+        .map(|&on| measure_explore(on, budget))
+        .collect();
+    let explore_table: Vec<(String, String)> = explore_rows
+        .iter()
+        .map(|r| {
+            (
+                format!(
+                    "ext2-vs-ext4 [fsck {}]",
+                    if r.fsck_exploration { "on " } else { "off" }
+                ),
+                format!(
+                    "{:>8.1} states/s  {:>8.1} ops/s  {} states, {} fscks ({} repairs)",
+                    r.states_per_sec,
+                    r.ops_per_sec,
+                    r.states_new,
+                    r.fsck.fscks,
+                    r.fsck.repairs_made
+                ),
+            )
+        })
+        .collect();
+    print_table("Fsck exploration throughput", &explore_table);
+
+    let repair_json: String = repair_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"workers\": {}, \"virtual_ns\": {}, \"repairs_made\": {}, \
+                 \"speedup\": {:.2}}}",
+                r.workers, r.virtual_ns, r.repairs_made, r.speedup
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let explore_json: String = explore_rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"pairing\": \"ext2-vs-ext4-ram\", \"fsck_exploration\": {}, \
+                 \"ops_per_sec\": {:.1}, \"states_per_sec\": {:.1}, \"states_new\": {}, \
+                 \"fscks\": {}, \"repairs_made\": {}, \"violations\": 0}}",
+                r.fsck_exploration,
+                r.ops_per_sec,
+                r.states_per_sec,
+                r.states_new,
+                r.fsck.fscks,
+                r.fsck.repairs_made
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"budget_ops\": {budget},\n  \"files\": {files},\n  \
+         \"speedup\": {:.2},\n  \"repair\": [\n{repair_json}\n  ],\n  \
+         \"exploration\": [\n{explore_json}\n  ]\n}}",
+        at4.speedup
+    );
+    println!("\n{json}");
+    std::fs::write("BENCH_fsck.json", format!("{json}\n")).expect("write BENCH_fsck.json");
+}

@@ -4,6 +4,7 @@ use std::error::Error;
 use std::fmt;
 
 use crate::cow::CowImage;
+use crate::faulty::FaultPhase;
 
 /// Errors returned by block-device operations.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -189,6 +190,12 @@ pub trait BlockDevice: Send {
     ///
     /// [`DeviceError::SnapshotMismatch`] if the snapshot geometry differs.
     fn restore(&mut self, snapshot: &DeviceSnapshot) -> DeviceResult<()>;
+
+    /// Declares which life-cycle [`FaultPhase`] subsequent operations belong
+    /// to, so phase-filtered fault plans can target (say) only repair
+    /// traffic. Plain devices have no fault machinery, so the default is a
+    /// no-op; [`crate::FaultyDevice`] records it, and wrappers forward it.
+    fn set_fault_phase(&mut self, _phase: FaultPhase) {}
 }
 
 pub(crate) fn check_io(

@@ -30,6 +30,22 @@ impl FaultKind {
     }
 }
 
+/// Which life-cycle phase of the wrapped file system an operation belongs
+/// to. Devices default to [`Normal`](FaultPhase::Normal); repair code
+/// (fsck) brackets its I/O with [`Repair`](FaultPhase::Repair) via
+/// `set_phase`, so plans can pin a fault to the Nth *repair* write without
+/// normal-operation traffic advancing the ordinal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultPhase {
+    /// Match operations in any phase (the default for plans).
+    #[default]
+    Any,
+    /// Regular file-system operation (the default phase for devices).
+    Normal,
+    /// Inside a scan-and-repair (fsck) pass.
+    Repair,
+}
+
 /// The concrete fault a [`FaultPlan`] asks a device to inject for one
 /// operation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,6 +85,12 @@ pub struct FaultPlan {
     /// fault to one on-disk location, so unrelated traffic (superblock
     /// updates on remount, metadata syncs) does not advance the ordinal.
     pub addr: Option<u64>,
+    /// When not [`FaultPhase::Any`], the plan sees (and counts towards
+    /// `skip`) only operations issued while the device is in that phase —
+    /// e.g. `FaultPhase::Repair` pins a fault to the Nth fsck write,
+    /// keeping shrunk repair traces deterministic the way `addr` does for
+    /// torn writes.
+    pub phase: FaultPhase,
 }
 
 impl FaultPlan {
@@ -81,6 +103,7 @@ impl FaultPlan {
             torn_bytes: None,
             volatile_cache: false,
             addr: None,
+            phase: FaultPhase::Any,
         }
     }
 
@@ -116,6 +139,28 @@ impl FaultPlan {
     /// filter. Unfiltered plans cover everything.
     pub fn covers(&self, addr: u64) -> bool {
         self.addr.is_none_or(|a| a == addr)
+    }
+
+    /// Restricts the plan to operations issued in `phase` (see
+    /// [`phase`](Self::phase)): only they are counted against `skip`, and
+    /// only they fault.
+    #[must_use]
+    pub fn in_phase(mut self, phase: FaultPhase) -> Self {
+        self.phase = phase;
+        self
+    }
+
+    /// Shorthand for [`in_phase`](Self::in_phase)`(FaultPhase::Repair)`:
+    /// the plan fires only inside fsck.
+    #[must_use]
+    pub fn during_repair(self) -> Self {
+        self.in_phase(FaultPhase::Repair)
+    }
+
+    /// Whether an operation issued while the device is in `current` falls
+    /// under this plan's phase filter. `Any` plans cover every phase.
+    pub fn phase_matches(&self, current: FaultPhase) -> bool {
+        self.phase == FaultPhase::Any || self.phase == current
     }
 
     /// Adds a volatile write-back cache (see
@@ -174,6 +219,8 @@ pub struct FaultyDevice<D> {
     reads_seen: u64,
     writes_seen: u64,
     injected: u64,
+    /// The phase the wrapped file system is currently in (set by fsck).
+    current_phase: FaultPhase,
     /// Writes accepted but not yet flushed (volatile-cache mode only).
     cache: HashMap<u64, Vec<u8>>,
 }
@@ -187,6 +234,7 @@ impl<D: BlockDevice> FaultyDevice<D> {
             reads_seen: 0,
             writes_seen: 0,
             injected: 0,
+            current_phase: FaultPhase::Normal,
             cache: HashMap::new(),
         }
     }
@@ -216,13 +264,26 @@ impl<D: BlockDevice> FaultyDevice<D> {
         self.cache.len()
     }
 
+    /// Declares which phase subsequent operations belong to. Repair code
+    /// sets [`FaultPhase::Repair`] around its I/O (and restores
+    /// [`FaultPhase::Normal`] after), letting phase-filtered plans count
+    /// only repair traffic. Does not reset the op counters.
+    pub fn set_phase(&mut self, phase: FaultPhase) {
+        self.current_phase = phase;
+    }
+
+    /// The phase subsequent operations are attributed to.
+    pub fn phase(&self) -> FaultPhase {
+        self.current_phase
+    }
+
     /// Consumes the wrapper, returning the underlying device.
     pub fn into_inner(self) -> D {
         self.inner
     }
 
     fn next_fault(&mut self, op: FaultKind, addr: u64) -> Option<Fault> {
-        if !self.plan.covers(addr) {
+        if !self.plan.covers(addr) || !self.plan.phase_matches(self.current_phase) {
             return None;
         }
         let seen = match op {
@@ -335,6 +396,10 @@ impl<D: BlockDevice> BlockDevice for FaultyDevice<D> {
         self.cache.clear();
         self.inner.restore(snapshot)
     }
+
+    fn set_fault_phase(&mut self, phase: FaultPhase) {
+        self.current_phase = phase;
+    }
 }
 
 #[cfg(test)]
@@ -414,6 +479,36 @@ mod tests {
         assert_eq!(&buf, &[0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA]);
         dev.read_block(0, &mut buf).unwrap();
         assert_eq!(buf, [4; 8], "untargeted blocks write through");
+    }
+
+    #[test]
+    fn phase_targeted_plan_ignores_normal_traffic() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev =
+            FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Write, 1, 1).during_repair());
+        // Normal-phase writes neither fault nor advance the ordinal.
+        dev.write_block(0, &[1; 4]).unwrap();
+        dev.write_block(1, &[2; 4]).unwrap();
+        dev.set_phase(FaultPhase::Repair);
+        dev.write_block(2, &[3; 4]).unwrap(); // repair write #0: skipped
+        dev.set_phase(FaultPhase::Normal);
+        dev.write_block(3, &[4; 4]).unwrap(); // normal again: invisible
+        dev.set_phase(FaultPhase::Repair);
+        assert!(dev.write_block(2, &[5; 4]).is_err()); // repair write #1
+        assert_eq!(dev.injected(), 1);
+        dev.write_block(2, &[6; 4]).unwrap(); // healed
+        let mut buf = [0u8; 4];
+        dev.read_block(3, &mut buf).unwrap();
+        assert_eq!(buf, [4; 4], "normal-phase writes pass through");
+    }
+
+    #[test]
+    fn any_phase_plan_counts_everything() {
+        let disk = RamDisk::new(4, 64).unwrap();
+        let mut dev = FaultyDevice::new(disk, FaultPlan::eio(FaultKind::Write, 1, 1));
+        dev.write_block(0, &[1; 4]).unwrap();
+        dev.set_phase(FaultPhase::Repair);
+        assert!(dev.write_block(0, &[2; 4]).is_err());
     }
 
     #[test]

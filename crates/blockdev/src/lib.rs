@@ -45,7 +45,7 @@ mod timed;
 pub use clock::Clock;
 pub use cow::CowImage;
 pub use device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
-pub use faulty::{Fault, FaultKind, FaultPlan, FaultyDevice};
+pub use faulty::{Fault, FaultKind, FaultPhase, FaultPlan, FaultyDevice};
 pub use mtd::{MtdBlock, MtdDevice, MtdError};
 pub use ram::RamDisk;
 pub use timed::{DeviceClass, LatencyModel, TimedDevice};

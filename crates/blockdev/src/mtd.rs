@@ -12,7 +12,7 @@ use std::cell::Cell;
 
 use crate::cow::CowImage;
 use crate::device::{BlockDevice, DeviceError, DeviceResult, DeviceSnapshot};
-use crate::faulty::{Fault, FaultKind, FaultPlan};
+use crate::faulty::{Fault, FaultKind, FaultPhase, FaultPlan};
 
 /// Errors specific to raw MTD access.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +80,9 @@ pub struct MtdDevice {
     programs_seen: Cell<u64>,
     erases_seen: Cell<u64>,
     injected: Cell<u64>,
+    /// The phase the mounted file system is currently in (set by fsck); a
+    /// `Cell` because `read` takes `&self`.
+    phase: Cell<FaultPhase>,
 }
 
 impl MtdDevice {
@@ -107,6 +110,7 @@ impl MtdDevice {
             programs_seen: Cell::new(0),
             erases_seen: Cell::new(0),
             injected: Cell::new(0),
+            phase: Cell::new(FaultPhase::Normal),
         })
     }
 
@@ -127,9 +131,22 @@ impl MtdDevice {
         self.injected.get()
     }
 
+    /// Declares which phase subsequent operations belong to (see
+    /// [`FaultPhase`]). Repair code brackets its flash I/O with
+    /// `Repair`/`Normal` so phase-filtered plans count only repair traffic.
+    /// Takes `&self` (interior mutability) because reads do too.
+    pub fn set_phase(&self, phase: FaultPhase) {
+        self.phase.set(phase);
+    }
+
+    /// The phase subsequent operations are attributed to.
+    pub fn phase(&self) -> FaultPhase {
+        self.phase.get()
+    }
+
     fn next_fault(&self, op: FaultKind, seen: &Cell<u64>, addr: u64) -> Option<Fault> {
         let plan = self.plan?;
-        if !plan.covers(addr) {
+        if !plan.covers(addr) || !plan.phase_matches(self.phase.get()) {
             return None;
         }
         let n = seen.get();
@@ -407,6 +424,10 @@ impl BlockDevice for MtdBlock {
         self.mtd.data.copy_from(&snapshot.image);
         Ok(())
     }
+
+    fn set_fault_phase(&mut self, phase: FaultPhase) {
+        self.mtd.set_phase(phase);
+    }
 }
 
 #[cfg(test)]
@@ -531,6 +552,21 @@ mod tests {
         assert_eq!(buf, [0x11, 0x22, 0xFF, 0xFF]);
         mtd.set_fault_plan(None);
         mtd.program(0, &[0x11, 0x22, 0x33, 0x44]).unwrap();
+    }
+
+    #[test]
+    fn repair_phase_plan_skips_normal_programs() {
+        let mut mtd = MtdDevice::new(64, 4).unwrap();
+        mtd.set_fault_plan(Some(FaultPlan::eio(FaultKind::Write, 1, 1).during_repair()));
+        // Normal-phase programs never count.
+        mtd.program(0, &[0x0F]).unwrap();
+        mtd.program(1, &[0x0F]).unwrap();
+        mtd.set_phase(FaultPhase::Repair);
+        mtd.program(2, &[0x0F]).unwrap(); // repair program #0: skipped
+        assert!(matches!(mtd.program(3, &[0x0F]), Err(MtdError::Io(_))));
+        assert_eq!(mtd.faults_injected(), 1);
+        mtd.set_phase(FaultPhase::Normal);
+        mtd.program(3, &[0x0F]).unwrap();
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::clock::Clock;
 use crate::device::{BlockDevice, DeviceResult, DeviceSnapshot};
+use crate::faulty::FaultPhase;
 
 /// Storage-technology class, used to pick a default latency model and for
 /// reporting.
@@ -215,6 +216,10 @@ impl<D: BlockDevice> BlockDevice for TimedDevice<D> {
             .advance_ns(self.model.write_ns.saturating_mul(blocks));
         self.last_block = None;
         Ok(())
+    }
+
+    fn set_fault_phase(&mut self, phase: FaultPhase) {
+        self.inner.set_fault_phase(phase);
     }
 }
 

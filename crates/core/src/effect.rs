@@ -473,13 +473,14 @@ pub fn signature(op: &FsOp, prof: &EffectProfile) -> EffectSig {
             sig.read(Place::Node(path.clone()));
             sig.read(Place::Meta(prof.alias_class(path), path.clone()));
         }
-        // A crash rolls back everything unsynced; future op variants are
-        // unknown and must be maximally conservative.
-        FsOp::Crash => {
+        // A crash rolls back everything unsynced, and fsck may rewrite any
+        // metadata on the volume; future op variants are unknown and must
+        // be maximally conservative.
+        FsOp::Crash | FsOp::Fsck => {
             sig.write_exact(Place::Global, None);
         }
     }
-    if prof.kernel_caches && !matches!(op, FsOp::Crash) {
+    if prof.kernel_caches && !matches!(op, FsOp::Crash | FsOp::Fsck) {
         add_cache_effects(op, &mut sig);
     }
     sig
@@ -720,7 +721,7 @@ pub fn heuristic_independent(a: &FsOp, b: &FsOp) -> bool {
     // rolls unsynced state back, so reordering it against any mutation
     // changes what survives. Partial-order reduction must never sleep
     // it or use it to sleep others.
-    if matches!(a, FsOp::Crash) || matches!(b, FsOp::Crash) {
+    if matches!(a, FsOp::Crash | FsOp::Fsck) || matches!(b, FsOp::Crash | FsOp::Fsck) {
         return false;
     }
     // Read-only operations don't change the hashed state: they commute

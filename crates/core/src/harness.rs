@@ -73,6 +73,16 @@ pub struct McfsConfig {
     /// since the last sync point. Requires every target to support crashes
     /// ([`CheckedTarget::supports_crash`](crate::target::CheckedTarget::supports_crash)).
     pub crash_exploration: bool,
+    /// Add an `fsck` pseudo-operation to the op pool. Applying it runs
+    /// every target's scan-and-repair pass
+    /// ([`CheckedTarget::fsck`](crate::target::CheckedTarget::fsck)); the
+    /// repair oracle then checks that fsck preserved the POSIX-observable
+    /// state (a consistent volume needs no user-visible repairs), that all
+    /// targets converged to the same state, and that a second run is a
+    /// fixed point (reports clean, changes nothing). Requires every target
+    /// to support fsck
+    /// ([`CheckedTarget::supports_fsck`](crate::target::CheckedTarget::supports_fsck)).
+    pub fsck_exploration: bool,
     /// Delta-debug every violation's trace down to a 1-minimal
     /// counterexample before reporting it ([`crate::shrink`]). Requires a
     /// harness factory ([`Mcfs::set_factory`]) so each candidate replays on
@@ -100,10 +110,26 @@ impl Default for McfsConfig {
             checkpoint_budget_bytes: None,
             mem_budget: None,
             crash_exploration: false,
+            fsck_exploration: false,
             minimize_violations: false,
             legacy_por_heuristic: false,
         }
     }
+}
+
+/// Statistics of the harness's repair machinery: how many `fsck`
+/// pseudo-operations ran and how many individual fixes they applied.
+/// Surfaced by [`Mcfs::fsck_stats`] when
+/// [`McfsConfig::fsck_exploration`] is on.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsckStats {
+    /// `fsck` pseudo-operations applied (each runs the repair pass twice:
+    /// once to repair, once to prove the fixed point).
+    pub fscks: u64,
+    /// Individual repairs the first-run passes reported across all
+    /// targets (internal fixes — counter rebuilds, quarantined torn log
+    /// tails; user-visible changes are violations, not repairs).
+    pub repairs_made: u64,
 }
 
 /// Builds a fresh, deterministic harness equivalent to the one being
@@ -130,6 +156,8 @@ pub struct Mcfs {
     crashes: u64,
     crash_recoveries: u64,
     crash_divergences: u64,
+    fscks: u64,
+    fsck_repairs: u64,
     /// Builds a fresh equivalent harness; candidate traces from the
     /// minimizer replay against factory products, never against this
     /// (already violated) instance.
@@ -216,6 +244,15 @@ impl Mcfs {
             }
             ops.push(FsOp::Crash);
         }
+        if cfg.fsck_exploration {
+            // The repair oracle needs a real scan-and-repair pass on every
+            // target; a defaulted `ENOSYS` fsck would turn every schedule
+            // containing the pseudo-op into a bogus violation.
+            if !targets.iter().all(|t| t.supports_fsck()) {
+                return Err(Errno::ENOSYS);
+            }
+            ops.push(FsOp::Fsck);
+        }
         // Mount everything.
         for t in &mut targets {
             t.pre_op()?;
@@ -241,6 +278,8 @@ impl Mcfs {
             crashes: 0,
             crash_recoveries: 0,
             crash_divergences: 0,
+            fscks: 0,
+            fsck_repairs: 0,
             factory: None,
             effects,
             ckpt_spill,
@@ -269,6 +308,15 @@ impl Mcfs {
     /// [`crate::effect`]).
     pub fn effect_index(&self) -> &EffectIndex {
         &self.effects
+    }
+
+    /// Repair-oracle statistics, when [`McfsConfig::fsck_exploration`] is
+    /// on (`None` otherwise).
+    pub fn fsck_stats(&self) -> Option<FsckStats> {
+        self.cfg.fsck_exploration.then_some(FsckStats {
+            fscks: self.fscks,
+            repairs_made: self.fsck_repairs,
+        })
     }
 
     /// The POSIX-observable abstraction hash alone, without the
@@ -581,6 +629,129 @@ impl Mcfs {
         }
         ApplyOutcome::Ok
     }
+
+    /// Execute the `fsck` pseudo-operation: run every target's
+    /// scan-and-repair pass and check the repair oracle.
+    ///
+    /// Along any violation-free exploration path the volumes are
+    /// consistent, so fsck must be a semantic no-op: the POSIX-observable
+    /// state before and after repair is identical on every target (repair
+    /// never loses reachable user data), every target converges to the
+    /// same state, and a second run is a fixed point — it reports a clean
+    /// volume and changes nothing. Internal fixes (counter rebuilds,
+    /// quarantined torn log tails after a crash) are allowed on the first
+    /// run and counted, but may not survive into the second.
+    fn apply_fsck(&mut self) -> ApplyOutcome {
+        self.last_hash = None;
+        self.fscks += 1;
+        for t in &mut self.targets {
+            if let Err(e) = t.pre_op() {
+                let msg = format!("{}: pre-fsck mount failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        let pre = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                let msg = format!("state traversal failed before fsck: {e}");
+                return self.violation(msg);
+            }
+        };
+        for t in &mut self.targets {
+            match t.fsck() {
+                Ok(outcome) => self.fsck_repairs += outcome.report.repairs_made,
+                Err(e) => {
+                    let msg = format!("{}: fsck failed on a consistent volume: {e}", t.name());
+                    return self.violation(msg);
+                }
+            }
+        }
+        self.charge(self.cfg.syscall_cpu_ns * self.targets.len() as u64);
+        let post = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                let msg = format!(
+                    "state traversal failed after fsck: {e} (repair corrupted the file system?)"
+                );
+                return self.violation(msg);
+            }
+        };
+        // Oracle 1: repair preserves the observable state of a consistent
+        // volume — per target, so a lost file cannot hide behind lockstep
+        // agreement on the loss.
+        for (t, (before, after)) in self.targets.iter().zip(pre.iter().zip(&post)) {
+            if before != after {
+                let msg = format!(
+                    "repair-safety violation: fsck changed {}'s observable state on a \
+                     consistent volume (reachable data lost or invented)",
+                    t.name()
+                );
+                return self.violation(msg);
+            }
+        }
+        // Oracle 2: all targets converged (implied by oracle 1 when the
+        // pre-states agreed, but checked so the message names fsck).
+        if post.windows(2).any(|w| w[0] != w[1]) {
+            let msg = self.describe_discrepancy("post-fsck abstract-state", &FsOp::Fsck, &post);
+            return self.violation(msg);
+        }
+        // Oracle 3: fsck ∘ fsck ≡ fsck. The second run must find a clean
+        // volume and fix nothing.
+        for t in &mut self.targets {
+            match t.fsck() {
+                Ok(outcome) => {
+                    if !outcome.report.is_clean() {
+                        let msg = format!(
+                            "repair-idempotence violation: second fsck on {} still made {} \
+                             repair(s): {}",
+                            t.name(),
+                            outcome.report.repairs_made,
+                            outcome.report.fixes.join("; ")
+                        );
+                        return self.violation(msg);
+                    }
+                }
+                Err(e) => {
+                    let msg = format!("{}: second fsck failed: {e}", t.name());
+                    return self.violation(msg);
+                }
+            }
+        }
+        self.charge(self.cfg.syscall_cpu_ns * self.targets.len() as u64);
+        let settled = match self.hash_all() {
+            Ok(h) => h,
+            Err(e) => {
+                let msg = format!("state traversal failed after second fsck: {e}");
+                return self.violation(msg);
+            }
+        };
+        if settled != post {
+            return self.violation(
+                "repair-idempotence violation: second fsck changed the abstract state".into(),
+            );
+        }
+        // fsck writes everything back and commits, so the repaired state is
+        // a new sync floor for the crash oracle — a later crash recovering
+        // to anything earlier would have lost repaired-and-synced data.
+        if self.cfg.crash_exploration {
+            self.prefix_hashes.clear();
+        }
+        self.last_hash = Some(post[0]);
+        self.push_prefix(post[0].as_u128());
+        for t in &mut self.targets {
+            if let Err(e) = t.post_op() {
+                let msg = format!("{}: post-fsck unmount failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        for t in &mut self.targets {
+            if let Err(e) = t.track_state() {
+                let msg = format!("{}: state tracking failed: {e}", t.name());
+                return self.violation(msg);
+            }
+        }
+        ApplyOutcome::Ok
+    }
 }
 
 impl Mcfs {
@@ -622,10 +793,13 @@ impl ModelSystem for Mcfs {
     }
 
     fn apply(&mut self, op: &FsOp) -> ApplyOutcome {
-        // The crash pseudo-op never reaches per-target execution: the
-        // harness intercepts it and runs the crash oracle instead.
+        // The crash and fsck pseudo-ops never reach per-target execution:
+        // the harness intercepts them and runs their oracles instead.
         if matches!(op, FsOp::Crash) {
             return self.apply_crash();
+        }
+        if matches!(op, FsOp::Fsck) {
+            return self.apply_fsck();
         }
         self.last_hash = None;
         // Phase 0: mount (remount strategies).
@@ -1356,6 +1530,117 @@ mod tests {
         assert_eq!(m.abstract_state(), before, "synced ops must survive");
         let stats = m.crash_stats().unwrap();
         assert_eq!((stats.crashes, stats.recoveries), (1, 1));
+    }
+
+    #[test]
+    fn fsck_op_joins_the_pool_only_when_supported() {
+        let m = verifs_pair(BugConfig::none());
+        assert!(!m.op_pool().contains(&FsOp::Fsck));
+        assert!(m.fsck_stats().is_none());
+        // VeriFS has no on-disk layout to repair.
+        let mut a = VeriFs::v2();
+        a.mount().unwrap();
+        let mut b = VeriFs::v2();
+        b.mount().unwrap();
+        let r = Mcfs::new(
+            vec![
+                Box::new(CheckpointTarget::new(a)),
+                Box::new(CheckpointTarget::new(b)),
+            ],
+            McfsConfig {
+                fsck_exploration: true,
+                ..McfsConfig::default()
+            },
+        );
+        assert_eq!(r.err(), Some(Errno::ENOSYS));
+    }
+
+    #[test]
+    fn ext_pair_explores_fsck_as_a_noop_on_consistent_volumes() {
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let e4 = fs_ext::ext4_on_ram(256 * 1024).unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(e2, RemountMode::Never)),
+                Box::new(RemountTarget::new(e4, RemountMode::Never)),
+            ],
+            McfsConfig {
+                fsck_exploration: true,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(m.op_pool().contains(&FsOp::Fsck));
+        for op in [
+            FsOp::Mkdir {
+                path: "/d0".into(),
+                mode: 0o755,
+            },
+            FsOp::CreateFile {
+                path: "/d0/f1".into(),
+                mode: 0o644,
+            },
+            FsOp::WriteFile {
+                path: "/d0/f1".into(),
+                offset: 0,
+                size: 512,
+                seed: 7,
+            },
+        ] {
+            assert!(matches!(m.apply(&op), ApplyOutcome::Ok), "{op}");
+        }
+        let before = m.abstract_state();
+        assert!(matches!(m.apply(&FsOp::Fsck), ApplyOutcome::Ok));
+        assert_eq!(m.abstract_state(), before, "fsck must preserve the state");
+        // fsck mid-schedule must not wedge the run.
+        assert!(matches!(
+            m.apply(&FsOp::Unlink {
+                path: "/d0/f1".into()
+            }),
+            ApplyOutcome::Ok
+        ));
+        let stats = m.fsck_stats().expect("fsck stats enabled");
+        assert_eq!(stats.fscks, 1);
+    }
+
+    #[test]
+    fn ext_jffs2_pair_survives_fsck_and_crash_interleaving() {
+        let e2 = fs_ext::ext2_on_ram(256 * 1024).unwrap();
+        let j = fs_jffs2::jffs2_on_mtdram(16 * 1024, 16).unwrap();
+        let mut m = Mcfs::new(
+            vec![
+                Box::new(RemountTarget::new(e2, RemountMode::PerOp)),
+                Box::new(RemountTarget::new(j, RemountMode::PerOp)),
+            ],
+            McfsConfig {
+                crash_exploration: true,
+                fsck_exploration: true,
+                ..McfsConfig::default()
+            },
+        )
+        .unwrap();
+        let script = [
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::Fsck,
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 64,
+                seed: 3,
+            },
+            FsOp::Crash,
+            FsOp::Fsck,
+        ];
+        for op in &script {
+            let out = m.apply(op);
+            assert!(matches!(out, ApplyOutcome::Ok), "{op}: {out:?}");
+        }
+        let stats = m.fsck_stats().unwrap();
+        assert_eq!(stats.fscks, 2);
+        assert_eq!(m.crash_stats().unwrap().crashes, 1);
     }
 
     #[test]

@@ -77,7 +77,8 @@ pub use effect::{
     EffectIndex, EffectProfile, EffectSig, Independence, Place, WriteEffect, WriteKind,
 };
 pub use harness::{
-    replay, replay_checked, HarnessFactory, Mcfs, McfsConfig, ReplayOutcome, EQUALIZE_DUMMY,
+    replay, replay_checked, FsckStats, HarnessFactory, Mcfs, McfsConfig, ReplayOutcome,
+    EQUALIZE_DUMMY,
 };
 pub use pool::{execute, execute_with, pattern, FsOp, OpOutcome, PoolConfig};
 pub use shrink::{
@@ -85,7 +86,8 @@ pub use shrink::{
     ShrinkOutcome,
 };
 pub use target::{
-    CheckedTarget, CheckpointTarget, CriuTarget, RemountMode, RemountTarget, VmTarget,
+    CheckedTarget, CheckpointTarget, CriuTarget, RemountMode, RemountTarget, RepairOutcome,
+    VmTarget,
 };
 pub use vfs_checkpoint::VfsCheckpointTarget;
 pub use wire::FsOpCodec;

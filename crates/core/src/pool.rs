@@ -140,6 +140,13 @@ pub enum FsOp {
     /// recovered state is prefix-consistent). Only offered by the harness
     /// when crash exploration is enabled and every target supports it.
     Crash,
+    /// Pseudo-op: run every target's scan-and-repair fsck between
+    /// operations. The fsck oracle checks the repair changed nothing on a
+    /// healthy volume, converged to the same abstract state on every
+    /// target, and is idempotent (a second run right after reports clean).
+    /// Only offered by the harness when fsck exploration is enabled and
+    /// every target supports it.
+    Fsck,
 }
 
 impl FsOp {
@@ -163,6 +170,7 @@ impl FsOp {
             FsOp::RemoveXattr { .. } => "removexattr",
             FsOp::Access { .. } => "access",
             FsOp::Crash => "crash",
+            FsOp::Fsck => "fsck",
         }
     }
 
@@ -196,8 +204,9 @@ impl FsOp {
             FsOp::Symlink { target, linkpath } => vec![target, linkpath],
             // A crash touches *everything* unsynced; it has no path
             // footprint, and the harness's independence relation
-            // special-cases it as dependent on every operation.
-            FsOp::Crash => Vec::new(),
+            // special-cases it as dependent on every operation. Fsck
+            // likewise scans and may rewrite the whole volume.
+            FsOp::Crash | FsOp::Fsck => Vec::new(),
         }
     }
 
@@ -246,6 +255,7 @@ impl std::fmt::Display for FsOp {
             FsOp::RemoveXattr { path, name } => write!(f, "removexattr({path}, {name})"),
             FsOp::Access { path } => write!(f, "access({path}, R_OK|W_OK)"),
             FsOp::Crash => write!(f, "crash"),
+            FsOp::Fsck => write!(f, "fsck"),
         }
     }
 }
@@ -416,7 +426,7 @@ pub fn execute_with(
         // The harness intercepts `Crash` before per-file-system execution
         // (it is a whole-system event, not a syscall); against a single
         // file system it is a successful no-op.
-        FsOp::Crash => OpOutcome::Ok,
+        FsOp::Crash | FsOp::Fsck => OpOutcome::Ok,
     }
 }
 

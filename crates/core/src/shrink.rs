@@ -106,7 +106,7 @@ fn consumed_paths(op: &FsOp) -> Vec<&str> {
             v.extend(parent_of(dst));
             v
         }
-        FsOp::Crash => Vec::new(),
+        FsOp::Crash | FsOp::Fsck => Vec::new(),
     }
 }
 

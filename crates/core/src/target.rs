@@ -18,10 +18,23 @@ use std::sync::Arc;
 use blockdev::{Clock, DeviceSnapshot};
 use mdigest::{Digest128, Md5};
 use modelcheck::{CheckpointStoreStats, SpillStore};
-use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, VfsResult};
+use vfs::{DeviceBacked, Errno, FileSystem, FsCapabilities, FsCheckpoint, RepairReport, VfsResult};
 
 use crate::abstraction::{abstract_state, AbstractionConfig, FingerprintStore};
 use crate::ckpt_pool::{CheckpointPool, ExternalSnap, FsImage};
+
+/// What one repair pass did, as seen by the harness: the file system's own
+/// fix list plus the virtual-time cost of running it. The harness's fsck
+/// oracle compares post-repair abstract states across targets and across
+/// back-to-back runs (idempotence), so the outcome itself only carries what
+/// the target knows locally.
+#[derive(Debug, Clone, Default)]
+pub struct RepairOutcome {
+    /// The file system's repair report.
+    pub report: RepairReport,
+    /// Virtual time the pass consumed (0 when the target has no clock).
+    pub elapsed_ns: u64,
+}
 
 /// A file system under test, with uniform state tracking hooks.
 ///
@@ -167,6 +180,26 @@ pub trait CheckedTarget: Send {
     /// harness reports those as violations — a crashed file system must stay
     /// remountable).
     fn crash_remount(&mut self) -> VfsResult<()> {
+        Err(Errno::ENOSYS)
+    }
+
+    /// Whether this target's file system has a scan-and-repair fsck (see
+    /// [`FileSystem::supports_fsck`]). The harness only offers the `Fsck`
+    /// pseudo-op when every target supports it.
+    fn supports_fsck(&self) -> bool {
+        false
+    }
+
+    /// Runs the file system's repair pass. Implementations must restore the
+    /// mount state their strategy expects and drop cached fingerprints —
+    /// repair may rewrite any metadata.
+    ///
+    /// # Errors
+    ///
+    /// `ENOSYS` when unsupported; repair errors otherwise (the harness
+    /// reports those as violations — fsck must not fail on any state the
+    /// checker can reach).
+    fn fsck(&mut self) -> VfsResult<RepairOutcome> {
         Err(Errno::ENOSYS)
     }
 }
@@ -550,6 +583,24 @@ impl<F: FileSystem + DeviceBacked + Send> CheckedTarget for RemountTarget<F> {
         self.charge_mount();
         self.fingerprints.clear_live();
         Ok(())
+    }
+
+    fn supports_fsck(&self) -> bool {
+        self.fs.supports_fsck()
+    }
+
+    fn fsck(&mut self) -> VfsResult<RepairOutcome> {
+        let start = self.clock.as_ref().map_or(0, Clock::now_ns);
+        let report = self.fs.fsck()?;
+        // Repair may rewrite any metadata block: every cached digest
+        // describes pre-repair state.
+        self.fingerprints.clear_live();
+        // Leave the volume mounted — like `crash_remount`, the caller's
+        // op loop hashes the repaired state next and `post_op` restores
+        // the per-op unmount afterwards.
+        self.ensure_mounted()?;
+        let elapsed_ns = self.clock.as_ref().map_or(0, Clock::now_ns) - start;
+        Ok(RepairOutcome { report, elapsed_ns })
     }
 }
 

@@ -34,6 +34,7 @@ const TAG_SET_XATTR: u8 = 13;
 const TAG_REMOVE_XATTR: u8 = 14;
 const TAG_ACCESS: u8 = 15;
 const TAG_CRASH: u8 = 16;
+const TAG_FSCK: u8 = 17;
 
 fn put_u16(out: &mut Vec<u8>, v: u16) {
     out.extend_from_slice(&v.to_le_bytes());
@@ -142,6 +143,7 @@ impl OpCodec<FsOp> for FsOpCodec {
                 put_str(out, path);
             }
             FsOp::Crash => out.push(TAG_CRASH),
+            FsOp::Fsck => out.push(TAG_FSCK),
         }
     }
 
@@ -202,6 +204,7 @@ impl OpCodec<FsOp> for FsOpCodec {
             },
             TAG_ACCESS => FsOp::Access { path: r.str()? },
             TAG_CRASH => FsOp::Crash,
+            TAG_FSCK => FsOp::Fsck,
             other => {
                 return Err(PickleError::Corrupt(format!("unknown FsOp tag {other}")));
             }
@@ -269,6 +272,7 @@ mod tests {
             },
             FsOp::Access { path: "/f0".into() },
             FsOp::Crash,
+            FsOp::Fsck,
         ]
     }
 

@@ -9,13 +9,14 @@
 
 use std::collections::{BTreeMap, HashMap, HashSet};
 
-use blockdev::BlockDevice;
+use blockdev::{BlockDevice, FaultPhase};
 use vfs::{
     path, AccessMode, DeviceBacked, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FileType, FsCapabilities, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
+    FileType, FsCapabilities, Ino, OpenFlags, RepairReport, StatFs, VfsResult, XattrFlags,
 };
 
 use crate::dir::{self, DirRecord};
+use crate::fsck::{self, FsckOptions};
 use crate::journal;
 use crate::layout::{
     bitmap, DiskInode, SuperBlock, EXT_MAGIC, FT_DIR, FT_REG, FT_SYMLINK, INODE_SIZE, NDIRECT,
@@ -237,6 +238,36 @@ impl<D: BlockDevice> ExtFs<D> {
             }
             None => 0,
         }
+    }
+
+    /// Scan-and-repair with explicit options (worker count, clock). The
+    /// [`FileSystem::fsck`] entry point delegates here with the defaults.
+    ///
+    /// If mounted, the file system syncs and unmounts first (best effort —
+    /// a corrupted image may refuse; its in-memory state is discarded
+    /// then), runs the device-level passes with the device in
+    /// [`FaultPhase::Repair`], and remounts afterwards.
+    ///
+    /// # Errors
+    ///
+    /// `EIO` if the superblock is unrepairable or the device fails
+    /// mid-repair (the file system is left unmounted then — rerun fsck).
+    pub fn fsck_with(&mut self, opts: &FsckOptions) -> VfsResult<RepairReport> {
+        let was_mounted = self.m.is_some();
+        if was_mounted {
+            let _ = self.sync();
+            if self.unmount().is_err() {
+                self.m = None;
+            }
+        }
+        self.dev.set_fault_phase(FaultPhase::Repair);
+        let result = fsck::repair_device(&mut self.dev, opts);
+        self.dev.set_fault_phase(FaultPhase::Normal);
+        let report = result?;
+        if was_mounted {
+            self.mount()?;
+        }
+        Ok(report)
     }
 
     fn core(&mut self) -> VfsResult<Core<'_, D>> {
@@ -1489,6 +1520,14 @@ impl<D: BlockDevice> FileSystem for ExtFs<D> {
             return Err(Errno::ENODATA);
         }
         c.write_xattrs(ino, &xattrs)
+    }
+
+    fn supports_fsck(&self) -> bool {
+        true
+    }
+
+    fn fsck(&mut self) -> VfsResult<RepairReport> {
+        self.fsck_with(&FsckOptions::serial())
     }
 }
 

@@ -15,6 +15,27 @@ use crate::layout::SuperBlock;
 const JRN_MAGIC: u32 = 0x4A52_4E31; // "JRN1"
 const COMMIT_MAGIC: u32 = 0x434D_5431; // "CMT1"
 
+/// FNV-1a over the home list and journaled images, stored in the commit
+/// record. A commit is only valid if the images it covers landed intact:
+/// without this, a torn image write followed by the (separately written,
+/// intact) commit block replays garbage into the home location.
+fn txn_checksum(blocks: &[(u32, Vec<u8>)]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for (home, image) in blocks {
+        for b in home.to_le_bytes() {
+            eat(b);
+        }
+        for &b in image {
+            eat(b);
+        }
+    }
+    h
+}
+
 fn io<T>(r: Result<T, blockdev::DeviceError>) -> VfsResult<T> {
     r.map_err(|_| Errno::EIO)
 }
@@ -69,6 +90,7 @@ pub fn write_txn<D: BlockDevice>(
     let mut commit = vec![0u8; bs];
     commit[0..4].copy_from_slice(&COMMIT_MAGIC.to_le_bytes());
     commit[4..8].copy_from_slice(&txn_id.to_le_bytes());
+    commit[8..16].copy_from_slice(&txn_checksum(blocks).to_le_bytes());
     write_block(dev, jstart + 1 + blocks.len() as u32, &commit)?;
     io(dev.flush())
 }
@@ -152,10 +174,22 @@ pub fn replay<D: BlockDevice>(dev: &mut D, sb: &SuperBlock) -> VfsResult<u32> {
         clear_header(dev, sb)?;
         return Ok(0);
     }
+    // Read every image and verify the commit checksum BEFORE touching any
+    // home block: a torn journal image with an intact commit record must be
+    // discarded whole, never half-applied.
+    let mut blocks = Vec::with_capacity(count as usize);
     for i in 0..count {
         let home = word(&header, 12 + i as usize * 4);
         let image = read_block(dev, jstart + 1 + i)?;
-        write_block(dev, home, &image)?;
+        blocks.push((home, image));
+    }
+    let stored = u64::from_le_bytes(commit[8..16].try_into().expect("8 bytes"));
+    if stored != txn_checksum(&blocks) {
+        clear_header(dev, sb)?;
+        return Ok(0);
+    }
+    for (home, image) in &blocks {
+        write_block(dev, *home, image)?;
     }
     clear_header(dev, sb)?;
     Ok(count)
@@ -220,6 +254,29 @@ mod tests {
             .unwrap();
         assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
         assert_eq!(read_block(&mut dev, target).unwrap(), zero);
+    }
+
+    #[test]
+    fn torn_journal_image_with_intact_commit_is_discarded() {
+        let (mut dev, sb) = setup();
+        let target = sb.data_start() + 3;
+        let before = read_block(&mut dev, target).unwrap();
+        let image = vec![0x55u8; 256];
+        write_txn(&mut dev, &sb, 7, &[(target, image)]).unwrap();
+        // Tear the journaled image (the commit record stays intact): only
+        // the first 16 bytes of the image block survived the power cut.
+        let mut torn = read_block(&mut dev, sb.journal_start() + 1).unwrap();
+        for b in torn.iter_mut().skip(16) {
+            *b = 0xEE;
+        }
+        dev.write_block((sb.journal_start() + 1) as u64, &torn)
+            .unwrap();
+        // The checksum must reject the transaction whole; the home block
+        // keeps its pre-txn content.
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
+        assert_eq!(read_block(&mut dev, target).unwrap(), before);
+        // And the journal is clean afterwards (no replay loop).
+        assert_eq!(replay(&mut dev, &sb).unwrap(), 0);
     }
 
     #[test]

@@ -37,10 +37,12 @@
 
 pub mod dir;
 mod fs;
+pub mod fsck;
 pub mod journal;
 pub mod layout;
 
 pub use fs::{ExtConfig, ExtFs};
+pub use fsck::FsckOptions;
 
 use blockdev::RamDisk;
 use vfs::VfsResult;

@@ -1,11 +1,11 @@
 //! The JFFS2-style log-structured engine: scan, append, garbage-collect.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap, VecDeque};
 
-use blockdev::{BlockDevice, Clock, MtdBlock, MtdDevice};
+use blockdev::{BlockDevice, Clock, FaultPhase, MtdBlock, MtdDevice};
 use vfs::{
     path, AccessMode, DeviceBacked, DirEntry, Errno, Fd, FdTable, FileMode, FileStat, FileSystem,
-    FileType, FsCapabilities, Ino, OpenFlags, StatFs, VfsResult, XattrFlags,
+    FileType, FsCapabilities, Ino, OpenFlags, RepairReport, StatFs, VfsResult, XattrFlags,
 };
 
 use crate::log::{Node, FT_DIR, FT_REG, FT_SYMLINK};
@@ -115,6 +115,23 @@ struct OpenFile {
     read: bool,
     write: bool,
     append: bool,
+}
+
+/// What a full-flash scan found: the rebuilt index plus everything the
+/// scanner had to tolerate (used by [`FileSystem::fsck`] to report and
+/// persist repairs; `mount` keeps only the index).
+#[derive(Debug)]
+struct ScanOutcome {
+    m: Mounted,
+    /// Nodes successfully decoded.
+    nodes_seen: u64,
+    /// `(erase block, bytes lost)` for every block whose node stream broke
+    /// (CRC failure, torn program, garbage): the valid prefix is kept, the
+    /// rest of the block is quarantined as dead space.
+    quarantined: Vec<(u32, u32)>,
+    /// Dirents dropped because their target inode has no inode node:
+    /// `(parent, name, target, flash block holding the node)`.
+    orphan_dirents: Vec<(u32, String, u32, u32)>,
 }
 
 #[derive(Debug, Clone)]
@@ -354,6 +371,25 @@ impl Jffs2Fs {
                 .max_by_key(|&b| m.dead[b as usize])
                 .ok_or(Errno::ENOSPC)?
         };
+        self.gc_block(victim)
+    }
+
+    /// Garbage-collects a specific erase block: copies its live nodes to the
+    /// head, then erases it. Used by [`Self::gc`] for the dirtiest block and
+    /// by `fsck` to scrub blocks holding quarantined or orphaned nodes.
+    fn gc_block(&mut self, victim: u32) -> VfsResult<()> {
+        {
+            // If the victim is the current log head, seal it first so the
+            // copies below land in a different block (copying into the block
+            // about to be erased would destroy them).
+            let ebs = self.ebs();
+            let m = self.m()?;
+            if m.head == victim {
+                let tail = ebs - m.used[victim as usize];
+                m.dead[victim as usize] += tail;
+                m.used[victim as usize] = ebs;
+            }
+        }
         // Gather live locs in the victim.
         enum Entry {
             InodeMeta(u32),
@@ -388,6 +424,14 @@ impl Jffs2Fs {
         for (entry, loc) in moves {
             let bytes = self.read_raw(loc)?;
             let new_loc = self.append_raw(&bytes, true)?;
+            // Flash acks torn programs (power loss mid-write, lying
+            // firmware). The erase below destroys the only other copy of
+            // this node, so read the copy back before trusting it: on
+            // mismatch, abort with the victim intact — the torn copy is
+            // already-accounted dead space the next scan quarantines.
+            if self.read_raw(new_loc)? != bytes {
+                return Err(Errno::EIO);
+            }
             let m = self.m()?;
             match entry {
                 Entry::InodeMeta(ino) => {
@@ -709,33 +753,20 @@ impl Jffs2Fs {
         let reclaimable: u64 = m.dead.iter().map(|&d| d as u64).sum();
         (head_free + clean + reclaimable).saturating_sub(reserve)
     }
-}
-
-impl FileSystem for Jffs2Fs {
-    fn fs_name(&self) -> &str {
-        "jffs2"
-    }
-
-    fn capabilities(&self) -> FsCapabilities {
-        FsCapabilities {
-            rename: true,
-            hardlink: true,
-            symlink: true,
-            xattr: true,
-            access: true,
-            checkpoint: false,
-        }
-    }
-
-    fn mount(&mut self) -> VfsResult<()> {
-        if self.m.is_some() {
-            return Err(Errno::EBUSY);
-        }
+    /// Scans the whole flash and rebuilds the index, tolerating corruption:
+    /// a block whose node stream breaks (bad CRC, torn program, garbage)
+    /// keeps its valid prefix and quarantines the rest as dead space, and
+    /// dirents whose target inode never made it to flash are dropped. Both
+    /// conditions are recorded in the [`ScanOutcome`] so `fsck` can report
+    /// and persist the repairs; `mount` applies them silently, as real
+    /// JFFS2's scanner does.
+    fn scan(&mut self) -> VfsResult<ScanOutcome> {
         let ebs = self.ebs();
         let num = self.num_eb();
         // Full-device scan: collect every node with its location.
         let mut nodes: Vec<(Node, Loc)> = Vec::new();
         let mut used = vec![0u32; num as usize];
+        let mut quarantined: Vec<(u32, u32)> = Vec::new();
         for blk in 0..num {
             let mut block = vec![0u8; ebs as usize];
             self.dev
@@ -745,8 +776,8 @@ impl FileSystem for Jffs2Fs {
             self.charge_read(ebs as u64);
             let mut off = 0usize;
             while off < ebs as usize {
-                match Node::decode(&block[off..])? {
-                    Some((node, len)) => {
+                match Node::decode(&block[off..]) {
+                    Ok(Some((node, len))) => {
                         nodes.push((
                             node,
                             Loc {
@@ -757,17 +788,30 @@ impl FileSystem for Jffs2Fs {
                         ));
                         off += len;
                     }
-                    None => break,
+                    Ok(None) => break,
+                    Err(_) => {
+                        // The node stream is broken: without a trustworthy
+                        // length field, every later offset in this block is
+                        // suspect. Seal the block (so appends never program
+                        // over the garbage) and quarantine the remainder;
+                        // the valid prefix stays live.
+                        quarantined.push((blk, ebs - off as u32));
+                        off = ebs as usize;
+                    }
                 }
             }
             used[blk as usize] = off as u32;
         }
         // Apply in version order so later nodes win.
+        let nodes_seen = nodes.len();
         nodes.sort_by_key(|(n, _)| n.version());
         let mut inodes: HashMap<u32, InodeInfo> = HashMap::new();
         let mut dirents: HashMap<(u32, String), DirentInfo> = HashMap::new();
         let mut xattrs: HashMap<(u32, String), XattrInfo> = HashMap::new();
         let mut dead = vec![0u32; num as usize];
+        for &(blk, lost) in &quarantined {
+            dead[blk as usize] += lost;
+        }
         let mut max_version = 0u64;
         let mut max_ino = 1u32;
         for (node, loc) in nodes {
@@ -875,8 +919,20 @@ impl FileSystem for Jffs2Fs {
                 }
             }
         }
-        if !inodes.contains_key(&1) {
-            return Err(Errno::EIO); // no root: unformatted flash
+        // Drop dirents whose target inode has no inode node on flash: a
+        // crash between the dirent append and the inode append leaves a name
+        // that resolves to nothing. The dead-marking makes GC reclaim the
+        // node; fsck erases it eagerly so the repair is durable.
+        let orphan_keys: Vec<(u32, String)> = dirents
+            .iter()
+            .filter(|(_, d)| d.ino != 0 && !inodes.contains_key(&d.ino))
+            .map(|(k, _)| k.clone())
+            .collect();
+        let mut orphan_dirents = Vec::new();
+        for key in orphan_keys {
+            let d = dirents.remove(&key).expect("orphan key just collected");
+            dead[d.loc.block as usize] += d.loc.len;
+            orphan_dirents.push((key.0, key.1, d.ino, d.loc.block));
         }
         let clean: VecDeque<u32> = (0..num).filter(|&b| used[b as usize] == 0).collect();
         // Head: the non-clean block with the most tail space.
@@ -884,19 +940,140 @@ impl FileSystem for Jffs2Fs {
             .filter(|&b| used[b as usize] > 0)
             .min_by_key(|&b| used[b as usize])
             .unwrap_or(0);
-        self.m = Some(Mounted {
-            inodes,
-            dirents,
-            xattrs,
-            used,
-            dead,
-            clean,
-            head,
-            next_version: max_version + 1,
-            next_ino: max_ino + 1,
-            fds: FdTable::default(),
-            time: max_version << 16,
-        });
+        Ok(ScanOutcome {
+            m: Mounted {
+                inodes,
+                dirents,
+                xattrs,
+                used,
+                dead,
+                clean,
+                head,
+                next_version: max_version + 1,
+                next_ino: max_ino + 1,
+                fds: FdTable::default(),
+                time: max_version << 16,
+            },
+            nodes_seen: nodes_seen as u64,
+            quarantined,
+            orphan_dirents,
+        })
+    }
+
+    /// The repair pipeline behind [`FileSystem::fsck`] (fault-phase
+    /// bracketing and mount-state handling live in the trait method).
+    ///
+    /// Loops scan → scrub until a scan comes back clean: scrubbing a block
+    /// can resurrect an older superseded node (the newer winner lived in the
+    /// scrubbed block), so the log is rescanned until the index reaches a
+    /// fixed point. Each pass erases whole blocks of garbage, so the loop
+    /// strictly shrinks the log and terminates.
+    fn repair(&mut self) -> VfsResult<RepairReport> {
+        let mut report = RepairReport::default();
+        let mut first = true;
+        loop {
+            self.m = None;
+            let outcome = self.scan()?;
+            if first {
+                report.items_scanned = outcome.nodes_seen;
+                if outcome.nodes_seen == 0 && outcome.quarantined.is_empty() {
+                    return Err(Errno::EIO); // erased flash: nothing to repair
+                }
+                first = false;
+            }
+            for &(blk, lost) in &outcome.quarantined {
+                report.fixed(format!(
+                    "erase block {blk}: undecodable node stream, {lost} bytes quarantined"
+                ));
+            }
+            for (parent, name, ino, _) in &outcome.orphan_dirents {
+                report.fixed(format!(
+                    "dirent {parent}:\"{name}\": target inode {ino} never written, dropped"
+                ));
+            }
+            let mut scrub: BTreeSet<u32> =
+                outcome.quarantined.iter().map(|&(blk, _)| blk).collect();
+            scrub.extend(outcome.orphan_dirents.iter().map(|o| o.3));
+            let missing_root = !outcome.m.inodes.contains_key(&1);
+            self.m = Some(outcome.m);
+            if !missing_root && scrub.is_empty() {
+                return Ok(report);
+            }
+            if missing_root {
+                // Root's inode node was lost (say, quarantined with its
+                // block): recreate an empty root directory. Entries under it
+                // survive — dirents carry the parent ino.
+                let version = self.alloc_version()?;
+                let node = Node::Inode {
+                    ino: 1,
+                    version,
+                    ftype: FT_DIR,
+                    mode: FileMode::DIR_DEFAULT.bits(),
+                    uid: 0,
+                    gid: 0,
+                    atime: 0,
+                    mtime: 0,
+                    ctime: 0,
+                    isize: 0,
+                    offset: 0,
+                    rewrite: false,
+                    data: None,
+                };
+                let loc = self.append_node(&node)?;
+                let m = self.m()?;
+                m.inodes.insert(
+                    1,
+                    InodeInfo {
+                        ftype: FT_DIR,
+                        mode: FileMode::DIR_DEFAULT.bits(),
+                        uid: 0,
+                        gid: 0,
+                        atime: 0,
+                        mtime: 0,
+                        ctime: 0,
+                        content: Vec::new(),
+                        meta_loc: loc,
+                        data_locs: Vec::new(),
+                    },
+                );
+                report.fixed("root inode recreated");
+            }
+            // Physically scrub every block holding corrupt or orphaned
+            // nodes so the repair is durable: live nodes are copied out,
+            // the block is erased. A crash mid-scrub just leaves some
+            // blocks for the re-run (convergence).
+            for blk in scrub {
+                self.gc_block(blk)?;
+            }
+        }
+    }
+}
+
+impl FileSystem for Jffs2Fs {
+    fn fs_name(&self) -> &str {
+        "jffs2"
+    }
+
+    fn capabilities(&self) -> FsCapabilities {
+        FsCapabilities {
+            rename: true,
+            hardlink: true,
+            symlink: true,
+            xattr: true,
+            access: true,
+            checkpoint: false,
+        }
+    }
+
+    fn mount(&mut self) -> VfsResult<()> {
+        if self.m.is_some() {
+            return Err(Errno::EBUSY);
+        }
+        let outcome = self.scan()?;
+        if !outcome.m.inodes.contains_key(&1) {
+            return Err(Errno::EIO); // no root: unformatted flash
+        }
+        self.m = Some(outcome.m);
         Ok(())
     }
 
@@ -1502,6 +1679,34 @@ impl FileSystem for Jffs2Fs {
         }
         Ok(())
     }
+
+    fn supports_fsck(&self) -> bool {
+        true
+    }
+
+    fn fsck(&mut self) -> VfsResult<RepairReport> {
+        let was_mounted = self.m.is_some();
+        self.m = None;
+        self.dev.set_fault_phase(FaultPhase::Repair);
+        let result = self.repair();
+        self.dev.set_fault_phase(FaultPhase::Normal);
+        let report = match result {
+            Ok(report) => report,
+            Err(e) => {
+                // A failed repair may abort with a partially scanned index
+                // installed; keeping it would make the volume look mounted
+                // and wedge every later mount with EBUSY.
+                self.m = None;
+                return Err(e);
+            }
+        };
+        // `repair` leaves the freshly scanned index installed; keep it only
+        // if the caller had the volume mounted.
+        if !was_mounted {
+            self.m = None;
+        }
+        Ok(report)
+    }
 }
 
 impl DeviceBacked for Jffs2Fs {
@@ -1779,6 +1984,202 @@ mod tests {
         fs.rmdir("/d").unwrap();
         assert_eq!(fs.stat("/d"), Err(Errno::ENOENT));
         assert_eq!(fs.rmdir("/"), Err(Errno::EBUSY));
+    }
+
+    /// First flash address in `blk` past the last decodable node.
+    fn log_end(fs: &Jffs2Fs, blk: u32) -> u64 {
+        let ebs = fs.dev.mtd().erase_block_size() as u64;
+        let mut buf = vec![0u8; ebs as usize];
+        fs.dev.mtd().read(blk as u64 * ebs, &mut buf).unwrap();
+        let mut off = 0usize;
+        while let Ok(Some((_, len))) = Node::decode(&buf[off..]) {
+            off += len;
+        }
+        blk as u64 * ebs + off as u64
+    }
+
+    /// A structurally plausible node header whose CRC cannot match.
+    fn corrupt_node_bytes() -> Vec<u8> {
+        let mut bytes = vec![0x85u8, 0x19, crate::log::NT_DIRENT, 16, 0, 0, 0];
+        bytes.resize(16, 0); // CRC field zero: mismatches the FNV of the body
+        bytes
+    }
+
+    #[test]
+    fn failed_fsck_leaves_the_volume_mountable() {
+        // Regression: a repair that aborted mid-way (here: every erase
+        // block quarantined, so the scrub pass has no free space and dies
+        // with ENOSPC) used to leave the partially scanned index installed,
+        // wedging every later mount with EBUSY.
+        let mut fs = crate::jffs2_on_mtdram(16 * 1024, 4).unwrap();
+        fs.mount().unwrap();
+        write_file(&mut fs, "/f", b"keep me");
+        fs.unmount().unwrap();
+        for blk in 0..4 {
+            let end = log_end(&fs, blk);
+            fs.dev
+                .mtd_mut()
+                .program(end, &corrupt_node_bytes())
+                .unwrap();
+        }
+        assert_eq!(fs.fsck(), Err(Errno::ENOSPC), "no room to scrub");
+        fs.mount()
+            .expect("a failed repair must not wedge the volume");
+        assert_eq!(read_file(&mut fs, "/f"), b"keep me");
+    }
+
+    #[test]
+    fn mount_survives_a_corrupt_node() {
+        // Regression: the scanner used to abort the whole mount with EIO on
+        // the first undecodable node, bricking the volume. It must instead
+        // quarantine the broken region and keep everything before it.
+        let mut fs = jffs2();
+        write_file(&mut fs, "/f", b"keep me");
+        fs.unmount().unwrap();
+        let end = log_end(&fs, 0);
+        fs.dev
+            .mtd_mut()
+            .program(end, &corrupt_node_bytes())
+            .unwrap();
+        fs.mount().expect("mount must tolerate a corrupt node");
+        assert_eq!(read_file(&mut fs, "/f"), b"keep me");
+    }
+
+    #[test]
+    fn torn_gc_copy_never_destroys_the_source() {
+        use blockdev::{FaultKind, FaultPlan};
+        // Regression: flash acks torn programs, so GC used to erase the
+        // victim block after a copy that never fully reached the new
+        // location — silently losing the only good copy of a live node.
+        // The copy must be read back and verified before the erase.
+        let mut fs = jffs2();
+        write_file(&mut fs, "/f", b"survives torn gc");
+        fs.unmount().unwrap();
+        // A corrupt tail in block 0 forces the repair scrub to GC the
+        // block holding /f's live nodes.
+        let end = log_end(&fs, 0);
+        fs.dev
+            .mtd_mut()
+            .program(end, &corrupt_node_bytes())
+            .unwrap();
+        // Tear the very first repair program: the copy of a live node.
+        fs.dev.mtd_mut().set_fault_plan(Some(
+            FaultPlan::eio(FaultKind::Write, 0, 1)
+                .with_torn_bytes(3)
+                .during_repair(),
+        ));
+        assert_eq!(
+            fs.fsck(),
+            Err(Errno::EIO),
+            "the torn copy must be detected, not silently trusted"
+        );
+        fs.dev.mtd_mut().set_fault_plan(None);
+        // The victim was left intact: a clean re-run converges and the
+        // file is still readable.
+        fs.fsck().expect("clean re-run repairs the volume");
+        fs.mount().unwrap();
+        assert_eq!(read_file(&mut fs, "/f"), b"survives torn gc");
+    }
+
+    #[test]
+    fn orphan_dirent_is_invisible_after_mount() {
+        // Regression: a dirent whose target inode node never reached flash
+        // (crash between the two appends) used to surface as a directory
+        // entry whose stat failed with EIO. The scanner must drop it.
+        let mut fs = jffs2();
+        write_file(&mut fs, "/real", b"x");
+        fs.unmount().unwrap();
+        let ghost = Node::Dirent {
+            parent: 1,
+            version: 1_000,
+            ino: 99, // no inode node with this number exists
+            ftype: FT_REG,
+            name: "ghost".into(),
+        };
+        let end = log_end(&fs, 0);
+        fs.dev.mtd_mut().program(end, &ghost.encode()).unwrap();
+        fs.mount().unwrap();
+        assert_eq!(fs.stat("/ghost"), Err(Errno::ENOENT));
+        let names: Vec<String> = fs
+            .getdents("/")
+            .unwrap()
+            .into_iter()
+            .map(|e| e.name)
+            .collect();
+        assert!(!names.contains(&"ghost".to_string()), "{names:?}");
+        assert_eq!(read_file(&mut fs, "/real"), b"x");
+    }
+
+    #[test]
+    fn fsck_scrubs_corruption_and_is_idempotent() {
+        let mut fs = jffs2();
+        write_file(&mut fs, "/f", b"payload");
+        fs.unmount().unwrap();
+        let end = log_end(&fs, 0);
+        fs.dev
+            .mtd_mut()
+            .program(end, &corrupt_node_bytes())
+            .unwrap();
+        let ghost = Node::Dirent {
+            parent: 1,
+            version: 1_000,
+            ino: 77,
+            ftype: FT_REG,
+            name: "ghost".into(),
+        };
+        // The ghost goes in a different erase block so both scrub paths run.
+        fs.dev
+            .mtd_mut()
+            .program(16 * 1024, &ghost.encode())
+            .unwrap();
+        let report = fs.fsck().unwrap();
+        assert!(report.repairs_made >= 2, "{:?}", report.fixes);
+        assert!(!fs.is_mounted(), "fsck on an unmounted fs leaves it so");
+        // Idempotence: a second run finds a clean log.
+        let again = fs.fsck().unwrap();
+        assert!(again.is_clean(), "{:?}", again.fixes);
+        fs.mount().unwrap();
+        assert_eq!(read_file(&mut fs, "/f"), b"payload");
+        assert_eq!(fs.stat("/ghost"), Err(Errno::ENOENT));
+    }
+
+    #[test]
+    fn fsck_recreates_a_lost_root() {
+        let mut fs = jffs2();
+        write_file(&mut fs, "/f", b"doomed");
+        fs.unmount().unwrap();
+        // Zero the low byte of the root inode node's version (body offset 4,
+        // flash address 15): its CRC fails and the scanner quarantines erase
+        // block 0 from offset zero — taking the root (and in this small
+        // volume, everything else) with it.
+        fs.dev.mtd_mut().program(15, &[0x00]).unwrap();
+        assert_eq!(fs.mount(), Err(Errno::EIO), "no root, mount refuses");
+        let report = fs.fsck().unwrap();
+        assert!(
+            report.fixes.iter().any(|f| f.contains("root inode")),
+            "{:?}",
+            report.fixes
+        );
+        fs.mount().unwrap();
+        assert!(fs.getdents("/").unwrap().is_empty());
+        assert!(fs.fsck().unwrap().is_clean());
+    }
+
+    #[test]
+    fn fsck_rejects_erased_flash() {
+        let mtd = MtdDevice::new(16 * 1024, 16).unwrap();
+        let mut fs = Jffs2Fs::open_device(mtd, Jffs2Config::default()).unwrap();
+        assert_eq!(fs.fsck(), Err(Errno::EIO));
+    }
+
+    #[test]
+    fn fsck_while_mounted_keeps_the_volume_usable() {
+        let mut fs = jffs2();
+        write_file(&mut fs, "/f", b"live");
+        let report = fs.fsck().unwrap();
+        assert!(report.is_clean(), "{:?}", report.fixes);
+        assert!(fs.is_mounted());
+        assert_eq!(read_file(&mut fs, "/f"), b"live");
     }
 }
 

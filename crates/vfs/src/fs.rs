@@ -51,6 +51,45 @@ impl FsCapabilities {
     }
 }
 
+/// What one fsck run found and fixed — the report a scan-and-repair pass
+/// returns through [`FileSystem::fsck`].
+///
+/// The checker's repair oracles consume this: a *clean* second run
+/// (`repairs_made == 0`) is how idempotence (fsck∘fsck ≡ fsck) is
+/// established, and the `fixes` log names each repair for minimized traces
+/// and lint reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RepairReport {
+    /// Metadata objects examined (inodes, dirents, journal blocks, log
+    /// nodes — whatever the layout's unit of checking is).
+    pub items_scanned: u64,
+    /// Repairs applied to the on-disk state. Zero means the image was
+    /// already consistent.
+    pub repairs_made: u64,
+    /// Human-readable description of each repair, in the order applied.
+    pub fixes: Vec<String>,
+}
+
+impl RepairReport {
+    /// Whether the pass found nothing to repair.
+    pub fn is_clean(&self) -> bool {
+        self.repairs_made == 0
+    }
+
+    /// Records one repair.
+    pub fn fixed(&mut self, what: impl Into<String>) {
+        self.repairs_made += 1;
+        self.fixes.push(what.into());
+    }
+
+    /// Folds another pass's report into this one.
+    pub fn merge(&mut self, other: RepairReport) {
+        self.items_scanned += other.items_scanned;
+        self.repairs_made += other.repairs_made;
+        self.fixes.extend(other.fixes);
+    }
+}
+
 /// A POSIX-like file system under test.
 ///
 /// Semantics follow POSIX with these workspace-wide conventions:
@@ -326,6 +365,34 @@ pub trait FileSystem: Send {
         None
     }
 
+    /// Whether this implementation ships a scan-and-repair checker
+    /// ([`fsck`](Self::fsck)). Targets advertise this so the model checker
+    /// only schedules `FsOp::Fsck` against backends that implement it.
+    fn supports_fsck(&self) -> bool {
+        false
+    }
+
+    /// Runs the file system's offline scan-and-repair checker (fsck) over
+    /// the backing device and returns what it found and fixed.
+    ///
+    /// Contract (what the repair oracles check):
+    ///
+    /// * **Works on the persistent image.** If mounted, the implementation
+    ///   syncs, unmounts, repairs the device, and remounts — on return the
+    ///   mount state is what it was before the call.
+    /// * **Idempotent**: running fsck on an image fsck just repaired finds
+    ///   nothing (`is_clean()`), and the abstract state is unchanged.
+    /// * **Crash-safe**: a power cut anywhere inside the repair, followed
+    ///   by another fsck run, converges to the same repaired state.
+    ///
+    /// # Errors
+    ///
+    /// `ENOSYS` when unsupported (the default); `EIO` when the device fails
+    /// or the image is damaged beyond what the checker can repair.
+    fn fsck(&mut self) -> VfsResult<RepairReport> {
+        Err(Errno::ENOSYS)
+    }
+
     /// Whether this implementation keeps kernel-side metadata caches
     /// (dentry/attribute caches a FUSE mount fills on lookup) that
     /// nominally read-only operations mutate. The effect-signature analysis
@@ -560,6 +627,26 @@ mod tests {
         assert_eq!(s.getxattr("/a", "user.x"), Err(Errno::ENOSYS));
         assert_eq!(s.listxattr("/a"), Err(Errno::ENOSYS));
         assert_eq!(s.removexattr("/a", "user.x"), Err(Errno::ENOSYS));
+        assert!(!s.supports_fsck());
+        assert_eq!(s.fsck(), Err(Errno::ENOSYS));
+    }
+
+    #[test]
+    fn repair_report_accumulates() {
+        let mut r = RepairReport::default();
+        assert!(r.is_clean());
+        r.items_scanned = 3;
+        r.fixed("cleared orphan inode 7");
+        let mut other = RepairReport {
+            items_scanned: 2,
+            ..RepairReport::default()
+        };
+        other.fixed("rebuilt block bitmap");
+        r.merge(other);
+        assert_eq!(r.items_scanned, 5);
+        assert_eq!(r.repairs_made, 2);
+        assert_eq!(r.fixes.len(), 2);
+        assert!(!r.is_clean());
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod types;
 
 pub use errno::{Errno, VfsResult};
 pub use fdtable::{FdTable, DEFAULT_MAX_FDS};
-pub use fs::{DeviceBacked, FileSystem, FsCapabilities, FsCheckpoint, InvalidationSink};
+pub use fs::{
+    DeviceBacked, FileSystem, FsCapabilities, FsCheckpoint, InvalidationSink, RepairReport,
+};
 pub use types::{
     AccessMode, DirEntry, Fd, FileMode, FileStat, FileType, Ino, OpenFlags, StatFs, XattrFlags,
 };

@@ -1,12 +1,19 @@
 //! The headline capability (§6): MCFS detects each of the four reintroduced
 //! historical VeriFS bugs by behavioural divergence, reports a reproducible
 //! trace — and finds nothing when the bugs are fixed.
+//!
+//! The tail of the file pins two real backend bugs the fsck oracle
+//! surfaced, as minimized replayable traces: a torn ext journal image
+//! whose intact commit record used to replay garbage, and a jffs2 dirent
+//! whose inode node never reached flash.
 
-use blockdev::Clock;
+use blockdev::{BlockDevice, Clock, FaultKind, FaultPlan, RamDisk};
+use fs_ext::{journal, layout, ExtConfig, ExtFs};
 use fusesim::{FuseConfig, FuseMount};
 use mcfs::{replay, CheckedTarget, CheckpointTarget, Mcfs, McfsConfig, PoolConfig};
 use modelcheck::{ExploreConfig, RandomWalk, StopReason};
 use verifs::{BugConfig, VeriFs};
+use vfs::{DeviceBacked, Errno, FileMode, FileSystem, FileType, OpenFlags};
 
 fn fuse_target(version: u8, bugs: BugConfig, clock: Clock) -> Box<dyn CheckedTarget> {
     let fs = match version {
@@ -111,6 +118,127 @@ fn bug4_size_only_on_capacity_growth_is_detected() {
     let (_ops, trace) = detect(2, bugs, 200_000).expect("bug 4 must be found");
     let mut fixed = harness(2, BugConfig::none());
     assert!(replay(&mut fixed, &trace).is_none());
+}
+
+fn write_file(fs: &mut dyn FileSystem, p: &str, data: &[u8]) {
+    let fd = fs.create(p, FileMode::REG_DEFAULT).unwrap();
+    fs.write(fd, data).unwrap();
+    fs.close(fd).unwrap();
+}
+
+fn read_file(fs: &mut dyn FileSystem, p: &str) -> Vec<u8> {
+    let fd = fs
+        .open(p, OpenFlags::read_only(), FileMode::REG_DEFAULT)
+        .unwrap();
+    let mut out = Vec::new();
+    let mut buf = [0u8; 256];
+    loop {
+        let n = fs.read(fd, &mut buf).unwrap();
+        if n == 0 {
+            break;
+        }
+        out.extend_from_slice(&buf[..n]);
+    }
+    fs.close(fd).unwrap();
+    out
+}
+
+#[test]
+fn ext_torn_journal_image_with_intact_commit_is_discarded_whole() {
+    // Backend bug found by the fsck oracle. Minimized trace:
+    //   CreateFile(/keep) · Sync · Crash · Mount
+    // where the crash leaves a journaled transaction whose *image* block
+    // is torn but whose (separately written, intact) commit record
+    // validates. Replay used to apply the torn garbage to the home
+    // location — here the inode table, destroying /keep. The commit
+    // checksum must reject the transaction whole.
+    let disk = RamDisk::new(1024, 512 * 1024).unwrap();
+    let mut fs = ExtFs::format(disk, ExtConfig::ext4()).unwrap();
+    fs.mount().unwrap();
+    write_file(&mut fs, "/keep", b"must survive replay");
+    fs.unmount().unwrap();
+
+    // Forge the crash state on the raw device: a committed transaction
+    // targeting the inode table, its journaled image torn at byte 16.
+    let bs = 1024usize;
+    let mut b0 = vec![0u8; bs];
+    fs.device_mut().read_block(0, &mut b0).unwrap();
+    let sb = layout::SuperBlock::decode(&b0).unwrap();
+    let target = sb.inode_table_start();
+    let mut home = vec![0u8; bs];
+    fs.device_mut()
+        .read_block(target as u64, &mut home)
+        .unwrap();
+    journal::write_txn(fs.device_mut(), &sb, 9, &[(target, vec![0xEE; bs])]).unwrap();
+    let jimg = (sb.journal_start() + 1) as u64;
+    let mut torn = vec![0u8; bs];
+    fs.device_mut().read_block(jimg, &mut torn).unwrap();
+    for b in torn.iter_mut().skip(16) {
+        *b = 0xAA;
+    }
+    fs.device_mut().write_block(jimg, &torn).unwrap();
+
+    // Replay must discard the torn transaction whole: zero blocks
+    // applied, the home block untouched.
+    assert_eq!(
+        journal::replay(fs.device_mut(), &sb).unwrap(),
+        0,
+        "replay applied a torn transaction"
+    );
+    let mut after = vec![0u8; bs];
+    fs.device_mut()
+        .read_block(target as u64, &mut after)
+        .unwrap();
+    assert_eq!(after, home, "replay half-applied a torn transaction");
+    // The volume mounts, the file survives, and fsck finds nothing to
+    // mop up.
+    fs.mount().expect("mount after the discarded transaction");
+    assert_eq!(read_file(&mut fs, "/keep"), b"must survive replay");
+    fs.unmount().unwrap();
+    assert!(fs.fsck().expect("fsck").is_clean());
+}
+
+#[test]
+fn jffs2_dirent_whose_inode_never_hit_flash_is_dropped() {
+    // Backend bug found by the fsck oracle. Minimized trace:
+    //   CreateFile(/real) · CreateFile(/ghost)[crash at program N] · Mount
+    // A crash between a create's two log appends can leave a dirent whose
+    // target inode node never reached flash; the scanner used to surface
+    // it as a directory entry whose stat failed with EIO. Swept over
+    // every program of the create, the half-written file must be
+    // all-or-nothing: every scanned dirent resolves.
+    let mut n = 0u64;
+    let mut interrupted = 0u32;
+    loop {
+        let mut fs = fs_jffs2::jffs2_on_mtdram(16 * 1024, 8).unwrap();
+        fs.mount().unwrap();
+        write_file(&mut fs, "/real", b"survives");
+        fs.device_mut()
+            .mtd_mut()
+            .set_fault_plan(Some(FaultPlan::eio(FaultKind::Write, n, 1)));
+        let _ = fs
+            .create("/ghost", FileMode::REG_DEFAULT)
+            .and_then(|fd| fs.close(fd));
+        let fired = fs.device_mut().mtd().faults_injected() > 0;
+        fs.device_mut().mtd_mut().set_fault_plan(None);
+        fs.crash_reboot().expect("rescan after mid-create crash");
+        match fs.stat("/ghost") {
+            Ok(st) => assert_eq!(st.ftype, FileType::Regular, "program {n}"),
+            Err(e) => assert_eq!(e, Errno::ENOENT, "program {n}"),
+        }
+        for ent in fs.getdents("/").unwrap() {
+            fs.stat(&format!("/{}", ent.name))
+                .expect("every scanned dirent must resolve");
+        }
+        assert_eq!(read_file(&mut fs, "/real"), b"survives");
+        if !fired {
+            break;
+        }
+        interrupted += 1;
+        n += 1;
+        assert!(n < 64, "fault window never drained");
+    }
+    assert!(interrupted > 0, "no create program ever hit the window");
 }
 
 #[test]
