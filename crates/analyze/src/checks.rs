@@ -1,4 +1,4 @@
-//! The five sanitizers behind the lint codes.
+//! The sanitizers behind the lint codes.
 //!
 //! Every check is *dynamic* validation of a *static* claim: MC001 executes
 //! both orders of every pair the derived (or legacy) independence relation
@@ -7,12 +7,14 @@
 //! sequences on two backends and compares errno models; MC004 round-trips
 //! checkpoints (API and device-image flavors) and checks the restored
 //! state is the checkpointed one; MC005 corrupts derivable metadata in the
-//! device image and checks fsck converges without losing reachable data.
+//! device image and checks fsck converges without losing reachable data;
+//! MC006 swaps the two-thread schedule of every pair the concurrency
+//! relation claims independent and compares states *and* per-op results.
 
 use std::collections::HashMap;
 
 use blockdev::DeviceSnapshot;
-use mcfs::effect::{heuristic_independent, independent, EffectProfile};
+use mcfs::effect::{heuristic_independent, independent, independent_concurrent, EffectProfile};
 use mcfs::{abstract_state, execute, AbstractionConfig, FsOp, OpOutcome, PoolConfig};
 use vfs::{DeviceBacked, Errno, FileSystem, FsCheckpoint, VfsResult};
 
@@ -174,6 +176,149 @@ pub fn mc001_commutation(
                         ops[i], ops[j], state_ab.0, state_ab.1, state_ba.0, state_ba.1
                     ),
                     replay: ab.iter().map(|o| o.to_string()).collect(),
+                });
+                break;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Which claimed concurrency relation MC006 validates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConcRelation {
+    /// The concurrency relation ([`mcfs::effect::independent_concurrent`])
+    /// driving the interleaving explorer's partial-order reduction — must
+    /// pass on every backend.
+    Concurrent,
+    /// The sequential state relation, deliberately misused as a concurrency
+    /// relation; kept so the tests can demonstrate why the interleaving
+    /// explorer must not reuse it (op results are order-sensitive even when
+    /// the reached state is not).
+    Sequential,
+}
+
+/// MC006 tuning.
+#[derive(Debug, Clone)]
+pub struct Mc006Config {
+    /// Random reachable prefixes tried per claimed-independent pair.
+    pub samples_per_pair: usize,
+    /// Maximum prefix length.
+    pub prefix_len: usize,
+    /// Cap on the number of claimed-independent pairs examined; `None`
+    /// examines every pair, a limit takes a seeded random sample.
+    pub max_pairs: Option<usize>,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl Default for Mc006Config {
+    fn default() -> Self {
+        Mc006Config {
+            samples_per_pair: 2,
+            prefix_len: 3,
+            max_pairs: None,
+            seed: 0xc0ff_ee06,
+        }
+    }
+}
+
+/// Executes `prefix; first; second` on a fresh instance, returning the
+/// final state and the two foreground ops' own outcomes, in that order.
+fn run_two_thread(
+    backend: &Backend,
+    prefix: &[&FsOp],
+    first: &FsOp,
+    second: &FsOp,
+) -> VfsResult<((u128, Option<u128>), OpOutcome, OpOutcome)> {
+    let mut fs = backend.fresh()?;
+    for op in prefix {
+        let _ = execute(fs.as_mut(), op, &[]);
+    }
+    let o1 = execute(fs.as_mut(), first, &[]);
+    let o2 = execute(fs.as_mut(), second, &[]);
+    Ok((observe(fs.as_mut()), o1, o2))
+}
+
+/// MC006 — interleaving-commutation sanitizer. The thread-interleaving
+/// explorer's partial-order reduction collapses the two schedules of a
+/// claimed-independent pair into one, so the claim must cover more than
+/// MC001's: swapping the order may change neither the reached state **nor
+/// either op's own observed result** — each logical thread records the
+/// outcome it saw, and a dropped schedule whose outcomes differ would hide
+/// a distinct observable history. Unlike MC001, identical pairs (`i == j`,
+/// two threads racing the same op) are examined too.
+///
+/// # Errors
+///
+/// Backend construction failures.
+pub fn mc006_interleave_commutation(
+    backend: &Backend,
+    pool_ops: &[FsOp],
+    relation: ConcRelation,
+    cfg: &Mc006Config,
+) -> VfsResult<Vec<Diagnostic>> {
+    let caps = backend.fresh()?.capabilities();
+    let ops: Vec<FsOp> = pool_ops
+        .iter()
+        .filter(|o| o.allowed_by(caps))
+        .cloned()
+        .collect();
+    let kernel_caches = backend.fresh()?.caches_metadata();
+    let profile = EffectProfile::from_pool(&ops).with_kernel_caches(kernel_caches);
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    for i in 0..ops.len() {
+        for j in i..ops.len() {
+            let claimed = match relation {
+                ConcRelation::Concurrent => independent_concurrent(&ops[i], &ops[j], &profile),
+                ConcRelation::Sequential => independent(&ops[i], &ops[j], &profile),
+            };
+            if claimed {
+                pairs.push((i, j));
+            }
+        }
+    }
+    let mut rng = XorShift64::new(cfg.seed);
+    if let Some(max) = cfg.max_pairs {
+        for k in 0..pairs.len().min(max) {
+            let pick = k + rng.below(pairs.len() - k);
+            pairs.swap(k, pick);
+        }
+        pairs.truncate(max);
+    }
+    let mutations: Vec<&FsOp> = ops.iter().filter(|o| o.is_mutation()).collect();
+    let mut out = Vec::new();
+    for (i, j) in pairs {
+        for _ in 0..cfg.samples_per_pair {
+            let plen = rng.below(cfg.prefix_len + 1);
+            let prefix: Vec<&FsOp> = (0..plen)
+                .map(|_| mutations[rng.below(mutations.len())])
+                .collect();
+            let (state_ab, a_first, b_second) = run_two_thread(backend, &prefix, &ops[i], &ops[j])?;
+            let (state_ba, b_first, a_second) = run_two_thread(backend, &prefix, &ops[j], &ops[i])?;
+            // Re-key the swapped run's outcomes by op (= by thread), not by
+            // schedule position, before comparing.
+            if (&state_ab, &a_first, &b_second) != (&state_ba, &a_second, &b_first) {
+                let what = if state_ab == state_ba {
+                    "an op's own observed result"
+                } else {
+                    "the reached state"
+                };
+                out.push(Diagnostic {
+                    code: LintCode::Mc006,
+                    severity: Severity::Error,
+                    backend: backend.name.to_string(),
+                    message: format!(
+                        "claimed concurrency-independent pair is schedule-sensitive: \
+                         `{}` vs `{}` after a {plen}-op prefix changes {what} \
+                         ({a_first:?}/{b_second:?} vs {a_second:?}/{b_first:?})",
+                        ops[i], ops[j]
+                    ),
+                    replay: prefix
+                        .iter()
+                        .map(|o| o.to_string())
+                        .chain([format!("t0: {}", ops[i]), format!("t1: {}", ops[j])])
+                        .collect(),
                 });
                 break;
             }

@@ -20,8 +20,12 @@
 //! - **MC005** (repair non-convergence): fsck on a volume whose *derivable*
 //!   metadata was corrupted must reach a fixed point within two runs and
 //!   recover every reachable byte.
+//! - **MC006** (unsound concurrency independence): every pair the
+//!   interleaving explorer's POR relation claims independent is run under
+//!   both two-thread schedules; the reached state *and* each op's own
+//!   observed result must agree.
 //!
-//! [`run_registry`] runs all five across the workspace backends and
+//! [`run_registry`] runs every code across the workspace backends and
 //! returns a [`report::LintReport`] renderable as text or SARIF-style
 //! JSON. The `mcfs-lint` binary (in the bench crate) is a thin CLI over
 //! it; CI runs `mcfs-lint --quick` as a smoke gate.
@@ -35,8 +39,8 @@ pub mod report;
 pub use checks::{
     ext_derivable_corruptor, jffs2_corrupt_log_tails, mc001_commutation, mc002_aliasing,
     mc003_errno_parity, mc004_checkpoint_symmetry, mc004_device_symmetry, mc005_repair_convergence,
-    single_file_mutations, Mc001Config, Mc002Config, Mc003Config, Mc004Config, Mc005Config,
-    Relation, XorShift64,
+    mc006_interleave_commutation, single_file_mutations, ConcRelation, Mc001Config, Mc002Config,
+    Mc003Config, Mc004Config, Mc005Config, Mc006Config, Relation, XorShift64,
 };
 pub use report::{Diagnostic, LintCode, LintReport, Severity};
 
@@ -112,6 +116,28 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
                 Err(e) => report
                     .diagnostics
                     .push(check_failure(LintCode::Mc001, b.name, e)),
+            }
+        }
+    }
+
+    // MC006: validate the stricter concurrency independence relation that
+    // drives the thread-interleaving explorer's POR — swapping the
+    // two-thread schedule of a claimed-independent pair must change
+    // neither the reached state nor either op's own observed result.
+    if opts.enabled(LintCode::Mc006) {
+        for b in &backend_list {
+            let cfg = Mc006Config {
+                samples_per_pair: if b.heavy { 1 } else { 2 },
+                max_pairs: if b.heavy { Some(80) } else { None },
+                seed: opts.seed ^ 6,
+                ..Mc006Config::default()
+            };
+            report.checks_run += 1;
+            match mc006_interleave_commutation(b, &pool_ops, ConcRelation::Concurrent, &cfg) {
+                Ok(ds) => report.diagnostics.extend(ds),
+                Err(e) => report
+                    .diagnostics
+                    .push(check_failure(LintCode::Mc006, b.name, e)),
             }
         }
     }
@@ -424,6 +450,49 @@ mod tests {
         let ds = mc001_commutation(&backend, &ops, Relation::Derived, &cfg)
             .expect("derived run completes");
         assert!(ds.is_empty(), "derived relation must be sound: {ds:?}");
+    }
+
+    /// MC006's teeth: the *sequential* relation is observably unsound as a
+    /// concurrency relation — stat/truncate commute state-wise but the
+    /// stat's result flips with the schedule, and two threads racing the
+    /// same create swap who sees `Ok` and who sees `EEXIST`. The real
+    /// concurrency relation must stay clean on the same op set.
+    #[test]
+    fn mc006_catches_sequential_relation_used_concurrently() {
+        let backend = backends::quick()[1]; // verifs-v2
+        let ops = vec![
+            FsOp::CreateFile {
+                path: "/f0".into(),
+                mode: 0o644,
+            },
+            FsOp::Stat { path: "/f0".into() },
+            FsOp::Truncate {
+                path: "/f0".into(),
+                size: 5,
+            },
+            FsOp::WriteFile {
+                path: "/f0".into(),
+                offset: 0,
+                size: 10,
+                seed: 1,
+            },
+        ];
+        let cfg = Mc006Config {
+            samples_per_pair: 64,
+            prefix_len: 3,
+            max_pairs: None,
+            seed: 7,
+        };
+        let ds = mc006_interleave_commutation(&backend, &ops, ConcRelation::Sequential, &cfg)
+            .expect("sequential run completes");
+        assert!(
+            ds.iter().any(|d| d.code == LintCode::Mc006),
+            "the sequential relation must be caught hiding order-sensitive results"
+        );
+
+        let ds = mc006_interleave_commutation(&backend, &ops, ConcRelation::Concurrent, &cfg)
+            .expect("concurrent run completes");
+        assert!(ds.is_empty(), "concurrency relation must be sound: {ds:?}");
     }
 
     /// The quick registry on the fixed workspace is clean — the CI gate.

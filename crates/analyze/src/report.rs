@@ -24,16 +24,21 @@ pub enum LintCode {
     /// not reach a fixed point within two runs, or strictly loses
     /// reachable user data relative to what the corruption left intact.
     Mc005,
+    /// Unsound *concurrency* independence: a pair the interleaving
+    /// relation claims independent changes the reached state or either
+    /// op's own observed result when the two-thread schedule is swapped.
+    Mc006,
 }
 
 impl LintCode {
     /// All registered codes, in order.
-    pub const ALL: [LintCode; 5] = [
+    pub const ALL: [LintCode; 6] = [
         LintCode::Mc001,
         LintCode::Mc002,
         LintCode::Mc003,
         LintCode::Mc004,
         LintCode::Mc005,
+        LintCode::Mc006,
     ];
 
     /// The stable identifier (`MC001` ...).
@@ -44,6 +49,7 @@ impl LintCode {
             LintCode::Mc003 => "MC003",
             LintCode::Mc004 => "MC004",
             LintCode::Mc005 => "MC005",
+            LintCode::Mc006 => "MC006",
         }
     }
 
@@ -60,6 +66,10 @@ impl LintCode {
             LintCode::Mc004 => "checkpoint/restore asymmetry",
             LintCode::Mc005 => {
                 "repair non-convergence: fsck is not a two-run fixed point or loses reachable data"
+            }
+            LintCode::Mc006 => {
+                "unsound concurrency independence: swapping a claimed-independent \
+                 two-thread schedule changes the state or an observed result"
             }
         }
     }

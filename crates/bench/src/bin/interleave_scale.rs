@@ -1,0 +1,279 @@
+//! Interleaving-exploration scale: what dynamic partial-order reduction
+//! buys on concurrent workloads, and what the full product space costs.
+//!
+//! For each seeded multi-thread workload the bench explores the complete
+//! bounded interleaving space four ways — no POR, sleep sets, persistent
+//! sets, both — and reports transitions expanded, distinct terminal
+//! states, and throughput. Two acceptance checks run on every case:
+//!
+//! * **Soundness**: every POR setting reaches the *identical* terminal
+//!   final-state set as the full search (reduction must only drop
+//!   redundant orders, never outcomes).
+//! * **Reduction** (disjoint workloads only): combined sleep + persistent
+//!   sets expand **≥3×** fewer transitions than the full search — threads
+//!   touching disjoint files are where commutation-based pruning must pay.
+//!
+//! Output: a human-readable table, then JSON (also written to
+//! `BENCH_interleave.json`).
+//!
+//! Usage: `cargo run --release -p mcfs-bench --bin interleave_scale [--quick]`
+//!
+//! `--quick` trims thread programs to CI-smoke size.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use blockdev::RamDisk;
+use fs_ext::{ExtConfig, ExtFs};
+use mcfs::{
+    CheckedTarget, CheckpointTarget, FsOp, RemountMode, RemountTarget, ThreadedMcfs,
+    ThreadedMcfsConfig,
+};
+use mcfs_bench::print_table;
+use modelcheck::{DfsExplorer, ExploreConfig};
+use verifs::VeriFs;
+use vfs::FileSystem;
+
+/// One workload: a target factory plus per-thread programs.
+struct Case {
+    name: &'static str,
+    targets: Box<dyn Fn() -> Vec<Box<dyn CheckedTarget>>>,
+    programs: Vec<Vec<FsOp>>,
+    /// Disjoint-thread workloads must show the ≥3× POR reduction.
+    expect_reduction: bool,
+}
+
+struct Row {
+    name: &'static str,
+    threads: usize,
+    ops: usize,
+    full_transitions: u64,
+    sleep_transitions: u64,
+    persistent_transitions: u64,
+    por_transitions: u64,
+    states: usize,
+    elapsed_s: f64,
+}
+
+impl Row {
+    fn reduction(&self) -> f64 {
+        self.full_transitions as f64 / self.por_transitions.max(1) as f64
+    }
+
+    fn states_per_s(&self) -> f64 {
+        self.states as f64 / self.elapsed_s.max(1e-9)
+    }
+}
+
+fn verifs_pair() -> Vec<Box<dyn CheckedTarget>> {
+    let mut a = VeriFs::v2();
+    a.mount().unwrap();
+    let mut b = VeriFs::v2();
+    b.mount().unwrap();
+    vec![
+        Box::new(CheckpointTarget::new(a)),
+        Box::new(CheckpointTarget::new(b)),
+    ]
+}
+
+fn ext2_single() -> Vec<Box<dyn CheckedTarget>> {
+    let disk = RamDisk::new(1024, 256 * 1024).unwrap();
+    let fs = ExtFs::format(disk, ExtConfig::ext2()).unwrap();
+    vec![Box::new(RemountTarget::new(fs, RemountMode::PerOp))]
+}
+
+fn op_create(path: &str) -> FsOp {
+    FsOp::CreateFile {
+        path: path.into(),
+        mode: 0o644,
+    }
+}
+
+fn op_write(path: &str, seed: u8) -> FsOp {
+    FsOp::WriteFile {
+        path: path.into(),
+        offset: 0,
+        size: 8,
+        seed,
+    }
+}
+
+/// `threads` logical threads, each confined to its own file — the
+/// workload where every cross-thread pair commutes and POR should
+/// collapse the product space toward a single representative order.
+fn disjoint_programs(threads: usize, ops_per_thread: usize) -> Vec<Vec<FsOp>> {
+    (0..threads)
+        .map(|t| {
+            let path = format!("/t{t}");
+            let mut prog = vec![op_create(&path)];
+            if ops_per_thread > 1 {
+                prog.push(op_write(&path, t as u8 + 1));
+            }
+            if ops_per_thread > 2 {
+                prog.push(FsOp::Stat { path });
+            }
+            prog
+        })
+        .collect()
+}
+
+/// Three threads racing one path: the adversarial baseline where almost
+/// nothing commutes and POR can prune only a little.
+fn racing_programs() -> Vec<Vec<FsOp>> {
+    vec![
+        vec![op_create("/a"), op_write("/a", 1)],
+        vec![FsOp::Truncate {
+            path: "/a".into(),
+            size: 2,
+        }],
+        vec![FsOp::Stat { path: "/a".into() }],
+    ]
+}
+
+/// Explores the case exhaustively under one POR setting.
+fn explore(case: &Case, por: bool, por_persistent: bool) -> (BTreeSet<u128>, u64) {
+    let mut sys = ThreadedMcfs::new(
+        (case.targets)(),
+        case.programs.clone(),
+        ThreadedMcfsConfig::default(),
+    )
+    .expect("threaded harness");
+    let depth: usize = case.programs.iter().map(Vec::len).sum::<usize>() + 2;
+    let report = DfsExplorer::new(ExploreConfig {
+        max_depth: depth,
+        por,
+        por_persistent,
+        ..ExploreConfig::default()
+    })
+    .run(&mut sys);
+    assert!(
+        report.violations.is_empty(),
+        "{}: clean workload must not violate: {:?}",
+        case.name,
+        report.violations
+    );
+    (sys.final_states().clone(), report.stats.ops_executed)
+}
+
+fn run_case(case: &Case) -> Row {
+    let start = Instant::now();
+    let (base, full) = explore(case, false, false);
+    let mut by_setting = [0u64; 3];
+    for (k, (por, pp)) in [(true, false), (false, true), (true, true)]
+        .into_iter()
+        .enumerate()
+    {
+        let (states, ops) = explore(case, por, pp);
+        assert_eq!(
+            states, base,
+            "{}: POR (sleep={por}, persistent={pp}) changed the final-state set",
+            case.name
+        );
+        assert!(
+            ops <= full,
+            "{}: POR expanded more transitions than the full search",
+            case.name
+        );
+        by_setting[k] = ops;
+    }
+    let row = Row {
+        name: case.name,
+        threads: case.programs.len(),
+        ops: case.programs.iter().map(Vec::len).sum(),
+        full_transitions: full,
+        sleep_transitions: by_setting[0],
+        persistent_transitions: by_setting[1],
+        por_transitions: by_setting[2],
+        states: base.len(),
+        elapsed_s: start.elapsed().as_secs_f64(),
+    };
+    if case.expect_reduction {
+        assert!(
+            row.reduction() >= 3.0,
+            "{}: acceptance requires >=3x fewer transitions with POR, got {:.1}x ({} -> {})",
+            row.name,
+            row.reduction(),
+            row.full_transitions,
+            row.por_transitions
+        );
+    }
+    row
+}
+
+fn main() {
+    let quick = std::env::args().skip(1).any(|a| a == "--quick");
+    let ops_per_thread = if quick { 2 } else { 3 };
+
+    let mut cases = vec![
+        Case {
+            name: "verifs-disjoint",
+            targets: Box::new(verifs_pair),
+            programs: disjoint_programs(3, ops_per_thread),
+            expect_reduction: true,
+        },
+        Case {
+            name: "verifs-racing",
+            targets: Box::new(verifs_pair),
+            programs: racing_programs(),
+            expect_reduction: false,
+        },
+    ];
+    if !quick {
+        cases.push(Case {
+            name: "ext2-disjoint",
+            targets: Box::new(ext2_single),
+            programs: disjoint_programs(3, 2),
+            expect_reduction: true,
+        });
+    }
+
+    let rows: Vec<Row> = cases.iter().map(run_case).collect();
+
+    let table: Vec<(String, String)> = rows
+        .iter()
+        .map(|r| {
+            (
+                r.name.to_string(),
+                format!(
+                    "{}t/{:>2}ops  {:>5} -> {:>4} transitions ({:>4.1}x)  {:>3} states  {:>7.0} st/s",
+                    r.threads,
+                    r.ops,
+                    r.full_transitions,
+                    r.por_transitions,
+                    r.reduction(),
+                    r.states,
+                    r.states_per_s(),
+                ),
+            )
+        })
+        .collect();
+    print_table("Interleaving exploration (full vs POR)", &table);
+
+    let runs: String = rows
+        .iter()
+        .map(|r| {
+            format!(
+                "    {{\"case\": \"{}\", \"threads\": {}, \"ops\": {}, \
+                 \"full_transitions\": {}, \"sleep_transitions\": {}, \
+                 \"persistent_transitions\": {}, \"por_transitions\": {}, \
+                 \"reduction\": {:.2}, \"final_states\": {}, \
+                 \"final_state_sets_identical\": true, \"states_per_s\": {:.0}}}",
+                r.name,
+                r.threads,
+                r.ops,
+                r.full_transitions,
+                r.sleep_transitions,
+                r.persistent_transitions,
+                r.por_transitions,
+                r.reduction(),
+                r.states,
+                r.states_per_s(),
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!("{{\n  \"quick\": {quick},\n  \"runs\": [\n{runs}\n  ]\n}}");
+    println!("\n{json}");
+    std::fs::write("BENCH_interleave.json", format!("{json}\n"))
+        .expect("write BENCH_interleave.json");
+}

@@ -2,8 +2,10 @@
 //!
 //! Validates the inferred artifacts the model checker's results depend on:
 //! the signature-derived independence relation (MC001), the visited-set
-//! abstraction (MC002), cross-backend errno models (MC003), and
-//! checkpoint/restore fidelity (MC004). See `analyze` crate docs.
+//! abstraction (MC002), cross-backend errno models (MC003),
+//! checkpoint/restore fidelity (MC004), fsck repair convergence (MC005),
+//! and the interleaving explorer's concurrency independence relation
+//! (MC006). See `analyze` crate docs.
 //!
 //! Usage:
 //!   mcfs-lint [--quick] [--json] [--code MC00N]... [--seed N] [--list]
@@ -37,7 +39,7 @@ fn main() {
             "--code" => {
                 i += 1;
                 let raw = args.get(i).unwrap_or_else(|| {
-                    eprintln!("--code needs an argument (MC001..MC004)");
+                    eprintln!("--code needs an argument (MC001..MC006)");
                     std::process::exit(2);
                 });
                 match LintCode::parse(raw) {

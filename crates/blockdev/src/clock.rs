@@ -1,13 +1,28 @@
 //! The shared virtual clock that all simulated costs accrue on.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Sentinel for "no active lane" in [`Clock::set_active_lane`].
+const NO_LANE: usize = usize::MAX;
 
 /// A monotonically advancing virtual clock, in nanoseconds.
 ///
 /// Clones share the same underlying counter, so a single clock can be threaded
 /// through devices, file systems, the FUSE layer, and the model checker; the
 /// final reading is the total modelled time of the run.
+///
+/// # Per-thread lanes
+///
+/// Interleaving exploration needs virtual time to be a function of *what each
+/// logical thread has done*, not of the schedule that interleaved them —
+/// otherwise two equivalent interleavings fingerprint differently and state
+/// matching falls apart. [`Clock::set_active_lane`] opens a per-thread lane:
+/// while a lane is active, [`Clock::advance_ns`] charges that lane instead of
+/// the shared base, and [`Clock::now_ns`] reads `base + lane` — the active
+/// thread's own accumulated cost. With no active lane the clock reads
+/// `base + max(lanes)` (all threads have logically finished their charges),
+/// which is also schedule-independent: `max` commutes.
 ///
 /// # Examples
 ///
@@ -23,17 +38,30 @@ use std::sync::Arc;
 #[derive(Debug, Clone, Default)]
 pub struct Clock {
     ns: Arc<AtomicU64>,
+    /// Per-thread virtual-time lanes (empty outside interleaved runs).
+    lanes: Arc<Mutex<Vec<u64>>>,
+    /// Index of the lane charged by `advance_ns`; `NO_LANE` = shared base.
+    active: Arc<AtomicUsize>,
 }
 
 impl Clock {
     /// Creates a clock starting at zero.
     pub fn new() -> Self {
-        Clock::default()
+        let c = Clock::default();
+        c.active.store(NO_LANE, Ordering::Relaxed);
+        c
     }
 
-    /// Returns the current virtual time in nanoseconds.
+    /// Returns the current virtual time in nanoseconds: the shared base plus
+    /// the active lane's charge (or the maximum lane when none is active).
     pub fn now_ns(&self) -> u64 {
-        self.ns.load(Ordering::Relaxed)
+        let base = self.ns.load(Ordering::Relaxed);
+        let lanes = self.lanes.lock().expect("clock lanes poisoned");
+        let lane = match self.active.load(Ordering::Relaxed) {
+            NO_LANE => lanes.iter().copied().max().unwrap_or(0),
+            idx => lanes.get(idx).copied().unwrap_or(0),
+        };
+        base.saturating_add(lane)
     }
 
     /// Returns the current virtual time in seconds.
@@ -41,9 +69,21 @@ impl Clock {
         self.now_ns() as f64 / 1e9
     }
 
-    /// Advances the clock by `delta` nanoseconds.
+    /// Advances the clock by `delta` nanoseconds, charged to the active
+    /// per-thread lane if one is set (see [`Clock::set_active_lane`]).
     pub fn advance_ns(&self, delta: u64) {
-        self.ns.fetch_add(delta, Ordering::Relaxed);
+        match self.active.load(Ordering::Relaxed) {
+            NO_LANE => {
+                self.ns.fetch_add(delta, Ordering::Relaxed);
+            }
+            idx => {
+                let mut lanes = self.lanes.lock().expect("clock lanes poisoned");
+                if idx >= lanes.len() {
+                    lanes.resize(idx + 1, 0);
+                }
+                lanes[idx] = lanes[idx].saturating_add(delta);
+            }
+        }
     }
 
     /// Advances the clock by `micros` microseconds.
@@ -56,10 +96,40 @@ impl Clock {
         self.advance_ns(millis.saturating_mul(1_000_000));
     }
 
-    /// Resets the clock to zero. Intended for reusing a harness between
-    /// experiment runs.
+    /// Routes subsequent charges to logical thread `tid`'s lane. All clones
+    /// share the routing (there is one device/FS stack per harness).
+    pub fn set_active_lane(&self, tid: u16) {
+        let idx = tid as usize;
+        {
+            let mut lanes = self.lanes.lock().expect("clock lanes poisoned");
+            if idx >= lanes.len() {
+                lanes.resize(idx + 1, 0);
+            }
+        }
+        self.active.store(idx, Ordering::Relaxed);
+    }
+
+    /// Returns charge routing to the shared base (sequential behaviour).
+    pub fn clear_active_lane(&self) {
+        self.active.store(NO_LANE, Ordering::Relaxed);
+    }
+
+    /// One thread's accumulated lane charge (0 for an untouched lane).
+    pub fn lane_ns(&self, tid: u16) -> u64 {
+        self.lanes
+            .lock()
+            .expect("clock lanes poisoned")
+            .get(tid as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Resets the clock (and every lane) to zero. Intended for reusing a
+    /// harness between experiment runs.
     pub fn reset(&self) {
         self.ns.store(0, Ordering::Relaxed);
+        self.lanes.lock().expect("clock lanes poisoned").clear();
+        self.active.store(NO_LANE, Ordering::Relaxed);
     }
 }
 
@@ -98,5 +168,42 @@ mod tests {
         let c = Clock::new();
         c.advance_ms(u64::MAX); // must not panic
         assert_eq!(c.now_ns(), u64::MAX);
+    }
+
+    #[test]
+    fn lanes_charge_per_thread() {
+        let c = Clock::new();
+        c.advance_ns(100); // shared base
+        c.set_active_lane(0);
+        c.advance_ns(30);
+        assert_eq!(c.now_ns(), 130, "active thread reads base + own lane");
+        c.set_active_lane(1);
+        c.advance_ns(50);
+        assert_eq!(c.now_ns(), 150);
+        assert_eq!(c.lane_ns(0), 30);
+        assert_eq!(c.lane_ns(1), 50);
+        c.clear_active_lane();
+        assert_eq!(c.now_ns(), 150, "no active lane reads base + max(lanes)");
+    }
+
+    #[test]
+    fn lane_totals_are_schedule_independent() {
+        // Two schedules of the same per-thread charges read the same final
+        // time: max() commutes, and each thread only sees its own lane.
+        let run = |order: &[(u16, u64)]| {
+            let c = Clock::new();
+            let mut seen = Vec::new();
+            for &(tid, ns) in order {
+                c.set_active_lane(tid);
+                c.advance_ns(ns);
+                seen.push(c.now_ns());
+            }
+            c.clear_active_lane();
+            c.now_ns()
+        };
+        let a = run(&[(0, 10), (0, 10), (1, 7), (1, 7)]);
+        let b = run(&[(1, 7), (0, 10), (1, 7), (0, 10)]);
+        assert_eq!(a, b);
+        assert_eq!(a, 20);
     }
 }

@@ -668,6 +668,34 @@ fn explain_sigs(sa: &EffectSig, sb: &EffectSig) -> Independence {
     if sa.writes.is_empty() || sb.writes.is_empty() {
         return Independence::Independent;
     }
+    explain_sigs_overlaps(sa, sb, true)
+}
+
+/// Signature-level concurrency independence.
+///
+/// The sequential relation above is a *state-reachability* relation: it may
+/// call a pair independent when both orders reach the same abstract state,
+/// even though the two ops' own **results** differ by order. That is sound
+/// for reordering one sequential trace (each interleaving's outcomes are
+/// re-verified when executed) but unsound as a concurrency independence
+/// relation, where each logical thread observes its own result and the
+/// pair's schedule decides who sees what. Two rules are therefore dropped:
+///
+/// * the pure-read shortcut — a read of a place another thread writes is
+///   order-sensitive (stale vs. fresh result), even though it cannot
+///   change state;
+/// * the identical-op and equal-tag exact-write shortcuts — two threads
+///   issuing the same `create` reach the same state either way, but which
+///   thread gets `Ok` and which gets `EEXIST` depends on the order.
+///
+/// Only commutative merge-merge updates to the same place still commute.
+fn explain_sigs_concurrent(sa: &EffectSig, sb: &EffectSig) -> Independence {
+    explain_sigs_overlaps(sa, sb, false)
+}
+
+/// Shared overlap scan behind [`explain_sigs`] / [`explain_sigs_concurrent`]
+/// — `outcome_blind` selects the sequential (state-only) exceptions.
+fn explain_sigs_overlaps(sa: &EffectSig, sb: &EffectSig, outcome_blind: bool) -> Independence {
     for (wr, rd) in [(sa, sb), (sb, sa)] {
         for w in &wr.writes {
             for r in &rd.reads {
@@ -685,11 +713,14 @@ fn explain_sigs(sa: &EffectSig, sb: &EffectSig) -> Independence {
         for wb in &sb.writes {
             if let Some(o) = overlap(&wa.place, &wb.place) {
                 // Merges commute with merges; exact writes of the same
-                // value to the identical cell commute.
+                // value to the identical cell commute — but only for the
+                // sequential relation: concurrently, two threads writing
+                // the same value still race for whose *result* reflects
+                // the pre-existing cell (create/create → Ok vs EEXIST).
                 let commutes = match (wa.kind, wb.kind) {
                     (WriteKind::Merge, WriteKind::Merge) => true,
                     (WriteKind::Exact, WriteKind::Exact) => {
-                        o.identical_cell && wa.tag.is_some() && wa.tag == wb.tag
+                        outcome_blind && o.identical_cell && wa.tag.is_some() && wa.tag == wb.tag
                     }
                     _ => false,
                 };
@@ -711,6 +742,32 @@ fn explain_sigs(sa: &EffectSig, sb: &EffectSig) -> Independence {
 /// any state reaches the same abstract state.
 pub fn independent(a: &FsOp, b: &FsOp, prof: &EffectProfile) -> bool {
     explain(a, b, prof).is_independent()
+}
+
+/// Pairwise *concurrency* independence with a dependence witness.
+///
+/// Stricter than [`explain`]: `a` and `b` are independent only if swapping
+/// their order changes neither the reached state **nor either op's own
+/// observable result** — the contract a thread-interleaving explorer needs,
+/// where each logical thread records the outcome it saw. Notably there is
+/// no identical-op shortcut: two threads issuing the same op often race
+/// for its result.
+pub fn explain_concurrent(a: &FsOp, b: &FsOp, prof: &EffectProfile) -> Independence {
+    let sa = signature(a, prof);
+    let sb = signature(b, prof);
+    if sa.writes_global() || sb.writes_global() {
+        return Independence::Dependent(Conflict {
+            kind: ConflictKind::Global,
+            place: Place::Global.to_string(),
+            aliased: false,
+        });
+    }
+    explain_sigs_concurrent(&sa, &sb)
+}
+
+/// Concurrency independence predicate; see [`explain_concurrent`].
+pub fn independent_concurrent(a: &FsOp, b: &FsOp, prof: &EffectProfile) -> bool {
+    explain_concurrent(a, b, prof).is_independent()
 }
 
 /// The original hand-written heuristic (formerly inlined in the harness),
@@ -748,6 +805,9 @@ pub struct EffectIndex {
     profile: EffectProfile,
     index: HashMap<FsOp, usize>,
     matrix: Vec<bool>,
+    /// The concurrency relation (see [`explain_concurrent`]): a strict
+    /// subset of `matrix`, used when the two ops run on distinct threads.
+    conc: Vec<bool>,
     n: usize,
 }
 
@@ -757,16 +817,21 @@ impl EffectIndex {
         let sigs: Vec<EffectSig> = ops.iter().map(|o| signature(o, &profile)).collect();
         let n = ops.len();
         let mut matrix = vec![false; n * n];
+        let mut conc = vec![false; n * n];
         for i in 0..n {
             for j in 0..n {
-                let v = if sigs[i].writes_global() || sigs[j].writes_global() {
+                let global = sigs[i].writes_global() || sigs[j].writes_global();
+                matrix[i * n + j] = if global {
                     false
                 } else if ops[i] == ops[j] {
                     true
                 } else {
                     explain_sigs(&sigs[i], &sigs[j]).is_independent()
                 };
-                matrix[i * n + j] = v;
+                // No identical-op shortcut concurrently: same op on two
+                // threads races for its own result.
+                conc[i * n + j] =
+                    !global && explain_sigs_concurrent(&sigs[i], &sigs[j]).is_independent();
             }
         }
         let index = ops
@@ -778,6 +843,7 @@ impl EffectIndex {
             profile,
             index,
             matrix,
+            conc,
             n,
         }
     }
@@ -787,6 +853,15 @@ impl EffectIndex {
         match (self.index.get(a), self.index.get(b)) {
             (Some(&i), Some(&j)) => self.matrix[i * self.n + j],
             _ => independent(a, b, &self.profile),
+        }
+    }
+
+    /// O(1) concurrency-independence lookup ([`explain_concurrent`]), for
+    /// ops issued by distinct logical threads.
+    pub fn independent_concurrent(&self, a: &FsOp, b: &FsOp) -> bool {
+        match (self.index.get(a), self.index.get(b)) {
+            (Some(&i), Some(&j)) => self.conc[i * self.n + j],
+            _ => independent_concurrent(a, b, &self.profile),
         }
     }
 
@@ -994,6 +1069,76 @@ mod tests {
             path: "/zzz".into(),
         };
         assert!(idx.independent(&foreign, &ops[0]) == independent(&foreign, &ops[0], &prof));
+    }
+
+    #[test]
+    fn concurrent_relation_is_a_subset_of_sequential() {
+        // Whatever the concurrency relation admits, the sequential one
+        // must too: it only drops outcome-blind shortcuts.
+        let ops = PoolConfig::medium().ops();
+        let prof = EffectProfile::from_pool(&ops);
+        let idx = EffectIndex::new(&ops, prof.clone());
+        for a in &ops {
+            for b in &ops {
+                if idx.independent_concurrent(a, b) {
+                    assert!(idx.independent(a, b), "{a} vs {b}");
+                }
+                assert_eq!(
+                    idx.independent_concurrent(a, b),
+                    independent_concurrent(a, b, &prof),
+                    "index vs derivation: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn identical_creates_race_concurrently() {
+        // Sequentially o;o is the same sequence either way; concurrently
+        // two threads race for who gets Ok and who gets EEXIST.
+        let p = plain_profile();
+        let c = FsOp::CreateFile {
+            path: "/x".into(),
+            mode: 0o644,
+        };
+        assert!(independent(&c, &c.clone(), &p));
+        assert!(!independent_concurrent(&c, &c.clone(), &p));
+    }
+
+    #[test]
+    fn read_vs_same_path_mutation_is_concurrent_dependent() {
+        // The pure-read shortcut is outcome-unsound across threads: the
+        // stat's own result depends on whether the unlink went first.
+        let p = plain_profile();
+        let stat = FsOp::Stat { path: "/f0".into() };
+        let unlink = FsOp::Unlink { path: "/f0".into() };
+        assert!(independent(&stat, &unlink, &p));
+        assert!(!independent_concurrent(&stat, &unlink, &p));
+        // An overlapping data write is likewise order-visible to a read.
+        let r = FsOp::ReadFile {
+            path: "/f0".into(),
+            offset: 0,
+            size: 16,
+        };
+        assert!(!independent_concurrent(&r, &op_write("/f0", 0, 10), &p));
+        // Two pure reads still commute, and so do disjoint footprints.
+        assert!(independent_concurrent(&stat, &r, &p));
+        assert!(independent_concurrent(&stat, &op_write("/f1", 0, 8), &p));
+        assert!(independent_concurrent(
+            &op_write("/f0", 0, 8),
+            &op_write("/f1", 0, 8),
+            &p
+        ));
+    }
+
+    #[test]
+    fn crash_and_fsck_never_commute_concurrently() {
+        let p = plain_profile();
+        let w = op_write("/f0", 0, 8);
+        for global in [FsOp::Crash, FsOp::Fsck] {
+            assert!(!independent_concurrent(&global, &w, &p), "{global}");
+            assert!(!independent_concurrent(&w, &global, &p), "{global}");
+        }
     }
 
     #[test]

@@ -61,6 +61,7 @@ pub mod ckpt_pool;
 mod coverage;
 pub mod effect;
 mod harness;
+pub mod interleave;
 pub mod pool;
 pub mod shrink;
 mod target;
@@ -80,6 +81,10 @@ pub use harness::{
     replay, replay_checked, FsckStats, HarnessFactory, Mcfs, McfsConfig, ReplayOutcome,
     EQUALIZE_DUMMY,
 };
+pub use interleave::{
+    shrink_threaded_trace, InterleaveStats, SchedStep, ThreadedHarnessFactory, ThreadedMcfs,
+    ThreadedMcfsConfig, ThreadedShrinkOutcome, ThreadedTrace, CRASH_TID,
+};
 pub use pool::{execute, execute_with, pattern, FsOp, OpOutcome, PoolConfig};
 pub use shrink::{
     buggy_verifs_factory, harness_with_factory, repair_mask, shrink_trace, ShrinkConfig,
@@ -90,4 +95,4 @@ pub use target::{
     VmTarget,
 };
 pub use vfs_checkpoint::VfsCheckpointTarget;
-pub use wire::FsOpCodec;
+pub use wire::{FsOpCodec, ThreadedFsOpCodec};

@@ -84,7 +84,7 @@ fn parent_of(path: &str) -> Option<&str> {
 
 /// Paths an op *consumes*: objects that must already exist for the op to
 /// behave as it did in the original trace.
-fn consumed_paths(op: &FsOp) -> Vec<&str> {
+pub(crate) fn consumed_paths(op: &FsOp) -> Vec<&str> {
     match op {
         FsOp::CreateFile { path, .. } | FsOp::Mkdir { path, .. } => {
             parent_of(path).into_iter().collect()
@@ -111,7 +111,7 @@ fn consumed_paths(op: &FsOp) -> Vec<&str> {
 }
 
 /// Whether `op` *produces* `path` (makes it exist).
-fn produces(op: &FsOp, path: &str) -> bool {
+pub(crate) fn produces(op: &FsOp, path: &str) -> bool {
     match op {
         FsOp::CreateFile { path: p, .. } | FsOp::Mkdir { path: p, .. } => p == path,
         FsOp::Rename { dst, .. } | FsOp::Hardlink { dst, .. } => dst == path,

@@ -12,6 +12,7 @@
 //! decode to [`PickleError::Corrupt`], which the loader surfaces instead of
 //! misreading the rest of the stream.
 
+use crate::interleave::SchedStep;
 use crate::pool::FsOp;
 use modelcheck::pickle::put_str;
 use modelcheck::{ByteReader, OpCodec, PickleError};
@@ -212,6 +213,33 @@ impl OpCodec<FsOp> for FsOpCodec {
     }
 }
 
+/// Wire codec for interleaved schedules: a [`SchedStep`] is its own tag,
+/// the thread id, and the delegated [`FsOpCodec`] encoding of the op. Used
+/// by swarm persistence so threaded runs kill-and-resume like sequential
+/// ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ThreadedFsOpCodec;
+
+const TAG_SCHED_STEP: u8 = 18;
+
+impl OpCodec<SchedStep> for ThreadedFsOpCodec {
+    fn encode_op(&self, step: &SchedStep, out: &mut Vec<u8>) {
+        out.push(TAG_SCHED_STEP);
+        put_u16(out, step.tid);
+        FsOpCodec.encode_op(&step.op, out);
+    }
+
+    fn decode_op(&self, r: &mut ByteReader<'_>) -> Result<SchedStep, PickleError> {
+        let tag = r.u8()?;
+        if tag != TAG_SCHED_STEP {
+            return Err(PickleError::Corrupt(format!("unknown SchedStep tag {tag}")));
+        }
+        let tid = read_u16(r)?;
+        let op = FsOpCodec.decode_op(r)?;
+        Ok(SchedStep { tid, op })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -326,5 +354,38 @@ mod tests {
         codec.encode_op(&op, &mut buf);
         let back = codec.decode_op(&mut ByteReader::new(&buf)).unwrap();
         assert_eq!(back, op);
+    }
+
+    #[test]
+    fn sched_steps_round_trip_for_every_op_variant() {
+        let codec = ThreadedFsOpCodec;
+        let mut buf = Vec::new();
+        let steps: Vec<SchedStep> = all_variants()
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| SchedStep {
+                tid: (i % 3) as u16,
+                op,
+            })
+            .chain(std::iter::once(SchedStep::crash()))
+            .collect();
+        for step in &steps {
+            codec.encode_op(step, &mut buf);
+        }
+        let mut r = ByteReader::new(&buf);
+        for step in &steps {
+            assert_eq!(&codec.decode_op(&mut r).unwrap(), step);
+        }
+    }
+
+    #[test]
+    fn sched_step_rejects_bare_fsop_bytes() {
+        let mut buf = Vec::new();
+        FsOpCodec.encode_op(&FsOp::Fsck, &mut buf);
+        let mut r = ByteReader::new(&buf);
+        assert!(matches!(
+            ThreadedFsOpCodec.decode_op(&mut r),
+            Err(PickleError::Corrupt(_))
+        ));
     }
 }

@@ -35,6 +35,13 @@ pub struct FuseConfig {
     pub attr_ttl_ns: u64,
     /// Virtual-time cost of one kernel↔daemon round trip.
     pub message_cost_ns: u64,
+    /// Propagate *kernel-local* cache maintenance (the dentry/attr drops a
+    /// thread performs as part of its own rename/unlink/write) to every
+    /// thread's cache view, not just the acting thread's. **On** is correct
+    /// kernel behavior. Off reproduces a real FUSE multi-queue bug class:
+    /// another thread keeps serving a renamed-away dentry and its stale
+    /// attributes from its own view until the TTL expires.
+    pub broadcast_local_invalidation: bool,
 }
 
 impl Default for FuseConfig {
@@ -45,6 +52,7 @@ impl Default for FuseConfig {
             entry_ttl_ns: 1_000_000_000,
             attr_ttl_ns: 1_000_000_000,
             message_cost_ns: 34_000,
+            broadcast_local_invalidation: true,
         }
     }
 }
@@ -73,36 +81,74 @@ impl KernelCaches {
     }
 }
 
+/// Per-thread views of the kernel caches. A single-threaded mount has one
+/// view and behaves exactly as before; interleaved workloads
+/// ([`FileSystem::set_active_thread`]) get one view per logical thread,
+/// modelling per-queue cached state in a multi-queue FUSE connection.
+/// Daemon-initiated invalidations (the [`InvalidationSink`]) always reach
+/// every view; thread-local maintenance broadcasts only when
+/// [`FuseConfig::broadcast_local_invalidation`] is on.
+#[derive(Debug)]
+struct CacheTable {
+    views: Vec<KernelCaches>,
+    active: usize,
+}
+
+impl Default for CacheTable {
+    fn default() -> Self {
+        CacheTable {
+            views: vec![KernelCaches::default()],
+            active: 0,
+        }
+    }
+}
+
+impl CacheTable {
+    fn active(&self) -> &KernelCaches {
+        &self.views[self.active]
+    }
+
+    fn clear_all(&mut self) {
+        for v in &mut self.views {
+            v.clear();
+        }
+    }
+}
+
 /// The invalidation side of a FUSE connection — hand this to the user-space
 /// file system as its [`InvalidationSink`] so restores can invalidate the
 /// kernel caches (the fix for paper bug 2).
 #[derive(Debug, Clone)]
 pub struct FuseConn {
-    caches: Arc<Mutex<KernelCaches>>,
+    caches: Arc<Mutex<CacheTable>>,
 }
 
 impl InvalidationSink for FuseConn {
     fn invalidate_entry(&self, parent: u64, name: &str) {
         let mut c = self.caches.lock().expect("cache lock poisoned");
-        if c.dentries.remove(&(parent, name.to_string())).is_some() {
-            c.invalidations += 1;
+        for v in &mut c.views {
+            if v.dentries.remove(&(parent, name.to_string())).is_some() {
+                v.invalidations += 1;
+            }
         }
     }
 
     fn invalidate_inode(&self, ino: u64) {
         let mut c = self.caches.lock().expect("cache lock poisoned");
-        if c.attrs.remove(&ino).is_some() {
-            c.invalidations += 1;
+        for v in &mut c.views {
+            if v.attrs.remove(&ino).is_some() {
+                v.invalidations += 1;
+            }
+            let before = v.dentries.len();
+            v.dentries
+                .retain(|(parent, _), child| *parent != ino && child.value != Some(ino));
+            let removed = before - v.dentries.len();
+            v.invalidations += removed as u64;
         }
-        let before = c.dentries.len();
-        c.dentries
-            .retain(|(parent, _), child| *parent != ino && child.value != Some(ino));
-        let removed = before - c.dentries.len();
-        c.invalidations += removed as u64;
     }
 
     fn invalidate_all(&self) {
-        self.caches.lock().expect("cache lock poisoned").clear();
+        self.caches.lock().expect("cache lock poisoned").clear_all();
     }
 }
 
@@ -133,7 +179,7 @@ impl InvalidationSink for FuseConn {
 #[derive(Debug)]
 pub struct FuseMount<F> {
     daemon: FuseDaemon<F>,
-    caches: Arc<Mutex<KernelCaches>>,
+    caches: Arc<Mutex<CacheTable>>,
     clock: Option<Clock>,
     config: FuseConfig,
     /// Kernel-side map from open descriptor to inode (the kernel always
@@ -155,7 +201,7 @@ impl<F: FileSystem> FuseMount<F> {
         let name = format!("fuse-{}", fs.fs_name());
         FuseMount {
             daemon: FuseDaemon::new(fs),
-            caches: Arc::new(Mutex::new(KernelCaches::default())),
+            caches: Arc::new(Mutex::new(CacheTable::default())),
             clock,
             config,
             fd_inos: HashMap::new(),
@@ -184,17 +230,16 @@ impl<F: FileSystem> FuseMount<F> {
 
     /// Number of cache entries invalidated so far (for tests and reports).
     pub fn invalidation_count(&self) -> u64 {
-        self.caches
-            .lock()
-            .expect("cache lock poisoned")
-            .invalidations
+        let c = self.caches.lock().expect("cache lock poisoned");
+        c.views.iter().map(|v| v.invalidations).sum()
     }
 
-    /// Number of live dentry-cache entries.
+    /// Number of live dentry-cache entries in the active thread's view.
     pub fn dentry_cache_len(&self) -> usize {
         self.caches
             .lock()
             .expect("cache lock poisoned")
+            .active()
             .dentries
             .len()
     }
@@ -221,38 +266,53 @@ impl<F: FileSystem> FuseMount<F> {
 
     fn cache_dentry(&mut self, parent: u64, name: &str, child: Option<u64>) {
         let expires_ns = self.expiry(self.config.entry_ttl_ns);
-        self.caches
-            .lock()
-            .expect("cache lock poisoned")
-            .dentries
-            .insert(
-                (parent, name.to_string()),
-                Timed {
-                    value: child,
-                    expires_ns,
-                },
-            );
+        let broadcast = self.config.broadcast_local_invalidation;
+        let mut c = self.caches.lock().expect("cache lock poisoned");
+        let active = c.active;
+        if broadcast {
+            // Other threads' views must not keep a now-superseded entry;
+            // they refetch on their next lookup.
+            for (i, v) in c.views.iter_mut().enumerate() {
+                if i != active {
+                    v.dentries.remove(&(parent, name.to_string()));
+                }
+            }
+        }
+        c.views[active].dentries.insert(
+            (parent, name.to_string()),
+            Timed {
+                value: child,
+                expires_ns,
+            },
+        );
     }
 
     fn cache_attr(&mut self, stat: FileStat) {
         let expires_ns = self.expiry(self.config.attr_ttl_ns);
-        self.caches
-            .lock()
-            .expect("cache lock poisoned")
-            .attrs
-            .insert(
-                stat.ino.0,
-                Timed {
-                    value: stat,
-                    expires_ns,
-                },
-            );
+        let broadcast = self.config.broadcast_local_invalidation;
+        let mut c = self.caches.lock().expect("cache lock poisoned");
+        let active = c.active;
+        if broadcast {
+            for (i, v) in c.views.iter_mut().enumerate() {
+                if i != active {
+                    v.attrs.remove(&stat.ino.0);
+                }
+            }
+        }
+        c.views[active].attrs.insert(
+            stat.ino.0,
+            Timed {
+                value: stat,
+                expires_ns,
+            },
+        );
     }
 
     fn cached_dentry(&self, parent: u64, name: &str) -> Option<Option<u64>> {
         let now = self.now();
         let c = self.caches.lock().expect("cache lock poisoned");
-        c.dentries
+        c.active()
+            .dentries
             .get(&(parent, name.to_string()))
             .filter(|t| t.expires_ns > now)
             .map(|t| t.value)
@@ -261,26 +321,37 @@ impl<F: FileSystem> FuseMount<F> {
     fn cached_attr(&self, ino: u64) -> Option<FileStat> {
         let now = self.now();
         let c = self.caches.lock().expect("cache lock poisoned");
-        c.attrs
+        c.active()
+            .attrs
             .get(&ino)
             .filter(|t| t.expires_ns > now)
             .map(|t| t.value)
     }
 
     fn drop_attr(&mut self, ino: u64) {
-        self.caches
-            .lock()
-            .expect("cache lock poisoned")
-            .attrs
-            .remove(&ino);
+        let broadcast = self.config.broadcast_local_invalidation;
+        let mut c = self.caches.lock().expect("cache lock poisoned");
+        if broadcast {
+            for v in &mut c.views {
+                v.attrs.remove(&ino);
+            }
+        } else {
+            let active = c.active;
+            c.views[active].attrs.remove(&ino);
+        }
     }
 
     fn drop_dentry(&mut self, parent: u64, name: &str) {
-        self.caches
-            .lock()
-            .expect("cache lock poisoned")
-            .dentries
-            .remove(&(parent, name.to_string()));
+        let broadcast = self.config.broadcast_local_invalidation;
+        let mut c = self.caches.lock().expect("cache lock poisoned");
+        if broadcast {
+            for v in &mut c.views {
+                v.dentries.remove(&(parent, name.to_string()));
+            }
+        } else {
+            let active = c.active;
+            c.views[active].dentries.remove(&(parent, name.to_string()));
+        }
     }
 
     /// Resolves a validated path to an inode through the dentry cache,
@@ -339,7 +410,7 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
             return Err(Errno::EBUSY);
         }
         self.daemon.fs_mut().mount()?;
-        self.caches.lock().expect("cache lock poisoned").clear();
+        self.caches.lock().expect("cache lock poisoned").clear_all();
         self.mounted = true;
         Ok(())
     }
@@ -351,7 +422,7 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
         self.daemon.fs_mut().unmount()?;
         // Unmount drops every kernel cache — the paper's only reliable way
         // to clear kernel state (§3.2).
-        self.caches.lock().expect("cache lock poisoned").clear();
+        self.caches.lock().expect("cache lock poisoned").clear_all();
         self.fd_inos.clear();
         self.mounted = false;
         Ok(())
@@ -373,7 +444,45 @@ impl<F: FileSystem> FileSystem for FuseMount<F> {
     fn opaque_state_digest(&self) -> Option<u128> {
         // Hidden residue lives in the wrapped daemon's state; the FUSE
         // layer adds caches on top (reported via `caches_metadata`).
-        self.daemon.fs().opaque_state_digest()
+        let inner = self.daemon.fs().opaque_state_digest();
+        let c = self.caches.lock().expect("cache lock poisoned");
+        if c.views.len() <= 1 {
+            // Single-view (sequential) mounts keep their historical
+            // fingerprints; the cache contents are observable via the ops
+            // themselves there.
+            return inner;
+        }
+        // Interleaved mounts: two states whose views cache different
+        // (possibly stale) values behave differently on future lookups and
+        // must not be matched away. Values only — expiry timestamps depend
+        // on accumulated message costs, which the lanes already keep
+        // schedule-independent.
+        let mut acc = inner.unwrap_or(0);
+        for (i, v) in c.views.iter().enumerate() {
+            let mut entries: Vec<String> = v
+                .dentries
+                .iter()
+                .map(|((parent, name), t)| format!("d{parent}/{name}={:?}", t.value))
+                .collect();
+            entries.extend(
+                v.attrs
+                    .iter()
+                    .map(|(ino, t)| format!("a{ino}={:?}", t.value)),
+            );
+            entries.sort();
+            let blob = format!("fuse-view{i}:{}", entries.join(";"));
+            acc ^= mdigest::md5(blob.as_bytes()).as_u128();
+        }
+        Some(acc)
+    }
+
+    fn set_active_thread(&mut self, tid: u16) {
+        let mut c = self.caches.lock().expect("cache lock poisoned");
+        let idx = tid as usize;
+        while c.views.len() <= idx {
+            c.views.push(KernelCaches::default());
+        }
+        c.active = idx;
     }
 
     fn caches_metadata(&self) -> bool {
@@ -845,6 +954,7 @@ mod tests {
             entry_ttl_ns: 10_000,
             attr_ttl_ns: 10_000,
             message_cost_ns: 0,
+            ..FuseConfig::default()
         };
         let mut m = FuseMount::with_config(VeriFs::v2(), cfg, Some(clock.clone()));
         m.mount().unwrap();
@@ -1016,5 +1126,63 @@ mod more_tests {
         m.utimens("/f", 7, 8).unwrap();
         let st = m.stat("/f").unwrap();
         assert_eq!((st.atime, st.mtime), (7, 8));
+    }
+
+    /// The interleaved-workload cache-view semantics: a rename on one
+    /// thread must evict the other thread's dentry and attr copies
+    /// (broadcast on, the fix); with broadcast off the other view keeps
+    /// serving the renamed-away name — the bug the interleaving checker's
+    /// linearizability oracle catches.
+    #[test]
+    fn rename_on_one_thread_invalidates_other_views_when_broadcast_on() {
+        for (broadcast, expect_stale) in [(true, false), (false, true)] {
+            let cfg = FuseConfig {
+                entry_ttl_ns: NO_EXPIRY,
+                attr_ttl_ns: NO_EXPIRY,
+                message_cost_ns: 0,
+                broadcast_local_invalidation: broadcast,
+            };
+            let mut m = FuseMount::with_config(VeriFs::v2(), cfg, None);
+            let conn = m.connection();
+            m.daemon_mut()
+                .fs_mut()
+                .set_invalidation_sink(Arc::new(conn));
+            m.mount().unwrap();
+            let fd = m.create("/a", FileMode::REG_DEFAULT).unwrap();
+            m.close(fd).unwrap();
+            // Thread 1 observes /a (fills its own view).
+            m.set_active_thread(1);
+            assert!(m.stat("/a").is_ok());
+            // Thread 0 renames it away.
+            m.set_active_thread(0);
+            m.rename("/a", "/b").unwrap();
+            // Thread 1 stats again.
+            m.set_active_thread(1);
+            let res = m.stat("/a");
+            if expect_stale {
+                assert!(res.is_ok(), "bug mode must serve the stale dentry");
+            } else {
+                assert_eq!(res, Err(Errno::ENOENT), "fixed mode must refetch");
+            }
+        }
+    }
+
+    /// Multi-view mounts fold their cache contents into the opaque digest
+    /// so interleaved exploration distinguishes states by cached values.
+    #[test]
+    fn opaque_digest_tracks_per_thread_views() {
+        let mut m = mounted();
+        let base = m.opaque_state_digest();
+        let fd = m.create("/f", FileMode::REG_DEFAULT).unwrap();
+        m.close(fd).unwrap();
+        m.set_active_thread(1);
+        let single_equivalent = m.opaque_state_digest();
+        assert!(m.stat("/f").is_ok());
+        let after_fill = m.opaque_state_digest();
+        assert_ne!(
+            single_equivalent, after_fill,
+            "filling a second view must change the digest"
+        );
+        let _ = base;
     }
 }

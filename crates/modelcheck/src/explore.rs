@@ -26,6 +26,11 @@ pub struct ExploreConfig {
     /// Enable sleep-set partial-order reduction (uses
     /// [`ModelSystem::independent`]).
     pub por: bool,
+    /// Enable persistent-set partial-order reduction (uses
+    /// [`ModelSystem::persistent_set`]): expansion of each state is
+    /// restricted to the subset the system proves sufficient. Independent
+    /// of (and composable with) `por`'s sleep sets.
+    pub por_persistent: bool,
     /// Memory model budgets.
     pub mem: MemConfig,
     /// Out-of-core budget: when set, the visited set spills cold entries to
@@ -66,6 +71,7 @@ impl Default for ExploreConfig {
             max_virtual_ns: None,
             stop_on_violation: true,
             por: false,
+            por_persistent: false,
             mem: MemConfig::default(),
             mem_budget: None,
             visited_capacity: 1 << 16,
@@ -257,6 +263,34 @@ pub(crate) fn record_violation<S: ModelSystem>(
     }
 }
 
+/// Restricts an enabled-op list to the system's persistent set
+/// ([`ModelSystem::persistent_set`]), counting masked-out ops as pruned.
+/// No-op unless `cfg.por_persistent` is set and the mask is well-formed.
+pub(crate) fn persistent_filter<S: ModelSystem>(
+    cfg: &ExploreConfig,
+    sys: &mut S,
+    ops: Vec<S::Op>,
+    pruned: &mut u64,
+) -> Vec<S::Op> {
+    if !cfg.por_persistent {
+        return ops;
+    }
+    match sys.persistent_set(&ops) {
+        Some(mask) if mask.len() == ops.len() => {
+            let mut kept = Vec::with_capacity(ops.len());
+            for (op, keep) in ops.into_iter().zip(mask) {
+                if keep {
+                    kept.push(op);
+                } else {
+                    *pruned += 1;
+                }
+            }
+            kept
+        }
+        _ => ops,
+    }
+}
+
 struct Frame<Op> {
     state: StateId,
     ops: Vec<Op>,
@@ -346,9 +380,11 @@ impl DfsExplorer {
             // is pinned against budget-driven eviction until its frame pops.
             sys.pin(root);
             stats.checkpoints += 1;
+            let root_ops = sys.ops();
+            let root_ops = persistent_filter(&self.cfg, sys, root_ops, &mut stats.pruned);
             let mut stack: Vec<Frame<S::Op>> = vec![Frame {
                 state: root,
-                ops: sys.ops(),
+                ops: root_ops,
                 next: 0,
                 sleep: Vec::new(),
                 op_from_parent: None,
@@ -477,6 +513,7 @@ impl DfsExplorer {
                     Vec::new()
                 };
                 let ops = sys.ops();
+                let ops = persistent_filter(&self.cfg, sys, ops, &mut stats.pruned);
                 stack.push(Frame {
                     state: child,
                     ops,

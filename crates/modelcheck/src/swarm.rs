@@ -983,6 +983,7 @@ where
         // --- Expand: apply every enabled op, fingerprint, push new states.
         let depth = entry.prefix.len();
         let ops = sys.ops();
+        let ops = crate::explore::persistent_filter(cfg, &mut sys, ops, &mut stats.pruned);
         let mut at_entry = true;
         for (i, op) in ops.iter().enumerate() {
             if cfg.por && entry.sleep.contains(op) {

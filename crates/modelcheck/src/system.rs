@@ -181,6 +181,19 @@ pub trait ModelSystem {
         false
     }
 
+    /// A persistent (source) set for the current state: a mask over
+    /// `enabled` selecting a subset whose exploration alone suffices to
+    /// reach every state reachable through `enabled` (Godefroid-style
+    /// dynamic POR). `None` means "expand everything". Explorers consult
+    /// this only when [`ExploreConfig::por_persistent`] is set; the
+    /// conservative default performs no reduction.
+    ///
+    /// [`ExploreConfig::por_persistent`]: crate::ExploreConfig::por_persistent
+    fn persistent_set(&mut self, enabled: &[Self::Op]) -> Option<Vec<bool>> {
+        let _ = enabled;
+        None
+    }
+
     /// Minimizes a violating trace, returning the shrunk trace and shrink
     /// statistics when the system supports (and has enabled) counterexample
     /// minimization. Explorers call this at violation-record time; the

@@ -402,6 +402,19 @@ pub trait FileSystem: Send {
     fn caches_metadata(&self) -> bool {
         false
     }
+
+    /// Declares which logical thread issues the operations that follow.
+    ///
+    /// Interleaving exploration drives one file system from N logical
+    /// threads, one op at a time; before each op the harness announces the
+    /// issuing thread here. Implementations with per-thread visibility
+    /// state (e.g. the FUSE mount's per-thread kernel cache views) switch
+    /// their active view; everything else ignores the call (the default).
+    /// Sequential harnesses never call this, so single-thread behaviour is
+    /// unchanged.
+    fn set_active_thread(&mut self, tid: u16) {
+        let _ = tid;
+    }
 }
 
 /// The paper's proposed state checkpoint/restore API (§5), exposed by VeriFS

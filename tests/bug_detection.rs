@@ -263,3 +263,152 @@ fn clean_filesystems_run_without_detection() {
             .unwrap_or_default()
     );
 }
+
+/// Backend bug found by the interleaving checker's lockstep oracle.
+/// Minimized threaded trace (setup `CreateFile(/a)`, two threads):
+///
+/// ```text
+///   t1: Stat(/a) · t0: Rename(/a → /b) · t1: Stat(/a)
+/// ```
+///
+/// The FUSE kernel model keeps one cache view per logical thread. The
+/// buggy mode (`broadcast_local_invalidation: false`) applies the
+/// dentry/attr drops a rename performs only to the *acting* thread's
+/// view, so thread 1's second stat serves the renamed-away dentry from
+/// its own view — `Ok` where the bare reference file system says
+/// `ENOENT`. All three interleavings of the programs are enumerated:
+/// exactly the one placing the rename between the stats violates, and
+/// with the fix (broadcast on, the default) none do.
+#[test]
+fn fuse_stale_view_under_interleaved_rename_stat_is_detected() {
+    use mcfs::{FsOp, SchedStep, ThreadedMcfs, ThreadedMcfsConfig};
+
+    fn threaded(broadcast: bool) -> ThreadedMcfs {
+        let cfg = FuseConfig {
+            entry_ttl_ns: u64::MAX,
+            attr_ttl_ns: u64::MAX,
+            message_cost_ns: 0,
+            broadcast_local_invalidation: broadcast,
+        };
+        let mut m = FuseMount::with_config(VeriFs::v2(), cfg, None);
+        let conn = m.connection();
+        m.daemon_mut()
+            .fs_mut()
+            .set_invalidation_sink(std::sync::Arc::new(conn));
+        let rename = FsOp::Rename {
+            src: "/a".into(),
+            dst: "/b".into(),
+        };
+        let stat = FsOp::Stat { path: "/a".into() };
+        ThreadedMcfs::with_setup(
+            vec![
+                Box::new(CheckpointTarget::new(m)),
+                Box::new(CheckpointTarget::new(VeriFs::v2())),
+            ],
+            vec![vec![rename], vec![stat.clone(), stat]],
+            vec![FsOp::CreateFile {
+                path: "/a".into(),
+                mode: 0o644,
+            }],
+            ThreadedMcfsConfig::default(),
+        )
+        .expect("threaded harness")
+    }
+
+    let t0 = || SchedStep {
+        tid: 0,
+        op: FsOp::Rename {
+            src: "/a".into(),
+            dst: "/b".into(),
+        },
+    };
+    let t1 = || SchedStep {
+        tid: 1,
+        op: FsOp::Stat { path: "/a".into() },
+    };
+    // The rename can land before, between, or after the two stats.
+    let interleavings = [
+        vec![t0(), t1(), t1()],
+        vec![t1(), t0(), t1()],
+        vec![t1(), t1(), t0()],
+    ];
+    for (broadcast, expect_violation) in [(false, true), (true, false)] {
+        for (i, sched) in interleavings.iter().enumerate() {
+            let stale_window = i == 1; // rename between the stats
+            let hit = threaded(broadcast).replay_schedule(sched);
+            if expect_violation && stale_window {
+                let (at, msg) = hit.expect("stale view must be detected");
+                assert_eq!(at, 2, "violates at t1's second stat");
+                assert!(msg.contains("outcome"), "lockstep discrepancy: {msg}");
+                // The minimized trace replays byte-identically on a
+                // fresh harness — the oracle is deterministic.
+                assert_eq!(threaded(broadcast).replay_schedule(sched), Some((at, msg)));
+            } else {
+                assert_eq!(
+                    hit, None,
+                    "interleaving {i} must be clean (broadcast={broadcast})"
+                );
+            }
+        }
+    }
+}
+
+/// Backend bug found by the interleaved crash oracle. The old
+/// `journal::commit` split transactions larger than one header into
+/// *independently applied* journal rounds, so a power cut between
+/// rounds left the first round checkpointed and the rest lost — a torn
+/// sync. The fix journals the whole transaction as a segment chain
+/// behind a single commit record before touching any home block.
+///
+/// Minimized device trace: a 20-block transaction on a 64-byte-block
+/// journal (13 header slots, so two segments), with the device failing
+/// at the exact write boundary that used to separate round 1 from
+/// round 2. After recovery every home block must be all-old or
+/// all-new. (`fs-ext`'s own suite scans every boundary; this pins the
+/// historically torn one.)
+#[test]
+fn ext_commit_interrupted_between_old_rounds_is_all_or_nothing() {
+    use blockdev::FaultyDevice;
+
+    let ram = RamDisk::new(64, 128 * 64).unwrap();
+    let sb = layout::SuperBlock {
+        magic: layout::EXT_MAGIC,
+        block_size: 64,
+        blocks_count: 128,
+        inodes_count: 16,
+        free_blocks: 10,
+        free_inodes: 10,
+        journal_blocks: 40,
+        flags: 0,
+        mount_count: 0,
+    };
+    let blocks: Vec<(u32, Vec<u8>)> = (0..20)
+        .map(|i| (sb.data_start() + i, vec![i as u8 + 1; 64]))
+        .collect();
+    // Old layout: round 1 = header + 13 images + commit (15 writes),
+    // checkpoint (13), clear (1) = 29 writes; the fault fires on write
+    // 29, the first write of round 2 — tearing 13 of 20 blocks.
+    let mut dev = FaultyDevice::new(ram, FaultPlan::eio(FaultKind::Write, 29, u64::MAX));
+    let _ = journal::commit(&mut dev, &sb, 7, &blocks);
+    dev.set_plan(FaultPlan::none());
+    journal::replay(&mut dev, &sb).unwrap();
+
+    let mut updated = 0usize;
+    for (home, image) in &blocks {
+        let mut now = vec![0u8; 64];
+        dev.read_block(*home as u64, &mut now).unwrap();
+        let old = vec![0u8; 64];
+        assert!(
+            now == *image || now == old,
+            "home {home} is neither old nor new"
+        );
+        if now == *image {
+            updated += 1;
+        }
+    }
+    assert!(
+        updated == 0 || updated == blocks.len(),
+        "sync torn: {updated} of {} home blocks updated",
+        blocks.len()
+    );
+}

@@ -13,7 +13,9 @@
 //!    on the two names does not commute, yet the old heuristic called the
 //!    pair independent.
 
-use mcfs::effect::{heuristic_independent, independent, EffectProfile, Independence};
+use mcfs::effect::{
+    heuristic_independent, independent, independent_concurrent, EffectProfile, Independence,
+};
 use mcfs::{
     abstract_state, execute, AbstractionConfig, CheckpointTarget, FsOp, Mcfs, McfsConfig,
     PoolConfig,
@@ -246,4 +248,82 @@ fn mounted_fuse() -> fusesim::FuseMount<VeriFs> {
     let mut m = fusesim::FuseMount::new(VeriFs::v2());
     m.mount().unwrap();
     m
+}
+
+/// Audit for the interleaving checker: ops whose signatures are sound for
+/// *sequential* reorder — both orders reach the same abstract state, so the
+/// sequential relation rightly calls them independent — but unsound as a
+/// concurrency independence relation, because the op's own observable
+/// result depends on the schedule. Each case is demonstrated by execution,
+/// not trusted.
+#[test]
+fn sequential_independence_is_not_concurrency_independence() {
+    let prefix = [
+        FsOp::CreateFile {
+            path: "/f0".into(),
+            mode: 0o644,
+        },
+        FsOp::WriteFile {
+            path: "/f0".into(),
+            offset: 0,
+            size: 10,
+            seed: 1,
+        },
+    ];
+    let stat = FsOp::Stat { path: "/f0".into() };
+    let trunc = FsOp::Truncate {
+        path: "/f0".into(),
+        size: 5,
+    };
+    let create = FsOp::CreateFile {
+        path: "/race".into(),
+        mode: 0o644,
+    };
+    let pool: Vec<FsOp> = prefix
+        .iter()
+        .cloned()
+        .chain([stat.clone(), trunc.clone(), create.clone()])
+        .collect();
+    let profile = EffectProfile::from_pool(&pool);
+
+    // Case 1 — the pure-read shortcut. Stat/truncate commute as a state
+    // pair, but stat's result (the size) is decided by the order.
+    assert!(independent(&stat, &trunc, &profile));
+    assert!(
+        !independent_concurrent(&stat, &trunc, &profile),
+        "a read of a place another thread writes is order-sensitive"
+    );
+    for fresh in [
+        &fresh_verifs as &dyn Fn() -> VfsResult<Box<dyn FileSystem>>,
+        &fresh_ext2,
+    ] {
+        let ab: Vec<&FsOp> = prefix.iter().chain([&stat, &trunc]).collect();
+        let ba: Vec<&FsOp> = prefix.iter().chain([&trunc, &stat]).collect();
+        assert_eq!(
+            final_state(fresh, &ab),
+            final_state(fresh, &ba),
+            "the sequential relation is right about the state"
+        );
+        let mut fs = fresh().expect("backend");
+        for op in &prefix {
+            let _ = execute(fs.as_mut(), op, &[]);
+        }
+        let before = execute(fs.as_mut(), &stat, &[]);
+        let _ = execute(fs.as_mut(), &trunc, &[]);
+        let after = execute(fs.as_mut(), &stat, &[]);
+        assert_ne!(before, after, "but the stat's own result is not");
+    }
+
+    // Case 2 — the identical-op shortcut. Two threads racing the same
+    // create reach the same state either way, but the schedule decides
+    // who sees Ok and who sees EEXIST.
+    assert!(independent(&create, &create, &profile));
+    assert!(
+        !independent_concurrent(&create, &create, &profile),
+        "identical ops on two threads race for their result"
+    );
+    let mut fs = fresh_verifs().expect("backend");
+    let first = execute(fs.as_mut(), &create, &[]);
+    let second = execute(fs.as_mut(), &create, &[]);
+    assert_ne!(first, second, "the op's result depends on its position");
 }

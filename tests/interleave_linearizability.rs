@@ -1,0 +1,327 @@
+//! Interleaving-exploration properties for the threaded harness
+//! ([`mcfs::ThreadedMcfs`]), validated by execution over ≥512 proptest
+//! cases:
+//!
+//! 1. **POR-setting equivalence** — for random 2–3-thread programs, every
+//!    partial-order-reduction setting (off, sleep sets, persistent sets,
+//!    both) explores the *identical* final-state set, on the VeriFS pair
+//!    and on ext2, while never expanding more transitions than the full
+//!    search.
+//! 2. **Byte-identical violation replay** — a schedule that fails the
+//!    linearizability oracle round-trips through the persistent wire
+//!    format and reproduces the same violation, character for character,
+//!    on a fresh harness.
+//! 3. **Kill-and-resume equality** — a persistent swarm over a threaded
+//!    system, interrupted mid-run and resumed from its snapshot, converges
+//!    on the same visited set as an uninterrupted run.
+
+use std::collections::BTreeSet;
+
+use blockdev::RamDisk;
+use fs_ext::{ExtConfig, ExtFs};
+use mcfs::{
+    CheckedTarget, CheckpointTarget, FsOp, RemountMode, RemountTarget, SchedStep,
+    ThreadedFsOpCodec, ThreadedMcfs, ThreadedMcfsConfig,
+};
+use modelcheck::{
+    load_snapshot, run_swarm_persistent, ByteReader, DfsExplorer, ExploreConfig, OpCodec,
+    SwarmConfig, SwarmPersist, WorkerStrategy,
+};
+use proptest::prelude::*;
+use verifs::{BugConfig, VeriFs};
+use vfs::FileSystem;
+
+// ---------------------------------------------------------------------------
+// Harness builders
+// ---------------------------------------------------------------------------
+
+fn verifs_pair() -> Vec<Box<dyn CheckedTarget>> {
+    let mut a = VeriFs::v2();
+    a.mount().unwrap();
+    let mut b = VeriFs::v2();
+    b.mount().unwrap();
+    vec![
+        Box::new(CheckpointTarget::new(a)),
+        Box::new(CheckpointTarget::new(b)),
+    ]
+}
+
+fn ext2_single() -> Vec<Box<dyn CheckedTarget>> {
+    let disk = RamDisk::new(1024, 256 * 1024).unwrap();
+    let fs = ExtFs::format(disk, ExtConfig::ext2()).unwrap();
+    vec![Box::new(RemountTarget::new(fs, RemountMode::PerOp))]
+}
+
+/// A tiny deterministic op grammar over a two-file namespace: enough to
+/// race (same-path create/write/stat/truncate) without leaving the
+/// behaviour every backend agrees on.
+fn op_from_code(code: u8) -> FsOp {
+    match code % 6 {
+        0 => FsOp::CreateFile {
+            path: "/a".into(),
+            mode: 0o644,
+        },
+        1 => FsOp::CreateFile {
+            path: "/b".into(),
+            mode: 0o644,
+        },
+        2 => FsOp::WriteFile {
+            path: "/a".into(),
+            offset: 0,
+            size: 6,
+            seed: 3,
+        },
+        3 => FsOp::Stat { path: "/a".into() },
+        4 => FsOp::Truncate {
+            path: "/a".into(),
+            size: 2,
+        },
+        _ => FsOp::Unlink { path: "/b".into() },
+    }
+}
+
+fn programs_from_codes(codes: &[Vec<u8>]) -> Vec<Vec<FsOp>> {
+    codes
+        .iter()
+        .map(|thread| thread.iter().map(|&c| op_from_code(c)).collect())
+        .collect()
+}
+
+/// Explores `programs` exhaustively under one POR setting and returns the
+/// final-state set plus the number of transitions expanded.
+fn explore(
+    targets: Vec<Box<dyn CheckedTarget>>,
+    programs: Vec<Vec<FsOp>>,
+    por: bool,
+    por_persistent: bool,
+) -> (BTreeSet<u128>, u64) {
+    let mut sys = ThreadedMcfs::new(targets, programs, ThreadedMcfsConfig::default())
+        .expect("threaded harness");
+    let report = DfsExplorer::new(ExploreConfig {
+        max_depth: 12,
+        por,
+        por_persistent,
+        ..ExploreConfig::default()
+    })
+    .run(&mut sys);
+    assert!(
+        report.violations.is_empty(),
+        "clean backends must not violate: {:?}",
+        report.violations
+    );
+    (sys.final_states().clone(), report.stats.ops_executed)
+}
+
+// ---------------------------------------------------------------------------
+// Property 1: POR settings agree on the final-state set (512 cases)
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn por_settings_explore_identical_final_state_sets(
+        codes in prop::collection::vec(prop::collection::vec(0u8..6, 1..3), 2..4),
+    ) {
+        for targets in [
+            &verifs_pair as &dyn Fn() -> Vec<Box<dyn CheckedTarget>>,
+            &ext2_single,
+        ] {
+            let (base, full) = explore(targets(), programs_from_codes(&codes), false, false);
+            prop_assert!(!base.is_empty());
+            for (por, pp) in [(true, false), (false, true), (true, true)] {
+                let (states, ops) =
+                    explore(targets(), programs_from_codes(&codes), por, pp);
+                prop_assert_eq!(
+                    &states, &base,
+                    "POR changed the final-state set (por={}, persistent={})",
+                    por, pp
+                );
+                prop_assert!(
+                    ops <= full,
+                    "POR expanded more transitions than the full search"
+                );
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Property 2: violations replay byte-identically through the wire format
+// ---------------------------------------------------------------------------
+
+fn buggy_single() -> Vec<Box<dyn CheckedTarget>> {
+    let mut fs = VeriFs::v2_with_bugs(BugConfig::v2_hole());
+    fs.mount().unwrap();
+    vec![Box::new(CheckpointTarget::new(fs))]
+}
+
+/// The v2 hole-bug witness on thread 0: write past a truncate point and
+/// read back stale bytes where zeros are required.
+fn hole_program() -> Vec<FsOp> {
+    vec![
+        FsOp::CreateFile {
+            path: "/f0".into(),
+            mode: 0o644,
+        },
+        FsOp::WriteFile {
+            path: "/f0".into(),
+            offset: 0,
+            size: 40,
+            seed: 1,
+        },
+        FsOp::Truncate {
+            path: "/f0".into(),
+            size: 1,
+        },
+        FsOp::WriteFile {
+            path: "/f0".into(),
+            offset: 30,
+            size: 4,
+            seed: 2,
+        },
+        FsOp::ReadFile {
+            path: "/f0".into(),
+            offset: 0,
+            size: 40,
+        },
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn violations_replay_byte_identically_after_codec_round_trip(
+        filler_codes in prop::collection::vec(0u8..6, 1..3),
+        positions in prop::collection::vec(0usize..6, 1..3),
+    ) {
+        // Interleave thread 1's random fillers into thread 0's hole-bug
+        // witness at random points (program order preserved on both).
+        let mut sched: Vec<SchedStep> = hole_program()
+            .into_iter()
+            .map(|op| SchedStep { tid: 0, op })
+            .collect();
+        for (filler, pos) in filler_codes.iter().zip(&positions) {
+            let at = *pos % (sched.len() + 1);
+            sched.insert(
+                at,
+                SchedStep {
+                    tid: 1,
+                    op: op_from_code(*filler),
+                },
+            );
+        }
+
+        let cfg = ThreadedMcfsConfig::default();
+        let mut sys = ThreadedMcfs::from_schedule(buggy_single(), &sched, cfg.clone())
+            .expect("schedule harness");
+        let hit = sys.replay_schedule(&sched);
+        // Thread 1's fillers never touch /f0, so the stale-hole read has
+        // no sequential witness regardless of where they land.
+        let (at, msg) = hit.expect("hole bug must fail linearizability");
+        prop_assert!(msg.contains("linearizability violation"), "{}", msg);
+
+        // Round-trip the schedule through the persistent wire format …
+        let mut bytes = Vec::new();
+        for step in &sched {
+            ThreadedFsOpCodec.encode_op(step, &mut bytes);
+        }
+        let mut r = ByteReader::new(&bytes);
+        let mut decoded = Vec::with_capacity(sched.len());
+        for _ in 0..sched.len() {
+            decoded.push(ThreadedFsOpCodec.decode_op(&mut r).expect("decodes"));
+        }
+        prop_assert_eq!(&decoded, &sched, "codec must round-trip the schedule");
+
+        // … and reproduce the identical violation on a fresh harness.
+        let mut again = ThreadedMcfs::from_schedule(buggy_single(), &decoded, cfg)
+            .expect("fresh harness");
+        prop_assert_eq!(again.replay_schedule(&decoded), Some((at, msg)));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Kill-and-resume over a threaded system
+// ---------------------------------------------------------------------------
+
+fn threaded_factory(_worker: usize) -> ThreadedMcfs {
+    let programs = vec![
+        vec![op_from_code(0), op_from_code(2), op_from_code(4)],
+        vec![op_from_code(1), op_from_code(5)],
+        vec![op_from_code(3)],
+    ];
+    ThreadedMcfs::new(verifs_pair(), programs, ThreadedMcfsConfig::default())
+        .expect("threaded harness")
+}
+
+fn swarm_cfg(max_ops: u64) -> SwarmConfig {
+    SwarmConfig {
+        workers: 2,
+        base: ExploreConfig {
+            max_depth: 8,
+            max_ops,
+            seed: 11,
+            ..ExploreConfig::default()
+        },
+        shared_visited: true,
+        strategies: vec![WorkerStrategy::Dfs],
+    }
+}
+
+fn snap_path(name: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "mcfs-interleave-resume-{name}-{}.pickle",
+        std::process::id()
+    ))
+}
+
+#[test]
+fn threaded_swarm_kill_and_resume_matches_uninterrupted() {
+    let run = |path: &std::path::Path, max_ops: u64, resume| {
+        let report = run_swarm_persistent(
+            &swarm_cfg(max_ops),
+            threaded_factory,
+            SwarmPersist {
+                codec: &ThreadedFsOpCodec,
+                snapshot_path: Some(path.to_path_buf()),
+                snapshot_every: 0,
+                resume,
+            },
+        );
+        assert!(
+            report.persist_error.is_none(),
+            "snapshot write failed: {:?}",
+            report.persist_error
+        );
+        report
+    };
+
+    // Control: uninterrupted to exhaustion.
+    let control_path = snap_path("control");
+    let control = run(&control_path, u64::MAX, None);
+    let control_snap = load_snapshot(&control_path, &ThreadedFsOpCodec).expect("control snapshot");
+    assert!(
+        control_snap.frontier.is_empty(),
+        "exhausted control run must drain its frontier"
+    );
+
+    // Interrupted mid-run, then resumed from the snapshot file.
+    let path = snap_path("resumed");
+    let cut = (control.total_ops() / 2).max(4);
+    let _ = run(&path, cut, None);
+    let snap = load_snapshot(&path, &ThreadedFsOpCodec).expect("snapshot loads");
+    let resumed = run(&path, u64::MAX, Some(snap));
+    assert_eq!(
+        resumed.total_states(),
+        control.total_states(),
+        "two-phase exploration lost or invented states"
+    );
+    let final_snap = load_snapshot(&path, &ThreadedFsOpCodec).expect("final snapshot");
+    assert_eq!(
+        final_snap.visited, control_snap.visited,
+        "resumed visited set diverges from the uninterrupted run"
+    );
+    let _ = std::fs::remove_file(&control_path);
+    let _ = std::fs::remove_file(&path);
+}
