@@ -142,6 +142,48 @@ pub fn all() -> Vec<Backend> {
     v
 }
 
+/// Builds the VeriFS1-vs-VeriFS2 differential harness the MC007
+/// divergence check explores (checkpoint-API targets, no FUSE layer —
+/// the factory runs once per swarm worker per round).
+///
+/// # Errors
+///
+/// Propagated construction/mount errors.
+pub fn mc007_verifs(pool: mcfs::PoolConfig) -> VfsResult<mcfs::Mcfs> {
+    let targets: Vec<Box<dyn mcfs::CheckedTarget>> = vec![
+        Box::new(mcfs::CheckpointTarget::new(VeriFs::v1())),
+        Box::new(mcfs::CheckpointTarget::new(VeriFs::v2())),
+    ];
+    mcfs::Mcfs::new(
+        targets,
+        mcfs::McfsConfig {
+            pool,
+            ..mcfs::McfsConfig::default()
+        },
+    )
+}
+
+/// Builds the Ext2-vs-Ext4 remount harness for the MC007 divergence check.
+///
+/// # Errors
+///
+/// Propagated format/mount errors.
+pub fn mc007_ext2(pool: mcfs::PoolConfig) -> VfsResult<mcfs::Mcfs> {
+    let e2 = fs_ext::ext2_on_ram(EXT_DEVICE_BYTES)?;
+    let e4 = fs_ext::ext4_on_ram(EXT_DEVICE_BYTES)?;
+    let targets: Vec<Box<dyn mcfs::CheckedTarget>> = vec![
+        Box::new(mcfs::RemountTarget::new(e2, mcfs::RemountMode::PerOp)),
+        Box::new(mcfs::RemountTarget::new(e4, mcfs::RemountMode::PerOp)),
+    ];
+    mcfs::Mcfs::new(
+        targets,
+        mcfs::McfsConfig {
+            pool,
+            ..mcfs::McfsConfig::default()
+        },
+    )
+}
+
 /// The historical buggy VeriFS2: hole writes skip zeroing (paper bug #1)
 /// *and* the beyond-EOF residue digest is disabled, reproducing the
 /// CHUNK-rounding abstraction aliasing that hid the hole bug from

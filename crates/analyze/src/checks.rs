@@ -16,6 +16,10 @@ use std::collections::HashMap;
 use blockdev::DeviceSnapshot;
 use mcfs::effect::{heuristic_independent, independent, independent_concurrent, EffectProfile};
 use mcfs::{abstract_state, execute, AbstractionConfig, FsOp, OpOutcome, PoolConfig};
+use modelcheck::{
+    encode_snapshot, load_snapshot, run_swarm_persistent, ExploreConfig, ExploreStats, ModelSystem,
+    OpCodec, RunSnapshot, StopReason, SwarmConfig, SwarmPersist, WorkerStrategy,
+};
 use vfs::{DeviceBacked, Errno, FileSystem, FsCheckpoint, VfsResult};
 
 use crate::backends::Backend;
@@ -1000,6 +1004,215 @@ pub fn mc005_repair_convergence<F: FileSystem + DeviceBacked>(
     Ok(out)
 }
 
+/// Configuration for [`mc007_divergence`].
+#[derive(Debug, Clone)]
+pub struct Mc007Config {
+    /// Bounded exploration depth. Kept small: the check needs every run to
+    /// stop by frontier exhaustion, not by budget — a budget-capped run
+    /// explores a worker-count-dependent prefix and proves nothing.
+    pub max_depth: usize,
+    /// Fleet-wide op budget (a backstop; exhaustion should come first).
+    pub max_ops: u64,
+    /// Base PRNG seed; permuted runs shift it, since replay determinism
+    /// must not depend on the seed once the space is explored exhaustively.
+    pub seed: u64,
+    /// Worker fleet sizes to permute across runs (shard counts follow the
+    /// worker count inside the swarm's sharded visited set).
+    pub workers: Vec<usize>,
+    /// Initial visited-capacities to permute (different resize/rehash
+    /// schedules must not change what was visited or how it pickles).
+    pub capacities: Vec<usize>,
+}
+
+impl Default for Mc007Config {
+    fn default() -> Self {
+        Mc007Config {
+            max_depth: 2,
+            max_ops: 2_000_000,
+            seed: 0x5eed_1e47 ^ 7,
+            workers: vec![1, 3],
+            capacities: vec![1 << 4, 1 << 10],
+        }
+    }
+}
+
+/// Re-encodes a snapshot in canonical form: run-shape metadata (worker
+/// count, seeds, RNG cursors, cumulative stats) normalized away, leaving
+/// exactly the explored state space and pending frontier. Two equivalent
+/// explorations must produce byte-identical canonical pickles.
+fn canonical_pickle<Op>(snap: &RunSnapshot<Op>, codec: &dyn OpCodec<Op>) -> Vec<u8>
+where
+    Op: Clone,
+{
+    let canon = RunSnapshot {
+        base_seed: 0,
+        workers: 1,
+        generation: 0,
+        visited: snap.visited.clone(),
+        frontier: snap.frontier.clone(),
+        rng: Vec::new(),
+        stats: ExploreStats::default(),
+    };
+    encode_snapshot(&canon, codec)
+}
+
+/// MC007: the divergence sanitizer. Runs the same bounded exploration
+/// under permuted worker-fleet sizes, visited-set capacities, and seeds,
+/// pickling each run's final snapshot, and requires every run to visit the
+/// identical state set and produce byte-identical canonical snapshot
+/// bytes. The static taint pass says where nondeterminism *can* enter;
+/// this proves whether it *does*.
+///
+/// # Errors
+///
+/// Construction errors from the first factory call; `EIO` if a pickled
+/// snapshot cannot be written or read back.
+pub fn mc007_divergence<S, F>(
+    backend: &str,
+    factory: &F,
+    codec: &(dyn OpCodec<S::Op> + Sync),
+    cfg: &Mc007Config,
+) -> VfsResult<Vec<Diagnostic>>
+where
+    S: ModelSystem,
+    S::Op: Send + Clone + PartialEq + 'static,
+    F: Fn() -> VfsResult<S> + Sync,
+{
+    // Surface a broken backend as an error here, not as a worker panic.
+    drop(factory()?);
+    let mut variants: Vec<(usize, usize, u64)> = Vec::new();
+    let axis = cfg.workers.len().max(cfg.capacities.len()).max(2);
+    for i in 0..axis {
+        let w = cfg.workers[i % cfg.workers.len().max(1)].max(1);
+        let cap = cfg.capacities[i % cfg.capacities.len().max(1)].max(2);
+        variants.push((w, cap, cfg.seed.wrapping_add(i as u64 * 0x9e37)));
+    }
+
+    let mut out = Vec::new();
+    let mut runs: Vec<(String, RunSnapshot<S::Op>, Vec<u8>)> = Vec::new();
+    for (i, (workers, capacity, seed)) in variants.iter().enumerate() {
+        let label = format!("workers={workers} capacity={capacity} seed={seed:#x}");
+        let path = mc007_snapshot_path(backend, i);
+        let scfg = SwarmConfig {
+            workers: *workers,
+            base: ExploreConfig {
+                max_depth: cfg.max_depth,
+                max_ops: cfg.max_ops,
+                // Never truncate the run on a (cross-target) violation:
+                // MC003/MC001 own those; this check needs full coverage.
+                stop_on_violation: false,
+                seed: *seed,
+                visited_capacity: *capacity,
+                ..ExploreConfig::default()
+            },
+            shared_visited: true,
+            strategies: vec![WorkerStrategy::Dfs],
+        };
+        let report = run_swarm_persistent(
+            &scfg,
+            |_| factory().expect("mc007 factory must build a fresh system"),
+            SwarmPersist {
+                codec,
+                snapshot_path: Some(path.clone()),
+                snapshot_every: 0,
+                resume: None,
+            },
+        );
+        for w in &report.workers {
+            if let StopReason::WorkerPanic(msg) = &w.stop {
+                out.push(Diagnostic {
+                    code: LintCode::Mc007,
+                    severity: Severity::Error,
+                    backend: backend.to_string(),
+                    message: format!("worker panicked under {label}: {msg}"),
+                    replay: Vec::new(),
+                });
+            }
+        }
+        if let Some(e) = &report.persist_error {
+            let _ = std::fs::remove_file(&path);
+            return Err(map_pickle_io(e));
+        }
+        if !out.is_empty() {
+            let _ = std::fs::remove_file(&path);
+            return Ok(out);
+        }
+        let snap = load_snapshot(&path, codec).map_err(|_| Errno::EIO)?;
+        let _ = std::fs::remove_file(&path);
+        if !snap.frontier.is_empty() {
+            out.push(Diagnostic {
+                code: LintCode::Mc007,
+                severity: Severity::Note,
+                backend: backend.to_string(),
+                message: format!(
+                    "inconclusive: run under {label} hit a budget before exhausting \
+                     the bounded space ({} frontier entries pending)",
+                    snap.frontier.len()
+                ),
+                replay: Vec::new(),
+            });
+        }
+        let canon = canonical_pickle(&snap, codec);
+        runs.push((label, snap, canon));
+    }
+
+    let (base_label, base_snap, base_canon) = &runs[0];
+    for (label, snap, canon) in &runs[1..] {
+        if snap.visited != base_snap.visited {
+            let first_diff = base_snap
+                .visited
+                .iter()
+                .zip(&snap.visited)
+                .find(|(a, b)| a != b)
+                .map(|(a, b)| format!("first divergent entry {:#034x} vs {:#034x}", a.0, b.0))
+                .unwrap_or_else(|| "one visited set is a strict prefix".to_string());
+            out.push(Diagnostic {
+                code: LintCode::Mc007,
+                severity: Severity::Error,
+                backend: backend.to_string(),
+                message: format!(
+                    "visited-set divergence: {} states under {base_label} vs {} under \
+                     {label}; {first_diff}",
+                    base_snap.visited.len(),
+                    snap.visited.len()
+                ),
+                replay: Vec::new(),
+            });
+        } else if canon != base_canon {
+            out.push(Diagnostic {
+                code: LintCode::Mc007,
+                severity: Severity::Error,
+                backend: backend.to_string(),
+                message: format!(
+                    "canonical snapshot bytes diverge ({} vs {} bytes) between {base_label} \
+                     and {label} despite identical visited sets — the pickle encoding \
+                     itself is order-sensitive",
+                    base_canon.len(),
+                    canon.len()
+                ),
+                replay: Vec::new(),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Maps a persist-layer error message onto an errno for check plumbing.
+fn map_pickle_io(_msg: &str) -> Errno {
+    Errno::EIO
+}
+
+/// A collision-free snapshot path for one MC007 run.
+fn mc007_snapshot_path(backend: &str, idx: usize) -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "mcfs-mc007-{}-{backend}-{idx}-{n}.pkl",
+        std::process::id()
+    ))
+}
+
 /// The mutation ops of `pool` that touch exactly `path` — the focused op
 /// set MC002 enumerates over (single-file traces alias most readily).
 pub fn single_file_mutations(pool: &PoolConfig, path: &str) -> Vec<FsOp> {
@@ -1007,4 +1220,109 @@ pub fn single_file_mutations(pool: &PoolConfig, path: &str) -> Vec<FsOp> {
         .into_iter()
         .filter(|o| o.is_mutation() && o.touched_paths() == vec![path])
         .collect()
+}
+
+#[cfg(test)]
+mod mc007_tests {
+    use super::*;
+    use modelcheck::{ApplyOutcome, ByteReader, PickleError, StateId};
+    use std::collections::HashMap;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    /// A deterministic bounded counter: the clean baseline MC007 must pass.
+    struct Counter {
+        value: i64,
+        epoch: u64,
+        store: HashMap<u64, i64>,
+    }
+
+    /// When nonzero, every constructed instance gets a fresh epoch that is
+    /// folded into the fingerprint — run-order entropy, exactly the bug
+    /// class MC007 exists to catch.
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+
+    impl Counter {
+        fn fresh(poisoned: bool) -> VfsResult<Self> {
+            Ok(Counter {
+                value: 0,
+                epoch: if poisoned {
+                    EPOCH.fetch_add(1, Ordering::Relaxed) + 1
+                } else {
+                    0
+                },
+                store: HashMap::new(),
+            })
+        }
+    }
+
+    impl ModelSystem for Counter {
+        type Op = i64;
+        fn ops(&mut self) -> Vec<i64> {
+            vec![1, -1]
+        }
+        fn apply(&mut self, op: &i64) -> ApplyOutcome {
+            let next = self.value + op;
+            if !(0..=8).contains(&next) {
+                return ApplyOutcome::Prune("out of range".into());
+            }
+            self.value = next;
+            ApplyOutcome::Ok
+        }
+        fn abstract_state(&mut self) -> u128 {
+            (self.value as u128) | ((self.epoch as u128) << 64)
+        }
+        fn checkpoint(&mut self, id: StateId) -> Result<usize, String> {
+            self.store.insert(id.0, self.value);
+            Ok(8)
+        }
+        fn restore(&mut self, id: StateId) -> Result<(), String> {
+            self.value = *self.store.get(&id.0).ok_or("missing state")?;
+            Ok(())
+        }
+        fn release(&mut self, id: StateId) {
+            self.store.remove(&id.0);
+        }
+    }
+
+    struct I64Codec;
+
+    impl OpCodec<i64> for I64Codec {
+        fn encode_op(&self, op: &i64, out: &mut Vec<u8>) {
+            out.extend_from_slice(&op.to_le_bytes());
+        }
+        fn decode_op(&self, r: &mut ByteReader<'_>) -> Result<i64, PickleError> {
+            let mut b = [0u8; 8];
+            for slot in &mut b {
+                *slot = r.u8()?;
+            }
+            Ok(i64::from_le_bytes(b))
+        }
+    }
+
+    #[test]
+    fn mc007_is_clean_on_a_deterministic_system() {
+        let cfg = Mc007Config {
+            max_depth: 4,
+            ..Mc007Config::default()
+        };
+        let diags = mc007_divergence("toy", &|| Counter::fresh(false), &I64Codec, &cfg)
+            .expect("check runs");
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn mc007_flags_run_order_entropy_in_fingerprints() {
+        let cfg = Mc007Config {
+            max_depth: 3,
+            ..Mc007Config::default()
+        };
+        let diags = mc007_divergence("toy-poisoned", &|| Counter::fresh(true), &I64Codec, &cfg)
+            .expect("check runs");
+        assert!(
+            diags
+                .iter()
+                .any(|d| d.severity == Severity::Error && d.message.contains("divergence")),
+            "poisoned fingerprints must diverge across permuted runs: {diags:?}"
+        );
+    }
 }

@@ -24,6 +24,15 @@
 //!   interleaving explorer's POR relation claims independent is run under
 //!   both two-thread schedules; the reached state *and* each op's own
 //!   observed result must agree.
+//! - **MC007** (replay nondeterminism): the same bounded exploration runs
+//!   under permuted worker-fleet sizes, visited-set capacities and seeds;
+//!   every run must visit the identical state set and pickle to
+//!   byte-identical canonical snapshot bytes. Its static half lives in
+//!   [`source`]: a taint pass over the workspace source that flags ambient
+//!   entropy (hash-container iteration, wall clocks, `RandomState`, raw
+//!   thread spawns, pointer identity, `enumerate()` slot indices) reaching
+//!   fingerprint/wire sinks, with `// mcfs-lint: allow(MC007, reason)`
+//!   suppressions keeping intentional uses auditable.
 //!
 //! [`run_registry`] runs every code across the workspace backends and
 //! returns a [`report::LintReport`] renderable as text or SARIF-style
@@ -35,14 +44,17 @@
 pub mod backends;
 pub mod checks;
 pub mod report;
+pub mod source;
 
 pub use checks::{
     ext_derivable_corruptor, jffs2_corrupt_log_tails, mc001_commutation, mc002_aliasing,
     mc003_errno_parity, mc004_checkpoint_symmetry, mc004_device_symmetry, mc005_repair_convergence,
-    mc006_interleave_commutation, single_file_mutations, ConcRelation, Mc001Config, Mc002Config,
-    Mc003Config, Mc004Config, Mc005Config, Mc006Config, Relation, XorShift64,
+    mc006_interleave_commutation, mc007_divergence, single_file_mutations, ConcRelation,
+    Mc001Config, Mc002Config, Mc003Config, Mc004Config, Mc005Config, Mc006Config, Mc007Config,
+    Relation, XorShift64,
 };
 pub use report::{Diagnostic, LintCode, LintReport, Severity};
+pub use source::{run_source, SourceFinding, SourceKind, SourceOptions, SourceReport};
 
 use mcfs::PoolConfig;
 use vfs::FileSystem;
@@ -294,6 +306,42 @@ pub fn run_registry(opts: &LintOptions) -> LintReport {
                     .diagnostics
                     .push(check_failure(LintCode::Mc004, "jffs2", e)),
             }
+        }
+    }
+
+    // MC007: replay-determinism divergence — the same bounded exploration
+    // under permuted worker/capacity/seed configurations must visit the
+    // identical state set and pickle identically. Run on the checkpoint-API
+    // pairing and the remount pairing so both state-tracking paths are
+    // covered.
+    if opts.enabled(LintCode::Mc007) {
+        let cfg = Mc007Config {
+            seed: opts.seed ^ 7,
+            ..Mc007Config::default()
+        };
+        report.checks_run += 1;
+        match mc007_divergence(
+            "verifs",
+            &|| backends::mc007_verifs(pool.clone()),
+            &mcfs::FsOpCodec,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc007, "verifs", e)),
+        }
+        report.checks_run += 1;
+        match mc007_divergence(
+            "ext2",
+            &|| backends::mc007_ext2(pool.clone()),
+            &mcfs::FsOpCodec,
+            &cfg,
+        ) {
+            Ok(ds) => report.diagnostics.extend(ds),
+            Err(e) => report
+                .diagnostics
+                .push(check_failure(LintCode::Mc007, "ext2", e)),
         }
     }
 

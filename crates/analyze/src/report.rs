@@ -28,17 +28,24 @@ pub enum LintCode {
     /// relation claims independent changes the reached state or either
     /// op's own observed result when the two-thread schedule is swapped.
     Mc006,
+    /// Replay nondeterminism: ambient entropy (unordered iteration, wall
+    /// clocks, `RandomState`, raw threads, pointer identity) can reach a
+    /// fingerprint/wire sink (static taint finding), or two explorations
+    /// under permuted worker/shard/seed configurations diverged in their
+    /// visited sets or canonical snapshot bytes (dynamic finding).
+    Mc007,
 }
 
 impl LintCode {
     /// All registered codes, in order.
-    pub const ALL: [LintCode; 6] = [
+    pub const ALL: [LintCode; 7] = [
         LintCode::Mc001,
         LintCode::Mc002,
         LintCode::Mc003,
         LintCode::Mc004,
         LintCode::Mc005,
         LintCode::Mc006,
+        LintCode::Mc007,
     ];
 
     /// The stable identifier (`MC001` ...).
@@ -50,6 +57,7 @@ impl LintCode {
             LintCode::Mc004 => "MC004",
             LintCode::Mc005 => "MC005",
             LintCode::Mc006 => "MC006",
+            LintCode::Mc007 => "MC007",
         }
     }
 
@@ -70,6 +78,10 @@ impl LintCode {
             LintCode::Mc006 => {
                 "unsound concurrency independence: swapping a claimed-independent \
                  two-thread schedule changes the state or an observed result"
+            }
+            LintCode::Mc007 => {
+                "replay nondeterminism: ambient entropy reaches a fingerprint/wire \
+                 sink, or permuted-config explorations diverge"
             }
         }
     }
@@ -131,6 +143,8 @@ pub struct Diagnostic {
 pub struct LintReport {
     /// All findings, in check order.
     pub diagnostics: Vec<Diagnostic>,
+    /// Source-analysis findings (`--source`), suppressed ones included.
+    pub source: Vec<crate::source::SourceFinding>,
     /// Number of individual checks executed (code × backend).
     pub checks_run: usize,
     /// Backends the registry exercised.
@@ -138,11 +152,13 @@ pub struct LintReport {
 }
 
 impl LintReport {
-    /// Whether any finding is [`Severity::Error`].
+    /// Whether any finding is [`Severity::Error`] or any source finding is
+    /// unsuppressed.
     pub fn has_errors(&self) -> bool {
         self.diagnostics
             .iter()
             .any(|d| d.severity == Severity::Error)
+            || self.source.iter().any(|f| f.suppressed.is_none())
     }
 
     /// Findings with a given code.
@@ -172,23 +188,41 @@ impl LintReport {
                 }
             }
         }
+        for f in &self.source {
+            match &f.suppressed {
+                Some(reason) => out.push_str(&format!(
+                    "note[MC007] {}:{}: {} (suppressed: {reason})\n",
+                    f.file, f.line, f.message
+                )),
+                None => out.push_str(&format!(
+                    "error[MC007] {}:{}: {}\n",
+                    f.file, f.line, f.message
+                )),
+            }
+        }
         let errors = self
             .diagnostics
             .iter()
             .filter(|d| d.severity == Severity::Error)
-            .count();
+            .count()
+            + self
+                .source
+                .iter()
+                .filter(|f| f.suppressed.is_none())
+                .count();
         out.push_str(&format!(
             "{} check(s) on {} backend(s): {} finding(s), {} error(s)\n",
             self.checks_run,
             self.backends.len(),
-            self.diagnostics.len(),
+            self.diagnostics.len() + self.source.len(),
             errors
         ));
         out
     }
 
     /// SARIF-style JSON (schema subset: tool driver with rules, results
-    /// with ruleId/level/message, replay under `properties`).
+    /// with ruleId/level/message, replay under `properties`, source
+    /// findings with `locations` and in-source `suppressions` records).
     pub fn to_sarif_json(&self) -> String {
         let mut rules = String::new();
         for (i, c) in LintCode::ALL.iter().enumerate() {
@@ -223,8 +257,41 @@ impl LintReport {
                 replay
             ));
         }
+        for f in &self.source {
+            if !results.is_empty() {
+                results.push(',');
+            }
+            let suppressions = match &f.suppressed {
+                Some(reason) => format!(
+                    ",\"suppressions\":[{{\"kind\":\"inSource\",\
+                     \"justification\":\"{}\"}}]",
+                    json_escape(reason)
+                ),
+                None => String::new(),
+            };
+            results.push_str(&format!(
+                "{{\"ruleId\":\"MC007\",\"level\":\"{}\",\
+                 \"message\":{{\"text\":\"{}\"}},\
+                 \"locations\":[{{\"physicalLocation\":{{\
+                 \"artifactLocation\":{{\"uri\":\"{}\"}},\
+                 \"region\":{{\"startLine\":{}}}}}}}],\
+                 \"properties\":{{\"kind\":\"{}\",\"function\":\"{}\"}}{}}}",
+                if f.suppressed.is_some() {
+                    "note"
+                } else {
+                    "error"
+                },
+                json_escape(&f.message),
+                json_escape(&f.file),
+                f.line,
+                f.kind.as_str(),
+                json_escape(&f.func),
+                suppressions
+            ));
+        }
         format!(
-            "{{\"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
+            "{{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\",\
+             \"version\":\"2.1.0\",\"runs\":[{{\"tool\":{{\"driver\":\
              {{\"name\":\"mcfs-lint\",\"rules\":[{rules}]}}}},\
              \"results\":[{results}]}}]}}"
         )
@@ -271,6 +338,7 @@ mod tests {
                 message: "pair \"a\" vs b\ndiverged".into(),
                 replay: vec!["create_file(/f0, 0644)".into()],
             }],
+            source: Vec::new(),
             checks_run: 1,
             backends: vec!["verifs-v2".into()],
         };
@@ -280,6 +348,80 @@ mod tests {
         assert!(json.contains("\\n"), "newlines escaped");
         assert!(json.contains("\"level\":\"error\""));
         assert!(report.has_errors());
+    }
+
+    /// Pins the SARIF surface CI and editors consume: schema/version
+    /// fields, the full MC001–MC007 rule catalogue, source-finding
+    /// locations, and in-source suppression records.
+    #[test]
+    fn sarif_snapshot_covers_rules_locations_and_suppressions() {
+        let report = LintReport {
+            diagnostics: Vec::new(),
+            source: vec![
+                crate::source::SourceFinding {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 12,
+                    kind: crate::source::SourceKind::UnorderedIter,
+                    func: "digest".into(),
+                    message: "iterates a hash container".into(),
+                    suppressed: None,
+                },
+                crate::source::SourceFinding {
+                    file: "crates/x/src/lib.rs".into(),
+                    line: 40,
+                    kind: crate::source::SourceKind::ThreadSpawn,
+                    func: "run".into(),
+                    message: "raw thread spawn".into(),
+                    suppressed: Some("joins in worker order".into()),
+                },
+            ],
+            checks_run: 1,
+            backends: Vec::new(),
+        };
+        let json = report.to_sarif_json();
+        assert!(json.contains("\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\""));
+        assert!(json.contains("\"version\":\"2.1.0\""));
+        for code in LintCode::ALL {
+            assert!(
+                json.contains(&format!("\"id\":\"{code}\"")),
+                "rule {code} missing from catalogue"
+            );
+        }
+        assert!(json.contains("\"ruleId\":\"MC007\""));
+        assert!(json.contains(
+            "\"artifactLocation\":{\"uri\":\"crates/x/src/lib.rs\"},\
+             \"region\":{\"startLine\":12}"
+        ));
+        assert!(json.contains("\"kind\":\"unordered-iter\""));
+        // The unsuppressed finding gates; the suppressed one is a note
+        // carrying its justification.
+        assert!(json.contains("\"level\":\"error\""));
+        assert!(json.contains(
+            "\"suppressions\":[{\"kind\":\"inSource\",\
+             \"justification\":\"joins in worker order\"}]"
+        ));
+        assert!(json.contains("\"level\":\"note\""));
+        assert!(report.has_errors(), "unsuppressed source finding gates");
+    }
+
+    #[test]
+    fn suppressed_only_report_does_not_gate() {
+        let report = LintReport {
+            diagnostics: Vec::new(),
+            source: vec![crate::source::SourceFinding {
+                file: "a.rs".into(),
+                line: 1,
+                kind: crate::source::SourceKind::AmbientTime,
+                func: "f".into(),
+                message: "m".into(),
+                suppressed: Some("audited".into()),
+            }],
+            checks_run: 1,
+            backends: Vec::new(),
+        };
+        assert!(!report.has_errors());
+        let text = report.render_human();
+        assert!(text.contains("suppressed: audited"), "{text}");
     }
 
     #[test]
@@ -292,6 +434,7 @@ mod tests {
                 message: "asymmetry".into(),
                 replay: vec!["truncate(/f0, 10)".into()],
             }],
+            source: Vec::new(),
             checks_run: 3,
             backends: vec!["ext2".into()],
         };

@@ -1,0 +1,373 @@
+//! A minimal Rust lexer for the source-level determinism lints.
+//!
+//! The build environment is fully offline, so the usual `syn`-based route
+//! is unavailable; the taint pass needs far less than a full AST anyway —
+//! identifiers, punctuation, and line numbers, with comments preserved
+//! separately so suppression directives (`// mcfs-lint: allow(...)`) can be
+//! matched back to the code they annotate. String/char/lifetime handling is
+//! complete enough that no token inside a literal ever leaks into the
+//! stream (a `for` inside a string must not start a loop).
+
+/// Token kind. Keywords are plain [`TokKind::Ident`]s — the taint pass
+/// matches on spelling.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Single punctuation character (`::` arrives as two `:`).
+    Punct(char),
+    /// Numeric literal.
+    Num,
+    /// String or byte-string literal (raw forms included).
+    Str,
+    /// Character or byte literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+}
+
+/// One token with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokKind,
+    /// 1-based line the token starts on.
+    pub line: u32,
+}
+
+impl Token {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match &self.kind {
+            TokKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Whether this token is the identifier `s`.
+    pub fn is_ident(&self, s: &str) -> bool {
+        matches!(&self.kind, TokKind::Ident(i) if i == s)
+    }
+
+    /// Whether this token is the punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct(c)
+    }
+}
+
+/// A comment with its 1-based line (block comments report their first
+/// line). Doc comments are included — a suppression may ride in either.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Comment text without the `//`/`/*` framing.
+    pub text: String,
+}
+
+/// Lexes `src` into a token stream plus the comment list.
+pub fn lex(src: &str) -> (Vec<Token>, Vec<Comment>) {
+    let bytes = src.as_bytes();
+    let mut toks = Vec::new();
+    let mut comments = Vec::new();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&b'/') => {
+                let start = i + 2;
+                while i < bytes.len() && bytes[i] != b'\n' {
+                    i += 1;
+                }
+                comments.push(Comment {
+                    line,
+                    text: src[start..i].trim_start_matches(['/', '!']).to_string(),
+                });
+            }
+            '/' if bytes.get(i + 1) == Some(&b'*') => {
+                let start_line = line;
+                let start = i + 2;
+                i += 2;
+                let mut depth = 1;
+                while i < bytes.len() && depth > 0 {
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                        depth += 1;
+                        i += 2;
+                    } else if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                comments.push(Comment {
+                    line: start_line,
+                    text: src[start..end].trim_start_matches(['*', '!']).to_string(),
+                });
+            }
+            '"' => {
+                let tok_line = line;
+                i = skip_string(bytes, i, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: tok_line,
+                });
+            }
+            'r' | 'b' if starts_string_prefix(bytes, i) => {
+                let tok_line = line;
+                i = skip_prefixed_string(bytes, i, &mut line);
+                toks.push(Token {
+                    kind: TokKind::Str,
+                    line: tok_line,
+                });
+            }
+            '\'' => {
+                // Lifetime vs char literal: a lifetime is `'` + ident with no
+                // closing quote right after one scalar.
+                if is_lifetime(bytes, i) {
+                    let mut j = i + 1;
+                    while j < bytes.len()
+                        && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_')
+                    {
+                        j += 1;
+                    }
+                    toks.push(Token {
+                        kind: TokKind::Lifetime,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    i = skip_char_literal(bytes, i, &mut line);
+                    toks.push(Token {
+                        kind: TokKind::Char,
+                        line,
+                    });
+                }
+            }
+            c if c.is_ascii_digit() => {
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric()
+                        || bytes[i] == b'_'
+                        || bytes[i] == b'.' && bytes.get(i + 1).is_some_and(u8::is_ascii_digit))
+                {
+                    // Stop `1..2` range syntax from eating the second bound.
+                    if bytes[i] == b'.' && bytes.get(i + 1) == Some(&b'.') {
+                        break;
+                    }
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Num,
+                    line,
+                });
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                while i < bytes.len() && ((bytes[i] as char).is_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                toks.push(Token {
+                    kind: TokKind::Ident(src[start..i].to_string()),
+                    line,
+                });
+            }
+            c => {
+                toks.push(Token {
+                    kind: TokKind::Punct(c),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    (toks, comments)
+}
+
+/// Whether position `i` (at `r` or `b`) starts a raw/byte string or raw
+/// identifier prefix that must be lexed as a literal.
+fn starts_string_prefix(bytes: &[u8], i: usize) -> bool {
+    match bytes[i] {
+        b'r' => matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')),
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') | Some(b'\'') => true,
+            Some(b'r') => matches!(bytes.get(i + 2), Some(b'"') | Some(b'#')),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Skips a `"..."` string starting at `i`, returning the index after it.
+fn skip_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    while i < bytes.len() {
+        match bytes[i] {
+            b'\\' => i += 2,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            b'"' => return i + 1,
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Skips `r"..."`, `r#"..."#`, `b"..."`, `br#"..."#`, `b'x'` from `i`.
+fn skip_prefixed_string(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    let mut raw = false;
+    if bytes[i] == b'b' {
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'r' {
+        raw = true;
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        return skip_char_literal(bytes, i, line);
+    }
+    if raw {
+        let mut hashes = 0;
+        while i < bytes.len() && bytes[i] == b'#' {
+            hashes += 1;
+            i += 1;
+        }
+        i += 1; // opening quote
+        while i < bytes.len() {
+            if bytes[i] == b'\n' {
+                *line += 1;
+            }
+            if bytes[i] == b'"' {
+                let mut j = i + 1;
+                let mut seen = 0;
+                while seen < hashes && bytes.get(j) == Some(&b'#') {
+                    seen += 1;
+                    j += 1;
+                }
+                if seen == hashes {
+                    return j;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        skip_string(bytes, i, line)
+    }
+}
+
+/// Skips a `'x'` / `'\n'` char (or byte) literal from the opening quote.
+fn skip_char_literal(bytes: &[u8], mut i: usize, line: &mut u32) -> usize {
+    i += 1; // opening quote
+    if i < bytes.len() && bytes[i] == b'\\' {
+        i += 2;
+    } else if i < bytes.len() {
+        if bytes[i] == b'\n' {
+            *line += 1;
+        }
+        i += 1;
+    }
+    if i < bytes.len() && bytes[i] == b'\'' {
+        i += 1;
+    }
+    i
+}
+
+/// Whether `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(bytes: &[u8], i: usize) -> bool {
+    let Some(&next) = bytes.get(i + 1) else {
+        return false;
+    };
+    let starts_ident = (next as char).is_alphabetic() || next == b'_';
+    if !starts_ident {
+        return false;
+    }
+    // `'a'` is a char literal; `'a` followed by non-quote is a lifetime.
+    let mut j = i + 1;
+    while j < bytes.len() && ((bytes[j] as char).is_alphanumeric() || bytes[j] == b'_') {
+        j += 1;
+    }
+    bytes.get(j) != Some(&b'\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .0
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identifiers_and_punctuation() {
+        let (toks, _) = lex("let x = m.iter();");
+        assert!(toks[0].is_ident("let"));
+        assert!(toks[1].is_ident("x"));
+        assert!(toks[2].is_punct('='));
+        assert!(toks[3].is_ident("m"));
+        assert!(toks[4].is_punct('.'));
+        assert!(toks[5].is_ident("iter"));
+    }
+
+    #[test]
+    fn strings_and_chars_do_not_leak_tokens() {
+        assert_eq!(idents("\"for x in map\""), Vec::<String>::new());
+        assert_eq!(idents("r#\"iter() \"quoted\" \"#"), Vec::<String>::new());
+        assert_eq!(idents("b\"iter\""), Vec::<String>::new());
+        assert_eq!(idents("'f'"), Vec::<String>::new());
+        assert_eq!(idents("'\\n'"), Vec::<String>::new());
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let (toks, _) = lex("fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime));
+        assert!(toks.iter().all(|t| t.kind != TokKind::Char));
+    }
+
+    #[test]
+    fn comments_are_captured_with_lines() {
+        let (toks, comments) = lex("let a = 1;\n// mcfs-lint: allow(MC007, ok)\nlet b = 2;");
+        assert_eq!(comments.len(), 1);
+        assert_eq!(comments[0].line, 2);
+        assert!(comments[0].text.contains("mcfs-lint"));
+        // Tokens after the comment carry the right line.
+        let b = toks.iter().find(|t| t.is_ident("b")).unwrap();
+        assert_eq!(b.line, 3);
+    }
+
+    #[test]
+    fn block_comments_nest_and_track_lines() {
+        let (toks, comments) = lex("/* a /* b */ c */ let x\n= 1;");
+        assert_eq!(comments.len(), 1);
+        assert!(toks[0].is_ident("let"));
+        let one = toks.iter().find(|t| t.kind == TokKind::Num).unwrap();
+        assert_eq!(one.line, 2);
+    }
+
+    #[test]
+    fn numbers_including_ranges() {
+        let (toks, _) = lex("for i in 0..16 {}");
+        let nums: Vec<_> = toks.iter().filter(|t| t.kind == TokKind::Num).collect();
+        assert_eq!(nums.len(), 2);
+    }
+}

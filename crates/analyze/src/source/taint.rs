@@ -1,0 +1,1061 @@
+//! Function-level nondeterminism taint pass over the token stream.
+//!
+//! The pass is deliberately heuristic: it segments the token stream into
+//! functions, classifies each function as a *determinism-critical sink*
+//! (fingerprint/digest/serialization/oracle paths, by name or by callee),
+//! and then looks for *sources* of ambient nondeterminism flowing through
+//! it. Unordered-iteration findings are only reported inside sink
+//! functions — iterating a `HashMap` to compute a count is harmless;
+//! iterating one to feed a digest is not. Ambient entropy (wall clocks,
+//! `RandomState`, raw thread spawns, pointer-identity casts) is reported
+//! anywhere in non-test code, because those leak into replay even outside
+//! an obvious sink.
+//!
+//! False positives are expected and cheap: the suppression syntax
+//! (`// mcfs-lint: allow(MC007, reason)`) keeps every intentional use
+//! auditable, and MC007's dynamic divergence check is the ground truth.
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+
+use super::lexer::{TokKind, Token};
+
+/// What kind of nondeterminism source a finding points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SourceKind {
+    /// `HashMap`/`HashSet` iteration reaching a determinism-critical sink.
+    UnorderedIter,
+    /// An `enumerate()` slot index cast into a digest/wire value — the
+    /// PR 6 inode-keyed residue-digest bug class.
+    SlotIndex,
+    /// `Instant::now` / `SystemTime::now` outside the virtual clock.
+    AmbientTime,
+    /// `RandomState` (per-process-seeded hashing) in scanned code.
+    RandomState, // mcfs-lint: allow(MC007, the variant names the hazard; it is not a hasher use)
+    /// `std::thread` spawn/scope off the virtual scheduler.
+    ThreadSpawn,
+    /// Pointer identity (`as_ptr ... as usize`, `ptr::hash`) feeding a
+    /// value — addresses differ across runs under ASLR.
+    PtrIdentity,
+}
+
+impl SourceKind {
+    /// Short stable tag used in reports and tests.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SourceKind::UnorderedIter => "unordered-iter",
+            SourceKind::SlotIndex => "slot-index",
+            SourceKind::AmbientTime => "ambient-time",
+            // mcfs-lint: allow(MC007, the variant names the hazard; it is not a hasher use)
+            SourceKind::RandomState => "random-state",
+            SourceKind::ThreadSpawn => "thread-spawn",
+            SourceKind::PtrIdentity => "ptr-identity",
+        }
+    }
+}
+
+/// One taint finding, positioned by line with its enclosing function's
+/// span so function-level suppressions can be matched.
+#[derive(Debug, Clone)]
+pub struct RawFinding {
+    /// 1-based line of the source expression.
+    pub line: u32,
+    /// Which source pattern fired.
+    pub kind: SourceKind,
+    /// Enclosing function name (empty outside any function).
+    pub func: String,
+    /// Line of the enclosing `fn` declaration.
+    pub fn_decl_line: u32,
+    /// Last line of the enclosing function body.
+    pub fn_end_line: u32,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// Function-name fragments that mark a determinism-critical sink.
+const SINK_NAME_PARTS: &[&str] = &[
+    "digest",
+    "fingerprint",
+    "pickle",
+    "encode",
+    "serialize",
+    "snapshot",
+    "wire",
+    "to_bytes",
+    "export",
+    "hash",
+    "canonical",
+    "verdict",
+    "oracle",
+];
+
+/// Callee identifiers whose presence marks the enclosing fn as a sink.
+const SINK_CALLEES: &[&str] = &[
+    "md5",
+    "fnv128",
+    "put_u32",
+    "put_u64",
+    "put_u128",
+    "put_str",
+    "put_bytes",
+    "encode_op",
+    "opaque_state_digest",
+    "Digest128",
+];
+
+/// Iterator-producing methods whose order is arbitrary on hash containers.
+const UNORDERED_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "into_iter",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+];
+
+/// Chain methods that make an arbitrary-order traversal order-insensitive.
+const ORDER_INSENSITIVE: &[&str] = &[
+    "count",
+    "sum",
+    "product",
+    "all",
+    "any",
+    "max",
+    "min",
+    "max_by",
+    "max_by_key",
+    "min_by",
+    "min_by_key",
+];
+
+/// Hash-container type names whose iteration order is unordered.
+const UNORDERED_TYPES: &[&str] = &["HashMap", "HashSet"];
+
+/// Ordered collection types that sanitize a `collect()`.
+const ORDERED_COLLECT_TYPES: &[&str] = &["BTreeMap", "BTreeSet", "BinaryHeap"];
+
+struct FnInfo {
+    name: String,
+    decl_line: u32,
+    /// Token range of the signature (`fn` token up to the body `{`).
+    sig: Range<usize>,
+    /// Token range of the body including both braces.
+    body: Range<usize>,
+    end_line: u32,
+    is_test: bool,
+}
+
+/// Scans a lexed file and returns the raw findings, sorted by
+/// `(line, kind)` and deduplicated.
+pub fn scan_tokens(toks: &[Token]) -> Vec<RawFinding> {
+    let (fns, excluded) = collect_fns(toks);
+    let fields = collect_unordered_fields(toks);
+    let in_excluded = |i: usize| excluded.iter().any(|r| r.contains(&i));
+    let enclosing = |i: usize| -> Option<&FnInfo> {
+        fns.iter()
+            .filter(|f| f.sig.start <= i && i < f.body.end)
+            .min_by_key(|f| f.body.end - f.sig.start)
+    };
+    let mut out: Vec<RawFinding> = Vec::new();
+    let mut push = |i: usize, kind: SourceKind, message: String| {
+        if in_excluded(i) {
+            return;
+        }
+        let (func, fn_decl_line, fn_end_line) = match enclosing(i) {
+            Some(f) if f.is_test => return,
+            Some(f) => (f.name.clone(), f.decl_line, f.end_line),
+            None => (String::new(), toks[i].line, toks[i].line),
+        };
+        out.push(RawFinding {
+            line: toks[i].line,
+            kind,
+            func,
+            fn_decl_line,
+            fn_end_line,
+            message,
+        });
+    };
+
+    scan_ambient(toks, &mut push);
+
+    for f in fns.iter().filter(|f| !f.is_test) {
+        if !is_sink(f, toks) {
+            continue;
+        }
+        let mut locals = collect_unordered_bindings(toks, f.sig.clone());
+        locals.extend(collect_unordered_bindings(toks, f.body.clone()));
+        let unordered: BTreeSet<&str> = fields
+            .iter()
+            .map(String::as_str)
+            .chain(locals.iter().map(String::as_str))
+            .collect();
+        scan_unordered_iter(toks, f, &unordered, &mut push);
+        scan_slot_index(toks, f, &mut push);
+    }
+
+    out.sort_by_key(|f| (f.line, f.kind));
+    out.dedup_by_key(|f| (f.line, f.kind));
+    out
+}
+
+/// Whether `f` is a determinism-critical sink: named like one, or calling
+/// into the digest/wire primitives.
+fn is_sink(f: &FnInfo, toks: &[Token]) -> bool {
+    let lname = f.name.to_ascii_lowercase();
+    if SINK_NAME_PARTS.iter().any(|p| lname.contains(p)) {
+        return true;
+    }
+    toks[f.body.clone()]
+        .iter()
+        .filter_map(Token::ident)
+        .any(|id| SINK_CALLEES.contains(&id))
+}
+
+/// Collects functions and the excluded (`#[cfg(test)] mod`) token ranges.
+fn collect_fns(toks: &[Token]) -> (Vec<FnInfo>, Vec<Range<usize>>) {
+    let mut fns = Vec::new();
+    let mut excluded = Vec::new();
+    let mut pending_test = false;
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_punct('#') && toks.get(i + 1).is_some_and(|t| t.is_punct('[')) {
+            let mut depth = 0i32;
+            let mut j = i + 1;
+            let mut attr_idents: Vec<&str> = Vec::new();
+            while j < toks.len() {
+                if toks[j].is_punct('[') {
+                    depth += 1;
+                } else if toks[j].is_punct(']') {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                } else if let Some(id) = toks[j].ident() {
+                    attr_idents.push(id);
+                }
+                j += 1;
+            }
+            let is_test_attr = attr_idents.first() == Some(&"test")
+                || (attr_idents.contains(&"cfg") && attr_idents.contains(&"test"));
+            if is_test_attr {
+                pending_test = true;
+            }
+            i = j + 1;
+            continue;
+        }
+        if toks[i].is_ident("mod") && pending_test {
+            let mut j = i + 1;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j < toks.len() && toks[j].is_punct('{') {
+                let end = skip_balanced(toks, j, '{', '}');
+                excluded.push(i..end);
+                j = end;
+            }
+            pending_test = false;
+            i = j;
+            continue;
+        }
+        if toks[i].is_ident("fn") {
+            let fn_start = i;
+            let name = toks
+                .get(i + 1)
+                .and_then(Token::ident)
+                .unwrap_or("")
+                .to_string();
+            let decl_line = toks[i].line;
+            let mut j = i + 2;
+            let mut depth = 0i32;
+            let mut body_start = None;
+            while j < toks.len() {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_punct('{') && depth == 0 {
+                    body_start = Some(j);
+                    break;
+                } else if t.is_punct(';') && depth == 0 {
+                    // `[u8; 16]` puts a `;` inside brackets; only a
+                    // top-level one ends a bodyless declaration.
+                    break;
+                }
+                j += 1;
+            }
+            if let Some(bs) = body_start {
+                let be = skip_balanced(toks, bs, '{', '}');
+                let end_line = toks.get(be.saturating_sub(1)).map_or(decl_line, |t| t.line);
+                if pending_test {
+                    excluded.push(fn_start..be);
+                }
+                fns.push(FnInfo {
+                    name,
+                    decl_line,
+                    sig: fn_start..bs,
+                    body: bs..be,
+                    end_line,
+                    is_test: pending_test,
+                });
+                pending_test = false;
+                // Keep scanning inside the body so nested fns get entries.
+                i += 2;
+                continue;
+            }
+            pending_test = false;
+            i = j;
+            continue;
+        }
+        if let Some(id) = toks[i].ident() {
+            if matches!(
+                id,
+                "struct" | "enum" | "impl" | "trait" | "static" | "const" | "use" | "type"
+            ) {
+                pending_test = false;
+            }
+        }
+        i += 1;
+    }
+    (fns, excluded)
+}
+
+/// Index just past the token matching the opener at `start`.
+fn skip_balanced(toks: &[Token], start: usize, open: char, close: char) -> usize {
+    let mut depth = 0i32;
+    let mut i = start;
+    while i < toks.len() {
+        if toks[i].is_punct(open) {
+            depth += 1;
+        } else if toks[i].is_punct(close) {
+            depth -= 1;
+            if depth == 0 {
+                return i + 1;
+            }
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Struct/enum fields whose declared type mentions a hash container.
+fn collect_unordered_fields(toks: &[Token]) -> BTreeSet<String> {
+    let mut fields = BTreeSet::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if toks[i].is_ident("struct") && toks.get(i + 1).and_then(Token::ident).is_some() {
+            let mut j = i + 2;
+            while j < toks.len() && !toks[j].is_punct('{') && !toks[j].is_punct(';') {
+                j += 1;
+            }
+            if j >= toks.len() || toks[j].is_punct(';') {
+                i = j;
+                continue;
+            }
+            let end = skip_balanced(toks, j, '{', '}');
+            let mut depth = 0i32;
+            let mut k = j;
+            while k < end {
+                if toks[k].is_punct('{') {
+                    depth += 1;
+                } else if toks[k].is_punct('}') {
+                    depth -= 1;
+                } else if depth == 1
+                    && toks[k].is_punct(':')
+                    && !toks.get(k + 1).is_some_and(|t| t.is_punct(':'))
+                    && !toks.get(k.wrapping_sub(1)).is_some_and(|t| t.is_punct(':'))
+                {
+                    if let Some(name) = toks.get(k - 1).and_then(Token::ident) {
+                        // Field type runs to the `,` (or `}`) at depth 1.
+                        let mut m = k + 1;
+                        let mut inner = 0i32;
+                        let mut unordered = false;
+                        while m < end {
+                            let t = &toks[m];
+                            if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                                inner += 1;
+                            } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                                if t.is_punct('}') && inner == 0 {
+                                    break;
+                                }
+                                inner -= 1;
+                            } else if t.is_punct(',') && inner == 0 {
+                                // Commas inside generics are fine to stop at
+                                // only when we track angles; treating any
+                                // depth-0 comma as the end merely truncates
+                                // the scanned type, which is conservative.
+                                if angle_depth(toks, k + 1, m) == 0 {
+                                    break;
+                                }
+                            } else if let Some(id) = t.ident() {
+                                if UNORDERED_TYPES.contains(&id) {
+                                    unordered = true;
+                                }
+                            }
+                            m += 1;
+                        }
+                        if unordered {
+                            fields.insert(name.to_string());
+                        }
+                    }
+                }
+                k += 1;
+            }
+            i = end;
+            continue;
+        }
+        i += 1;
+    }
+    fields
+}
+
+/// Net `<`/`>` nesting between token indices, ignoring `->` arrows.
+fn angle_depth(toks: &[Token], from: usize, to: usize) -> i32 {
+    let mut depth = 0i32;
+    for i in from..to {
+        if toks[i].is_punct('<') {
+            depth += 1;
+        } else if toks[i].is_punct('>')
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct('-'))
+        {
+            depth -= 1;
+        }
+    }
+    depth.max(0)
+}
+
+/// `let` bindings and fn parameters in `range` whose statement mentions a
+/// hash container type or constructor.
+fn collect_unordered_bindings(toks: &[Token], range: Range<usize>) -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut i = range.start;
+    while i < range.end {
+        let is_let = toks[i].is_ident("let");
+        let is_param = toks[i].is_punct(':')
+            && !toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && !toks.get(i.wrapping_sub(1)).is_some_and(|t| t.is_punct(':'));
+        if is_let {
+            let mut j = i + 1;
+            if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+                j += 1;
+            }
+            let Some(name) = toks.get(j).and_then(Token::ident) else {
+                i += 1;
+                continue;
+            };
+            // Scan the statement to its `;` at local depth 0.
+            let mut depth = 0i32;
+            let mut m = j + 1;
+            let mut unordered = false;
+            while m < range.end {
+                let t = &toks[m];
+                if t.is_punct('{') || t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct('}') || t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                    if depth < 0 {
+                        break;
+                    }
+                } else if t.is_punct(';') && depth == 0 {
+                    break;
+                } else if let Some(id) = t.ident() {
+                    if UNORDERED_TYPES.contains(&id) {
+                        unordered = true;
+                    }
+                }
+                m += 1;
+            }
+            if unordered {
+                names.insert(name.to_string());
+            }
+            i = m;
+            continue;
+        }
+        if is_param {
+            // Parameter form `name: Type` — only meaningful when scanning a
+            // signature range, but harmless elsewhere: a binding is only
+            // recorded when the type region names a hash container.
+            if let Some(name) = toks.get(i.wrapping_sub(1)).and_then(Token::ident) {
+                let mut m = i + 1;
+                let mut depth = 0i32;
+                let mut unordered = false;
+                while m < range.end {
+                    let t = &toks[m];
+                    if t.is_punct('(') || t.is_punct('[') {
+                        depth += 1;
+                    } else if t.is_punct(')') || t.is_punct(']') {
+                        if depth == 0 {
+                            break;
+                        }
+                        depth -= 1;
+                    } else if t.is_punct(',') && depth == 0 && angle_depth(toks, i + 1, m) == 0 {
+                        break;
+                    } else if let Some(id) = t.ident() {
+                        if UNORDERED_TYPES.contains(&id) {
+                            unordered = true;
+                        }
+                    }
+                    m += 1;
+                }
+                if unordered {
+                    names.insert(name.to_string());
+                }
+            }
+        }
+        i += 1;
+    }
+    names
+}
+
+/// Reports ambient-entropy sources anywhere in scanned code.
+fn scan_ambient(toks: &[Token], push: &mut impl FnMut(usize, SourceKind, String)) {
+    let path2 = |i: usize, a: &str, b: &[&'static str]| -> Option<&'static str> {
+        if !toks[i].is_ident(a) {
+            return None;
+        }
+        if !(toks.get(i + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct(':')))
+        {
+            return None;
+        }
+        let id = toks.get(i + 3).and_then(Token::ident)?;
+        b.iter().find(|m| **m == id).copied()
+    };
+    for i in 0..toks.len() {
+        if let Some(m) = path2(i, "Instant", &["now"]) {
+            push(
+                i,
+                SourceKind::AmbientTime,
+                format!("`Instant::{m}` reads the wall clock; replay must use the virtual clock"),
+            );
+        }
+        if let Some(m) = path2(i, "SystemTime", &["now"]) {
+            push(
+                i,
+                SourceKind::AmbientTime,
+                format!(
+                    "`SystemTime::{m}` reads the wall clock; replay must use the virtual clock"
+                ),
+            );
+        }
+        if let Some(m) = path2(i, "thread", &["spawn", "scope", "Builder"]) {
+            push(
+                i,
+                SourceKind::ThreadSpawn,
+                format!(
+                    "`std::thread::{m}` schedules off the virtual scheduler; \
+                     joins must be deterministic"
+                ),
+            );
+        }
+        if toks[i].is_ident("RandomState") {
+            push(
+                i,
+                // mcfs-lint: allow(MC007, the detector for the hazard, not a hasher use)
+                SourceKind::RandomState,
+                "`RandomState` is seeded per process; hashes differ across runs".to_string(),
+            );
+        }
+        if path2(i, "ptr", &["hash"]).is_some() {
+            push(
+                i,
+                SourceKind::PtrIdentity,
+                "`ptr::hash` keys on an address, which differs across runs".to_string(),
+            );
+        }
+        if toks[i].is_ident("as_ptr") {
+            let tail = &toks[i + 1..toks.len().min(i + 9)];
+            let casts = tail.windows(2).any(|w| {
+                w[0].is_ident("as")
+                    && w[1]
+                        .ident()
+                        .is_some_and(|t| matches!(t, "usize" | "u64" | "u128" | "isize"))
+            });
+            if casts {
+                push(
+                    i,
+                    SourceKind::PtrIdentity,
+                    "pointer cast to an integer; addresses differ across runs".to_string(),
+                );
+            }
+        }
+    }
+}
+
+/// Reports unordered-container traversals in a sink fn that are not
+/// laundered through an order-insensitive chain.
+fn scan_unordered_iter(
+    toks: &[Token],
+    f: &FnInfo,
+    unordered: &BTreeSet<&str>,
+    push: &mut impl FnMut(usize, SourceKind, String),
+) {
+    let body = f.body.clone();
+    for i in body.clone() {
+        // `recv.iter()` method form.
+        if toks[i].is_punct('.')
+            && toks
+                .get(i + 1)
+                .and_then(Token::ident)
+                .is_some_and(|m| UNORDERED_ITER_METHODS.contains(&m))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('('))
+        {
+            let method = toks[i + 1].ident().unwrap_or_default().to_string();
+            let Some(recv) = toks.get(i.wrapping_sub(1)).and_then(Token::ident) else {
+                continue;
+            };
+            if !unordered.contains(recv) {
+                continue;
+            }
+            let after = skip_balanced(toks, i + 2, '(', ')');
+            if chain_is_order_insensitive(toks, after, body.end)
+                || binding_is_sorted_later(toks, f, i)
+            {
+                continue;
+            }
+            push(
+                i,
+                SourceKind::UnorderedIter,
+                format!(
+                    "`{recv}.{method}()` traverses a hash container in arbitrary order inside \
+                     `{}`; iterate canonically (e.g. `mcfs::canon::sorted_pairs`) or collect \
+                     into a `BTreeMap` first",
+                    f.name
+                ),
+            );
+        }
+        // `for x in &recv {` direct-loop form.
+        if toks[i].is_ident("for") {
+            let mut j = i + 1;
+            // Find the `in` at pattern depth 0.
+            let mut depth = 0i32;
+            let mut found_in = None;
+            while j < body.end && j < i + 24 {
+                let t = &toks[j];
+                if t.is_punct('(') || t.is_punct('[') {
+                    depth += 1;
+                } else if t.is_punct(')') || t.is_punct(']') {
+                    depth -= 1;
+                } else if t.is_ident("in") && depth == 0 {
+                    found_in = Some(j);
+                    break;
+                }
+                j += 1;
+            }
+            let Some(in_pos) = found_in else { continue };
+            let mut k = in_pos + 1;
+            while k < body.end && !toks[k].is_punct('{') {
+                k += 1;
+            }
+            // Only flag when the loop expression is a plain (possibly
+            // borrowed/field) path ending in an unordered binding; method
+            // chains are handled by the `.iter()` detector above.
+            let Some(last) = toks.get(k.wrapping_sub(1)).and_then(Token::ident) else {
+                continue;
+            };
+            let plain = toks[in_pos + 1..k].iter().all(|t| {
+                matches!(&t.kind, TokKind::Ident(_))
+                    || t.is_punct('&')
+                    || t.is_punct('.')
+                    || t.is_punct('*')
+            });
+            if plain && unordered.contains(last) {
+                push(
+                    i,
+                    SourceKind::UnorderedIter,
+                    format!(
+                        "`for .. in {last}` traverses a hash container in arbitrary order inside \
+                         `{}`; iterate canonically (e.g. `mcfs::canon::sorted_pairs`)",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Walks a method chain starting at `i` (just past a call's closing paren)
+/// and reports whether it ends in an order-insensitive terminal or an
+/// ordered `collect`.
+fn chain_is_order_insensitive(toks: &[Token], mut i: usize, end: usize) -> bool {
+    while i + 1 < end && toks[i].is_punct('.') {
+        let Some(m) = toks.get(i + 1).and_then(Token::ident) else {
+            return false;
+        };
+        if ORDER_INSENSITIVE.contains(&m) {
+            return true;
+        }
+        let mut j = i + 2;
+        let mut ordered_collect = false;
+        // Turbofish: `collect::<BTreeMap<_, _>>()`.
+        if toks.get(j).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 1).is_some_and(|t| t.is_punct(':'))
+            && toks.get(j + 2).is_some_and(|t| t.is_punct('<'))
+        {
+            let mut depth = 0i32;
+            let mut k = j + 2;
+            while k < end {
+                if toks[k].is_punct('<') {
+                    depth += 1;
+                } else if toks[k].is_punct('>') {
+                    depth -= 1;
+                    if depth <= 0 {
+                        break;
+                    }
+                } else if let Some(id) = toks[k].ident() {
+                    if ORDERED_COLLECT_TYPES.contains(&id) {
+                        ordered_collect = true;
+                    }
+                }
+                k += 1;
+            }
+            j = k + 1;
+        }
+        if m == "collect" && ordered_collect {
+            return true;
+        }
+        if toks.get(j).is_some_and(|t| t.is_punct('(')) {
+            i = skip_balanced(toks, j, '(', ')');
+        } else {
+            return false;
+        }
+    }
+    false
+}
+
+/// Whether the statement containing the traversal at `at` is a `let`
+/// binding (possibly `BTreeMap`-annotated) whose value is later sorted.
+fn binding_is_sorted_later(toks: &[Token], f: &FnInfo, at: usize) -> bool {
+    // Scan back to the statement start: a `;`, `{`, or `}` at this level.
+    let mut s = at;
+    while s > f.body.start {
+        let t = &toks[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    if !toks.get(s).is_some_and(|t| t.is_ident("let")) {
+        return false;
+    }
+    let mut j = s + 1;
+    if toks.get(j).is_some_and(|t| t.is_ident("mut")) {
+        j += 1;
+    }
+    let Some(name) = toks.get(j).and_then(Token::ident) else {
+        return false;
+    };
+    // Ordered-collection annotation on the binding counts as sanitized.
+    for t in &toks[j..at] {
+        if let Some(id) = t.ident() {
+            if ORDERED_COLLECT_TYPES.contains(&id) {
+                return true;
+            }
+        }
+        if t.is_punct('=') {
+            break;
+        }
+    }
+    // Otherwise look for `name.sort*(..)` later in the body.
+    let mut k = at;
+    while k + 2 < f.body.end {
+        if toks[k].is_ident(name)
+            && toks[k + 1].is_punct('.')
+            && toks
+                .get(k + 2)
+                .and_then(Token::ident)
+                .is_some_and(|m| m.starts_with("sort"))
+        {
+            return true;
+        }
+        k += 1;
+    }
+    false
+}
+
+/// Reports `enumerate()` slot indices cast into wire/digest values inside
+/// a sink fn — the shape of the PR 6 inode-number residue-digest bug.
+fn scan_slot_index(toks: &[Token], f: &FnInfo, push: &mut impl FnMut(usize, SourceKind, String)) {
+    let body = f.body.clone();
+    for i in body.clone() {
+        if !(toks[i].is_punct('.')
+            && toks.get(i + 1).is_some_and(|t| t.is_ident("enumerate"))
+            && toks.get(i + 2).is_some_and(|t| t.is_punct('(')))
+        {
+            continue;
+        }
+        // Bound index ident: `for (idx, ..) in` before, or a closure
+        // `|(idx, ..)|` shortly after.
+        let mut idx: Option<&str> = None;
+        let back = body.start.max(i.saturating_sub(40));
+        for p in (back..i).rev() {
+            if toks[p].is_ident("for")
+                && toks.get(p + 1).is_some_and(|t| t.is_punct('('))
+                && toks.get(p + 3).is_some_and(|t| t.is_punct(','))
+            {
+                idx = toks.get(p + 2).and_then(Token::ident);
+                break;
+            }
+        }
+        if idx.is_none() {
+            let fwd_end = body.end.min(i + 14);
+            for p in i + 3..fwd_end {
+                if toks[p].is_punct('|')
+                    && toks.get(p + 1).is_some_and(|t| t.is_punct('('))
+                    && toks.get(p + 3).is_some_and(|t| t.is_punct(','))
+                {
+                    idx = toks.get(p + 2).and_then(Token::ident);
+                    break;
+                }
+            }
+        }
+        let Some(idx) = idx else { continue };
+        if idx == "_" {
+            continue;
+        }
+        // The index must be cast (`idx as ...`) downstream to count as a
+        // wire/digest value; plain indexing is fine.
+        let cast = (i..body.end)
+            .filter(|&k| k + 1 < body.end)
+            .any(|k| toks[k].is_ident(idx) && toks[k + 1].is_ident("as"));
+        if cast {
+            push(
+                i,
+                SourceKind::SlotIndex,
+                format!(
+                    "slot index `{idx}` from `enumerate()` is cast into a value inside `{}`; \
+                     slot order is creation-order dependent — key by a stable identity instead",
+                    f.name
+                ),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::lexer::lex;
+
+    fn findings(src: &str) -> Vec<RawFinding> {
+        let (toks, _) = lex(src);
+        scan_tokens(&toks)
+    }
+
+    fn kinds(src: &str) -> Vec<SourceKind> {
+        findings(src).into_iter().map(|f| f.kind).collect()
+    }
+
+    #[test]
+    fn hashmap_iter_in_digest_fn_is_flagged() {
+        let src = r#"
+            fn state_digest(m: &HashMap<u64, u64>) -> u64 {
+                let mut acc = 0;
+                for (k, v) in m.iter() { acc ^= k + v; }
+                acc
+            }
+        "#;
+        assert_eq!(kinds(src), vec![SourceKind::UnorderedIter]);
+    }
+
+    #[test]
+    fn hashmap_iter_outside_sink_is_not_flagged() {
+        let src = r#"
+            fn tally(m: &HashMap<u64, u64>) -> usize {
+                let mut n = 0;
+                for (_k, _v) in m.iter() { n += 1; }
+                n
+            }
+        "#;
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn order_insensitive_chain_is_sanitized() {
+        let src = r#"
+            fn digest_len(m: &HashMap<u64, u64>) -> usize {
+                m.iter().count()
+            }
+            fn digest_max(m: &HashMap<u64, u64>) -> Option<u64> {
+                m.values().copied().max()
+            }
+        "#;
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn btree_collect_is_sanitized() {
+        let src = r#"
+            fn encode_all(m: &HashMap<u64, u64>) -> Vec<u8> {
+                let ordered: BTreeMap<u64, u64> = m.iter().map(|(k, v)| (*k, *v)).collect();
+                let turbo = m.iter().collect::<BTreeMap<_, _>>();
+                Vec::new()
+            }
+        "#;
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn collect_then_sort_is_sanitized() {
+        let src = r#"
+            fn fingerprint(m: &HashMap<u64, u64>) -> u64 {
+                let mut pairs: Vec<_> = m.iter().collect();
+                pairs.sort_by_key(|(k, _)| **k);
+                0
+            }
+        "#;
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn struct_field_receiver_is_resolved() {
+        let src = r#"
+            struct Index { map: HashMap<u64, u64>, names: Vec<String> }
+            impl Index {
+                fn export_wire(&self) -> Vec<u8> {
+                    let mut out = Vec::new();
+                    for (k, v) in self.map.iter() { out.push((*k ^ *v) as u8); }
+                    out
+                }
+                fn export_names(&self) -> Vec<u8> {
+                    let mut out = Vec::new();
+                    for n in self.names.iter() { out.push(n.len() as u8); }
+                    out
+                }
+            }
+        "#;
+        let f = findings(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].kind, SourceKind::UnorderedIter);
+        assert_eq!(f[0].func, "export_wire");
+    }
+
+    #[test]
+    fn direct_for_loop_over_hash_field_is_flagged() {
+        let src = r#"
+            struct S { set: HashSet<u64> }
+            impl S {
+                fn digest(&self) -> u64 {
+                    let mut acc = 0;
+                    for x in &self.set { acc ^= x; }
+                    acc
+                }
+            }
+        "#;
+        assert_eq!(kinds(src), vec![SourceKind::UnorderedIter]);
+    }
+
+    #[test]
+    fn historical_inode_keyed_residue_digest_is_redetected() {
+        // The PR 6 bug shape: VeriFS keyed its beyond-EOF residue digest
+        // by inode slot number, making the digest creation-order
+        // dependent. The slot index flows from enumerate() into the
+        // digest via an `as u64` cast.
+        let src = r#"
+            impl VeriFs {
+                fn opaque_state_digest(&self) -> [u8; 16] {
+                    let mut acc = [0u8; 16];
+                    for (ino, slot) in self.inodes.iter().enumerate() {
+                        let mut buf = Vec::new();
+                        buf.extend_from_slice(&(ino as u64).to_le_bytes());
+                        let d = md5(&buf);
+                        for i in 0..16 { acc[i] ^= d[i]; }
+                    }
+                    acc
+                }
+            }
+        "#;
+        assert!(kinds(src).contains(&SourceKind::SlotIndex));
+    }
+
+    #[test]
+    fn enumerate_without_cast_is_not_flagged() {
+        let src = r#"
+            fn encode(entries: &[u64]) -> Vec<u8> {
+                let mut out = Vec::new();
+                for (i, e) in entries.iter().enumerate() {
+                    out.push(entries[i] as u8);
+                    let _ = e;
+                }
+                out
+            }
+        "#;
+        // `entries[i]` indexes; only `i as ...` casts count. The push
+        // above does cast `entries[i]`, not `i` — the window requires the
+        // ident itself directly before `as`.
+        assert!(!kinds(src).contains(&SourceKind::SlotIndex));
+    }
+
+    #[test]
+    fn ambient_time_and_threads_flagged_anywhere() {
+        let src = r#"
+            fn helper() -> u64 {
+                let t = Instant::now();
+                std::thread::spawn(|| {});
+                0
+            }
+        "#;
+        let k = kinds(src);
+        assert!(k.contains(&SourceKind::AmbientTime));
+        assert!(k.contains(&SourceKind::ThreadSpawn));
+    }
+
+    #[test]
+    fn random_state_and_ptr_identity_flagged() {
+        let src = r#"
+            fn build() {
+                let s = RandomState::new();
+                let p = x.as_ptr() as usize;
+            }
+        "#;
+        let k = kinds(src);
+        assert!(k.contains(&SourceKind::RandomState));
+        assert!(k.contains(&SourceKind::PtrIdentity));
+    }
+
+    #[test]
+    fn test_code_is_skipped() {
+        let src = r#"
+            #[cfg(test)]
+            mod tests {
+                fn digest(m: &HashMap<u64, u64>) -> u64 {
+                    let mut acc = 0;
+                    for (k, v) in m.iter() { acc ^= k + v; }
+                    acc
+                }
+            }
+            #[test]
+            fn check_digest() {
+                let t = Instant::now();
+            }
+        "#;
+        assert!(kinds(src).is_empty());
+    }
+
+    #[test]
+    fn sink_by_callee_not_just_name() {
+        let src = r#"
+            fn observe(m: &HashMap<u64, u64>) -> [u8; 16] {
+                let mut buf = Vec::new();
+                for (k, v) in m.iter() { buf.push((k ^ v) as u8); }
+                md5(&buf)
+            }
+        "#;
+        assert_eq!(kinds(src), vec![SourceKind::UnorderedIter]);
+    }
+
+    #[test]
+    fn local_hashmap_binding_is_resolved() {
+        let src = r#"
+            fn snapshot_counts(items: &[u64]) -> Vec<u8> {
+                let mut m = HashMap::new();
+                for x in items { *m.entry(*x).or_insert(0u32) += 1; }
+                let mut out = Vec::new();
+                for (k, c) in m.iter() { out.push((*k as u8) ^ (*c as u8)); }
+                out
+            }
+        "#;
+        assert_eq!(kinds(src), vec![SourceKind::UnorderedIter]);
+    }
+}

@@ -1,0 +1,66 @@
+//! Canonical-iteration helpers for hash containers.
+//!
+//! `HashMap`/`HashSet` iteration order depends on the per-process
+//! `RandomState` seed, so feeding it into anything replay-critical — a
+//! fingerprint, a wire encoding, an oracle verdict — makes two otherwise
+//! identical runs diverge. Wherever such a container must reach a
+//! determinism-critical sink, iterate it through one of these helpers (or
+//! collect into a `BTreeMap`/`BTreeSet` first). `mcfs-lint --source`
+//! flags the raw iterations and names these helpers in its messages.
+//!
+//! The helpers borrow: they allocate only a `Vec` of references and sort
+//! it, so a digest loop pays one `O(n log n)` sort, not a rebuild of the
+//! container.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::BuildHasher;
+
+/// The entries of `map`, sorted by key.
+pub fn sorted_pairs<K: Ord, V, S: BuildHasher>(map: &HashMap<K, V, S>) -> Vec<(&K, &V)> {
+    let mut pairs: Vec<(&K, &V)> = map.iter().collect();
+    pairs.sort_by(|a, b| a.0.cmp(b.0));
+    pairs
+}
+
+/// The keys of `map`, sorted.
+pub fn sorted_keys<K: Ord, V, S: BuildHasher>(map: &HashMap<K, V, S>) -> Vec<&K> {
+    let mut keys: Vec<&K> = map.keys().collect();
+    keys.sort();
+    keys
+}
+
+/// The items of `set`, sorted.
+pub fn sorted_items<T: Ord, S: BuildHasher>(set: &HashSet<T, S>) -> Vec<&T> {
+    let mut items: Vec<&T> = set.iter().collect();
+    items.sort();
+    items
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairs_and_keys_are_key_sorted() {
+        let mut m = HashMap::new();
+        for k in [9u32, 1, 5, 3, 7] {
+            m.insert(k, k * 10);
+        }
+        let pairs = sorted_pairs(&m);
+        assert_eq!(
+            pairs.iter().map(|(k, _)| **k).collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9]
+        );
+        assert_eq!(*pairs[0].1, 10);
+        assert_eq!(
+            sorted_keys(&m).into_iter().copied().collect::<Vec<_>>(),
+            vec![1, 3, 5, 7, 9]
+        );
+    }
+
+    #[test]
+    fn set_items_are_sorted() {
+        let s: HashSet<&str> = ["pear", "apple", "fig"].into_iter().collect();
+        assert_eq!(sorted_items(&s), vec![&"apple", &"fig", &"pear"]);
+    }
+}

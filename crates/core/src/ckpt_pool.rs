@@ -376,13 +376,13 @@ impl<S: SnapshotBytes> CheckpointPool<S> {
         if self.spill.is_none() {
             return false;
         }
-        let Some((meta, chunks)) = self.entries.get(&key).and_then(|e| e.snap.demote_chunks())
+        let Some((meta, cow_chunks)) = self.entries.get(&key).and_then(|e| e.snap.demote_chunks())
         else {
             return false;
         };
         let tier = self.spill.as_mut().expect("checked above");
-        let mut hashes = Vec::with_capacity(chunks.len());
-        for c in &chunks {
+        let mut hashes = Vec::with_capacity(cow_chunks.len());
+        for c in &cow_chunks {
             let h = fnv128(c);
             if !tier.bump(h) {
                 match tier.store.write_page(c) {

@@ -348,6 +348,7 @@ impl Mcfs {
     /// targets cannot cancel to zero. Zero when no target reports one.
     fn opaque_digest_fold(&mut self) -> u128 {
         let mut acc = 0u128;
+        // mcfs-lint: allow(MC007, target order is fixed at construction; the index is part of the digest domain by design)
         for (i, t) in self.targets.iter_mut().enumerate() {
             if let Some(d) = t.fs_mut().opaque_state_digest() {
                 let mut bytes = [0u8; 24];

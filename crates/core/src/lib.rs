@@ -57,6 +57,7 @@
 //! ```
 
 pub mod abstraction;
+pub mod canon;
 pub mod ckpt_pool;
 mod coverage;
 pub mod effect;

@@ -612,6 +612,7 @@ pub fn repair_device<D: BlockDevice>(dev: &mut D, opts: &FsckOptions) -> VfsResu
     report.items_scanned += sb.inodes_count as u64 - 1;
     let workers = opts.workers.max(1);
     let chunk = (table.len() - 1).div_ceil(workers);
+    // mcfs-lint: allow(MC007, workers own disjoint table chunks and results merge in chunk order)
     let fixes: Vec<Vec<String>> = std::thread::scope(|s| {
         let sb_ref = &sb;
         let handles: Vec<_> = table[1..]
@@ -732,6 +733,7 @@ pub fn repair_device<D: BlockDevice>(dev: &mut D, opts: &FsckOptions) -> VfsResu
             }
         }
     }
+    // mcfs-lint: allow(MC007, workers own disjoint table chunks and results merge in chunk order)
     let nlink_fixes: Vec<Vec<String>> = std::thread::scope(|s| {
         let expected = &expected;
         let reachable = &r.reachable;

@@ -1021,6 +1021,53 @@ mod frontier_tests {
         assert_eq!(snap.stats.states_new, report.total_states());
         std::fs::remove_file(&path).ok();
     }
+
+    /// Replay-determinism regression: two fresh single-worker runs of the
+    /// same configuration must write byte-identical snapshot files. The
+    /// visited export streams in fingerprint order and the frontier drains
+    /// deterministically, so any byte difference means hash-map iteration
+    /// order (or other ambient entropy) leaked into the pickle path —
+    /// exactly what `mcfs-lint --source` polices statically.
+    #[test]
+    fn fresh_single_worker_runs_pickle_identical_bytes() {
+        let dir = std::env::temp_dir().join("mcfs-swarm-determinism-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let cfg = SwarmConfig {
+            workers: 1,
+            base: ExploreConfig {
+                max_depth: 5,
+                max_ops: u64::MAX,
+                ..ExploreConfig::default()
+            },
+            shared_visited: true,
+            strategies: vec![WorkerStrategy::Dfs],
+        };
+        let mut blobs = Vec::new();
+        for run in 0..2 {
+            let path = dir.join(format!("run{run}.pickle"));
+            let _ = std::fs::remove_file(&path);
+            let report = run_swarm_persistent(
+                &cfg,
+                |_| Grid::new(),
+                SwarmPersist {
+                    codec: &GridCodec,
+                    snapshot_path: Some(path.clone()),
+                    snapshot_every: 0,
+                    resume: None,
+                },
+            );
+            assert!(report.persist_error.is_none(), "{:?}", report.persist_error);
+            blobs.push(std::fs::read(&path).expect("snapshot readable"));
+            std::fs::remove_file(&path).ok();
+        }
+        assert!(
+            blobs[0] == blobs[1],
+            "two fresh runs of the same config produced different snapshot \
+             bytes ({} vs {})",
+            blobs[0].len(),
+            blobs[1].len()
+        );
+    }
 }
 
 #[cfg(test)]

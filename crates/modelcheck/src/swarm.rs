@@ -340,6 +340,7 @@ where
     };
     let mut reports: Vec<Option<ExploreReport<S::Op>>> = (0..cfg.workers).map(|_| None).collect();
 
+    // mcfs-lint: allow(MC007, per-worker results land in indexed slots; the merge below is worker-order deterministic)
     std::thread::scope(|scope| {
         for (idx, slot) in reports.iter_mut().enumerate() {
             let stop = &stop;
@@ -592,6 +593,7 @@ where
             u64::MAX
         };
 
+        // mcfs-lint: allow(MC007, per-worker results land in indexed slots; the merge below is worker-order deterministic)
         std::thread::scope(|scope| {
             for (idx, ((stats_slot, viol_slot), stop_slot)) in agg_stats
                 .iter_mut()

@@ -1085,6 +1085,7 @@ impl FileSystem for VeriFs {
         let mut acc: u128 = 0;
         let mut any = false;
         let mut canon: Option<Vec<Option<String>>> = None;
+        // mcfs-lint: allow(MC007, keyed by canonical path; the slot fallback only covers orphans with no POSIX-reachable residue)
         for (ino, slot) in self.state.inodes.iter().enumerate() {
             let Some(inode) = slot else { continue };
             if let NodeKind::Regular { buf, size } = &inode.kind {
